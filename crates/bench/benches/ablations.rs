@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the NM-CIJ cell **reuse buffer** on vs off (the Figure 11 heuristic),
+//! * **batched** conditional filtering vs one filter call per Q cell,
+//! * **batched** per-leaf cell computation vs per-point computation when
+//!   materialising a diagram (the ITER/BATCH choice of Figure 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cij_core::{batch_conditional_filter, nm_cij, CijConfig, Workload};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use cij_rtree::{PointObject, RTree, RTreeConfig};
+use cij_voronoi::{compute_diagram, brute_force_diagram, DiagramMethod};
+
+fn bench_reuse_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse");
+    group.sample_size(10);
+    let n = 2_000usize;
+    let p = uniform_points(n, &Rect::DOMAIN, 21);
+    let q = uniform_points(n, &Rect::DOMAIN, 22);
+    for reuse in [true, false] {
+        let config = CijConfig::default().with_reuse(reuse);
+        let name = if reuse { "nm_with_reuse" } else { "nm_without_reuse" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = Workload::build(&p, &q, &config);
+                nm_cij(&mut w, &config).pairs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_filter");
+    group.sample_size(10);
+    let p = uniform_points(5_000, &Rect::DOMAIN, 23);
+    let q = uniform_points(5_000, &Rect::DOMAIN, 24);
+    let mut rp = RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&p));
+    rp.set_buffer_fraction(0.05);
+    // One leaf worth of Q cells as the probe group.
+    let q_cells = brute_force_diagram(&q[..24], &Rect::DOMAIN);
+
+    group.bench_function("batched_filter", |b| {
+        b.iter(|| {
+            batch_conditional_filter(&mut rp, &q_cells, &Rect::DOMAIN)
+                .0
+                .len()
+        })
+    });
+    group.bench_function("per_cell_filter", |b| {
+        b.iter(|| {
+            q_cells
+                .iter()
+                .map(|t| {
+                    batch_conditional_filter(&mut rp, std::slice::from_ref(t), &Rect::DOMAIN)
+                        .0
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_diagram_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_diagram");
+    group.sample_size(10);
+    let points = uniform_points(4_000, &Rect::DOMAIN, 25);
+    let objects = PointObject::from_points(&points);
+    for (name, method) in [("iter", DiagramMethod::Iter), ("batch", DiagramMethod::Batch)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tree = RTree::bulk_load(RTreeConfig::default(), objects.clone());
+                tree.set_buffer_fraction(0.02);
+                compute_diagram(&mut tree, &Rect::DOMAIN, method).cells.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_buffer,
+    bench_filter_batching,
+    bench_diagram_batching
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the three CIJ algorithms at a small fixed
+//! size (wall-clock companion to the Figure 7 harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cij_core::{Algorithm, CijConfig, Workload};
+use cij_datagen::{clustered_points, uniform_points, ClusterSpec};
+use cij_geom::Rect;
+
+fn bench_algorithms_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cij_uniform");
+    group.sample_size(10);
+    let n = 3_000usize;
+    let p = uniform_points(n, &Rect::DOMAIN, 1);
+    let q = uniform_points(n, &Rect::DOMAIN, 2);
+    let config = CijConfig::default();
+    for alg in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::new(alg.name(), n), &alg, |b, alg| {
+            b.iter(|| {
+                let mut w = Workload::build(&p, &q, &config);
+                alg.run(&mut w, &config).pairs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nm_on_skewed_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cij_skewed");
+    group.sample_size(10);
+    let spec = ClusterSpec {
+        n: 3_000,
+        clusters: 30,
+        sigma_fraction: 0.02,
+        background_fraction: 0.1,
+        size_skew: 0.9,
+    };
+    let p = clustered_points(&spec, &Rect::DOMAIN, 3);
+    let q = clustered_points(&spec, &Rect::DOMAIN, 4);
+    let config = CijConfig::default();
+    group.bench_function("nm_cij_clustered", |b| {
+        b.iter(|| {
+            let mut w = Workload::build(&p, &q, &config);
+            Algorithm::NmCij.run(&mut w, &config).pairs.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms_uniform, bench_nm_on_skewed_data);
+criterion_main!(benches);

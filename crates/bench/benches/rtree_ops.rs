@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the R-tree substrate: bulk loading,
+//! insertion, range queries and k-NN search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cij_datagen::uniform_points;
+use cij_geom::{Point, Rect};
+use cij_rtree::{PointObject, RTree, RTreeConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let points = uniform_points(n, &Rect::DOMAIN, 11);
+        let objects = PointObject::from_points(&points);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            b.iter(|| RTree::bulk_load(RTreeConfig::default(), objects.clone()).num_pages())
+        });
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = RTree::new(RTreeConfig::default());
+                t.insert_all(objects.clone());
+                t.num_pages()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_query");
+    group.sample_size(20);
+    let n = 50_000usize;
+    let points = uniform_points(n, &Rect::DOMAIN, 13);
+    let mut tree = RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
+    tree.set_buffer_fraction(0.1);
+
+    group.bench_function("range_1pct", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let x = (i % 90) as f64 * 100.0;
+            let y = ((i * 7) % 90) as f64 * 100.0;
+            tree.range_query(&Rect::from_coords(x, y, x + 1_000.0, y + 1_000.0))
+                .len()
+        })
+    });
+    group.bench_function("knn_10", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let q = Point::new((i % 100) as f64 * 100.0, ((i * 13) % 100) as f64 * 100.0);
+            tree.k_nearest(q, 10).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for Voronoi-cell computation: BF-VOR
+//! (Algorithm 1), the TP-VOR baseline and BatchVoronoi (Algorithm 2).
+//! Complements the Figure 5 / Figure 6 harness binaries with
+//! statistically-sound wall-clock numbers at a fixed small size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use cij_rtree::{ObjectId, PointObject, RTree, RTreeConfig};
+use cij_voronoi::{batch_voronoi, single_voronoi, tp_voronoi};
+
+fn bench_single_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voronoi_cell");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let points = uniform_points(n, &Rect::DOMAIN, 42);
+        let mut tree =
+            RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
+        tree.set_buffer_fraction(0.05);
+        group.bench_with_input(BenchmarkId::new("bf_vor", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 97) % n;
+                single_voronoi(&mut tree, points[i], ObjectId(i as u64), &Rect::DOMAIN)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tp_vor", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 97) % n;
+                tp_voronoi(&mut tree, points[i], ObjectId(i as u64), &Rect::DOMAIN)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voronoi_batch");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let points = uniform_points(n, &Rect::DOMAIN, 7);
+    let objects = PointObject::from_points(&points);
+    let mut tree = RTree::bulk_load(RTreeConfig::default(), objects.clone());
+    tree.set_buffer_fraction(0.05);
+    let leaf = tree.leaf_pages_hilbert_order(&Rect::DOMAIN)[0];
+    let leaf_group = tree.read_node(leaf).objects;
+
+    group.bench_function("batch_one_leaf", |b| {
+        b.iter(|| batch_voronoi(&mut tree, &leaf_group, &Rect::DOMAIN))
+    });
+    group.bench_function("single_per_leaf_member", |b| {
+        b.iter(|| {
+            leaf_group
+                .iter()
+                .map(|m| single_voronoi(&mut tree, m.point, m.id, &Rect::DOMAIN))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cell, bench_batch_cell);
+criterion_main!(benches);

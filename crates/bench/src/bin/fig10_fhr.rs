@@ -1,0 +1,4 @@
+//! Reproduces Figure 10 (false-hit ratio of the NM-CIJ filter).
+fn main() {
+    cij_bench::experiments::fig10::run(&cij_bench::Args::capture());
+}

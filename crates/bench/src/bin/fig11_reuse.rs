@@ -1,0 +1,4 @@
+//! Reproduces Figure 11 (REUSE vs NO-REUSE cell computations in NM-CIJ).
+fn main() {
+    cij_bench::experiments::fig11::run(&cij_bench::Args::capture());
+}

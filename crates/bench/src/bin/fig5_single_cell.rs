@@ -1,0 +1,4 @@
+//! Reproduces Figure 5 (BF-VOR vs TP-VOR single-cell queries).
+fn main() {
+    cij_bench::experiments::fig5::run(&cij_bench::Args::capture());
+}

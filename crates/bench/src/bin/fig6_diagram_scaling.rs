@@ -1,0 +1,4 @@
+//! Reproduces Figure 6 (ITER vs BATCH vs LB diagram computation).
+fn main() {
+    cij_bench::experiments::fig6::run(&cij_bench::Args::capture());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 7 (MAT/JOIN cost breakdown of FM/PM/NM-CIJ).
+fn main() {
+    cij_bench::experiments::fig7::run(&cij_bench::Args::capture());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 8a (effect of the LRU buffer size).
+fn main() {
+    cij_bench::experiments::fig8::run_buffer(&cij_bench::Args::capture());
+}

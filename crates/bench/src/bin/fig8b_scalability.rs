@@ -1,0 +1,4 @@
+//! Reproduces Figure 8b (scalability with the datasize).
+fn main() {
+    cij_bench::experiments::fig8::run_scalability(&cij_bench::Args::capture());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 9a (cardinality ratio sweep).
+fn main() {
+    cij_bench::experiments::fig9::run_ratio(&cij_bench::Args::capture());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 9b (output progressiveness).
+fn main() {
+    cij_bench::experiments::fig9::run_progress(&cij_bench::Args::capture());
+}

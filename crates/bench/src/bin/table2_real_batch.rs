@@ -1,0 +1,4 @@
+//! Reproduces Tables I and II (BatchVoronoi on the real datasets).
+fn main() {
+    cij_bench::experiments::table2::run(&cij_bench::Args::capture());
+}

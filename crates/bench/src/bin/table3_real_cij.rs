@@ -1,0 +1,4 @@
+//! Reproduces Table III (CIJ on pairs of real datasets).
+fn main() {
+    cij_bench::experiments::table3::run(&cij_bench::Args::capture());
+}

@@ -1,0 +1,52 @@
+//! Figure 10: the false-hit ratio (FHR) of the NM-CIJ filter step, (a) as a
+//! function of the datasize and (b) as a function of the cardinality ratio.
+
+use crate::experiments::fig9::{split_total, RATIOS};
+use crate::util::{paper_config, print_header, print_row, scaled, Args};
+use cij_core::{nm_cij, Workload};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+
+/// Runs both panels of Figure 10.
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.02);
+    let config = paper_config();
+
+    print_header(
+        &format!("Figure 10a: NM-CIJ false hit ratio vs datasize (scale {scale})"),
+        &["n (=|P|=|Q|)", "candidates", "true hits", "FHR"],
+    );
+    for paper_n in [100_000usize, 200_000, 400_000, 800_000] {
+        let n = scaled(paper_n, scale);
+        let p = uniform_points(n, &Rect::DOMAIN, 10_001);
+        let q = uniform_points(n, &Rect::DOMAIN, 10_002);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = nm_cij(&mut w, &config);
+        print_row(&[
+            n.to_string(),
+            outcome.nm.filter_candidates.to_string(),
+            outcome.nm.filter_true_hits.to_string(),
+            format!("{:.3}", outcome.nm.false_hit_ratio()),
+        ]);
+    }
+
+    let total = scaled(200_000, scale);
+    print_header(
+        &format!("Figure 10b: NM-CIJ false hit ratio vs ratio |Q|:|P|, |P|+|Q| = {total}"),
+        &["ratio |Q|:|P|", "candidates", "true hits", "FHR"],
+    );
+    for ratio in RATIOS {
+        let (np, nq) = split_total(total, ratio);
+        let p = uniform_points(np, &Rect::DOMAIN, 10_101);
+        let q = uniform_points(nq, &Rect::DOMAIN, 10_102);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = nm_cij(&mut w, &config);
+        print_row(&[
+            format!("{}:{}", ratio.0, ratio.1),
+            outcome.nm.filter_candidates.to_string(),
+            outcome.nm.filter_true_hits.to_string(),
+            format!("{:.3}", outcome.nm.false_hit_ratio()),
+        ]);
+    }
+    println!("shape check (paper): FHR stays below ~0.1 and is largest when |P| >> |Q| (ratio 1:4)");
+}

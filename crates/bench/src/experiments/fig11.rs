@@ -1,0 +1,57 @@
+//! Figure 11: benefit of reusing exact Voronoi cells of `P` across
+//! consecutive leaves of `RQ` in NM-CIJ — number of exact cell computations
+//! with REUSE vs NO-REUSE, compared to |P|, (a) vs datasize and (b) vs the
+//! cardinality ratio.
+
+use crate::experiments::fig9::{split_total, RATIOS};
+use crate::util::{paper_config, print_header, print_row, scaled, Args};
+use cij_core::{nm_cij, Workload};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+
+fn measure(np: usize, nq: usize, reuse: bool) -> u64 {
+    let config = paper_config().with_reuse(reuse);
+    let p = uniform_points(np, &Rect::DOMAIN, 11_001);
+    let q = uniform_points(nq, &Rect::DOMAIN, 11_002);
+    let mut w = Workload::build(&p, &q, &config);
+    nm_cij(&mut w, &config).nm.p_cells_computed
+}
+
+/// Runs both panels of Figure 11.
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.02);
+
+    print_header(
+        &format!("Figure 11a: Voronoi cells of P computed by NM-CIJ vs datasize (scale {scale})"),
+        &["n (=|P|=|Q|)", "NO-REUSE", "REUSE", "|P|"],
+    );
+    for paper_n in [100_000usize, 200_000, 400_000, 800_000] {
+        let n = scaled(paper_n, scale);
+        let no_reuse = measure(n, n, false);
+        let reuse = measure(n, n, true);
+        print_row(&[
+            n.to_string(),
+            no_reuse.to_string(),
+            reuse.to_string(),
+            n.to_string(),
+        ]);
+    }
+
+    let total = scaled(200_000, scale);
+    print_header(
+        &format!("Figure 11b: Voronoi cells of P computed vs ratio |Q|:|P|, |P|+|Q| = {total}"),
+        &["ratio |Q|:|P|", "NO-REUSE", "REUSE", "|P|"],
+    );
+    for ratio in RATIOS {
+        let (np, nq) = split_total(total, ratio);
+        let no_reuse = measure(np, nq, false);
+        let reuse = measure(np, nq, true);
+        print_row(&[
+            format!("{}:{}", ratio.0, ratio.1),
+            no_reuse.to_string(),
+            reuse.to_string(),
+            np.to_string(),
+        ]);
+    }
+    println!("shape check (paper): REUSE cuts the redundant computations (those above |P|) by roughly half");
+}

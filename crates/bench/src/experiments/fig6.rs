@@ -1,0 +1,56 @@
+//! Figure 6: Voronoi-diagram computation cost (I/O and CPU) as a function of
+//! the datasize — ITER (Algorithm 1 per point) vs BATCH (Algorithm 2 per
+//! leaf) vs the traversal lower bound LB.
+//!
+//! The paper sweeps n from 100 K to 800 K uniform points.
+
+use crate::util::{print_header, print_row, scaled, secs, Args};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use cij_rtree::{PointObject, RTree, RTreeConfig};
+use cij_voronoi::{compute_diagram, lower_bound_io, DiagramMethod};
+
+/// Runs the Figure 6 experiment. `--scale` scales the paper's datasizes
+/// (100 K … 800 K).
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.05);
+    let paper_sizes = [100_000usize, 200_000, 400_000, 800_000];
+    let domain = Rect::DOMAIN;
+
+    print_header(
+        &format!("Figure 6: Voronoi diagram computation vs datasize (scale {scale})"),
+        &["n", "ITER I/O", "BATCH I/O", "LB", "ITER cpu(s)", "BATCH cpu(s)"],
+    );
+
+    for paper_n in paper_sizes {
+        let n = scaled(paper_n, scale);
+        let points = uniform_points(n, &domain, 6_000 + paper_n as u64);
+        let objects = PointObject::from_points(&points);
+
+        // 2 % buffer as in the paper, with the 40-page absolute floor used by
+        // scaled-down runs (see CijConfig::min_buffer_pages).
+        let buffer = |pages: usize| ((pages as f64 * 0.02).ceil() as usize).max(40);
+
+        let mut iter_tree = RTree::bulk_load(RTreeConfig::default(), objects.clone());
+        iter_tree.set_buffer_pages(buffer(iter_tree.num_pages()));
+        iter_tree.drop_buffer();
+        iter_tree.stats().reset();
+        let iter_res = compute_diagram(&mut iter_tree, &domain, DiagramMethod::Iter);
+
+        let mut batch_tree = RTree::bulk_load(RTreeConfig::default(), objects);
+        batch_tree.set_buffer_pages(buffer(batch_tree.num_pages()));
+        batch_tree.drop_buffer();
+        batch_tree.stats().reset();
+        let batch_res = compute_diagram(&mut batch_tree, &domain, DiagramMethod::Batch);
+
+        print_row(&[
+            n.to_string(),
+            iter_res.io.page_accesses().to_string(),
+            batch_res.io.page_accesses().to_string(),
+            lower_bound_io(&batch_tree).to_string(),
+            format!("{:.2}", secs(iter_res.cpu)),
+            format!("{:.2}", secs(batch_res.cpu)),
+        ]);
+    }
+    println!("shape check (paper): ITER and BATCH I/O close to LB; BATCH CPU advantage grows with n");
+}

@@ -1,0 +1,103 @@
+//! Figure 9: (a) the effect of the cardinality ratio |Q| : |P| at a constant
+//! total size, and (b) output progressiveness (result pairs produced vs page
+//! accesses spent).
+
+use crate::util::{paper_config, print_header, print_row, scaled, Args};
+use cij_core::{Algorithm, Workload};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+
+/// The ratio sweep of Figure 9a / 10b / 11b: |Q| : |P| in {1:4 … 4:1}.
+pub const RATIOS: [(u32, u32); 5] = [(1, 4), (1, 2), (1, 1), (2, 1), (4, 1)];
+
+/// Splits a total cardinality according to a |Q| : |P| ratio.
+pub fn split_total(total: usize, ratio: (u32, u32)) -> (usize, usize) {
+    let (rq, rp) = ratio;
+    let denom = (rq + rp) as usize;
+    let q = total * rq as usize / denom;
+    (total - q, q) // (|P|, |Q|)
+}
+
+/// Runs the Figure 9a experiment (cardinality ratio sweep, |P|+|Q| = 200 K in
+/// the paper).
+pub fn run_ratio(args: &Args) {
+    let scale: f64 = args.get("scale", 0.05);
+    let total = scaled(200_000, scale);
+    let config = paper_config();
+
+    print_header(
+        &format!("Figure 9a: cardinality ratio |Q|:|P|, |P| + |Q| = {total}"),
+        &["ratio |Q|:|P|", "|P|", "|Q|", "FM-CIJ", "PM-CIJ", "NM-CIJ", "LB"],
+    );
+    for ratio in RATIOS {
+        let (np, nq) = split_total(total, ratio);
+        let p = uniform_points(np, &Rect::DOMAIN, 9_001);
+        let q = uniform_points(nq, &Rect::DOMAIN, 9_002);
+        let mut row = vec![format!("{}:{}", ratio.0, ratio.1), np.to_string(), nq.to_string()];
+        let mut lb = 0;
+        for alg in Algorithm::ALL {
+            let mut w = Workload::build(&p, &q, &config);
+            lb = w.lower_bound_io();
+            let outcome = alg.run(&mut w, &config);
+            row.push(outcome.page_accesses().to_string());
+        }
+        row.push(lb.to_string());
+        print_row(&row);
+    }
+    println!("shape check (paper): PM-CIJ cheapens as |P| shrinks (less to materialise); NM-CIJ lowest throughout");
+}
+
+/// Runs the Figure 9b experiment (output progressiveness at the default
+/// setting).
+pub fn run_progress(args: &Args) {
+    let scale: f64 = args.get("scale", 0.05);
+    let n = scaled(100_000, scale);
+    let config = paper_config();
+    let p = uniform_points(n, &Rect::DOMAIN, 9_101);
+    let q = uniform_points(n, &Rect::DOMAIN, 9_102);
+
+    print_header(
+        &format!("Figure 9b: output progressiveness, |P| = |Q| = {n}"),
+        &["algorithm", "page accesses", "result pairs"],
+    );
+    for alg in Algorithm::ALL {
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = alg.run(&mut w, &config);
+        // Print ~8 evenly spaced samples of each curve.
+        let samples = &outcome.progress;
+        let step = (samples.len() / 8).max(1);
+        for s in samples.iter().step_by(step) {
+            print_row(&[
+                alg.name().into(),
+                s.page_accesses.to_string(),
+                s.pairs.to_string(),
+            ]);
+        }
+        if let Some(last) = samples.last() {
+            print_row(&[
+                format!("{} (final)", alg.name()),
+                last.page_accesses.to_string(),
+                last.pairs.to_string(),
+            ]);
+        }
+    }
+    println!("shape check (paper): FM/PM produce nothing until materialisation finishes; NM streams pairs from the first few accesses");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_split_preserves_total() {
+        for ratio in RATIOS {
+            let (p, q) = split_total(200_000, ratio);
+            assert_eq!(p + q, 200_000);
+        }
+        assert_eq!(split_total(200_000, (1, 1)), (100_000, 100_000));
+        let (p, q) = split_total(200_000, (1, 4));
+        assert!(q < p);
+        let (p, q) = split_total(200_000, (4, 1));
+        assert!(q > p);
+    }
+}

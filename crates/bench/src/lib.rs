@@ -1,0 +1,21 @@
+//! # cij-bench
+//!
+//! The experiment harness of the CIJ reproduction: one module per table /
+//! figure of the paper's evaluation (Section V), each printing the same rows
+//! or series the paper reports. The `src/bin/*` binaries are thin wrappers
+//! around these modules so that every experiment can be run individually
+//! (`cargo run --release -p cij-bench --bin fig7_breakdown -- --scale 1.0`)
+//! or all together (`--bin run_all`).
+//!
+//! Absolute numbers differ from the paper (different hardware, Rust instead
+//! of C++, synthetic stand-ins for the USGS datasets, scaled-down default
+//! sizes), but the *shape* of every result — which algorithm wins, by what
+//! factor, how curves move with each parameter — is what the harness
+//! reproduces. EXPERIMENTS.md records paper-vs-measured values.
+
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{flag, paper_config, scaled, Args};

@@ -1,0 +1,118 @@
+//! Configuration shared by the CIJ algorithms.
+
+use cij_geom::Rect;
+use cij_rtree::RTreeConfig;
+
+/// Configuration of a CIJ evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct CijConfig {
+    /// Space domain the Voronoi cells are clipped to (the paper normalises
+    /// all data to `[0, 10000]²`).
+    pub domain: Rect,
+    /// R-tree configuration used for any tree the algorithms build
+    /// themselves (the Voronoi R-trees `R'P`/`R'Q`).
+    pub rtree: RTreeConfig,
+    /// Buffer capacity, as a fraction of each tree's size, applied to trees
+    /// the algorithms build themselves (2 % in the paper).
+    pub buffer_fraction: f64,
+    /// Lower bound on the buffer capacity in pages.
+    ///
+    /// The paper's default buffer is "2 % of the data size" at |P| = 100 K,
+    /// i.e. roughly 40 one-kilobyte pages in absolute terms. When experiments
+    /// are run at reduced scale, 2 % of a small tree would be only a handful
+    /// of pages — far below the working-set size of a single Voronoi-cell
+    /// computation — which distorts the relative costs. This floor keeps the
+    /// absolute buffer comparable to the paper's default; sweeps that want
+    /// full control (Figure 8a) set it to 1.
+    pub min_buffer_pages: usize,
+    /// Whether NM-CIJ reuses exact Voronoi cells of `P` computed for the
+    /// previous leaf of `RQ` (the REUSE heuristic of Section IV-B).
+    pub reuse_cells: bool,
+    /// Granularity of the progressive-output trace: a sample is recorded
+    /// every this many result pairs (plus one sample per outer-loop step).
+    pub progress_sample_pairs: u64,
+}
+
+impl Default for CijConfig {
+    fn default() -> Self {
+        CijConfig {
+            domain: Rect::DOMAIN,
+            rtree: RTreeConfig::default(),
+            buffer_fraction: cij_pagestore::DEFAULT_BUFFER_FRACTION,
+            min_buffer_pages: 40,
+            reuse_cells: true,
+            progress_sample_pairs: 1_000,
+        }
+    }
+}
+
+impl CijConfig {
+    /// The paper's default setting.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Sets the space domain.
+    pub fn with_domain(mut self, domain: Rect) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Sets the R-tree configuration for algorithm-built trees.
+    pub fn with_rtree(mut self, rtree: RTreeConfig) -> Self {
+        self.rtree = rtree;
+        self
+    }
+
+    /// Sets the buffer fraction for algorithm-built trees.
+    pub fn with_buffer_fraction(mut self, fraction: f64) -> Self {
+        self.buffer_fraction = fraction;
+        self
+    }
+
+    /// Enables or disables the NM-CIJ cell-reuse heuristic.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_cells = reuse;
+        self
+    }
+
+    /// Sets the minimum buffer capacity in pages.
+    pub fn with_min_buffer_pages(mut self, pages: usize) -> Self {
+        self.min_buffer_pages = pages;
+        self
+    }
+
+    /// The buffer capacity (in pages) for a tree of `num_pages` pages under
+    /// this configuration: `buffer_fraction` of the tree, but never below
+    /// `min_buffer_pages` (and never zero unless the fraction is zero and the
+    /// floor is zero).
+    pub fn buffer_pages_for(&self, num_pages: usize) -> usize {
+        let frac = ((num_pages as f64) * self.buffer_fraction).ceil() as usize;
+        frac.max(self.min_buffer_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setting() {
+        let c = CijConfig::default();
+        assert_eq!(c.domain, Rect::DOMAIN);
+        assert!((c.buffer_fraction - 0.02).abs() < 1e-12);
+        assert!(c.reuse_cells);
+        assert_eq!(c.rtree.page_size, 1024);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = CijConfig::default()
+            .with_buffer_fraction(0.1)
+            .with_reuse(false)
+            .with_domain(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(c.buffer_fraction, 0.1);
+        assert!(!c.reuse_cells);
+        assert_eq!(c.domain.hi.x, 1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The conditional filter of NM-CIJ (Algorithm 5 and its batch variant).
+//!
+//! Given one or more convex polygons `T` (Voronoi cells of points of `Q`),
+//! the filter traverses the R-tree `RP` of pointset `P` and returns a
+//! candidate set `CP ⊆ P` that is guaranteed to contain every point whose
+//! Voronoi cell intersects any of the polygons. Section IV-A's three pruning
+//! ingredients are used:
+//!
+//! 1. points inside a polygon `T` always join (they are kept as candidates
+//!    and their cells need not be checked for that polygon),
+//! 2. a point `p` is discarded when its *approximate* cell `V(p, CP)` —
+//!    computed from the already-found candidates only, a superset of the
+//!    exact cell — misses every polygon,
+//! 3. a non-leaf entry `e` that misses every polygon is pruned when, for each
+//!    polygon `T`, some candidate `p ∈ CP` exists with `T ⊆ Φ(L, p)` for all
+//!    sides `L` of `e` (Lemma 3), because then no point under `e` can have a
+//!    cell reaching `T`.
+//!
+//! Entries are visited in ascending distance from the centroid of the
+//! polygons (best-first), so nearby points enter `CP` early and shield the
+//! rest of the tree.
+
+use cij_geom::{ConvexPolygon, Point, Rect};
+use cij_pagestore::PageId;
+use cij_rtree::{MinDistHeap, MinHeapItem, PointObject, RTree};
+
+enum HeapEntry {
+    Node { page: PageId, mbr: Rect },
+    Point(PointObject),
+}
+
+/// Statistics of one filter invocation (used for the false-hit-ratio
+/// accounting of Figure 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Points of `P` examined (popped from the heap).
+    pub points_examined: u64,
+    /// Non-leaf entries pruned by the Φ rule.
+    pub entries_pruned: u64,
+}
+
+/// Runs the (batch) conditional filter: returns every point of `P` whose
+/// Voronoi cell may intersect at least one polygon of `polys`, plus filter
+/// statistics.
+///
+/// With a single polygon this is exactly Algorithm 5; with several it is the
+/// BatchConditionalFilter of Section IV-A.
+pub fn batch_conditional_filter(
+    rp: &mut RTree<PointObject>,
+    polys: &[ConvexPolygon],
+    domain: &Rect,
+) -> (Vec<PointObject>, FilterStats) {
+    let mut stats = FilterStats::default();
+    let mut candidates: Vec<PointObject> = Vec::new();
+    let usable: Vec<&ConvexPolygon> = polys.iter().filter(|t| !t.is_empty()).collect();
+    if rp.is_empty() || usable.is_empty() {
+        return (candidates, stats);
+    }
+
+    // Reference point for the traversal order: centroid of the polygons'
+    // centroids.
+    let centers: Vec<Point> = usable.iter().filter_map(|t| t.centroid()).collect();
+    let centroid = Point::centroid(&centers).unwrap_or_else(|| domain.center());
+
+    // Bounding boxes of the polygons, for the cheap "does e intersect some T"
+    // test that forbids pruning.
+    let poly_bboxes: Vec<Rect> = usable.iter().map(|t| t.bbox()).collect();
+
+    let mut heap: MinDistHeap<HeapEntry> = MinDistHeap::new();
+    // The root is read up front (Algorithm 5, line 4) and its entries seeded.
+    let root = rp.root_page();
+    let root_node = rp.read_node(root);
+    if root_node.is_leaf() {
+        for o in root_node.objects {
+            heap.push(MinHeapItem::new(
+                o.point.dist(&centroid),
+                HeapEntry::Point(o),
+            ));
+        }
+    } else {
+        for c in root_node.children {
+            heap.push(MinHeapItem::new(
+                c.mbr.mindist_point(&centroid),
+                HeapEntry::Node {
+                    page: c.page,
+                    mbr: c.mbr,
+                },
+            ));
+        }
+    }
+
+    while let Some(MinHeapItem { item, .. }) = heap.pop() {
+        match item {
+            HeapEntry::Point(p) => {
+                stats.points_examined += 1;
+                // Approximate cell of p from the current candidates only; a
+                // superset of V(p, P), so discarding is safe.
+                let mut cell = ConvexPolygon::from_rect(domain);
+                for c in &candidates {
+                    if c.id == p.id {
+                        continue;
+                    }
+                    cell = cell.clip_bisector(&p.point, &c.point);
+                    if cell.is_empty() {
+                        break;
+                    }
+                }
+                if usable
+                    .iter()
+                    .zip(&poly_bboxes)
+                    .any(|(t, bb)| cell.bbox().intersects(bb) && cell.intersects(t))
+                {
+                    candidates.push(p);
+                }
+            }
+            HeapEntry::Node { page, mbr } => {
+                // A node whose MBR intersects some polygon may contain points
+                // inside it; it can never be pruned.
+                let touches_some_poly = usable
+                    .iter()
+                    .zip(&poly_bboxes)
+                    .any(|(t, bb)| mbr.intersects(bb) && t.intersects_rect(&mbr));
+                if !touches_some_poly && is_shielded(&mbr, &usable, &candidates) {
+                    stats.entries_pruned += 1;
+                    continue;
+                }
+                let node = rp.read_node(page);
+                if node.is_leaf() {
+                    for o in node.objects {
+                        heap.push(MinHeapItem::new(
+                            o.point.dist(&centroid),
+                            HeapEntry::Point(o),
+                        ));
+                    }
+                } else {
+                    for c in node.children {
+                        heap.push(MinHeapItem::new(
+                            c.mbr.mindist_point(&centroid),
+                            HeapEntry::Node {
+                                page: c.page,
+                                mbr: c.mbr,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (candidates, stats)
+}
+
+/// Whether every polygon is shielded from the entry `mbr` by some candidate:
+/// for each polygon `T` there is a `p ∈ candidates` such that `T` falls in
+/// `Φ(L, p)` for every side `L` of the entry (Lemma 3 applied per side).
+fn is_shielded(mbr: &Rect, polys: &[&ConvexPolygon], candidates: &[PointObject]) -> bool {
+    if candidates.is_empty() {
+        return false;
+    }
+    let sides = mbr.sides();
+    polys.iter().all(|t| {
+        candidates.iter().any(|p| {
+            sides
+                .iter()
+                .all(|l| cij_geom::polygon_within_phi(l, &p.point, t))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+    use cij_rtree::RTreeConfig;
+    use cij_voronoi::{brute_force_cell, brute_force_diagram};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> RTreeConfig {
+        RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        }
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    /// Oracle: ids of P points whose exact Voronoi cell intersects any poly.
+    fn oracle_joiners(p: &[Point], polys: &[ConvexPolygon]) -> Vec<u64> {
+        let cells = brute_force_diagram(p, &Rect::DOMAIN);
+        let mut out = Vec::new();
+        for (i, c) in cells.iter().enumerate() {
+            if polys.iter().any(|t| c.intersects(t)) {
+                out.push(i as u64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn candidate_set_is_a_superset_of_true_joiners() {
+        let p = random_points(300, 31);
+        let q = random_points(300, 32);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        // Use the cell of one Q point as the probe polygon.
+        let t = brute_force_cell(&q, 17, &Rect::DOMAIN);
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        let candidate_ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
+        for joiner in oracle_joiners(&p, &[t]) {
+            assert!(
+                candidate_ids.contains(&joiner),
+                "true joiner {joiner} missing from candidate set"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_filter_covers_every_polygon_of_the_group() {
+        let p = random_points(250, 41);
+        let q = random_points(250, 42);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let q_cells = brute_force_diagram(&q, &Rect::DOMAIN);
+        let group: Vec<ConvexPolygon> = q_cells[40..52].to_vec();
+        let (candidates, stats) = batch_conditional_filter(&mut rp, &group, &Rect::DOMAIN);
+        let candidate_ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
+        for joiner in oracle_joiners(&p, &group) {
+            assert!(candidate_ids.contains(&joiner));
+        }
+        assert!(stats.points_examined >= candidates.len() as u64);
+    }
+
+    #[test]
+    fn filter_prunes_most_of_the_tree() {
+        let p = random_points(4_000, 51);
+        let q = random_points(4_000, 52);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let t = brute_force_cell(&q, 123, &Rect::DOMAIN);
+        rp.drop_buffer();
+        rp.stats().reset();
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[t], &Rect::DOMAIN);
+        let reads = rp.stats().snapshot().logical_reads as usize;
+        assert!(
+            reads < rp.num_pages() / 4,
+            "filter read {reads} of {} pages — pruning ineffective",
+            rp.num_pages()
+        );
+        assert!(
+            candidates.len() < p.len() / 10,
+            "candidate set unexpectedly large: {}",
+            candidates.len()
+        );
+    }
+
+    #[test]
+    fn empty_polygon_list_yields_no_candidates() {
+        let p = random_points(100, 61);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[], &Rect::DOMAIN);
+        assert!(candidates.is_empty());
+        let (candidates, _) =
+            batch_conditional_filter(&mut rp, &[ConvexPolygon::empty()], &Rect::DOMAIN);
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn whole_domain_polygon_keeps_voronoi_neighbours_of_everything() {
+        // When the probe polygon is the whole domain, every point of P joins
+        // (its cell is inside the domain), so the candidate set must be all
+        // of P.
+        let p = random_points(120, 71);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let t = ConvexPolygon::from_rect(&Rect::DOMAIN);
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[t], &Rect::DOMAIN);
+        assert_eq!(candidates.len(), p.len());
+    }
+
+    #[test]
+    fn points_inside_the_polygon_are_always_candidates() {
+        let p = random_points(200, 81);
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let t = ConvexPolygon::from_rect(&Rect::from_coords(2_000.0, 2_000.0, 5_000.0, 5_000.0));
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        let ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
+        for (i, pt) in p.iter().enumerate() {
+            if t.contains_point(pt) {
+                assert!(ids.contains(&(i as u64)), "inside point {i} filtered out");
+            }
+        }
+    }
+
+    #[test]
+    fn shield_test_requires_candidates() {
+        let mbr = Rect::from_coords(9_000.0, 9_000.0, 9_100.0, 9_100.0);
+        let t = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        assert!(!is_shielded(&mbr, &[&t], &[]));
+        let shield = PointObject::new(0, Point::new(4_000.0, 4_000.0));
+        assert!(is_shielded(&mbr, &[&t], &[shield]));
+    }
+
+    #[test]
+    fn query_unrelated_to_dataset_returns_near_empty_candidates() {
+        // A probe polygon far away from a tight data cluster: only the
+        // cluster points nearest to the polygon can have cells reaching it.
+        let mut p = Vec::new();
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..500 {
+            p.push(Point::new(
+                1_000.0 + rng.gen_range(-50.0..50.0),
+                1_000.0 + rng.gen_range(-50.0..50.0),
+            ));
+        }
+        let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+        let t = ConvexPolygon::from_rect(&Rect::from_coords(9_000.0, 9_000.0, 9_200.0, 9_200.0));
+        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        // Only boundary points of the cluster (whose cells extend to the far
+        // corner) should survive; certainly not the whole cluster.
+        assert!(candidates.len() < 100, "got {} candidates", candidates.len());
+        // And it must still be a superset of the truth.
+        let ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
+        for joiner in oracle_joiners(&p, &[t]) {
+            assert!(ids.contains(&joiner));
+        }
+    }
+}

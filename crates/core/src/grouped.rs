@@ -1,0 +1,140 @@
+//! Grouped nearest neighbours on top of CIJ — the decision-support
+//! application of Section I ("Grouped Nearest Neighbors").
+//!
+//! Given hospitals `P`, parks `Q` and a large set of locations `L` (houses),
+//! the analysis asks, for every (hospital, park) pair, how many locations
+//! have exactly that hospital and that park as their nearest neighbours.
+//! A location `l` contributes to pair `(p, q)` iff `l ∈ V(p, P) ∩ V(q, Q)`,
+//! so only CIJ pairs can receive a non-zero count: computing `CIJ(P, Q)`
+//! first and assigning locations to the common influence regions avoids the
+//! two expensive all-nearest-neighbour joins of the naive plan.
+
+use crate::config::CijConfig;
+use crate::nm::nm_cij;
+use crate::workload::Workload;
+use cij_geom::{ConvexPolygon, Point};
+use cij_voronoi::{brute_force_diagram, nearest_index};
+use std::collections::HashMap;
+
+/// Counts per (p, q) pair produced by a grouped-NN analysis.
+pub type GroupCounts = HashMap<(u64, u64), u64>;
+
+/// Runs the CIJ-based grouped nearest-neighbour plan: joins `P` and `Q`,
+/// materialises the common influence region of every result pair and counts
+/// the locations of `l` falling inside each region.
+///
+/// Locations on a region boundary are assigned to the first matching pair
+/// (ties have measure zero for continuous data).
+pub fn grouped_nn_via_cij(
+    p: &[Point],
+    q: &[Point],
+    locations: &[Point],
+    config: &CijConfig,
+) -> GroupCounts {
+    let mut workload = Workload::build(p, q, config);
+    let cij = nm_cij(&mut workload, config);
+
+    let cells_p = brute_force_diagram(p, &config.domain);
+    let cells_q = brute_force_diagram(q, &config.domain);
+    let regions: Vec<((u64, u64), ConvexPolygon)> = cij
+        .pairs
+        .iter()
+        .map(|&(a, b)| {
+            (
+                (a, b),
+                cells_p[a as usize].intersection(&cells_q[b as usize]),
+            )
+        })
+        .collect();
+
+    let mut counts: GroupCounts = HashMap::new();
+    for loc in locations {
+        if let Some((key, _)) = regions
+            .iter()
+            .find(|(_, region)| region.contains_point(loc))
+        {
+            *counts.entry(*key).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The naive plan: for every location, look up its nearest `P` point and its
+/// nearest `Q` point directly (two all-NN joins). Used as the oracle for
+/// [`grouped_nn_via_cij`].
+pub fn grouped_nn_via_all_nn(p: &[Point], q: &[Point], locations: &[Point]) -> GroupCounts {
+    let mut counts: GroupCounts = HashMap::new();
+    for loc in locations {
+        let (Some(np), Some(nq)) = (nearest_index(p, loc), nearest_index(q, loc)) else {
+            continue;
+        };
+        *counts.entry((np as u64, nq as u64)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> CijConfig {
+        CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn cij_plan_matches_the_all_nn_plan() {
+        let config = small_config();
+        let p = random_points(25, 301);
+        let q = random_points(30, 302);
+        let locations = random_points(2_000, 303);
+        let via_cij = grouped_nn_via_cij(&p, &q, &locations, &config);
+        let via_all_nn = grouped_nn_via_all_nn(&p, &q, &locations);
+        // Totals match exactly (every location is counted once by both).
+        assert_eq!(
+            via_cij.values().sum::<u64>(),
+            via_all_nn.values().sum::<u64>()
+        );
+        // Per-group counts match up to boundary ties (measure zero for the
+        // random generator, so demand exact agreement here).
+        assert_eq!(via_cij, via_all_nn);
+    }
+
+    #[test]
+    fn only_cij_pairs_receive_counts() {
+        let config = small_config();
+        let p = random_points(15, 311);
+        let q = random_points(18, 312);
+        let locations = random_points(500, 313);
+        let mut workload = Workload::build(&p, &q, &config);
+        let cij_pairs = nm_cij(&mut workload, &config).sorted_pairs();
+        for key in grouped_nn_via_all_nn(&p, &q, &locations).keys() {
+            assert!(
+                cij_pairs.binary_search(key).is_ok(),
+                "group {key:?} has houses but is not a CIJ pair"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_location_set_gives_empty_counts() {
+        let config = small_config();
+        let p = random_points(10, 321);
+        let q = random_points(10, 322);
+        assert!(grouped_nn_via_cij(&p, &q, &[], &config).is_empty());
+        assert!(grouped_nn_via_all_nn(&p, &q, &[]).is_empty());
+    }
+}

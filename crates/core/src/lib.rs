@@ -1,0 +1,136 @@
+//! # cij-core
+//!
+//! The **Common Influence Join** (CIJ) — the primary contribution of
+//! Yiu, Mamoulis & Karras, *Common Influence Join: A Natural Join Operation
+//! for Spatial Pointsets*, ICDE 2008.
+//!
+//! Given two pointsets `P` and `Q` indexed by R-trees, `CIJ(P, Q)` returns
+//! every pair `(p, q)` whose Voronoi cells `V(p, P)` and `V(q, Q)`
+//! intersect — i.e. some location is simultaneously inside the influence
+//! region of `p` and of `q`. The join is parameter-free, unlike ε-distance
+//! joins and k-closest-pair joins.
+//!
+//! Three evaluation algorithms are provided, in increasing order of
+//! sophistication and decreasing order of I/O cost:
+//!
+//! * [`fm_cij`] — **FM-CIJ** (Algorithm 3): materialise both Voronoi
+//!   diagrams into Hilbert-packed R-trees and intersection-join them.
+//! * [`pm_cij`] — **PM-CIJ** (Algorithm 4): materialise only `V or(P)`;
+//!   probe batches of `Q` cells against it (block index nested loops).
+//! * [`nm_cij`] — **NM-CIJ** (Algorithm 6): materialise nothing; per leaf of
+//!   `RQ`, filter `RP` with the [`filter`] module's conditional filter
+//!   (Algorithm 5) and verify candidates with on-demand cell computation and
+//!   a cell [reuse buffer]. Non-blocking and nearly I/O-optimal.
+//!
+//! [reuse buffer]: crate::nm
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cij_core::{nm_cij, CijConfig, Workload};
+//! use cij_geom::Point;
+//!
+//! let restaurants = vec![Point::new(2_000.0, 3_000.0), Point::new(7_000.0, 8_000.0)];
+//! let cinemas = vec![Point::new(2_500.0, 2_500.0), Point::new(6_500.0, 8_500.0)];
+//! let config = CijConfig::default();
+//! let mut workload = Workload::build(&restaurants, &cinemas, &config);
+//! let result = nm_cij(&mut workload, &config);
+//! assert!(!result.pairs.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod brute;
+pub mod config;
+pub mod filter;
+pub mod fm;
+pub mod grouped;
+pub mod multiway;
+pub mod nm;
+pub mod pm;
+pub mod stats;
+pub mod vor_rtree;
+pub mod workload;
+
+pub use brute::brute_force_cij;
+pub use config::CijConfig;
+pub use filter::{batch_conditional_filter, FilterStats};
+pub use fm::fm_cij;
+pub use grouped::{grouped_nn_via_all_nn, grouped_nn_via_cij, GroupCounts};
+pub use multiway::{brute_force_multiway_cij, multiway_cij, MultiwayOutcome, MultiwayTuple};
+pub use nm::nm_cij;
+pub use pm::pm_cij;
+pub use stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+pub use vor_rtree::{build_voronoi_rtree, compute_all_cells, materialize_voronoi_rtree};
+pub use workload::Workload;
+
+/// The three CIJ evaluation algorithms, for harnesses that sweep over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Full materialisation (Algorithm 3).
+    FmCij,
+    /// Partial materialisation (Algorithm 4).
+    PmCij,
+    /// No materialisation / non-blocking (Algorithm 6).
+    NmCij,
+}
+
+impl Algorithm {
+    /// All algorithms in the order the paper's plots list them.
+    pub const ALL: [Algorithm; 3] = [Algorithm::FmCij, Algorithm::PmCij, Algorithm::NmCij];
+
+    /// The name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::FmCij => "FM-CIJ",
+            Algorithm::PmCij => "PM-CIJ",
+            Algorithm::NmCij => "NM-CIJ",
+        }
+    }
+
+    /// Runs this algorithm on a workload.
+    pub fn run(&self, workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+        match self {
+            Algorithm::FmCij => fm_cij(workload, config),
+            Algorithm::PmCij => pm_cij(workload, config),
+            Algorithm::NmCij => nm_cij(workload, config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_match_the_paper() {
+        assert_eq!(Algorithm::FmCij.name(), "FM-CIJ");
+        assert_eq!(Algorithm::PmCij.name(), "PM-CIJ");
+        assert_eq!(Algorithm::NmCij.name(), "NM-CIJ");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+
+    #[test]
+    fn run_dispatches_to_the_right_algorithm() {
+        use cij_geom::Point;
+        let config = CijConfig::default().with_rtree(cij_rtree::RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        });
+        let p: Vec<Point> = (0..30)
+            .map(|i| Point::new(100.0 * i as f64 + 50.0, 5_000.0))
+            .collect();
+        let q: Vec<Point> = (0..30)
+            .map(|i| Point::new(5_000.0, 100.0 * i as f64 + 50.0))
+            .collect();
+        let mut results = Vec::new();
+        for alg in Algorithm::ALL {
+            let mut w = Workload::build(&p, &q, &config);
+            results.push(alg.run(&mut w, &config).sorted_pairs());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+}

@@ -1,0 +1,297 @@
+//! NM-CIJ: the non-blocking, no-materialisation algorithm (Algorithm 6 of
+//! the paper) — the paper's main contribution.
+//!
+//! NM-CIJ never builds a Voronoi R-tree. It walks the leaves of `RQ` in
+//! Hilbert order; for each leaf it
+//!
+//! 1. computes the Voronoi cells of the leaf's points in batch
+//!    (Algorithm 2),
+//! 2. runs the **BatchConditionalFilter** (Algorithm 5) against `RP` to find
+//!    the candidate points of `P` whose cells may intersect any of those
+//!    cells,
+//! 3. computes the exact cells of the candidates (batched; cells cached in a
+//!    **reuse buffer** keyed by point id, because neighbouring leaves of `RQ`
+//!    share candidates — Section IV-B),
+//! 4. reports every `(p, q)` whose exact cells intersect.
+//!
+//! Result pairs therefore start streaming out after only a few page
+//! accesses (non-blocking), and the total I/O stays close to the traversal
+//! lower bound LB.
+
+use crate::config::CijConfig;
+use crate::filter::batch_conditional_filter;
+use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+use crate::workload::Workload;
+use cij_geom::ConvexPolygon;
+use cij_rtree::PointObject;
+use cij_voronoi::batch_voronoi;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Runs NM-CIJ on a workload, returning the result pairs, the cost breakdown
+/// (all cost is JOIN cost — there is no materialisation phase) and the
+/// NM-specific counters used by Figures 10 and 11.
+pub fn nm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+    let stats = workload.stats.clone();
+    let start_io = stats.snapshot();
+    let start = Instant::now();
+
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    let mut progress: Vec<ProgressSample> = Vec::new();
+    let mut counters = NmCounters::default();
+
+    // Reuse buffer B: exact Voronoi cells of P candidates from the previous
+    // leaf of RQ (Section IV-B).
+    let mut reuse: HashMap<u64, ConvexPolygon> = HashMap::new();
+
+    let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
+    for leaf in leaves {
+        let group = workload.rq.read_node(leaf).objects;
+        if group.is_empty() {
+            continue;
+        }
+
+        // (1) Voronoi cells of the leaf's Q points.
+        let cells_q = batch_voronoi(&mut workload.rq, &group, &config.domain);
+        counters.q_cells_computed += group.len() as u64;
+
+        // (2) Filter phase on RP.
+        let (candidates, _fstats) =
+            batch_conditional_filter(&mut workload.rp, &cells_q, &config.domain);
+        counters.filter_candidates += candidates.len() as u64;
+
+        // (3) Refinement phase: exact cells of the candidates, via the reuse
+        // buffer where possible.
+        let mut cells_p: Vec<(PointObject, ConvexPolygon)> = Vec::with_capacity(candidates.len());
+        let mut missing: Vec<PointObject> = Vec::new();
+        for cand in &candidates {
+            match reuse.get(&cand.id.0) {
+                Some(cell) if config.reuse_cells => {
+                    counters.p_cells_reused += 1;
+                    cells_p.push((*cand, cell.clone()));
+                }
+                _ => missing.push(*cand),
+            }
+        }
+        if !missing.is_empty() {
+            let computed = batch_voronoi(&mut workload.rp, &missing, &config.domain);
+            counters.p_cells_computed += missing.len() as u64;
+            for (obj, cell) in missing.iter().zip(computed) {
+                cells_p.push((*obj, cell));
+            }
+        }
+
+        // (4) Report intersecting pairs; track which candidates were true
+        // hits for the false-hit-ratio of Figure 10.
+        let mut true_hits: HashSet<u64> = HashSet::new();
+        for (q_obj, q_cell) in group.iter().zip(&cells_q) {
+            let q_bbox = q_cell.bbox();
+            for (p_obj, p_cell) in &cells_p {
+                if p_cell.bbox().intersects(&q_bbox) && p_cell.intersects(q_cell) {
+                    pairs.push((p_obj.id.0, q_obj.id.0));
+                    true_hits.insert(p_obj.id.0);
+                }
+            }
+        }
+        counters.filter_true_hits += true_hits.len() as u64;
+
+        // B is updated to hold the cells of the *current* candidate set.
+        reuse.clear();
+        for (obj, cell) in &cells_p {
+            reuse.insert(obj.id.0, cell.clone());
+        }
+
+        progress.push(ProgressSample {
+            page_accesses: stats.snapshot().since(&start_io).page_accesses(),
+            pairs: pairs.len() as u64,
+        });
+    }
+
+    let total_io = stats.snapshot().since(&start_io);
+    CijOutcome {
+        pairs,
+        breakdown: CostBreakdown {
+            mat_io: Default::default(),
+            join_io: total_io,
+            mat_cpu: std::time::Duration::ZERO,
+            join_cpu: start.elapsed(),
+        },
+        progress,
+        nm: counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_cij;
+    use crate::fm::fm_cij;
+    use crate::pm::pm_cij;
+    use cij_geom::Point;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> CijConfig {
+        CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        let config = small_config();
+        let p = random_points(75, 101);
+        let q = random_points(65, 102);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = nm_cij(&mut w, &config);
+        assert_eq!(
+            outcome.sorted_pairs(),
+            brute_force_cij(&p, &q, &config.domain)
+        );
+    }
+
+    #[test]
+    fn all_three_algorithms_agree() {
+        let config = small_config();
+        let p = random_points(150, 103);
+        let q = random_points(130, 104);
+        let fm = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config).sorted_pairs()
+        };
+        let pm = {
+            let mut w = Workload::build(&p, &q, &config);
+            pm_cij(&mut w, &config).sorted_pairs()
+        };
+        let nm = {
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config).sorted_pairs()
+        };
+        assert_eq!(fm, pm);
+        assert_eq!(pm, nm);
+        assert!(!nm.is_empty());
+    }
+
+    #[test]
+    fn no_reuse_agrees_but_computes_more_cells() {
+        let p = random_points(400, 105);
+        let q = random_points(400, 106);
+        let with_reuse = {
+            let config = small_config().with_reuse(true);
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config)
+        };
+        let without_reuse = {
+            let config = small_config().with_reuse(false);
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config)
+        };
+        assert_eq!(with_reuse.sorted_pairs(), without_reuse.sorted_pairs());
+        assert!(
+            with_reuse.nm.p_cells_computed < without_reuse.nm.p_cells_computed,
+            "REUSE ({}) must compute fewer exact P cells than NO-REUSE ({})",
+            with_reuse.nm.p_cells_computed,
+            without_reuse.nm.p_cells_computed
+        );
+        assert!(with_reuse.nm.p_cells_reused > 0);
+        assert_eq!(without_reuse.nm.p_cells_reused, 0);
+    }
+
+    #[test]
+    fn nm_has_no_materialisation_cost_and_lowest_total_io() {
+        let config = small_config();
+        let p = random_points(600, 107);
+        let q = random_points(600, 108);
+        let fm = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config)
+        };
+        let pm = {
+            let mut w = Workload::build(&p, &q, &config);
+            pm_cij(&mut w, &config)
+        };
+        let (nm, lb) = {
+            let mut w = Workload::build(&p, &q, &config);
+            let lb = w.lower_bound_io();
+            (nm_cij(&mut w, &config), lb)
+        };
+        assert_eq!(nm.breakdown.mat_io.page_accesses(), 0);
+        assert!(
+            nm.page_accesses() < pm.page_accesses(),
+            "NM ({}) must beat PM ({})",
+            nm.page_accesses(),
+            pm.page_accesses()
+        );
+        assert!(
+            pm.page_accesses() < fm.page_accesses(),
+            "PM ({}) must beat FM ({})",
+            pm.page_accesses(),
+            fm.page_accesses()
+        );
+        assert!(nm.page_accesses() >= lb, "no algorithm can beat LB");
+    }
+
+    #[test]
+    fn nm_is_non_blocking_first_pairs_arrive_early() {
+        let config = small_config();
+        let p = random_points(800, 109);
+        let q = random_points(800, 110);
+        let fm = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config)
+        };
+        let nm = {
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config)
+        };
+        let nm_first = nm.progress.first().unwrap();
+        let fm_first = fm.progress.first().unwrap();
+        assert!(nm_first.pairs > 0);
+        assert!(
+            nm_first.page_accesses < fm_first.page_accesses / 4,
+            "NM first output after {} accesses, FM after {}",
+            nm_first.page_accesses,
+            fm_first.page_accesses
+        );
+    }
+
+    #[test]
+    fn false_hit_ratio_is_low() {
+        let config = small_config();
+        let p = random_points(500, 111);
+        let q = random_points(500, 112);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = nm_cij(&mut w, &config);
+        let fhr = outcome.nm.false_hit_ratio();
+        assert!(
+            fhr < 0.25,
+            "false hit ratio {fhr} should be small (paper reports < 0.1)"
+        );
+        assert!(outcome.nm.filter_candidates >= outcome.nm.filter_true_hits);
+    }
+
+    #[test]
+    fn every_point_participates_in_the_result() {
+        let config = small_config();
+        let p = random_points(100, 113);
+        let q = random_points(120, 114);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = nm_cij(&mut w, &config);
+        for i in 0..p.len() as u64 {
+            assert!(outcome.pairs.iter().any(|&(a, _)| a == i), "p{i} missing");
+        }
+        for j in 0..q.len() as u64 {
+            assert!(outcome.pairs.iter().any(|&(_, b)| b == j), "q{j} missing");
+        }
+    }
+}

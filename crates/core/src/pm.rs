@@ -1,0 +1,195 @@
+//! PM-CIJ: the partial-materialisation algorithm (Algorithm 4 of the paper).
+//!
+//! PM-CIJ materialises only `R'P` (the Voronoi R-tree of `P`). It then walks
+//! the leaves of `RQ` in Hilbert order; for each leaf it computes the Voronoi
+//! cells of the leaf's points in batch (Algorithm 2) and immediately probes
+//! them against `R'P` with a single batched range query — a block index
+//! nested loops join. Consecutive probes have high spatial locality, so with
+//! an LRU buffer PM-CIJ is cheaper than FM-CIJ.
+
+use crate::config::CijConfig;
+use crate::stats::{CijOutcome, CostBreakdown, ProgressSample};
+use crate::vor_rtree::materialize_voronoi_rtree;
+use crate::workload::Workload;
+use cij_geom::Rect;
+use cij_voronoi::batch_voronoi;
+use std::time::Instant;
+
+/// Runs PM-CIJ on a workload, returning the result pairs and the MAT/JOIN
+/// cost breakdown.
+pub fn pm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+    let stats = workload.stats.clone();
+    let start_io = stats.snapshot();
+
+    // ---- Materialisation phase: build R'P only. ----
+    let mat_start = Instant::now();
+    let mut vor_p = materialize_voronoi_rtree(&mut workload.rp, config);
+    let mat_cpu = mat_start.elapsed();
+    let mat_io = stats.snapshot().since(&start_io);
+
+    // ---- Join phase: block index nested loops over the leaves of RQ. ----
+    let join_start_io = stats.snapshot();
+    let join_start = Instant::now();
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    let mut progress: Vec<ProgressSample> = Vec::new();
+
+    let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
+    for leaf in leaves {
+        let group = workload.rq.read_node(leaf).objects;
+        if group.is_empty() {
+            continue;
+        }
+        let cells_q = batch_voronoi(&mut workload.rq, &group, &config.domain);
+
+        // One batched range probe covering every cell of the group.
+        let mut probe = Rect::empty();
+        for cell in &cells_q {
+            probe = probe.union(&cell.bbox());
+        }
+        let candidates = vor_p.range_query(&probe);
+
+        for (q_obj, q_cell) in group.iter().zip(&cells_q) {
+            let q_bbox = q_cell.bbox();
+            for cand in &candidates {
+                if cand.cell.bbox().intersects(&q_bbox) && cand.cell.intersects(q_cell) {
+                    pairs.push((cand.id.0, q_obj.id.0));
+                }
+            }
+        }
+        progress.push(ProgressSample {
+            page_accesses: stats.snapshot().since(&start_io).page_accesses(),
+            pairs: pairs.len() as u64,
+        });
+    }
+    let join_cpu = join_start.elapsed();
+    let join_io = stats.snapshot().since(&join_start_io);
+
+    CijOutcome {
+        pairs,
+        breakdown: CostBreakdown {
+            mat_io,
+            join_io,
+            mat_cpu,
+            join_cpu,
+        },
+        progress,
+        nm: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_cij;
+    use crate::fm::fm_cij;
+    use cij_geom::Point;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> CijConfig {
+        CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        let config = small_config();
+        let p = random_points(70, 11);
+        let q = random_points(85, 12);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = pm_cij(&mut w, &config);
+        assert_eq!(
+            outcome.sorted_pairs(),
+            brute_force_cij(&p, &q, &config.domain)
+        );
+    }
+
+    #[test]
+    fn agrees_with_fm_on_clustered_data() {
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = random_points(60, 13);
+        for _ in 0..60 {
+            p.push(Point::new(
+                2_000.0 + rng.gen_range(-150.0..150.0),
+                3_000.0 + rng.gen_range(-150.0..150.0),
+            ));
+        }
+        let q = random_points(100, 14);
+        let fm_pairs = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config).sorted_pairs()
+        };
+        let pm_pairs = {
+            let mut w = Workload::build(&p, &q, &config);
+            pm_cij(&mut w, &config).sorted_pairs()
+        };
+        assert_eq!(fm_pairs, pm_pairs);
+    }
+
+    #[test]
+    fn pm_materialisation_is_cheaper_than_fm() {
+        let config = small_config();
+        let p = random_points(400, 15);
+        let q = random_points(400, 16);
+        let fm_mat = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config).breakdown.mat_io.page_accesses()
+        };
+        let pm_mat = {
+            let mut w = Workload::build(&p, &q, &config);
+            pm_cij(&mut w, &config).breakdown.mat_io.page_accesses()
+        };
+        assert!(
+            pm_mat < fm_mat,
+            "PM materialises one tree ({pm_mat}) vs FM's two ({fm_mat})"
+        );
+    }
+
+    #[test]
+    fn pm_total_cost_not_worse_than_fm() {
+        let config = small_config();
+        let p = random_points(500, 17);
+        let q = random_points(500, 18);
+        let fm_total = {
+            let mut w = Workload::build(&p, &q, &config);
+            fm_cij(&mut w, &config).page_accesses()
+        };
+        let pm_total = {
+            let mut w = Workload::build(&p, &q, &config);
+            pm_cij(&mut w, &config).page_accesses()
+        };
+        assert!(
+            pm_total <= fm_total,
+            "PM-CIJ ({pm_total}) should not cost more page accesses than FM-CIJ ({fm_total})"
+        );
+    }
+
+    #[test]
+    fn progress_is_monotone() {
+        let config = small_config();
+        let p = random_points(200, 19);
+        let q = random_points(200, 20);
+        let mut w = Workload::build(&p, &q, &config);
+        let outcome = pm_cij(&mut w, &config);
+        for pair in outcome.progress.windows(2) {
+            assert!(pair[0].page_accesses <= pair[1].page_accesses);
+            assert!(pair[0].pairs <= pair[1].pairs);
+        }
+        assert_eq!(
+            outcome.progress.last().unwrap().pairs,
+            outcome.pairs.len() as u64
+        );
+    }
+}

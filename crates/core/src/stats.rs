@@ -1,0 +1,154 @@
+//! Cost accounting for CIJ evaluations: MAT/JOIN breakdown, progressive
+//! output traces, filter effectiveness and cell-reuse counters.
+
+use cij_pagestore::IoSnapshot;
+use std::time::Duration;
+
+/// A sample of the progressive-output curve of Figure 9b: how many result
+/// pairs had been produced after a given number of page accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Cumulative physical page accesses at the time of the sample.
+    pub page_accesses: u64,
+    /// Cumulative result pairs produced at the time of the sample.
+    pub pairs: u64,
+}
+
+/// Cost breakdown of one CIJ evaluation (Figure 7): the materialisation
+/// phase (MAT — computing and indexing Voronoi diagrams) and the join phase
+/// (JOIN — producing result pairs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBreakdown {
+    /// I/O of the materialisation phase.
+    pub mat_io: IoSnapshot,
+    /// I/O of the join phase.
+    pub join_io: IoSnapshot,
+    /// CPU time of the materialisation phase.
+    pub mat_cpu: Duration,
+    /// CPU time of the join phase.
+    pub join_cpu: Duration,
+}
+
+impl CostBreakdown {
+    /// Total physical page accesses across both phases.
+    pub fn total_page_accesses(&self) -> u64 {
+        self.mat_io.page_accesses() + self.join_io.page_accesses()
+    }
+
+    /// Total CPU time across both phases.
+    pub fn total_cpu(&self) -> Duration {
+        self.mat_cpu + self.join_cpu
+    }
+}
+
+/// Counters specific to NM-CIJ: filter effectiveness (Figure 10) and exact
+/// Voronoi-cell computations of `P` points (Figure 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NmCounters {
+    /// Σ sᵢ — total number of candidates produced by the filter phase over
+    /// all leaves of `RQ`.
+    pub filter_candidates: u64,
+    /// Σ s'ᵢ — total number of candidates that actually join with at least
+    /// one Voronoi cell of the current leaf's points.
+    pub filter_true_hits: u64,
+    /// Number of exact Voronoi cells of `P` points computed (with REUSE,
+    /// buffered cells are not recomputed and not recounted).
+    pub p_cells_computed: u64,
+    /// Number of candidate occurrences whose exact cell was served from the
+    /// reuse buffer.
+    pub p_cells_reused: u64,
+    /// Number of exact Voronoi cells of `Q` points computed (one per point).
+    pub q_cells_computed: u64,
+}
+
+impl NmCounters {
+    /// The false-hit ratio of the filter step, as defined in Section V-B:
+    /// `FHR = (Σ sᵢ − Σ s'ᵢ) / Σ s'ᵢ`.
+    pub fn false_hit_ratio(&self) -> f64 {
+        if self.filter_true_hits == 0 {
+            0.0
+        } else {
+            (self.filter_candidates - self.filter_true_hits) as f64
+                / self.filter_true_hits as f64
+        }
+    }
+}
+
+/// The result of one CIJ evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct CijOutcome {
+    /// Result pairs as `(p_id, q_id)`.
+    pub pairs: Vec<(u64, u64)>,
+    /// MAT/JOIN cost breakdown.
+    pub breakdown: CostBreakdown,
+    /// Progressive-output samples (page accesses vs pairs produced).
+    pub progress: Vec<ProgressSample>,
+    /// NM-CIJ specific counters (zeroed for FM/PM).
+    pub nm: NmCounters,
+}
+
+impl CijOutcome {
+    /// Number of result pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the join produced no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Result pairs sorted lexicographically — convenient for comparing the
+    /// outputs of different algorithms and of the brute-force oracle.
+    pub fn sorted_pairs(&self) -> Vec<(u64, u64)> {
+        let mut v = self.pairs.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total page accesses of the evaluation.
+    pub fn page_accesses(&self) -> u64 {
+        self.breakdown.total_page_accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_hit_ratio_definition() {
+        let c = NmCounters {
+            filter_candidates: 120,
+            filter_true_hits: 100,
+            ..Default::default()
+        };
+        assert!((c.false_hit_ratio() - 0.2).abs() < 1e-12);
+        let zero = NmCounters::default();
+        assert_eq!(zero.false_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sorted_pairs_dedups_and_orders() {
+        let outcome = CijOutcome {
+            pairs: vec![(2, 1), (1, 1), (2, 1), (1, 0)],
+            ..Default::default()
+        };
+        assert_eq!(outcome.sorted_pairs(), vec![(1, 0), (1, 1), (2, 1)]);
+        assert_eq!(outcome.len(), 4);
+        assert!(!outcome.is_empty());
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let mut b = CostBreakdown::default();
+        b.mat_io.physical_reads = 10;
+        b.mat_io.physical_writes = 5;
+        b.join_io.physical_reads = 20;
+        b.mat_cpu = Duration::from_millis(10);
+        b.join_cpu = Duration::from_millis(30);
+        assert_eq!(b.total_page_accesses(), 35);
+        assert_eq!(b.total_cpu(), Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,176 @@
+//! Clustered (skewed) synthetic datasets.
+//!
+//! Real geographic pointsets are not uniform: populated places, schools and
+//! cemeteries concentrate around settlements. The clustered generator mixes
+//! Gaussian clusters (with Zipf-like cluster sizes, so a few clusters are
+//! much denser than the rest) with a uniform background, which is the
+//! standard way spatial-database papers emulate such skew.
+
+use crate::clamp_to_domain;
+use cij_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the clustered generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Total number of points to generate.
+    pub n: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Standard deviation of each cluster, as a fraction of the domain width.
+    pub sigma_fraction: f64,
+    /// Fraction of points drawn from a uniform background instead of a
+    /// cluster (in `[0, 1]`).
+    pub background_fraction: f64,
+    /// Zipf skew of cluster sizes (0 = equal sizes; 1 ≈ classic Zipf).
+    pub size_skew: f64,
+}
+
+impl ClusterSpec {
+    /// A reasonable default: 50 clusters, moderate spread, 10 % background.
+    pub fn new(n: usize) -> Self {
+        ClusterSpec {
+            n,
+            clusters: 50,
+            sigma_fraction: 0.02,
+            background_fraction: 0.1,
+            size_skew: 0.8,
+        }
+    }
+}
+
+/// Generates a clustered dataset inside `domain`, reproducibly from `seed`.
+pub fn clustered_points(spec: &ClusterSpec, domain: &Rect, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(spec.n);
+    if spec.n == 0 {
+        return out;
+    }
+    let clusters = spec.clusters.max(1);
+
+    // Cluster centers, uniform in the domain.
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(domain.lo.x..=domain.hi.x),
+                rng.gen_range(domain.lo.y..=domain.hi.y),
+            )
+        })
+        .collect();
+
+    // Zipf-like cluster weights: w_i ∝ 1 / (i+1)^skew.
+    let weights: Vec<f64> = (0..clusters)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.size_skew))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    // Cumulative distribution for sampling.
+    let mut cdf = Vec::with_capacity(clusters);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_weight;
+        cdf.push(acc);
+    }
+
+    let sigma = spec.sigma_fraction * domain.width().max(domain.height());
+    let n_background = ((spec.n as f64) * spec.background_fraction.clamp(0.0, 1.0)) as usize;
+    let n_clustered = spec.n - n_background;
+
+    for _ in 0..n_clustered {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = cdf.partition_point(|&c| c < u).min(clusters - 1);
+        let c = centers[idx];
+        out.push(Point::new(
+            c.x + gaussian(&mut rng) * sigma,
+            c.y + gaussian(&mut rng) * sigma,
+        ));
+    }
+    for _ in 0..n_background {
+        out.push(Point::new(
+            rng.gen_range(domain.lo.x..=domain.hi.x),
+            rng.gen_range(domain.lo.y..=domain.hi.y),
+        ));
+    }
+    clamp_to_domain(&mut out, domain);
+    out
+}
+
+/// A standard-normal sample via the Box–Muller transform (avoids depending on
+/// `rand_distr`, which is not on the allowed dependency list).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_cardinality_inside_domain() {
+        let spec = ClusterSpec::new(2000);
+        let pts = clustered_points(&spec, &Rect::DOMAIN, 3);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|p| Rect::DOMAIN.contains_point(p)));
+    }
+
+    #[test]
+    fn is_reproducible() {
+        let spec = ClusterSpec::new(500);
+        assert_eq!(
+            clustered_points(&spec, &Rect::DOMAIN, 9),
+            clustered_points(&spec, &Rect::DOMAIN, 9)
+        );
+    }
+
+    #[test]
+    fn clustered_data_is_more_skewed_than_uniform() {
+        // Compare occupancy of a coarse grid: clustered data must leave many
+        // more cells empty than uniform data of the same size.
+        let n = 5000;
+        let spec = ClusterSpec {
+            n,
+            clusters: 20,
+            sigma_fraction: 0.01,
+            background_fraction: 0.0,
+            size_skew: 1.0,
+        };
+        let clustered = clustered_points(&spec, &Rect::DOMAIN, 5);
+        let uniform = crate::uniform_points(n, &Rect::DOMAIN, 5);
+        let occupancy = |pts: &[Point]| {
+            let mut cells = vec![false; 32 * 32];
+            for p in pts {
+                let i = ((p.x / 10_000.0) * 31.0) as usize;
+                let j = ((p.y / 10_000.0) * 31.0) as usize;
+                cells[i * 32 + j] = true;
+            }
+            cells.iter().filter(|&&c| c).count()
+        };
+        assert!(
+            occupancy(&clustered) < occupancy(&uniform) / 2,
+            "clustered occupancy {} vs uniform {}",
+            occupancy(&clustered),
+            occupancy(&uniform)
+        );
+    }
+
+    #[test]
+    fn background_fraction_one_degenerates_to_uniform_count() {
+        let spec = ClusterSpec {
+            n: 300,
+            clusters: 5,
+            sigma_fraction: 0.02,
+            background_fraction: 1.0,
+            size_skew: 0.5,
+        };
+        let pts = clustered_points(&spec, &Rect::DOMAIN, 2);
+        assert_eq!(pts.len(), 300);
+    }
+
+    #[test]
+    fn zero_points_is_empty() {
+        let spec = ClusterSpec::new(0);
+        assert!(clustered_points(&spec, &Rect::DOMAIN, 1).is_empty());
+    }
+}

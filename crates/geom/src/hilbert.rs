@@ -1,0 +1,180 @@
+//! Hilbert space-filling curve.
+//!
+//! Section III-C of the paper orders leaf accesses and bulk-loads the Voronoi
+//! R-trees `R'P`/`R'Q` by the Hilbert values of entry centroids, so that
+//! consecutively produced Voronoi cells are close in space (as in the Hilbert
+//! R-tree of Kamel & Faloutsos). This module provides the classic
+//! `d2xy`/`xy2d` conversion on a `2^order × 2^order` grid plus a helper that
+//! maps real-valued points in a domain rectangle onto the curve.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Default curve order used by the bulk loader: a `2^16 × 2^16` grid is far
+/// finer than the page-level granularity the ordering needs.
+pub const DEFAULT_ORDER: u32 = 16;
+
+/// Converts grid coordinates `(x, y)` on a `2^order` grid to the Hilbert
+/// curve index (the distance along the curve).
+///
+/// Coordinates outside the grid are clamped.
+pub fn xy_to_hilbert(order: u32, x: u32, y: u32) -> u64 {
+    let n: u64 = 1 << order;
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let max = (n - 1) as u32;
+    let mut x = u64::from(x.min(max));
+    let mut y = u64::from(y.min(max));
+    let mut s: u64 = n / 2;
+    while s > 0 {
+        rx = u64::from(x & s > 0);
+        ry = u64::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant (reflection is over the full grid size).
+        if ry == 0 {
+            if rx == 1 {
+                x = (n - 1) - x;
+                y = (n - 1) - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Converts a Hilbert curve index back to grid coordinates on a `2^order`
+/// grid. Inverse of [`xy_to_hilbert`].
+pub fn hilbert_to_xy(order: u32, d: u64) -> (u32, u32) {
+    let n: u64 = 1 << order;
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut x: u64 = 0;
+    let mut y: u64 = 0;
+    let mut t = d;
+    let mut s: u64 = 1;
+    while s < n {
+        rx = 1 & (t / 2);
+        ry = 1 & (t ^ rx);
+        // Rotate back.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Hilbert value of a real-valued point within a domain rectangle, using the
+/// default curve order.
+///
+/// Points outside the domain are clamped to it. Degenerate domains map every
+/// point to 0.
+pub fn hilbert_value(p: &Point, domain: &Rect) -> u64 {
+    hilbert_value_with_order(p, domain, DEFAULT_ORDER)
+}
+
+/// Hilbert value of a real-valued point within a domain rectangle at a given
+/// curve order.
+pub fn hilbert_value_with_order(p: &Point, domain: &Rect, order: u32) -> u64 {
+    let n = (1u64 << order) as f64;
+    let w = domain.width();
+    let h = domain.height();
+    if w <= 0.0 || h <= 0.0 {
+        return 0;
+    }
+    let fx = ((p.x - domain.lo.x) / w).clamp(0.0, 1.0);
+    let fy = ((p.y - domain.lo.y) / h).clamp(0.0, 1.0);
+    let gx = ((fx * (n - 1.0)).round()) as u32;
+    let gy = ((fy * (n - 1.0)).round()) as u32;
+    xy_to_hilbert(order, gx, gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_grid() {
+        let order = 4;
+        let n = 1u32 << order;
+        for x in 0..n {
+            for y in 0..n {
+                let d = xy_to_hilbert(order, x, y);
+                let (rx, ry) = hilbert_to_xy(order, d);
+                assert_eq!((x, y), (rx, ry), "roundtrip failed at ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_on_the_grid() {
+        let order = 4;
+        let n = 1u64 << order;
+        let mut seen = vec![false; (n * n) as usize];
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                let d = xy_to_hilbert(order, x, y) as usize;
+                assert!(!seen[d], "duplicate Hilbert index {d}");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbors() {
+        // The defining locality property of the Hilbert curve: cells with
+        // consecutive indices are adjacent on the grid.
+        let order = 5;
+        let n = 1u64 << order;
+        for d in 0..(n * n - 1) {
+            let (x0, y0) = hilbert_to_xy(order, d);
+            let (x1, y1) = hilbert_to_xy(order, d + 1);
+            let manhattan =
+                (i64::from(x0) - i64::from(x1)).abs() + (i64::from(y0) - i64::from(y1)).abs();
+            assert_eq!(manhattan, 1, "indices {d} and {} not adjacent", d + 1);
+        }
+    }
+
+    #[test]
+    fn real_valued_points_clamp_to_domain() {
+        let domain = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let inside = hilbert_value(&Point::new(50.0, 50.0), &domain);
+        let clamped = hilbert_value(&Point::new(-10.0, 50.0), &domain);
+        let edge = hilbert_value(&Point::new(0.0, 50.0), &domain);
+        assert_eq!(clamped, edge);
+        assert_ne!(inside, clamped);
+    }
+
+    #[test]
+    fn nearby_points_tend_to_have_nearby_values() {
+        // Not a strict guarantee for arbitrary pairs, but the curve must map
+        // identical points to identical values and keep a tight cluster's
+        // values far from a distant cluster's values on average.
+        let domain = Rect::DOMAIN;
+        let a = hilbert_value(&Point::new(10.0, 10.0), &domain);
+        let a2 = hilbert_value(&Point::new(10.0, 10.0), &domain);
+        assert_eq!(a, a2);
+        let near = hilbert_value(&Point::new(11.0, 10.5), &domain);
+        let far = hilbert_value(&Point::new(9990.0, 9990.0), &domain);
+        let near_gap = a.abs_diff(near);
+        let far_gap = a.abs_diff(far);
+        assert!(near_gap < far_gap);
+    }
+
+    #[test]
+    fn degenerate_domain_maps_to_zero() {
+        let domain = Rect::from_point(Point::new(5.0, 5.0));
+        assert_eq!(hilbert_value(&Point::new(5.0, 5.0), &domain), 0);
+        assert_eq!(hilbert_value(&Point::new(7.0, 1.0), &domain), 0);
+    }
+}

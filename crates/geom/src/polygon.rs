@@ -1,0 +1,613 @@
+//! Convex polygons — the representation of Voronoi cells.
+//!
+//! A Voronoi cell (Eq. 2 of the paper) is the intersection of halfplanes,
+//! starting from the rectangular space domain `U`, so it is always a convex
+//! polygon. [`ConvexPolygon`] stores the vertices in counter-clockwise order
+//! and supports the operations the CIJ algorithms need: clipping by a
+//! halfplane, intersection tests against other convex polygons and MBRs,
+//! point containment, bounding boxes, areas and centroids.
+
+use crate::halfplane::HalfPlane;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// A convex polygon with vertices in counter-clockwise order.
+///
+/// The polygon may be *empty* (no vertices) — e.g. after clipping with a
+/// halfplane that excludes it entirely — or degenerate (fewer than three
+/// distinct vertices). Empty polygons intersect nothing and contain nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a polygon from vertices assumed to be convex and in
+    /// counter-clockwise order. Consecutive duplicate vertices are removed.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        let mut poly = ConvexPolygon { vertices };
+        poly.dedup();
+        poly
+    }
+
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        ConvexPolygon { vertices: Vec::new() }
+    }
+
+    /// The rectangle `r` as a convex polygon (counter-clockwise corners).
+    pub fn from_rect(r: &Rect) -> Self {
+        ConvexPolygon {
+            vertices: r.corners().to_vec(),
+        }
+    }
+
+    /// The vertices of the polygon in counter-clockwise order.
+    ///
+    /// For a Voronoi cell approximation `Vc(p)` these are the vertex set
+    /// `Γc(p)` used by Lemmas 1 and 2.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the polygon has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the polygon has positive area (at least 3 vertices and
+    /// non-degenerate).
+    pub fn has_area(&self) -> bool {
+        self.area() > EPS
+    }
+
+    fn dedup(&mut self) {
+        if self.vertices.len() < 2 {
+            return;
+        }
+        let mut out: Vec<Point> = Vec::with_capacity(self.vertices.len());
+        for &v in &self.vertices {
+            if out.last().map_or(true, |last| last.dist_sq(&v) > EPS * EPS) {
+                out.push(v);
+            }
+        }
+        // The polygon is cyclic: the last vertex may duplicate the first.
+        while out.len() > 1 && out[0].dist_sq(out.last().unwrap()) <= EPS * EPS {
+            out.pop();
+        }
+        self.vertices = out;
+    }
+
+    /// Clips the polygon with a halfplane (Sutherland–Hodgman against a
+    /// single boundary line), returning the part of the polygon inside the
+    /// halfplane.
+    ///
+    /// This is the "update `Vc(pi)` by `⊥pi(pi, pj)`" step of Algorithms 1
+    /// and 2. Degenerate halfplanes leave the polygon unchanged.
+    pub fn clip(&self, hp: &HalfPlane) -> ConvexPolygon {
+        if hp.is_degenerate() || self.is_empty() {
+            return self.clone();
+        }
+        let n = self.vertices.len();
+        if n == 1 {
+            return if hp.contains(&self.vertices[0]) {
+                self.clone()
+            } else {
+                ConvexPolygon::empty()
+            };
+        }
+        let mut out: Vec<Point> = Vec::with_capacity(n + 2);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let cur_in = hp.contains(&cur);
+            let next_in = hp.contains(&next);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != next_in {
+                if let Some(t) = hp.boundary_param(&cur, &next) {
+                    let t = t.clamp(0.0, 1.0);
+                    out.push(cur + (next - cur) * t);
+                }
+            }
+        }
+        ConvexPolygon::new(out)
+    }
+
+    /// Clips the polygon with the perpendicular bisector `⊥p(p, q)`, keeping
+    /// the side closer to `p`.
+    #[inline]
+    pub fn clip_bisector(&self, p: &Point, q: &Point) -> ConvexPolygon {
+        self.clip(&HalfPlane::bisector(p, q))
+    }
+
+    /// Whether the polygon contains the point (boundary inclusive).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        let n = self.vertices.len();
+        if n == 0 {
+            return false;
+        }
+        if n == 1 {
+            return self.vertices[0].dist_sq(p) <= EPS * EPS;
+        }
+        if n == 2 {
+            let seg = crate::segment::Segment::new(self.vertices[0], self.vertices[1]);
+            return seg.mindist_point(p) <= EPS;
+        }
+        // CCW polygon: the point must be on the left of (or on) every edge.
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let cross = (b - a).cross(&(*p - a));
+            if cross < -EPS * (1.0 + a.dist(&b)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Axis-aligned bounding box of the polygon; [`Rect::empty`] when the
+    /// polygon is empty.
+    pub fn bbox(&self) -> Rect {
+        Rect::bounding(&self.vertices).unwrap_or_else(Rect::empty)
+    }
+
+    /// Area of the polygon via the shoelace formula (0 for degenerate
+    /// polygons).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.cross(&b);
+        }
+        sum.abs() * 0.5
+    }
+
+    /// Centroid of the polygon. For polygons with positive area this is the
+    /// area centroid; for degenerate polygons it falls back to the vertex
+    /// mean. Returns `None` for the empty polygon.
+    pub fn centroid(&self) -> Option<Point> {
+        let n = self.vertices.len();
+        if n == 0 {
+            return None;
+        }
+        if n < 3 {
+            return Point::centroid(&self.vertices);
+        }
+        let mut area2 = 0.0;
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let w = a.cross(&b);
+            area2 += w;
+            cx += (a.x + b.x) * w;
+            cy += (a.y + b.y) * w;
+        }
+        if area2.abs() <= EPS {
+            return Point::centroid(&self.vertices);
+        }
+        Some(Point::new(cx / (3.0 * area2), cy / (3.0 * area2)))
+    }
+
+    /// Whether two convex polygons intersect (sharing a boundary point
+    /// counts), using the separating-axis test.
+    ///
+    /// This is the intersection predicate of the CIJ definition: `(p, q)` is
+    /// a result pair iff `V(p, P)` and `V(q, Q)` intersect.
+    pub fn intersects(&self, other: &ConvexPolygon) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        // Quick reject on bounding boxes.
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        // Handle point/segment degeneracies via containment & distance.
+        if self.vertices.len() < 3 {
+            return other.touches_low_dim(self);
+        }
+        if other.vertices.len() < 3 {
+            return self.touches_low_dim(other);
+        }
+        !has_separating_axis(self, other) && !has_separating_axis(other, self)
+    }
+
+    /// Intersection test against a degenerate (point or segment) polygon.
+    fn touches_low_dim(&self, low: &ConvexPolygon) -> bool {
+        match low.vertices.len() {
+            0 => false,
+            1 => self.contains_or_near(&low.vertices[0]),
+            _ => {
+                // Sample the segment endpoints and check edge crossings.
+                let a = low.vertices[0];
+                let b = low.vertices[1];
+                if self.contains_or_near(&a) || self.contains_or_near(&b) {
+                    return true;
+                }
+                // The segment may stab the polygon without containing an
+                // endpoint; check whether any polygon edge intersects it.
+                let n = self.vertices.len();
+                for i in 0..n {
+                    let c = self.vertices[i];
+                    let d = self.vertices[(i + 1) % n];
+                    if segments_intersect(&a, &b, &c, &d) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn contains_or_near(&self, p: &Point) -> bool {
+        if self.vertices.len() >= 3 {
+            self.contains_point(p)
+        } else if self.vertices.len() == 2 {
+            crate::segment::Segment::new(self.vertices[0], self.vertices[1]).mindist_point(p)
+                <= EPS
+        } else if self.vertices.len() == 1 {
+            self.vertices[0].dist_sq(p) <= EPS * EPS
+        } else {
+            false
+        }
+    }
+
+    /// Whether the polygon intersects a rectangle.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        if self.is_empty() || r.is_empty() {
+            return false;
+        }
+        self.intersects(&ConvexPolygon::from_rect(r))
+    }
+
+    /// The intersection polygon of two convex polygons (possibly empty),
+    /// computed by clipping `self` with the edge halfplanes of `other`.
+    ///
+    /// The CIJ applications of the paper (collaborative promotion, grouped
+    /// nearest neighbours) analyse the *common influence region*
+    /// `R(p, q) = V(p, P) ∩ V(q, Q)` of each result pair; this method
+    /// computes that region.
+    pub fn intersection(&self, other: &ConvexPolygon) -> ConvexPolygon {
+        if self.is_empty() || other.is_empty() {
+            return ConvexPolygon::empty();
+        }
+        if other.vertices.len() < 3 {
+            // Degenerate clip region: the intersection has no area; report
+            // empty (callers use this for area analysis only).
+            return ConvexPolygon::empty();
+        }
+        let mut out = self.clone();
+        let n = other.vertices.len();
+        for i in 0..n {
+            let a = other.vertices[i];
+            let b = other.vertices[(i + 1) % n];
+            let d = b - a;
+            // Interior of a CCW polygon is to the left of each edge:
+            // cross(d, x - a) >= 0  <=>  d.y * x.x - d.x * x.y <= d.y*a.x - d.x*a.y.
+            let hp = HalfPlane::new(Point::new(d.y, -d.x), d.y * a.x - d.x * a.y);
+            out = out.clip(&hp);
+            if out.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Clips the polygon to a rectangle (intersects it with all four
+    /// halfplanes of the rectangle).
+    pub fn clip_to_rect(&self, r: &Rect) -> ConvexPolygon {
+        let mut poly = self.clone();
+        // x >= lo.x  <=>  -x <= -lo.x
+        poly = poly.clip(&HalfPlane::new(Point::new(-1.0, 0.0), -r.lo.x));
+        poly = poly.clip(&HalfPlane::new(Point::new(1.0, 0.0), r.hi.x));
+        poly = poly.clip(&HalfPlane::new(Point::new(0.0, -1.0), -r.lo.y));
+        poly = poly.clip(&HalfPlane::new(Point::new(0.0, 1.0), r.hi.y));
+        poly
+    }
+}
+
+/// Tests whether any edge normal of `a` separates `a` from `b`.
+fn has_separating_axis(a: &ConvexPolygon, b: &ConvexPolygon) -> bool {
+    let va = a.vertices();
+    let vb = b.vertices();
+    let n = va.len();
+    for i in 0..n {
+        let p0 = va[i];
+        let p1 = va[(i + 1) % n];
+        let edge = p1 - p0;
+        // Outward normal for a CCW polygon points to the right of the edge.
+        let normal = Point::new(edge.y, -edge.x);
+        let scale = normal.norm().max(1.0);
+        // Project both polygons onto the normal.
+        let mut max_a = f64::NEG_INFINITY;
+        for v in va {
+            max_a = max_a.max(normal.dot(v));
+        }
+        let mut min_b = f64::INFINITY;
+        for v in vb {
+            min_b = min_b.min(normal.dot(v));
+        }
+        // For a CCW convex polygon every vertex projection is <= the edge's
+        // own projection, so max_a equals the edge offset; b is separated
+        // when it lies strictly beyond it.
+        if min_b > max_a + EPS * scale {
+            return true;
+        }
+    }
+    false
+}
+
+/// Proper or touching intersection test for two segments.
+fn segments_intersect(a: &Point, b: &Point, c: &Point, d: &Point) -> bool {
+    fn orient(p: &Point, q: &Point, r: &Point) -> f64 {
+        (*q - *p).cross(&(*r - *p))
+    }
+    fn on_segment(p: &Point, q: &Point, r: &Point) -> bool {
+        r.x >= p.x.min(q.x) - EPS
+            && r.x <= p.x.max(q.x) + EPS
+            && r.y >= p.y.min(q.y) - EPS
+            && r.y <= p.y.max(q.y) + EPS
+    }
+    let d1 = orient(c, d, a);
+    let d2 = orient(c, d, b);
+    let d3 = orient(a, b, c);
+    let d4 = orient(a, b, d);
+    if ((d1 > EPS && d2 < -EPS) || (d1 < -EPS && d2 > EPS))
+        && ((d3 > EPS && d4 < -EPS) || (d3 < -EPS && d4 > EPS))
+    {
+        return true;
+    }
+    (d1.abs() <= EPS && on_segment(c, d, a))
+        || (d2.abs() <= EPS && on_segment(c, d, b))
+        || (d3.abs() <= EPS && on_segment(a, b, c))
+        || (d4.abs() <= EPS && on_segment(a, b, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn from_rect_has_four_ccw_vertices() {
+        let sq = unit_square();
+        assert_eq!(sq.len(), 4);
+        assert!(sq.area() > 0.0);
+        // CCW orientation: positive signed area.
+        let v = sq.vertices();
+        let mut signed = 0.0;
+        for i in 0..4 {
+            signed += v[i].cross(&v[(i + 1) % 4]);
+        }
+        assert!(signed > 0.0);
+    }
+
+    #[test]
+    fn clip_halves_the_square() {
+        let sq = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        // Keep locations closer to (0,5) than (10,5): the left half.
+        let clipped = sq.clip_bisector(&Point::new(0.0, 5.0), &Point::new(10.0, 5.0));
+        assert!((clipped.area() - 50.0).abs() < 1e-6);
+        assert!(clipped.contains_point(&Point::new(1.0, 1.0)));
+        assert!(!clipped.contains_point(&Point::new(9.0, 1.0)));
+    }
+
+    #[test]
+    fn clip_with_non_cutting_halfplane_is_identity() {
+        let sq = unit_square();
+        let hp = HalfPlane::bisector(&Point::new(0.5, 0.5), &Point::new(100.0, 100.0));
+        let clipped = sq.clip(&hp);
+        assert!((clipped.area() - sq.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_that_excludes_everything_gives_empty() {
+        let sq = unit_square();
+        let hp = HalfPlane::bisector(&Point::new(100.0, 100.0), &Point::new(0.5, 0.5));
+        let clipped = sq.clip(&hp);
+        assert!(clipped.area() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_clipping_builds_a_voronoi_cell() {
+        // Voronoi cell of the center of a 3x3 grid within [0,4]^2 must be the
+        // unit square [1.5, 2.5]^2 scaled: neighbours at distance 2 in the
+        // four axis directions and diagonals.
+        let domain = Rect::from_coords(0.0, 0.0, 4.0, 4.0);
+        let me = Point::new(2.0, 2.0);
+        let mut cell = ConvexPolygon::from_rect(&domain);
+        for other in [
+            Point::new(0.0, 2.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(4.0, 0.0),
+        ] {
+            cell = cell.clip_bisector(&me, &other);
+        }
+        // Axis neighbours bound the cell to [1,3]^2 (area 4); the diagonal
+        // bisectors pass exactly through its corners, so they do not reduce
+        // the area (square-lattice Voronoi cells are squares).
+        assert!((cell.area() - 4.0).abs() < 1e-6, "area = {}", cell.area());
+        assert!(cell.contains_point(&me));
+        assert!(!cell.contains_point(&Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn contains_point_boundary_inclusive() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.5, 0.5)));
+        assert!(sq.contains_point(&Point::new(0.0, 0.0)));
+        assert!(sq.contains_point(&Point::new(1.0, 0.5)));
+        assert!(!sq.contains_point(&Point::new(1.1, 0.5)));
+    }
+
+    #[test]
+    fn intersects_overlapping_and_disjoint() {
+        let a = unit_square();
+        let b = ConvexPolygon::from_rect(&Rect::from_coords(0.5, 0.5, 2.0, 2.0));
+        let c = ConvexPolygon::from_rect(&Rect::from_coords(3.0, 3.0, 4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn intersects_touching_edges() {
+        let a = unit_square();
+        let b = ConvexPolygon::from_rect(&Rect::from_coords(1.0, 0.0, 2.0, 1.0));
+        assert!(a.intersects(&b), "polygons sharing an edge must intersect");
+        let c = ConvexPolygon::from_rect(&Rect::from_coords(1.0, 1.0, 2.0, 2.0));
+        assert!(a.intersects(&c), "polygons sharing a corner must intersect");
+    }
+
+    #[test]
+    fn intersects_one_inside_the_other() {
+        let big = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let small = ConvexPolygon::from_rect(&Rect::from_coords(4.0, 4.0, 5.0, 5.0));
+        assert!(big.intersects(&small));
+        assert!(small.intersects(&big));
+    }
+
+    #[test]
+    fn intersects_triangles_without_contained_vertices() {
+        // A "plus"-like configuration: neither polygon contains a vertex of
+        // the other, but they clearly overlap.
+        let horizontal = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 4.0, 10.0, 6.0));
+        let vertical = ConvexPolygon::from_rect(&Rect::from_coords(4.0, 0.0, 6.0, 10.0));
+        assert!(horizontal.intersects(&vertical));
+    }
+
+    #[test]
+    fn empty_polygon_intersects_nothing() {
+        let e = ConvexPolygon::empty();
+        assert!(!e.intersects(&unit_square()));
+        assert!(!unit_square().intersects(&e));
+        assert!(!e.contains_point(&Point::ORIGIN));
+        assert!(e.centroid().is_none());
+    }
+
+    #[test]
+    fn bbox_and_area_of_clipped_cell() {
+        let sq = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 2.0, 2.0));
+        let half = sq.clip_bisector(&Point::new(0.0, 1.0), &Point::new(2.0, 1.0));
+        let bb = half.bbox();
+        assert!((bb.hi.x - 1.0).abs() < 1e-9);
+        assert!((half.area() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let sq = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 4.0, 2.0));
+        let c = sq.centroid().unwrap();
+        assert!((c.x - 2.0).abs() < 1e-9);
+        assert!((c.y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_to_rect_restricts_domain() {
+        let sq = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let clipped = sq.clip_to_rect(&Rect::from_coords(2.0, 2.0, 4.0, 6.0));
+        assert!((clipped.area() - 8.0).abs() < 1e-9);
+        assert!(clipped.contains_point(&Point::new(3.0, 4.0)));
+        assert!(!clipped.contains_point(&Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn intersects_rect_agrees_with_polygon_test() {
+        let cell = unit_square();
+        assert!(cell.intersects_rect(&Rect::from_coords(0.5, 0.5, 3.0, 3.0)));
+        assert!(!cell.intersects_rect(&Rect::from_coords(2.0, 2.0, 3.0, 3.0)));
+        assert!(cell.intersects_rect(&Rect::from_coords(1.0, 1.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn degenerate_segment_polygon_intersection() {
+        // A polygon squeezed to a segment by clipping still "intersects"
+        // polygons it touches.
+        let seg_poly = ConvexPolygon::new(vec![Point::new(0.0, 0.5), Point::new(2.0, 0.5)]);
+        let sq = unit_square();
+        assert!(sq.intersects(&seg_poly));
+        assert!(seg_poly.intersects(&sq));
+        let far = ConvexPolygon::new(vec![Point::new(5.0, 5.0), Point::new(6.0, 5.0)]);
+        assert!(!sq.intersects(&far));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_squares() {
+        let a = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 4.0, 4.0));
+        let b = ConvexPolygon::from_rect(&Rect::from_coords(2.0, 1.0, 6.0, 3.0));
+        let inter = a.intersection(&b);
+        assert!((inter.area() - 4.0).abs() < 1e-9);
+        assert!(inter.contains_point(&Point::new(3.0, 2.0)));
+        // Intersection is commutative in area.
+        assert!((b.intersection(&a).area() - inter.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_polygons_is_empty() {
+        let a = unit_square();
+        let b = ConvexPolygon::from_rect(&Rect::from_coords(5.0, 5.0, 6.0, 6.0));
+        assert!(a.intersection(&b).is_empty());
+        assert!(a.intersection(&ConvexPolygon::empty()).is_empty());
+    }
+
+    #[test]
+    fn intersection_of_nested_polygons_is_the_inner_one() {
+        let big = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let small = ConvexPolygon::from_rect(&Rect::from_coords(3.0, 3.0, 4.0, 5.0));
+        let inter = big.intersection(&small);
+        assert!((inter.area() - small.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_consistent_with_intersects_predicate() {
+        let a = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 3.0, 3.0));
+        for (rect, expect_overlap) in [
+            (Rect::from_coords(1.0, 1.0, 2.0, 2.0), true),
+            (Rect::from_coords(4.0, 4.0, 5.0, 5.0), false),
+            (Rect::from_coords(2.5, 2.5, 6.0, 6.0), true),
+        ] {
+            let b = ConvexPolygon::from_rect(&rect);
+            let inter = a.intersection(&b);
+            assert_eq!(a.intersects(&b), expect_overlap);
+            assert_eq!(inter.area() > 1e-9, expect_overlap);
+        }
+    }
+
+    #[test]
+    fn new_removes_duplicate_vertices() {
+        let p = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+        ]);
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cij-pagestore
+//!
+//! A simulated disk substrate for the CIJ reproduction.
+//!
+//! The paper's evaluation is I/O-centric: every dataset is indexed by an
+//! R-tree with a **1 KB page size**, algorithms run on top of an **LRU
+//! buffer** whose default capacity is **2 % of the data size on disk**, and
+//! the reported cost metric is the number of **page accesses**. This crate
+//! provides exactly that substrate:
+//!
+//! * [`PageId`] / [`PageStore`] — an in-memory "disk" of fixed-size pages
+//!   that owns page payloads and routes every read and write through the
+//!   buffer manager,
+//! * [`LruBuffer`] — an O(1) least-recently-used buffer pool with write-back
+//!   semantics,
+//! * [`IoStats`] — counters for physical reads/writes, logical accesses and
+//!   buffer hits, with snapshot/delta helpers used by the experiment harness
+//!   to attribute cost to materialisation vs join phases.
+//!
+//! The store is deliberately *not* persistent: the paper's experiments never
+//! rely on durability, only on counting page transfers, so simulating the
+//! transfers is the faithful reproduction.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod lru;
+pub mod stats;
+pub mod store;
+
+pub use lru::LruBuffer;
+pub use stats::{IoSnapshot, IoStats};
+pub use store::{PageId, PageStore, PageStoreConfig};
+
+/// Page size used throughout the paper's experiments: 1 KB.
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// Default buffer size as a fraction of the data size on disk (2 %).
+pub const DEFAULT_BUFFER_FRACTION: f64 = 0.02;

@@ -1,0 +1,369 @@
+//! An O(1) least-recently-used buffer pool.
+//!
+//! The buffer tracks which [`PageId`](crate::PageId)s are memory-resident and
+//! whether they are dirty. Page *payloads* live in the
+//! [`PageStore`](crate::PageStore) (this is a simulation — nothing is ever
+//! really written to disk), so the buffer is purely the replacement-policy
+//! and accounting component, exactly the part the paper's experiments vary
+//! (Figure 8a sweeps the buffer size from 0.5 % to 10 % of the data size).
+
+use std::collections::HashMap;
+
+/// Slot index inside the intrusive LRU list.
+type SlotIdx = usize;
+
+const NIL: SlotIdx = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: u64,
+    dirty: bool,
+    prev: SlotIdx,
+    next: SlotIdx,
+}
+
+/// A fixed-capacity LRU buffer with write-back semantics.
+///
+/// Keys are raw `u64` page identifiers so the buffer stays independent of the
+/// page-store types. All operations are O(1).
+#[derive(Debug, Clone)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<u64, SlotIdx>,
+    slots: Vec<Slot>,
+    free: Vec<SlotIdx>,
+    head: SlotIdx, // most recently used
+    tail: SlotIdx, // least recently used
+}
+
+/// Result of touching a page in the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The page was already resident (a buffer hit).
+    Hit,
+    /// The page was not resident and has been admitted; if a page had to be
+    /// evicted to make room, it is carried here together with its dirty flag.
+    Miss {
+        /// The evicted page (id, was_dirty), if any.
+        evicted: Option<(u64, bool)>,
+    },
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` pages. A capacity of 0
+    /// disables caching entirely (every access is a miss and nothing is
+    /// retained).
+    pub fn new(capacity: usize) -> Self {
+        LruBuffer {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the page is currently resident (does not update recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Touches a page for reading or writing, admitting it if necessary and
+    /// evicting the least-recently-used page when the buffer is full.
+    ///
+    /// `dirty` marks the page as modified (a write access); dirtiness is
+    /// sticky until the page is evicted or the buffer is cleared.
+    pub fn touch(&mut self, key: u64, dirty: bool) -> Admission {
+        if self.capacity == 0 {
+            // Unbuffered mode: every access is a miss; a dirty access is
+            // immediately "written back".
+            return Admission::Miss {
+                evicted: if dirty { Some((key, true)) } else { None },
+            };
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].dirty |= dirty;
+            self.move_to_front(slot);
+            return Admission::Hit;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        let slot = self.alloc_slot(key, dirty);
+        self.push_front(slot);
+        self.map.insert(key, slot);
+        Admission::Miss { evicted }
+    }
+
+    /// Removes a single page from the buffer without any write-back
+    /// accounting (used when a page is freed). Returns `true` when the page
+    /// was resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if let Some(slot) = self.map.remove(&key) {
+            self.unlink(slot);
+            self.free.push(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every resident page, returning the dirty ones (id list) so the
+    /// caller can account for their write-back.
+    pub fn clear(&mut self) -> Vec<u64> {
+        let dirty: Vec<u64> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| self.map.get(&s.key) == Some(&i) && s.dirty)
+            .map(|(_, s)| s.key)
+            .collect();
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dirty
+    }
+
+    /// Changes the capacity. Shrinking evicts LRU pages; the evicted dirty
+    /// page ids are returned for write-back accounting.
+    pub fn resize(&mut self, capacity: usize) -> Vec<u64> {
+        self.capacity = capacity;
+        let mut written = Vec::new();
+        while self.map.len() > self.capacity {
+            if let Some((key, dirty)) = self.evict_lru() {
+                if dirty {
+                    written.push(key);
+                }
+            } else {
+                break;
+            }
+        }
+        written
+    }
+
+    /// The resident keys ordered from most- to least-recently used.
+    /// Intended for tests and diagnostics.
+    pub fn keys_mru_to_lru(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key);
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+
+    fn alloc_slot(&mut self, key: u64, dirty: bool) -> SlotIdx {
+        let slot = Slot {
+            key,
+            dirty,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx] = slot;
+            idx
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, slot: SlotIdx) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: SlotIdx) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn move_to_front(&mut self, slot: SlotIdx) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn evict_lru(&mut self) -> Option<(u64, bool)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.slots[slot].key;
+        let dirty = self.slots[slot].dirty;
+        self.unlink(slot);
+        self.map.remove(&key);
+        self.free.push(slot);
+        Some((key, dirty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_admission() {
+        let mut b = LruBuffer::new(2);
+        assert_eq!(b.touch(1, false), Admission::Miss { evicted: None });
+        assert_eq!(b.touch(1, false), Admission::Hit);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.touch(1, false);
+        b.touch(2, false);
+        // Touch 1 so that 2 becomes LRU.
+        b.touch(1, false);
+        match b.touch(3, false) {
+            Admission::Miss { evicted: Some((2, false)) } => {}
+            other => panic!("expected eviction of page 2, got {other:?}"),
+        }
+        assert!(b.contains(1));
+        assert!(b.contains(3));
+        assert!(!b.contains(2));
+    }
+
+    #[test]
+    fn dirty_flag_is_sticky_and_reported_on_eviction() {
+        let mut b = LruBuffer::new(1);
+        b.touch(7, true);
+        b.touch(7, false); // still dirty
+        match b.touch(8, false) {
+            Admission::Miss { evicted: Some((7, true)) } => {}
+            other => panic!("expected dirty eviction of page 7, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_buffer_never_caches() {
+        let mut b = LruBuffer::new(0);
+        assert!(matches!(b.touch(1, false), Admission::Miss { .. }));
+        assert!(matches!(b.touch(1, false), Admission::Miss { .. }));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn mru_order_is_maintained() {
+        let mut b = LruBuffer::new(3);
+        b.touch(1, false);
+        b.touch(2, false);
+        b.touch(3, false);
+        b.touch(1, false);
+        assert_eq!(b.keys_mru_to_lru(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn remove_drops_a_single_page() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.touch(2, false);
+        assert!(b.remove(1));
+        assert!(!b.remove(1));
+        assert!(!b.contains(1));
+        assert!(b.contains(2));
+        assert_eq!(b.len(), 1);
+        // Freed slot is recycled.
+        b.touch(3, false);
+        b.touch(4, false);
+        b.touch(5, false);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn clear_reports_dirty_pages() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.touch(2, false);
+        b.touch(3, true);
+        let mut dirty = b.clear();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![1, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn resize_shrinks_and_evicts() {
+        let mut b = LruBuffer::new(4);
+        for k in 0..4 {
+            b.touch(k, k % 2 == 0);
+        }
+        let written = b.resize(2);
+        assert_eq!(b.len(), 2);
+        // Pages 0 and 1 are the LRU ones; page 0 was dirty.
+        assert_eq!(written, vec![0]);
+        assert!(b.contains(2) && b.contains(3));
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_buffer_always_misses() {
+        let mut b = LruBuffer::new(10);
+        let mut hits = 0;
+        for round in 0..3 {
+            for k in 0..20u64 {
+                if b.touch(k, false) == Admission::Hit {
+                    hits += 1;
+                }
+            }
+            // A cyclic scan of 20 pages through a 10-page LRU buffer never
+            // hits: by the time a page comes around again it has been evicted.
+            assert_eq!(hits, 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn repeated_working_set_smaller_than_buffer_always_hits_after_warmup() {
+        let mut b = LruBuffer::new(10);
+        for k in 0..5u64 {
+            b.touch(k, false);
+        }
+        for _ in 0..100 {
+            for k in 0..5u64 {
+                assert_eq!(b.touch(k, false), Admission::Hit);
+            }
+        }
+    }
+}

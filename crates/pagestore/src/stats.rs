@@ -1,0 +1,217 @@
+//! I/O statistics counters.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared, interior-mutable I/O counters.
+///
+/// One `IoStats` instance is shared (via [`IoStats::clone`], which is a
+/// reference-count bump) between the page store, the buffer manager and any
+/// algorithm that wants to attribute costs. The experiment harness takes
+/// [`IoSnapshot`]s before and after a phase and subtracts them to obtain the
+/// phase cost (e.g. MAT vs JOIN in Figure 7).
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Rc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    physical_reads: Cell<u64>,
+    physical_writes: Cell<u64>,
+    logical_reads: Cell<u64>,
+    logical_writes: Cell<u64>,
+    buffer_hits: Cell<u64>,
+}
+
+/// A point-in-time copy of the counters, used to compute per-phase deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Physical page reads (buffer misses).
+    pub physical_reads: u64,
+    /// Physical page writes (dirty evictions and flushes).
+    pub physical_writes: u64,
+    /// Logical read requests (hits + misses).
+    pub logical_reads: u64,
+    /// Logical write requests.
+    pub logical_writes: u64,
+    /// Logical reads served from the buffer.
+    pub buffer_hits: u64,
+}
+
+impl IoSnapshot {
+    /// Total physical page accesses (reads + writes) — the paper's cost
+    /// metric.
+    pub fn page_accesses(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
+            logical_writes: self.logical_writes.saturating_sub(earlier.logical_writes),
+            buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+        }
+    }
+
+    /// Buffer hit ratio over logical reads (0 when there were none).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+impl IoStats {
+    /// Creates a fresh set of counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a logical read that missed the buffer (a physical read).
+    pub fn record_miss(&self) {
+        self.inner.logical_reads.set(self.inner.logical_reads.get() + 1);
+        self.inner
+            .physical_reads
+            .set(self.inner.physical_reads.get() + 1);
+    }
+
+    /// Records a logical read served from the buffer.
+    pub fn record_hit(&self) {
+        self.inner.logical_reads.set(self.inner.logical_reads.get() + 1);
+        self.inner.buffer_hits.set(self.inner.buffer_hits.get() + 1);
+    }
+
+    /// Records a logical write request.
+    pub fn record_logical_write(&self) {
+        self.inner
+            .logical_writes
+            .set(self.inner.logical_writes.get() + 1);
+    }
+
+    /// Records a physical page write (dirty eviction or flush).
+    pub fn record_physical_write(&self) {
+        self.inner
+            .physical_writes
+            .set(self.inner.physical_writes.get() + 1);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.inner.physical_reads.get(),
+            physical_writes: self.inner.physical_writes.get(),
+            logical_reads: self.inner.logical_reads.get(),
+            logical_writes: self.inner.logical_writes.get(),
+            buffer_hits: self.inner.buffer_hits.get(),
+        }
+    }
+
+    /// Total physical page accesses so far.
+    pub fn page_accesses(&self) -> u64 {
+        self.snapshot().page_accesses()
+    }
+
+    /// Resets every counter to zero.
+    ///
+    /// The buffer contents are *not* affected; use this together with
+    /// clearing the buffer when a fully cold-start measurement is needed.
+    pub fn reset(&self) {
+        self.inner.physical_reads.set(0);
+        self.inner.physical_writes.set(0);
+        self.inner.logical_reads.set(0);
+        self.inner.logical_writes.set(0);
+        self.inner.buffer_hits.set(0);
+    }
+
+    /// Whether two handles share the same underlying counters.
+    pub fn same_counters(&self, other: &IoStats) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} (logical r/w {}/{}, hits {})",
+            self.physical_reads,
+            self.physical_writes,
+            self.logical_reads,
+            self.logical_writes,
+            self.buffer_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_miss();
+        s.record_miss();
+        s.record_hit();
+        s.record_logical_write();
+        s.record_physical_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 2);
+        assert_eq!(snap.buffer_hits, 1);
+        assert_eq!(snap.logical_reads, 3);
+        assert_eq!(snap.logical_writes, 1);
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.page_accesses(), 3);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        assert!(a.same_counters(&b));
+        b.record_miss();
+        assert_eq!(a.snapshot().physical_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_miss();
+        let before = s.snapshot();
+        s.record_miss();
+        s.record_hit();
+        s.record_physical_write();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 1);
+        assert_eq!(delta.buffer_hits, 1);
+        assert_eq!(delta.physical_writes, 1);
+        assert_eq!(delta.page_accesses(), 2);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = IoStats::new();
+        assert_eq!(s.snapshot().hit_ratio(), 0.0);
+        s.record_miss();
+        s.record_hit();
+        s.record_hit();
+        s.record_hit();
+        assert!((s.snapshot().hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_miss();
+        s.record_physical_write();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

@@ -1,0 +1,392 @@
+//! The page store: a simulated disk that owns page payloads.
+
+use crate::lru::{Admission, LruBuffer};
+use crate::stats::IoStats;
+use crate::{DEFAULT_BUFFER_FRACTION, DEFAULT_PAGE_SIZE};
+
+/// Identifier of a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    fn as_key(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+/// Configuration of a [`PageStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageStoreConfig {
+    /// Size of a disk page in bytes (used by clients to derive node fanout).
+    pub page_size: usize,
+    /// Number of pages the LRU buffer can hold.
+    pub buffer_pages: usize,
+}
+
+impl Default for PageStoreConfig {
+    fn default() -> Self {
+        PageStoreConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            buffer_pages: 0,
+        }
+    }
+}
+
+impl PageStoreConfig {
+    /// The paper's default: 1 KB pages, buffer sized later as a fraction of
+    /// the data size via [`PageStore::set_buffer_fraction`].
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Sets the buffer capacity in pages.
+    pub fn with_buffer_pages(mut self, pages: usize) -> Self {
+        self.buffer_pages = pages;
+        self
+    }
+
+    /// Sets the page size in bytes.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+}
+
+/// A simulated disk of fixed-size pages with an LRU buffer in front of it.
+///
+/// Payloads of type `T` (R-tree nodes, in practice) are owned by the store;
+/// [`PageStore::read`] returns clones so that callers never hold borrows
+/// across further store operations (which would be unsound for a real buffer
+/// pool too — pages can be evicted under you).
+///
+/// Every logical read and write is routed through the buffer and recorded in
+/// the shared [`IoStats`].
+#[derive(Debug, Clone)]
+pub struct PageStore<T: Clone> {
+    pages: Vec<Option<T>>,
+    buffer: LruBuffer,
+    stats: IoStats,
+    page_size: usize,
+}
+
+impl<T: Clone> PageStore<T> {
+    /// Creates an empty store with the given configuration and fresh
+    /// statistics counters.
+    pub fn new(config: PageStoreConfig) -> Self {
+        PageStore {
+            pages: Vec::new(),
+            buffer: LruBuffer::new(config.buffer_pages),
+            stats: IoStats::new(),
+            page_size: config.page_size,
+        }
+    }
+
+    /// Creates a store that shares statistics counters with `stats`.
+    ///
+    /// The CIJ join algorithms operate on two (or more) trees at once but the
+    /// paper reports a single page-access figure, so the trees' stores share
+    /// one counter set.
+    pub fn with_stats(config: PageStoreConfig, stats: IoStats) -> Self {
+        PageStore {
+            pages: Vec::new(),
+            buffer: LruBuffer::new(config.buffer_pages),
+            stats,
+            page_size: config.page_size,
+        }
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of allocated pages (the data size on disk, in pages).
+    pub fn num_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// A handle to the shared statistics counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    /// Allocates a new page containing `payload` and returns its id.
+    ///
+    /// Allocation counts as a logical write; the physical write happens when
+    /// the page is evicted from the buffer (write-back) or on
+    /// [`PageStore::flush`].
+    pub fn allocate(&mut self, payload: T) -> PageId {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(Some(payload));
+        self.stats.record_logical_write();
+        self.admit(id, true);
+        id
+    }
+
+    /// Reads the payload of a page, going through the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist — that is a logic error in the
+    /// caller (dangling `PageId`), not a runtime condition to handle.
+    pub fn read(&mut self, id: PageId) -> T {
+        match self.buffer.touch(id.as_key(), false) {
+            Admission::Hit => self.stats.record_hit(),
+            Admission::Miss { evicted } => {
+                self.stats.record_miss();
+                self.handle_eviction(evicted);
+            }
+        }
+        self.pages
+            .get(id.0 as usize)
+            .and_then(|p| p.clone())
+            .expect("read of unallocated page")
+    }
+
+    /// Overwrites the payload of an existing page, going through the buffer.
+    pub fn write(&mut self, id: PageId, payload: T) {
+        assert!(
+            (id.0 as usize) < self.pages.len() && self.pages[id.0 as usize].is_some(),
+            "write to unallocated page"
+        );
+        self.pages[id.0 as usize] = Some(payload);
+        self.stats.record_logical_write();
+        self.admit(id, true);
+    }
+
+    /// Reads a page **without** touching the buffer or the counters.
+    ///
+    /// Used only for assertions and for in-memory oracles; never by the
+    /// algorithms being measured.
+    pub fn peek(&self, id: PageId) -> &T {
+        self.pages[id.0 as usize]
+            .as_ref()
+            .expect("peek of unallocated page")
+    }
+
+    /// Frees a page: it no longer counts towards [`PageStore::num_pages`] and
+    /// is dropped from the buffer without write-back accounting.
+    ///
+    /// Used by the R-tree bulk loader to discard the placeholder root of an
+    /// initially-empty tree once the packed root replaces it. Freed page ids
+    /// are not recycled.
+    pub fn free(&mut self, id: PageId) {
+        if let Some(slot) = self.pages.get_mut(id.0 as usize) {
+            *slot = None;
+            self.buffer.remove(id.as_key());
+        }
+    }
+
+    /// Writes back every dirty buffered page and empties the buffer.
+    pub fn flush(&mut self) {
+        for _ in self.buffer.clear() {
+            self.stats.record_physical_write();
+        }
+    }
+
+    /// Empties the buffer *without* counting write-backs. Useful to make
+    /// separate measurements start cold without attributing the previous
+    /// phase's dirty pages to the next one.
+    pub fn drop_buffer(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Resizes the buffer to `pages` pages, accounting for the write-back of
+    /// any dirty pages that get evicted by the shrink.
+    pub fn set_buffer_pages(&mut self, pages: usize) {
+        for _ in self.buffer.resize(pages) {
+            self.stats.record_physical_write();
+        }
+        if self.buffer.capacity() != pages {
+            // resize only evicts; growing is handled by replacing the buffer.
+            let mut fresh = LruBuffer::new(pages);
+            for key in self.buffer.keys_mru_to_lru().into_iter().rev() {
+                fresh.touch(key, false);
+            }
+            self.buffer = fresh;
+        }
+    }
+
+    /// Sets the buffer capacity to `fraction` of the current data size on
+    /// disk (in pages), the way the paper expresses buffer sizes ("2 % of the
+    /// data size"). At least one page is kept whenever `fraction > 0`.
+    pub fn set_buffer_fraction(&mut self, fraction: f64) {
+        let pages = if fraction <= 0.0 {
+            0
+        } else {
+            ((self.num_pages() as f64 * fraction).ceil() as usize).max(1)
+        };
+        self.set_buffer_pages(pages);
+    }
+
+    /// The paper's default buffer: 2 % of the data size.
+    pub fn set_default_buffer(&mut self) {
+        self.set_buffer_fraction(DEFAULT_BUFFER_FRACTION);
+    }
+
+    /// Current buffer capacity in pages.
+    pub fn buffer_pages(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    fn admit(&mut self, id: PageId, dirty: bool) {
+        match self.buffer.touch(id.as_key(), dirty) {
+            Admission::Hit => {}
+            Admission::Miss { evicted } => {
+                self.handle_eviction(evicted);
+            }
+        }
+    }
+
+    fn handle_eviction(&mut self, evicted: Option<(u64, bool)>) {
+        if let Some((_, dirty)) = evicted {
+            if dirty {
+                self.stats.record_physical_write();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(buffer_pages: usize) -> PageStore<u32> {
+        PageStore::new(PageStoreConfig::default().with_buffer_pages(buffer_pages))
+    }
+
+    #[test]
+    fn allocate_and_read_roundtrip() {
+        let mut s = store(4);
+        let a = s.allocate(10);
+        let b = s.allocate(20);
+        assert_eq!(s.read(a), 10);
+        assert_eq!(s.read(b), 20);
+        assert_eq!(s.num_pages(), 2);
+    }
+
+    #[test]
+    fn buffered_reads_hit_after_first_access() {
+        let mut s = store(4);
+        let a = s.allocate(1);
+        s.drop_buffer();
+        s.stats().reset();
+        s.read(a);
+        s.read(a);
+        s.read(a);
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.buffer_hits, 2);
+    }
+
+    #[test]
+    fn unbuffered_store_counts_every_read() {
+        let mut s = store(0);
+        let a = s.allocate(1);
+        s.stats().reset();
+        for _ in 0..5 {
+            s.read(a);
+        }
+        assert_eq!(s.stats().snapshot().physical_reads, 5);
+    }
+
+    #[test]
+    fn write_back_counts_on_eviction() {
+        let mut s = store(1);
+        let a = s.allocate(1); // dirty in buffer
+        let _b = s.allocate(2); // evicts a (dirty) -> physical write
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.logical_writes, 2);
+        // Reading a again is a miss.
+        s.stats().reset();
+        s.read(a);
+        assert_eq!(s.stats().snapshot().physical_reads, 1);
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages_once() {
+        let mut s = store(10);
+        for i in 0..5 {
+            s.allocate(i);
+        }
+        s.flush();
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.physical_writes, 5);
+        // A second flush has nothing left to write.
+        s.flush();
+        assert_eq!(s.stats().snapshot().physical_writes, 5);
+    }
+
+    #[test]
+    fn write_updates_payload() {
+        let mut s = store(2);
+        let a = s.allocate(1);
+        s.write(a, 42);
+        assert_eq!(s.read(a), 42);
+        assert_eq!(*s.peek(a), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn reading_unallocated_page_panics() {
+        let mut s = store(2);
+        let a = s.allocate(1);
+        let _ = s.read(PageId(a.0 + 7));
+    }
+
+    #[test]
+    fn free_removes_page_from_count_and_buffer() {
+        let mut s = store(4);
+        let a = s.allocate(1);
+        let b = s.allocate(2);
+        assert_eq!(s.num_pages(), 2);
+        s.free(a);
+        assert_eq!(s.num_pages(), 1);
+        // The freed (dirty) page is not written back on flush.
+        s.flush();
+        assert_eq!(s.stats().snapshot().physical_writes, 1);
+        assert_eq!(s.read(b), 2);
+    }
+
+    #[test]
+    fn buffer_fraction_sizing() {
+        let mut s = store(0);
+        for i in 0..100 {
+            s.allocate(i);
+        }
+        s.set_buffer_fraction(0.02);
+        assert_eq!(s.buffer_pages(), 2);
+        s.set_buffer_fraction(0.005);
+        assert_eq!(s.buffer_pages(), 1);
+        s.set_buffer_fraction(0.0);
+        assert_eq!(s.buffer_pages(), 0);
+    }
+
+    #[test]
+    fn shared_stats_between_stores() {
+        let stats = IoStats::new();
+        let mut p: PageStore<u32> =
+            PageStore::with_stats(PageStoreConfig::default(), stats.clone());
+        let mut q: PageStore<u32> =
+            PageStore::with_stats(PageStoreConfig::default(), stats.clone());
+        let a = p.allocate(1);
+        let b = q.allocate(2);
+        p.read(a);
+        q.read(b);
+        assert_eq!(stats.snapshot().physical_reads, 2);
+    }
+
+    #[test]
+    fn grow_buffer_preserves_cached_pages() {
+        let mut s = store(2);
+        let a = s.allocate(1);
+        let b = s.allocate(2);
+        s.set_buffer_pages(8);
+        s.stats().reset();
+        s.read(a);
+        s.read(b);
+        // Both pages were resident before the grow and must still hit.
+        assert_eq!(s.stats().snapshot().buffer_hits, 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! R-tree nodes.
+
+use crate::object::RTreeObject;
+use cij_geom::Rect;
+use cij_pagestore::PageId;
+
+/// An entry of a non-leaf node: the MBR of a child subtree and the page id of
+/// the child node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChildEntry {
+    /// MBR covering everything in the child subtree.
+    pub mbr: Rect,
+    /// Page holding the child node.
+    pub page: PageId,
+}
+
+impl ChildEntry {
+    /// Approximate on-disk size of a child entry (four coordinates plus a
+    /// page pointer), used to derive the non-leaf fanout from the page size.
+    pub const BYTES: usize = 4 * std::mem::size_of::<f64>() + std::mem::size_of::<u32>();
+}
+
+/// An R-tree node, stored as one disk page.
+///
+/// `level == 0` means leaf; leaves hold data objects, non-leaf nodes hold
+/// [`ChildEntry`]s. A node never holds both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node<D> {
+    /// Height of the node above the leaf level (0 = leaf).
+    pub level: u32,
+    /// Child entries (non-empty only for non-leaf nodes).
+    pub children: Vec<ChildEntry>,
+    /// Data objects (non-empty only for leaves).
+    pub objects: Vec<D>,
+}
+
+impl<D: RTreeObject> Node<D> {
+    /// Creates an empty leaf.
+    pub fn new_leaf() -> Self {
+        Node {
+            level: 0,
+            children: Vec::new(),
+            objects: Vec::new(),
+        }
+    }
+
+    /// Creates an empty non-leaf node at the given level (>= 1).
+    pub fn new_inner(level: u32) -> Self {
+        debug_assert!(level >= 1);
+        Node {
+            level,
+            children: Vec::new(),
+            objects: Vec::new(),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries (objects for leaves, children otherwise).
+    pub fn len(&self) -> usize {
+        if self.is_leaf() {
+            self.objects.len()
+        } else {
+            self.children.len()
+        }
+    }
+
+    /// Whether the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// MBR covering every entry of the node.
+    pub fn mbr(&self) -> Rect {
+        let mut mbr = Rect::empty();
+        if self.is_leaf() {
+            for o in &self.objects {
+                mbr = mbr.union(&o.mbr());
+            }
+        } else {
+            for c in &self.children {
+                mbr = mbr.union(&c.mbr);
+            }
+        }
+        mbr
+    }
+
+    /// Total payload bytes of the node's entries (excluding the node header).
+    pub fn payload_bytes(&self) -> usize {
+        if self.is_leaf() {
+            self.objects.iter().map(|o| o.entry_bytes()).sum()
+        } else {
+            self.children.len() * ChildEntry::BYTES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::PointObject;
+    use cij_geom::Point;
+
+    #[test]
+    fn leaf_mbr_covers_all_points() {
+        let mut leaf: Node<PointObject> = Node::new_leaf();
+        leaf.objects.push(PointObject::new(0, Point::new(1.0, 1.0)));
+        leaf.objects.push(PointObject::new(1, Point::new(5.0, 3.0)));
+        leaf.objects.push(PointObject::new(2, Point::new(2.0, 9.0)));
+        let mbr = leaf.mbr();
+        assert_eq!(mbr, Rect::from_coords(1.0, 1.0, 5.0, 9.0));
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.len(), 3);
+        assert_eq!(leaf.payload_bytes(), 3 * 24);
+    }
+
+    #[test]
+    fn inner_node_mbr_covers_children() {
+        let mut inner: Node<PointObject> = Node::new_inner(1);
+        inner.children.push(ChildEntry {
+            mbr: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            page: cij_pagestore::PageId(0),
+        });
+        inner.children.push(ChildEntry {
+            mbr: Rect::from_coords(4.0, 4.0, 6.0, 8.0),
+            page: cij_pagestore::PageId(1),
+        });
+        assert!(!inner.is_leaf());
+        assert_eq!(inner.mbr(), Rect::from_coords(0.0, 0.0, 6.0, 8.0));
+        assert_eq!(inner.payload_bytes(), 2 * ChildEntry::BYTES);
+    }
+
+    #[test]
+    fn empty_node_has_empty_mbr() {
+        let leaf: Node<PointObject> = Node::new_leaf();
+        assert!(leaf.is_empty());
+        assert!(leaf.mbr().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Objects stored in R-tree leaves: data points and Voronoi cells.
+
+use cij_geom::{ConvexPolygon, Point, Rect};
+
+/// Identifier of a data object (a point of `P`/`Q` or a Voronoi cell).
+///
+/// Object ids are assigned by the caller (typically the index of the point in
+/// the original dataset) and are carried through joins so result pairs can be
+/// reported as `(p_id, q_id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// A payload that can be stored in an R-tree leaf.
+///
+/// The trait exposes the two things the tree needs: the object's MBR (for
+/// tree organisation and query pruning) and its size in bytes (so leaf nodes
+/// respect the 1 KB page budget — Voronoi cells have variable size, as
+/// Section III-C of the paper discusses).
+pub trait RTreeObject: Clone {
+    /// Minimum bounding rectangle of the object.
+    fn mbr(&self) -> Rect;
+    /// Approximate serialized size of one leaf entry holding this object.
+    fn entry_bytes(&self) -> usize;
+    /// Identifier of the object.
+    fn id(&self) -> ObjectId;
+}
+
+/// A point object: a member of one of the joined pointsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointObject {
+    /// Object identifier (index of the point in its dataset).
+    pub id: ObjectId,
+    /// The point itself.
+    pub point: Point,
+}
+
+impl PointObject {
+    /// Creates a point object.
+    pub fn new(id: u64, point: Point) -> Self {
+        PointObject {
+            id: ObjectId(id),
+            point,
+        }
+    }
+
+    /// Wraps a full dataset, assigning ids `0..n`.
+    pub fn from_points(points: &[Point]) -> Vec<PointObject> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| PointObject::new(i as u64, p))
+            .collect()
+    }
+}
+
+impl RTreeObject for PointObject {
+    fn mbr(&self) -> Rect {
+        Rect::from_point(self.point)
+    }
+
+    fn entry_bytes(&self) -> usize {
+        // x, y coordinates plus the object id.
+        2 * std::mem::size_of::<f64>() + std::mem::size_of::<u64>()
+    }
+
+    fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+/// A Voronoi-cell object: the cell of a point, stored in the Voronoi R-trees
+/// `R'P` / `R'Q` built by the FM-CIJ and PM-CIJ algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellObject {
+    /// Identifier of the point whose cell this is.
+    pub id: ObjectId,
+    /// The point that generated the cell.
+    pub site: Point,
+    /// The Voronoi cell polygon (clipped to the space domain).
+    pub cell: ConvexPolygon,
+}
+
+impl CellObject {
+    /// Creates a cell object.
+    pub fn new(id: u64, site: Point, cell: ConvexPolygon) -> Self {
+        CellObject {
+            id: ObjectId(id),
+            site,
+            cell,
+        }
+    }
+}
+
+impl RTreeObject for CellObject {
+    fn mbr(&self) -> Rect {
+        self.cell.bbox()
+    }
+
+    fn entry_bytes(&self) -> usize {
+        // Site + id + vertex list (two f64 per vertex) + vertex count.
+        2 * std::mem::size_of::<f64>()
+            + std::mem::size_of::<u64>()
+            + std::mem::size_of::<u32>()
+            + self.cell.len() * 2 * std::mem::size_of::<f64>()
+    }
+
+    fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_object_mbr_is_degenerate() {
+        let o = PointObject::new(3, Point::new(1.0, 2.0));
+        let mbr = o.mbr();
+        assert_eq!(mbr.lo, mbr.hi);
+        assert_eq!(mbr.lo, Point::new(1.0, 2.0));
+        assert_eq!(o.id(), ObjectId(3));
+        assert_eq!(o.entry_bytes(), 24);
+    }
+
+    #[test]
+    fn from_points_assigns_sequential_ids() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let objs = PointObject::from_points(&pts);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0].id, ObjectId(0));
+        assert_eq!(objs[1].id, ObjectId(1));
+    }
+
+    #[test]
+    fn cell_object_size_grows_with_vertices() {
+        let site = Point::new(5.0, 5.0);
+        let square = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let cell = CellObject::new(0, site, square.clone());
+        let clipped = CellObject::new(
+            1,
+            site,
+            square.clip_bisector(&site, &Point::new(20.0, 7.0)),
+        );
+        assert!(cell.entry_bytes() >= 4 * 16);
+        assert!(clipped.entry_bytes() >= cell.entry_bytes());
+        assert!(cell.mbr().contains_point(&site));
+    }
+}

@@ -1,0 +1,270 @@
+//! BatchVoronoi: concurrent Voronoi-cell computation for a group of nearby
+//! points (Algorithm 2 of the paper).
+//!
+//! Computing the cells of all points in one R-tree leaf with repeated calls
+//! to Algorithm 1 would re-read the same neighbourhood of the tree over and
+//! over. Algorithm 2 shares a single traversal among the whole group `G`:
+//! entries are browsed in ascending `mindist` from the centroid of `G`, an
+//! entry is pruned only when it can refine **no** group member's cell, and a
+//! discovered point refines only the cells it can actually refine.
+
+use crate::single::can_refine;
+use cij_geom::{ConvexPolygon, Point, Rect};
+use cij_pagestore::PageId;
+use cij_rtree::{MinDistHeap, MinHeapItem, PointObject, RTree, RTreeObject};
+
+enum HeapEntry {
+    Node { page: PageId, mbr: Rect },
+    Point(PointObject),
+}
+
+/// Computes the exact Voronoi cells of every point in `group` within the
+/// pointset indexed by `tree`, clipped to `domain`, sharing one best-first
+/// traversal (Algorithm 2, "BatchVoronoi").
+///
+/// The returned vector is aligned with `group`. Group members do constrain
+/// each other (they are part of `P`); a member never constrains itself.
+pub fn batch_voronoi(
+    tree: &mut RTree<PointObject>,
+    group: &[PointObject],
+    domain: &Rect,
+) -> Vec<ConvexPolygon> {
+    let mut cells: Vec<ConvexPolygon> = group
+        .iter()
+        .map(|_| ConvexPolygon::from_rect(domain))
+        .collect();
+    if group.is_empty() || tree.is_empty() {
+        return cells;
+    }
+    let sites: Vec<Point> = group.iter().map(|o| o.point).collect();
+    let centroid = Point::centroid(&sites).expect("non-empty group");
+
+    // A point pj discovered by the traversal refines member i's cell exactly
+    // under the Lemma-1 test; group members refine each other here as well,
+    // because they are data points of P like any other.
+    let refine_with = |cells: &mut [ConvexPolygon], pj: &PointObject| {
+        for (i, member) in group.iter().enumerate() {
+            if member.id == pj.id {
+                continue;
+            }
+            if can_refine(&pj.mbr(), cells[i].vertices(), &member.point) {
+                cells[i] = cells[i].clip_bisector(&member.point, &pj.point);
+            }
+        }
+    };
+
+    // Group members are known up front; refine with them immediately so the
+    // traversal starts from tight cells (pure optimisation — the traversal
+    // would rediscover them anyway).
+    let group_objects: Vec<PointObject> = group.to_vec();
+    for pj in &group_objects {
+        refine_with(&mut cells, pj);
+    }
+
+    let mut heap: MinDistHeap<HeapEntry> = MinDistHeap::new();
+    heap.push(MinHeapItem::new(
+        0.0,
+        HeapEntry::Node {
+            page: tree.root_page(),
+            mbr: *domain,
+        },
+    ));
+
+    // Lemma-2 test lifted to the group: an entry survives if it can refine
+    // the cell of at least one member.
+    let any_can_refine = |mbr: &Rect, cells: &[ConvexPolygon]| {
+        group
+            .iter()
+            .zip(cells.iter())
+            .any(|(member, cell)| can_refine(mbr, cell.vertices(), &member.point))
+    };
+
+    while let Some(MinHeapItem { item, .. }) = heap.pop() {
+        match item {
+            HeapEntry::Point(pj) => {
+                // Re-checked at deheap time (line 9 of Algorithm 2): the
+                // cells may have shrunk since this point was pushed.
+                if any_can_refine(&pj.mbr(), &cells) {
+                    refine_with(&mut cells, &pj);
+                }
+            }
+            HeapEntry::Node { page, mbr } => {
+                // Line 9 of Algorithm 2 applied before reading the child.
+                if !any_can_refine(&mbr, &cells) {
+                    continue;
+                }
+                let node = tree.read_node(page);
+                if node.is_leaf() {
+                    for o in node.objects {
+                        if any_can_refine(&o.mbr(), &cells) {
+                            let d = o.point.dist(&centroid);
+                            heap.push(MinHeapItem::new(d, HeapEntry::Point(o)));
+                        }
+                    }
+                } else {
+                    for c in node.children {
+                        if any_can_refine(&c.mbr, &cells) {
+                            let d = c.mbr.mindist_point(&centroid);
+                            heap.push(MinHeapItem::new(
+                                d,
+                                HeapEntry::Node {
+                                    page: c.page,
+                                    mbr: c.mbr,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_cell;
+    use crate::single::single_voronoi;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> RTreeConfig {
+        RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        }
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    fn cells_equal(a: &ConvexPolygon, b: &ConvexPolygon) -> bool {
+        (a.area() - b.area()).abs() < 1e-3
+    }
+
+    #[test]
+    fn batch_matches_brute_force() {
+        let pts = random_points(250, 21);
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        // Group = 12 points from one neighbourhood (take the 12 nearest to a
+        // random anchor to emulate a leaf node's contents).
+        let anchor = Point::new(4_000.0, 6_000.0);
+        let mut by_dist: Vec<usize> = (0..pts.len()).collect();
+        by_dist.sort_by(|&a, &b| {
+            pts[a]
+                .dist_sq(&anchor)
+                .partial_cmp(&pts[b].dist_sq(&anchor))
+                .unwrap()
+        });
+        let group: Vec<PointObject> = by_dist[..12].iter().map(|&i| objects[i]).collect();
+        let cells = batch_voronoi(&mut tree, &group, &Rect::DOMAIN);
+        for (member, cell) in group.iter().zip(&cells) {
+            let expected = brute_force_cell(&pts, member.id.0 as usize, &Rect::DOMAIN);
+            assert!(
+                cells_equal(&expected, cell),
+                "member {:?}: {} vs {}",
+                member.id,
+                expected.area(),
+                cell.area()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_single_cell_computation() {
+        let pts = random_points(400, 2);
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        let group: Vec<PointObject> = objects[100..110].to_vec();
+        let batch_cells = batch_voronoi(&mut tree, &group, &Rect::DOMAIN);
+        for (member, cell) in group.iter().zip(&batch_cells) {
+            let single = single_voronoi(&mut tree, member.point, member.id, &Rect::DOMAIN);
+            assert!(
+                cells_equal(&single, cell),
+                "member {:?}: single {} vs batch {}",
+                member.id,
+                single.area(),
+                cell.area()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_cheaper_than_individual_calls() {
+        let pts = random_points(3_000, 13);
+        let objects = PointObject::from_points(&pts);
+
+        // Individual calls.
+        let mut tree_a = RTree::bulk_load(config(), objects.clone());
+        let group: Vec<PointObject> = {
+            // Use one actual leaf node as the group, as FM-CIJ does.
+            let domain = Rect::DOMAIN;
+            let leaf = tree_a.leaf_pages_hilbert_order(&domain)[0];
+            tree_a.read_node(leaf).objects
+        };
+        tree_a.drop_buffer();
+        tree_a.stats().reset();
+        for m in &group {
+            let _ = single_voronoi(&mut tree_a, m.point, m.id, &Rect::DOMAIN);
+        }
+        let individual = tree_a.stats().snapshot().logical_reads;
+
+        // One batched call.
+        let mut tree_b = RTree::bulk_load(config(), objects);
+        tree_b.drop_buffer();
+        tree_b.stats().reset();
+        let _ = batch_voronoi(&mut tree_b, &group, &Rect::DOMAIN);
+        let batched = tree_b.stats().snapshot().logical_reads;
+
+        assert!(
+            batched < individual,
+            "batched traversal ({batched} node reads) should beat {} individual calls ({individual})",
+            group.len()
+        );
+    }
+
+    #[test]
+    fn empty_group_returns_no_cells() {
+        let pts = random_points(50, 1);
+        let mut tree = RTree::bulk_load(config(), PointObject::from_points(&pts));
+        assert!(batch_voronoi(&mut tree, &[], &Rect::DOMAIN).is_empty());
+    }
+
+    #[test]
+    fn group_of_whole_tiny_dataset() {
+        let pts = random_points(8, 77);
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        let cells = batch_voronoi(&mut tree, &objects, &Rect::DOMAIN);
+        let total: f64 = cells.iter().map(|c| c.area()).sum();
+        assert!(
+            (total - Rect::DOMAIN.area()).abs() / Rect::DOMAIN.area() < 1e-6,
+            "cells of the whole dataset must tile the domain (got {total})"
+        );
+        for (o, c) in objects.iter().zip(&cells) {
+            assert!(c.contains_point(&o.point));
+        }
+    }
+
+    #[test]
+    fn duplicate_site_ids_do_not_self_constrain() {
+        // A group member must not clip its own cell even if it appears both
+        // in the group and in the tree (the normal situation).
+        let pts = vec![Point::new(2_000.0, 2_000.0), Point::new(8_000.0, 8_000.0)];
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        let cells = batch_voronoi(&mut tree, &objects, &Rect::DOMAIN);
+        // Each cell is half the domain.
+        for c in &cells {
+            assert!((c.area() - Rect::DOMAIN.area() / 2.0).abs() < 1e-3);
+        }
+    }
+}

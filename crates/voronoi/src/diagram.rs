@@ -1,0 +1,167 @@
+//! Whole-diagram computation: the ITER and BATCH methods of Section V-A and
+//! the traversal lower bound LB.
+//!
+//! Both methods walk the leaves of the input R-tree in the Hilbert order of
+//! Section III-C and compute the exact Voronoi cell of every data point:
+//! ITER calls Algorithm 1 once per point, BATCH calls Algorithm 2 once per
+//! leaf. LB is the I/O cost of reading the tree exactly once — the paper's
+//! lower bound for any diagram-computation (and CIJ) method, since every
+//! point participates in the result.
+
+use crate::batch::batch_voronoi;
+use crate::single::single_voronoi;
+use cij_geom::Rect;
+use cij_pagestore::IoSnapshot;
+use cij_rtree::{CellObject, PointObject, RTree};
+use std::time::{Duration, Instant};
+
+/// Which per-leaf strategy a diagram computation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagramMethod {
+    /// One [`single_voronoi`] traversal per point (ITER).
+    Iter,
+    /// One [`batch_voronoi`] traversal per leaf (BATCH).
+    Batch,
+}
+
+/// Outcome of a whole-diagram computation.
+#[derive(Debug, Clone)]
+pub struct DiagramResult {
+    /// One Voronoi cell per data point, in leaf-traversal order.
+    pub cells: Vec<CellObject>,
+    /// I/O incurred by the computation.
+    pub io: IoSnapshot,
+    /// Wall-clock CPU time of the computation.
+    pub cpu: Duration,
+}
+
+/// Computes the Voronoi cells of every point indexed by `tree`, walking
+/// leaves in Hilbert order and using `method` per leaf.
+pub fn compute_diagram(
+    tree: &mut RTree<PointObject>,
+    domain: &Rect,
+    method: DiagramMethod,
+) -> DiagramResult {
+    let start_io = tree.stats().snapshot();
+    let start = Instant::now();
+    let mut cells = Vec::with_capacity(tree.len());
+    let leaves = tree.leaf_pages_hilbert_order(domain);
+    for leaf in leaves {
+        let node = tree.read_node(leaf);
+        let group = node.objects;
+        match method {
+            DiagramMethod::Iter => {
+                for member in &group {
+                    let cell = single_voronoi(tree, member.point, member.id, domain);
+                    cells.push(CellObject::new(member.id.0, member.point, cell));
+                }
+            }
+            DiagramMethod::Batch => {
+                let group_cells = batch_voronoi(tree, &group, domain);
+                for (member, cell) in group.iter().zip(group_cells) {
+                    cells.push(CellObject::new(member.id.0, member.point, cell));
+                }
+            }
+        }
+    }
+    DiagramResult {
+        cells,
+        io: tree.stats().snapshot().since(&start_io),
+        cpu: start.elapsed(),
+    }
+}
+
+/// The traversal lower bound LB: the number of pages of the tree, i.e. the
+/// cost of reading it exactly once.
+pub fn lower_bound_io(tree: &RTree<PointObject>) -> u64 {
+    tree.num_pages() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_diagram;
+    use cij_geom::Point;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> RTreeConfig {
+        RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        }
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn both_methods_match_the_brute_force_diagram() {
+        let pts = random_points(150, 33);
+        let oracle = brute_force_diagram(&pts, &Rect::DOMAIN);
+        for method in [DiagramMethod::Iter, DiagramMethod::Batch] {
+            let mut tree = RTree::bulk_load(config(), PointObject::from_points(&pts));
+            let result = compute_diagram(&mut tree, &Rect::DOMAIN, method);
+            assert_eq!(result.cells.len(), pts.len());
+            for cell in &result.cells {
+                let expected = &oracle[cell.id.0 as usize];
+                assert!(
+                    (expected.area() - cell.cell.area()).abs() < 1e-3,
+                    "{method:?} cell {:?}: {} vs {}",
+                    cell.id,
+                    expected.area(),
+                    cell.cell.area()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagram_cells_tile_the_domain() {
+        let pts = random_points(120, 4);
+        let mut tree = RTree::bulk_load(config(), PointObject::from_points(&pts));
+        let result = compute_diagram(&mut tree, &Rect::DOMAIN, DiagramMethod::Batch);
+        let total: f64 = result.cells.iter().map(|c| c.cell.area()).sum();
+        assert!((total - Rect::DOMAIN.area()).abs() / Rect::DOMAIN.area() < 1e-6);
+    }
+
+    #[test]
+    fn batch_costs_less_io_than_iter_and_both_exceed_lb() {
+        let pts = random_points(4_000, 10);
+        let objects = PointObject::from_points(&pts);
+
+        let mut tree_iter = RTree::bulk_load(config(), objects.clone());
+        tree_iter.set_buffer_fraction(0.02);
+        tree_iter.drop_buffer();
+        tree_iter.stats().reset();
+        let iter_res = compute_diagram(&mut tree_iter, &Rect::DOMAIN, DiagramMethod::Iter);
+
+        let mut tree_batch = RTree::bulk_load(config(), objects);
+        tree_batch.set_buffer_fraction(0.02);
+        tree_batch.drop_buffer();
+        tree_batch.stats().reset();
+        let batch_res = compute_diagram(&mut tree_batch, &Rect::DOMAIN, DiagramMethod::Batch);
+
+        let lb = lower_bound_io(&tree_batch);
+        let iter_io = iter_res.io.page_accesses();
+        let batch_io = batch_res.io.page_accesses();
+        assert!(
+            batch_io <= iter_io,
+            "BATCH ({batch_io}) should not exceed ITER ({iter_io})"
+        );
+        assert!(batch_io >= lb, "no method can beat LB ({batch_io} < {lb})");
+    }
+
+    #[test]
+    fn empty_tree_gives_empty_diagram() {
+        let mut tree: RTree<PointObject> = RTree::new(config());
+        let result = compute_diagram(&mut tree, &Rect::DOMAIN, DiagramMethod::Batch);
+        assert!(result.cells.is_empty());
+    }
+}

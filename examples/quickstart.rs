@@ -1,0 +1,60 @@
+//! Quickstart: run the Common Influence Join on two small pointsets and
+//! contrast it with a traditional ε-distance join.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cij::prelude::*;
+use cij::rtree::distance_join;
+
+fn main() {
+    // Two synthetic pointsets in the paper's normalised domain [0, 10000]².
+    let p = uniform_points(2_000, &Rect::DOMAIN, 1);
+    let q = uniform_points(2_000, &Rect::DOMAIN, 2);
+
+    // Build the R-tree indexed workload (1 KB pages, 2 % LRU buffer).
+    let config = CijConfig::default();
+    let mut workload = Workload::build(&p, &q, &config);
+    println!(
+        "indexed |P| = {} and |Q| = {} points ({} + {} R-tree pages)",
+        p.len(),
+        q.len(),
+        workload.rp.num_pages(),
+        workload.rq.num_pages()
+    );
+
+    // The common influence join: parameter-free.
+    let result = nm_cij(&mut workload, &config);
+    println!(
+        "NM-CIJ produced {} pairs with {} page accesses (lower bound {})",
+        result.pairs.len(),
+        result.page_accesses(),
+        workload.lower_bound_io()
+    );
+    println!(
+        "filter false-hit ratio: {:.3}, exact P-cells computed: {}",
+        result.nm.false_hit_ratio(),
+        result.nm.p_cells_computed
+    );
+
+    // A few sample pairs.
+    for (pi, qi) in result.pairs.iter().take(5) {
+        println!(
+            "  pair: p{}{} joins q{}{}",
+            pi, p[*pi as usize], qi, q[*qi as usize]
+        );
+    }
+
+    // Contrast: an ε-distance join needs a distance threshold, and its result
+    // size swings wildly with that parameter — the burden CIJ removes.
+    let mut workload = Workload::build(&p, &q, &config);
+    for eps in [50.0, 150.0, 400.0] {
+        let pairs = distance_join(&mut workload.rp, &mut workload.rq, eps, |a, b| {
+            a.point.dist(&b.point)
+        });
+        println!("ε-distance join with ε = {eps:>5}: {} pairs", pairs.len());
+    }
+    println!("CIJ needs no such parameter: its result reflects the two Voronoi diagrams.");
+}

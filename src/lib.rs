@@ -1,0 +1,64 @@
+//! # cij — Common Influence Join for spatial pointsets
+//!
+//! A Rust reproduction of *Yiu, Mamoulis & Karras, "Common Influence Join: A
+//! Natural Join Operation for Spatial Pointsets", ICDE 2008*.
+//!
+//! Given two pointsets `P` and `Q`, the **common influence join** `CIJ(P, Q)`
+//! returns every pair `(p, q)` such that some location in space is closer to
+//! `p` than to any other point of `P` *and* closer to `q` than to any other
+//! point of `Q` — equivalently, the Voronoi cells of `p` and `q` intersect.
+//! Unlike ε-distance joins or k-closest-pair joins the operation is
+//! parameter-free.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`geom`] — geometric primitives (points, rectangles, convex polygons,
+//!   bisector halfplanes, Φ regions, Hilbert curve),
+//! * [`pagestore`] — simulated 1 KB disk pages, LRU buffer, I/O statistics,
+//! * [`rtree`] — the disk-based R-tree (insertion, bulk loading, NN search,
+//!   spatial joins),
+//! * [`voronoi`] — R-tree based Voronoi cell computation (BF-VOR,
+//!   BatchVoronoi, TP-VOR, diagram builders),
+//! * [`datagen`] — workload generators (uniform, clustered, real-dataset
+//!   stand-ins),
+//! * [`core`] — the CIJ algorithms themselves (FM-CIJ, PM-CIJ, NM-CIJ).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cij::prelude::*;
+//!
+//! // Two tiny datasets: restaurants (P) and cinemas (Q).
+//! let p = cij::datagen::uniform_points(200, &Rect::DOMAIN, 1);
+//! let q = cij::datagen::uniform_points(150, &Rect::DOMAIN, 2);
+//!
+//! let config = CijConfig::default();
+//! let mut workload = Workload::build(&p, &q, &config);
+//! let result = nm_cij(&mut workload, &config);
+//!
+//! // Every point participates in the (parameter-free) join result.
+//! assert!(result.pairs.len() >= p.len().max(q.len()));
+//! println!("{} CIJ pairs using {} page accesses", result.pairs.len(), result.page_accesses());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use cij_core as core;
+pub use cij_datagen as datagen;
+pub use cij_geom as geom;
+pub use cij_pagestore as pagestore;
+pub use cij_rtree as rtree;
+pub use cij_voronoi as voronoi;
+
+/// Commonly used items, for `use cij::prelude::*`.
+pub mod prelude {
+    pub use cij_core::{
+        brute_force_cij, fm_cij, nm_cij, pm_cij, Algorithm, CijConfig, CijOutcome, Workload,
+    };
+    pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
+    pub use cij_geom::{ConvexPolygon, Point, Rect};
+    pub use cij_pagestore::IoStats;
+    pub use cij_rtree::{PointObject, RTree, RTreeConfig};
+    pub use cij_voronoi::{batch_voronoi, single_voronoi, tp_voronoi};
+}
