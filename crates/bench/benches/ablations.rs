@@ -5,12 +5,12 @@
 //! * **batched** per-leaf cell computation vs per-point computation when
 //!   materialising a diagram (the ITER/BATCH choice of Figure 6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cij_core::{batch_conditional_filter, nm_cij, CijConfig, Workload};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 use cij_rtree::{PointObject, RTree, RTreeConfig};
-use cij_voronoi::{compute_diagram, brute_force_diagram, DiagramMethod};
+use cij_voronoi::{brute_force_diagram, compute_diagram, DiagramMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_reuse_buffer(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reuse");
@@ -20,7 +20,11 @@ fn bench_reuse_buffer(c: &mut Criterion) {
     let q = uniform_points(n, &Rect::DOMAIN, 22);
     for reuse in [true, false] {
         let config = CijConfig::default().with_reuse(reuse);
-        let name = if reuse { "nm_with_reuse" } else { "nm_without_reuse" };
+        let name = if reuse {
+            "nm_with_reuse"
+        } else {
+            "nm_without_reuse"
+        };
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut w = Workload::build(&p, &q, &config);
@@ -68,12 +72,17 @@ fn bench_diagram_batching(c: &mut Criterion) {
     group.sample_size(10);
     let points = uniform_points(4_000, &Rect::DOMAIN, 25);
     let objects = PointObject::from_points(&points);
-    for (name, method) in [("iter", DiagramMethod::Iter), ("batch", DiagramMethod::Batch)] {
+    for (name, method) in [
+        ("iter", DiagramMethod::Iter),
+        ("batch", DiagramMethod::Batch),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut tree = RTree::bulk_load(RTreeConfig::default(), objects.clone());
                 tree.set_buffer_fraction(0.02);
-                compute_diagram(&mut tree, &Rect::DOMAIN, method).cells.len()
+                compute_diagram(&mut tree, &Rect::DOMAIN, method)
+                    .cells
+                    .len()
             })
         });
     }

@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks for the three CIJ algorithms at a small fixed
 //! size (wall-clock companion to the Figure 7 harness binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cij_core::{Algorithm, CijConfig, Workload};
 use cij_datagen::{clustered_points, uniform_points, ClusterSpec};
 use cij_geom::Rect;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_algorithms_uniform(c: &mut Criterion) {
     let mut group = c.benchmark_group("cij_uniform");

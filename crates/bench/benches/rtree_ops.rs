@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks for the R-tree substrate: bulk loading,
 //! insertion, range queries and k-NN search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cij_datagen::uniform_points;
 use cij_geom::{Point, Rect};
 use cij_rtree::{PointObject, RTree, RTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_build");

@@ -3,19 +3,18 @@
 //! Complements the Figure 5 / Figure 6 harness binaries with
 //! statistically-sound wall-clock numbers at a fixed small size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 use cij_rtree::{ObjectId, PointObject, RTree, RTreeConfig};
 use cij_voronoi::{batch_voronoi, single_voronoi, tp_voronoi};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_single_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("voronoi_cell");
     group.sample_size(10);
     for &n in &[2_000usize, 10_000] {
         let points = uniform_points(n, &Rect::DOMAIN, 42);
-        let mut tree =
-            RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
+        let mut tree = RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
         tree.set_buffer_fraction(0.05);
         group.bench_with_input(BenchmarkId::new("bf_vor", n), &n, |b, _| {
             let mut i = 0usize;

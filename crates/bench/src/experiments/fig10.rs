@@ -3,14 +3,14 @@
 
 use crate::experiments::fig9::{split_total, RATIOS};
 use crate::util::{paper_config, print_header, print_row, scaled, Args};
-use cij_core::{nm_cij, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 
 /// Runs both panels of Figure 10.
 pub fn run(args: &Args) {
     let scale: f64 = args.get("scale", 0.02);
-    let config = paper_config();
+    let engine = QueryEngine::new(paper_config());
 
     print_header(
         &format!("Figure 10a: NM-CIJ false hit ratio vs datasize (scale {scale})"),
@@ -20,8 +20,7 @@ pub fn run(args: &Args) {
         let n = scaled(paper_n, scale);
         let p = uniform_points(n, &Rect::DOMAIN, 10_001);
         let q = uniform_points(n, &Rect::DOMAIN, 10_002);
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = nm_cij(&mut w, &config);
+        let outcome = engine.join(&p, &q, Algorithm::NmCij);
         print_row(&[
             n.to_string(),
             outcome.nm.filter_candidates.to_string(),
@@ -39,8 +38,7 @@ pub fn run(args: &Args) {
         let (np, nq) = split_total(total, ratio);
         let p = uniform_points(np, &Rect::DOMAIN, 10_101);
         let q = uniform_points(nq, &Rect::DOMAIN, 10_102);
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = nm_cij(&mut w, &config);
+        let outcome = engine.join(&p, &q, Algorithm::NmCij);
         print_row(&[
             format!("{}:{}", ratio.0, ratio.1),
             outcome.nm.filter_candidates.to_string(),
@@ -48,5 +46,7 @@ pub fn run(args: &Args) {
             format!("{:.3}", outcome.nm.false_hit_ratio()),
         ]);
     }
-    println!("shape check (paper): FHR stays below ~0.1 and is largest when |P| >> |Q| (ratio 1:4)");
+    println!(
+        "shape check (paper): FHR stays below ~0.1 and is largest when |P| >> |Q| (ratio 1:4)"
+    );
 }

@@ -5,16 +5,15 @@
 
 use crate::experiments::fig9::{split_total, RATIOS};
 use crate::util::{paper_config, print_header, print_row, scaled, Args};
-use cij_core::{nm_cij, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 
 fn measure(np: usize, nq: usize, reuse: bool) -> u64 {
-    let config = paper_config().with_reuse(reuse);
+    let engine = QueryEngine::new(paper_config().with_reuse(reuse));
     let p = uniform_points(np, &Rect::DOMAIN, 11_001);
     let q = uniform_points(nq, &Rect::DOMAIN, 11_002);
-    let mut w = Workload::build(&p, &q, &config);
-    nm_cij(&mut w, &config).nm.p_cells_computed
+    engine.join(&p, &q, Algorithm::NmCij).nm.p_cells_computed
 }
 
 /// Runs both panels of Figure 11.

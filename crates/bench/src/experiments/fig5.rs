@@ -32,7 +32,13 @@ pub fn run(args: &Args) {
 
     print_header(
         &format!("Figure 5: single Voronoi-cell queries (n = {n}, {queries} queries)"),
-        &["query", "TP-VOR accesses", "BF-VOR accesses", "TP-VOR cpu(ms)", "BF-VOR cpu(ms)"],
+        &[
+            "query",
+            "TP-VOR accesses",
+            "BF-VOR accesses",
+            "TP-VOR cpu(ms)",
+            "BF-VOR cpu(ms)",
+        ],
     );
 
     let mut totals = [0u64, 0, 0, 0]; // tp_acc, bf_acc, tp_us, bf_us
@@ -80,6 +86,10 @@ pub fn run(args: &Args) {
     ]);
     println!(
         "shape check (paper): BF-VOR below TP-VOR and stable across queries -> {}",
-        if totals[1] < totals[0] { "REPRODUCED" } else { "NOT reproduced" }
+        if totals[1] < totals[0] {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

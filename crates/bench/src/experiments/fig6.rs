@@ -19,7 +19,14 @@ pub fn run(args: &Args) {
 
     print_header(
         &format!("Figure 6: Voronoi diagram computation vs datasize (scale {scale})"),
-        &["n", "ITER I/O", "BATCH I/O", "LB", "ITER cpu(s)", "BATCH cpu(s)"],
+        &[
+            "n",
+            "ITER I/O",
+            "BATCH I/O",
+            "LB",
+            "ITER cpu(s)",
+            "BATCH cpu(s)",
+        ],
     );
 
     for paper_n in paper_sizes {
@@ -52,5 +59,7 @@ pub fn run(args: &Args) {
             format!("{:.2}", secs(batch_res.cpu)),
         ]);
     }
-    println!("shape check (paper): ITER and BATCH I/O close to LB; BATCH CPU advantage grows with n");
+    println!(
+        "shape check (paper): ITER and BATCH I/O close to LB; BATCH CPU advantage grows with n"
+    );
 }

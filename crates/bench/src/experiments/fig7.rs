@@ -3,7 +3,7 @@
 //! points, 2 % buffer.
 
 use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
-use cij_core::{Algorithm, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 
@@ -29,10 +29,10 @@ pub fn run(args: &Args) {
         ],
     );
 
+    let engine = QueryEngine::new(config);
     let mut totals = Vec::new();
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = alg.run(&mut w, &config);
+        let outcome = engine.join(&p, &q, alg);
         print_row(&[
             alg.name().into(),
             outcome.breakdown.mat_io.page_accesses().to_string(),
@@ -48,6 +48,10 @@ pub fn run(args: &Args) {
     let fm = totals[0].1;
     println!(
         "shape check (paper): NM-CIJ avoids MAT entirely and has the lowest total I/O -> {}",
-        if nm < fm { "REPRODUCED" } else { "NOT reproduced" }
+        if nm < fm {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

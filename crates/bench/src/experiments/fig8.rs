@@ -2,7 +2,7 @@
 //! the datasize, for FM-CIJ, PM-CIJ, NM-CIJ and the lower bound LB.
 
 use crate::util::{paper_config, print_header, print_row, scaled, Args};
-use cij_core::{Algorithm, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 
@@ -24,12 +24,13 @@ pub fn run_buffer(args: &Args) {
         let config = paper_config()
             .with_buffer_fraction(percent / 100.0)
             .with_min_buffer_pages(1);
+        let engine = QueryEngine::new(config);
         let mut row = vec![format!("{percent}")];
         let mut lb = 0;
         for alg in Algorithm::ALL {
-            let mut w = Workload::build(&p, &q, &config);
+            let mut w = engine.build_workload(&p, &q);
             lb = w.lower_bound_io();
-            let outcome = alg.run(&mut w, &config);
+            let outcome = engine.run(&mut w, alg);
             row.push(outcome.page_accesses().to_string());
         }
         row.push(lb.to_string());
@@ -42,7 +43,7 @@ pub fn run_buffer(args: &Args) {
 /// paper's 100 K…800 K sweep.
 pub fn run_scalability(args: &Args) {
     let scale: f64 = args.get("scale", 0.02);
-    let config = paper_config();
+    let engine = QueryEngine::new(paper_config());
 
     print_header(
         &format!("Figure 8b: scalability with datasize (scale {scale})"),
@@ -55,13 +56,15 @@ pub fn run_scalability(args: &Args) {
         let mut row = vec![n.to_string()];
         let mut lb = 0;
         for alg in Algorithm::ALL {
-            let mut w = Workload::build(&p, &q, &config);
+            let mut w = engine.build_workload(&p, &q);
             lb = w.lower_bound_io();
-            let outcome = alg.run(&mut w, &config);
+            let outcome = engine.run(&mut w, alg);
             row.push(outcome.page_accesses().to_string());
         }
         row.push(lb.to_string());
         print_row(&row);
     }
-    println!("shape check (paper): all methods scale ~linearly; NM-CIJ closest to LB at every size");
+    println!(
+        "shape check (paper): all methods scale ~linearly; NM-CIJ closest to LB at every size"
+    );
 }

@@ -3,7 +3,7 @@
 //! accesses spent).
 
 use crate::util::{paper_config, print_header, print_row, scaled, Args};
-use cij_core::{Algorithm, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::uniform_points;
 use cij_geom::Rect;
 
@@ -23,22 +23,34 @@ pub fn split_total(total: usize, ratio: (u32, u32)) -> (usize, usize) {
 pub fn run_ratio(args: &Args) {
     let scale: f64 = args.get("scale", 0.05);
     let total = scaled(200_000, scale);
-    let config = paper_config();
+    let engine = QueryEngine::new(paper_config());
 
     print_header(
         &format!("Figure 9a: cardinality ratio |Q|:|P|, |P| + |Q| = {total}"),
-        &["ratio |Q|:|P|", "|P|", "|Q|", "FM-CIJ", "PM-CIJ", "NM-CIJ", "LB"],
+        &[
+            "ratio |Q|:|P|",
+            "|P|",
+            "|Q|",
+            "FM-CIJ",
+            "PM-CIJ",
+            "NM-CIJ",
+            "LB",
+        ],
     );
     for ratio in RATIOS {
         let (np, nq) = split_total(total, ratio);
         let p = uniform_points(np, &Rect::DOMAIN, 9_001);
         let q = uniform_points(nq, &Rect::DOMAIN, 9_002);
-        let mut row = vec![format!("{}:{}", ratio.0, ratio.1), np.to_string(), nq.to_string()];
+        let mut row = vec![
+            format!("{}:{}", ratio.0, ratio.1),
+            np.to_string(),
+            nq.to_string(),
+        ];
         let mut lb = 0;
         for alg in Algorithm::ALL {
-            let mut w = Workload::build(&p, &q, &config);
+            let mut w = engine.build_workload(&p, &q);
             lb = w.lower_bound_io();
-            let outcome = alg.run(&mut w, &config);
+            let outcome = engine.run(&mut w, alg);
             row.push(outcome.page_accesses().to_string());
         }
         row.push(lb.to_string());
@@ -52,7 +64,7 @@ pub fn run_ratio(args: &Args) {
 pub fn run_progress(args: &Args) {
     let scale: f64 = args.get("scale", 0.05);
     let n = scaled(100_000, scale);
-    let config = paper_config();
+    let engine = QueryEngine::new(paper_config());
     let p = uniform_points(n, &Rect::DOMAIN, 9_101);
     let q = uniform_points(n, &Rect::DOMAIN, 9_102);
 
@@ -61,8 +73,7 @@ pub fn run_progress(args: &Args) {
         &["algorithm", "page accesses", "result pairs"],
     );
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = alg.run(&mut w, &config);
+        let outcome = engine.join(&p, &q, alg);
         // Print ~8 evenly spaced samples of each curve.
         let samples = &outcome.progress;
         let step = (samples.len() / 8).max(1);

@@ -3,10 +3,10 @@
 //! stand-ins of `cij-datagen`.
 
 use crate::util::{print_header, print_row, secs, Args};
+use cij_datagen::ALL_REAL_DATASETS;
 use cij_geom::Rect;
 use cij_rtree::{PointObject, RTree, RTreeConfig};
 use cij_voronoi::{compute_diagram, lower_bound_io, DiagramMethod};
-use cij_datagen::ALL_REAL_DATASETS;
 
 /// Runs the Table II experiment. `--scale` scales the Table I cardinalities.
 pub fn run(args: &Args) {
@@ -33,8 +33,7 @@ pub fn run(args: &Args) {
     );
     for ds in ALL_REAL_DATASETS {
         let points = ds.generate_scaled(scale);
-        let mut tree =
-            RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
+        let mut tree = RTree::bulk_load(RTreeConfig::default(), PointObject::from_points(&points));
         // 2 % buffer with the 40-page absolute floor (scaled-down runs).
         tree.set_buffer_pages(((tree.num_pages() as f64 * 0.02).ceil() as usize).max(40));
         tree.drop_buffer();

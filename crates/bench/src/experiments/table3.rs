@@ -2,7 +2,7 @@
 //! real datasets (synthetic stand-ins at a configurable scale).
 
 use crate::util::{paper_config, print_header, print_row, Args};
-use cij_core::{Algorithm, Workload};
+use cij_core::{Algorithm, QueryEngine};
 use cij_datagen::RealDataset;
 
 /// The dataset pairs of Table III, as (Q, P).
@@ -18,11 +18,23 @@ pub const PAIRS: [(RealDataset, RealDataset); 6] = [
 /// Runs the Table III experiment. `--scale` scales the Table I cardinalities.
 pub fn run(args: &Args) {
     let scale: f64 = args.get("scale", 0.02);
-    let config = paper_config();
+    let engine = QueryEngine::new(paper_config());
 
     print_header(
-        &format!("Table III: result size and page accesses of CIJ on real dataset pairs (scale {scale})"),
-        &["Q", "P", "|Q|", "|P|", "CIJ pairs", "FM-CIJ", "PM-CIJ", "NM-CIJ", "LB"],
+        &format!(
+            "Table III: result size and page accesses of CIJ on real dataset pairs (scale {scale})"
+        ),
+        &[
+            "Q",
+            "P",
+            "|Q|",
+            "|P|",
+            "CIJ pairs",
+            "FM-CIJ",
+            "PM-CIJ",
+            "NM-CIJ",
+            "LB",
+        ],
     );
     for (ds_q, ds_p) in PAIRS {
         let p = ds_p.generate_scaled(scale);
@@ -37,9 +49,9 @@ pub fn run(args: &Args) {
         let mut io = Vec::new();
         let mut lb = 0;
         for alg in Algorithm::ALL {
-            let mut w = Workload::build(&p, &q, &config);
+            let mut w = engine.build_workload(&p, &q);
             lb = w.lower_bound_io();
-            let outcome = alg.run(&mut w, &config);
+            let outcome = engine.run(&mut w, alg);
             pairs_count = outcome.pairs.len();
             io.push(outcome.page_accesses());
         }

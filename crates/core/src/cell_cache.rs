@@ -1,0 +1,268 @@
+//! The shared Voronoi-cell reuse buffer (Section IV-B of the paper,
+//! promoted from a private `HashMap` inside NM-CIJ to a bounded LRU cache
+//! shared by every algorithm that computes exact cells on demand).
+//!
+//! Neighbouring leaves of `RQ` produce overlapping candidate sets of `P`, so
+//! NM-CIJ's refinement step keeps recently computed exact cells around
+//! instead of recomputing them (the REUSE heuristic). The paper's buffer
+//! experiments (Fig. 8a) show the benefit saturating at a small fraction of
+//! the data size, which is why [`CellCache`] is *bounded*: it holds at most
+//! `capacity` cells and evicts the least recently used one when full.
+//! Eviction is always safe — an evicted cell is simply recomputed on the
+//! next request, so join results never change (covered by the eviction
+//! tests).
+//!
+//! Replacement policy and payload storage are separate concerns: recency
+//! and eviction are delegated to the already-tested O(1)
+//! [`cij_pagestore::LruBuffer`] (the same component backing the page
+//! buffer), while this type only keeps the polygon payloads in a map that
+//! mirrors the buffer's resident set.
+//!
+//! The cache implements [`cij_voronoi::CellStore`], so it plugs directly
+//! into [`cij_voronoi::batch_voronoi_cached`]. Hit/miss/eviction counts are
+//! exposed both through the cache itself (and from there through
+//! [`NmCounters`](crate::stats::NmCounters)) and, when constructed with
+//! [`CellCache::with_stats`], through the workload-wide
+//! [`cij_pagestore::IoStats`] counters.
+
+use cij_geom::ConvexPolygon;
+use cij_pagestore::{Admission, IoStats, LruBuffer};
+use cij_voronoi::CellStore;
+use std::collections::HashMap;
+
+/// A bounded LRU cache of exact Voronoi cells, keyed by point id.
+#[derive(Debug)]
+pub struct CellCache {
+    /// Replacement policy: tracks residency and recency of point ids.
+    lru: LruBuffer,
+    /// Payloads of the resident ids (always mirrors `lru`'s resident set).
+    cells: HashMap<u64, ConvexPolygon>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    stats: Option<IoStats>,
+}
+
+impl CellCache {
+    /// Creates a cache holding at most `capacity` cells. A capacity of zero
+    /// disables caching entirely (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        CellCache {
+            lru: LruBuffer::new(capacity),
+            cells: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            stats: None,
+        }
+    }
+
+    /// Like [`CellCache::new`], but also mirrors hit/miss/eviction events
+    /// into the shared I/O statistics so experiment harnesses see cache
+    /// behaviour alongside page accesses.
+    pub fn with_stats(capacity: usize, stats: IoStats) -> Self {
+        CellCache {
+            stats: Some(stats),
+            ..CellCache::new(capacity)
+        }
+    }
+
+    /// Maximum number of cells held.
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Number of cells currently held.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found no cached cell so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cells evicted to respect the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every cached cell (counters are kept).
+    pub fn clear(&mut self) {
+        let _ = self.lru.clear();
+        self.cells.clear();
+    }
+}
+
+impl CellStore for CellCache {
+    fn get(&mut self, id: u64) -> Option<ConvexPolygon> {
+        match self.cells.get(&id) {
+            Some(cell) => {
+                let cell = cell.clone();
+                // Refresh recency; the id is resident, so this is a hit by
+                // construction.
+                let _ = self.lru.touch(id, false);
+                self.hits += 1;
+                if let Some(stats) = &self.stats {
+                    stats.record_cell_cache_hit();
+                }
+                Some(cell)
+            }
+            None => {
+                self.misses += 1;
+                if let Some(stats) = &self.stats {
+                    stats.record_cell_cache_miss();
+                }
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, id: u64, cell: &ConvexPolygon) {
+        if self.lru.capacity() == 0 {
+            return;
+        }
+        if let Admission::Miss {
+            evicted: Some((victim, _)),
+        } = self.lru.touch(id, false)
+        {
+            self.cells.remove(&victim);
+            self.evictions += 1;
+            if let Some(stats) = &self.stats {
+                stats.record_cell_cache_eviction();
+            }
+        }
+        self.cells.insert(id, cell.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+
+    fn poly(tag: f64) -> ConvexPolygon {
+        ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, tag, tag))
+    }
+
+    #[test]
+    fn serves_hits_and_counts_misses() {
+        let mut c = CellCache::new(4);
+        assert!(c.get(1).is_none());
+        c.put(1, &poly(10.0));
+        let got = c.get(1).expect("cached");
+        assert!((got.area() - 100.0).abs() < 1e-9);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut c = CellCache::new(2);
+        c.put(1, &poly(1.0));
+        c.put(2, &poly(2.0));
+        // Touch 1 so that 2 becomes the LRU entry.
+        assert!(c.get(1).is_some());
+        c.put(3, &poly(3.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(2).is_none(), "LRU entry 2 must have been evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = CellCache::new(0);
+        c.put(1, &poly(1.0));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn reinserting_updates_the_cell_without_growth() {
+        let mut c = CellCache::new(2);
+        c.put(1, &poly(1.0));
+        c.put(1, &poly(5.0));
+        assert_eq!(c.len(), 1);
+        let got = c.get(1).unwrap();
+        assert!((got.area() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_mirroring_reaches_io_counters() {
+        let stats = IoStats::new();
+        let mut c = CellCache::with_stats(1, stats.clone());
+        assert!(c.get(7).is_none());
+        c.put(7, &poly(1.0));
+        assert!(c.get(7).is_some());
+        c.put(8, &poly(2.0)); // evicts 7
+        let snap = stats.snapshot();
+        assert_eq!(snap.cell_cache_hits, 1);
+        assert_eq!(snap.cell_cache_misses, 1);
+        assert_eq!(snap.cell_cache_evictions, 1);
+        // Cache events never masquerade as page I/O.
+        assert_eq!(snap.page_accesses(), 0);
+    }
+
+    #[test]
+    fn hit_heavy_load_then_new_puts_keep_admitting() {
+        // Regression guard for the recency-bookkeeping bug class: a long
+        // run of hits followed by new insertions must keep the cache fully
+        // functional — new entries admitted, victims evicted, payload and
+        // policy state in sync.
+        let mut c = CellCache::new(1);
+        c.put(100, &poly(1.0));
+        for _ in 0..50 {
+            assert!(c.get(100).is_some());
+        }
+        c.put(200, &poly(2.0));
+        assert!(c.get(100).is_none(), "100 must have been evicted");
+        assert!(c.get(200).is_some(), "200 must be resident");
+        c.put(300, &poly(3.0));
+        assert!(c.get(300).is_some(), "cache must keep admitting new ids");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn policy_and_payload_state_stay_in_sync_under_churn() {
+        let mut c = CellCache::new(8);
+        for round in 0..1_000u64 {
+            let id = round % 24;
+            if c.get(id).is_none() {
+                c.put(id, &poly(1.0 + id as f64));
+            }
+            assert!(c.len() <= 8);
+        }
+        // Every resident id must be servable.
+        let resident = c.len();
+        assert!(resident > 0);
+        // One lookup per round, each either a hit or a miss.
+        assert_eq!(c.hits() + c.misses(), 1_000);
+    }
+
+    #[test]
+    fn clear_keeps_counters_but_drops_cells() {
+        let mut c = CellCache::new(4);
+        c.put(1, &poly(1.0));
+        assert!(c.get(1).is_some());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        assert!(c.get(1).is_none());
+    }
+}

@@ -28,6 +28,17 @@ pub struct CijConfig {
     /// Whether NM-CIJ reuses exact Voronoi cells of `P` computed for the
     /// previous leaf of `RQ` (the REUSE heuristic of Section IV-B).
     pub reuse_cells: bool,
+    /// Capacity (in cells) of the bounded LRU
+    /// [`CellCache`](crate::cell_cache::CellCache) used as the Section IV-B
+    /// reuse buffer by NM-CIJ and the multiway/grouped extensions.
+    ///
+    /// The seed implementation grew an unbounded `HashMap`; the paper's
+    /// buffer experiments (Fig. 8a) show reuse benefit saturating once the
+    /// buffer covers the candidate overlap of neighbouring `RQ` leaves — a
+    /// few leaves' worth of cells. The default (1024) is comfortably above
+    /// that saturation point at the paper's default leaf sizes while keeping
+    /// memory bounded at scale. Zero disables caching.
+    pub cell_cache_capacity: usize,
     /// Granularity of the progressive-output trace: a sample is recorded
     /// every this many result pairs (plus one sample per outer-loop step).
     pub progress_sample_pairs: u64,
@@ -41,6 +52,7 @@ impl Default for CijConfig {
             buffer_fraction: cij_pagestore::DEFAULT_BUFFER_FRACTION,
             min_buffer_pages: 40,
             reuse_cells: true,
+            cell_cache_capacity: 1024,
             progress_sample_pairs: 1_000,
         }
     }
@@ -82,6 +94,13 @@ impl CijConfig {
         self
     }
 
+    /// Sets the capacity of the Voronoi-cell reuse buffer (zero disables
+    /// caching; see [`CijConfig::cell_cache_capacity`]).
+    pub fn with_cell_cache_capacity(mut self, cells: usize) -> Self {
+        self.cell_cache_capacity = cells;
+        self
+    }
+
     /// The buffer capacity (in pages) for a tree of `num_pages` pages under
     /// this configuration: `buffer_fraction` of the tree, but never below
     /// `min_buffer_pages` (and never zero unless the fraction is zero and the
@@ -110,9 +129,21 @@ mod tests {
         let c = CijConfig::default()
             .with_buffer_fraction(0.1)
             .with_reuse(false)
+            .with_cell_cache_capacity(64)
             .with_domain(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
         assert_eq!(c.buffer_fraction, 0.1);
         assert!(!c.reuse_cells);
+        assert_eq!(c.cell_cache_capacity, 64);
         assert_eq!(c.domain.hi.x, 1.0);
+    }
+
+    #[test]
+    fn default_cell_cache_is_bounded() {
+        let c = CijConfig::default();
+        assert!(c.cell_cache_capacity > 0, "reuse enabled by default");
+        assert!(
+            c.cell_cache_capacity <= 4096,
+            "default stays bounded (Fig. 8a saturation, not unbounded growth)"
+        );
     }
 }

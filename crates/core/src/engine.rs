@@ -1,0 +1,447 @@
+//! The streaming execution core: [`PairStream`], [`CijExecutor`] and the
+//! unified [`QueryEngine`] entry point.
+//!
+//! The paper's headline property of NM-CIJ is that it is **non-blocking**:
+//! result pairs start flowing after a handful of page accesses, long before
+//! the join completes. The seed implementation nevertheless ran every
+//! algorithm to completion and returned a `Vec` of pairs; this module makes
+//! the streaming contract explicit:
+//!
+//! * [`PairStream`] — a pull-based iterator of `(p_id, q_id)` pairs. For
+//!   NM-CIJ the stream is genuinely lazy (leaves of `RQ` are processed only
+//!   as pairs are demanded); for the blocking FM/PM algorithms the stream
+//!   replays an eagerly computed result, preserving one uniform API.
+//! * [`CijExecutor`] — the strategy trait tying an [`Algorithm`] to its
+//!   stream construction; the blocking entry points (`fm_cij`, `pm_cij`,
+//!   `nm_cij`) are thin `.into_outcome()` wrappers over it.
+//! * [`QueryEngine`] — the facade-level entry point used by examples, tests
+//!   and the benchmark harness instead of reaching into per-algorithm
+//!   functions.
+//!
+//! Progress samples ([`ProgressSample`]) and NM counters accumulate in
+//! shared stream state while the consumer pulls, so a caller can observe
+//! "pairs so far vs page accesses so far" mid-join — exactly the
+//! progressiveness measurement of Figure 9b.
+
+use crate::config::CijConfig;
+use crate::fm::fm_cij_eager;
+use crate::grouped::{grouped_nn_via_cij, GroupCounts};
+use crate::multiway::{multiway_cij, MultiwayOutcome};
+use crate::nm::NmPairIter;
+use crate::pm::pm_cij_eager;
+use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+use crate::workload::Workload;
+use crate::Algorithm;
+use cij_geom::Point;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Mutable state shared between a [`PairStream`] and its producing
+/// iterator: cost attribution, progress samples and NM counters fill in as
+/// the stream is consumed.
+#[derive(Debug, Default)]
+pub(crate) struct StreamState {
+    pub progress: Vec<ProgressSample>,
+    pub nm: NmCounters,
+    pub breakdown: CostBreakdown,
+}
+
+pub(crate) type SharedStreamState = Rc<RefCell<StreamState>>;
+
+/// A pull-based stream of CIJ result pairs.
+///
+/// Obtained from [`QueryEngine::stream`] or [`CijExecutor::stream`]. Pairs
+/// are produced on demand; [`PairStream::progress_so_far`] and
+/// [`PairStream::counters_so_far`] expose the incremental measurements, and
+/// [`PairStream::into_outcome`] drains the remainder into the classic
+/// blocking [`CijOutcome`].
+pub struct PairStream<'a> {
+    algorithm: Algorithm,
+    inner: Box<dyn Iterator<Item = (u64, u64)> + 'a>,
+    state: SharedStreamState,
+    emitted: u64,
+}
+
+impl std::fmt::Debug for PairStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairStream")
+            .field("algorithm", &self.algorithm)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PairStream<'a> {
+    pub(crate) fn new(
+        algorithm: Algorithm,
+        inner: Box<dyn Iterator<Item = (u64, u64)> + 'a>,
+        state: SharedStreamState,
+    ) -> Self {
+        PairStream {
+            algorithm,
+            inner,
+            state,
+            emitted: 0,
+        }
+    }
+
+    /// Wraps an eagerly computed outcome as a (trivially complete) stream —
+    /// the adapter used by the blocking FM/PM algorithms.
+    pub(crate) fn from_outcome(algorithm: Algorithm, outcome: CijOutcome) -> PairStream<'static> {
+        let state = Rc::new(RefCell::new(StreamState {
+            progress: outcome.progress,
+            nm: outcome.nm,
+            breakdown: outcome.breakdown,
+        }));
+        PairStream {
+            algorithm,
+            inner: Box::new(outcome.pairs.into_iter()),
+            state,
+            emitted: 0,
+        }
+    }
+
+    /// The algorithm producing this stream.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of pairs this stream has yielded so far.
+    pub fn pairs_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The progressive-output samples recorded so far (one per processed
+    /// leaf of `RQ` for NM-CIJ; the full eager trace for FM/PM).
+    pub fn progress_so_far(&self) -> Vec<ProgressSample> {
+        self.state.borrow().progress.clone()
+    }
+
+    /// The NM-specific counters accumulated so far (zeroed for FM/PM).
+    pub fn counters_so_far(&self) -> NmCounters {
+        self.state.borrow().nm
+    }
+
+    /// Drains the remaining pairs and packages everything into the blocking
+    /// [`CijOutcome`] (pairs already pulled through the iterator are *not*
+    /// replayed — call this immediately for the classic collect-all
+    /// behaviour).
+    pub fn into_outcome(mut self) -> CijOutcome {
+        let mut pairs = Vec::new();
+        for pair in &mut self {
+            pairs.push(pair);
+        }
+        let state = self.state.borrow();
+        CijOutcome {
+            pairs,
+            breakdown: state.breakdown,
+            progress: state.progress.clone(),
+            nm: state.nm,
+        }
+    }
+}
+
+impl Iterator for PairStream<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let next = self.inner.next();
+        if next.is_some() {
+            self.emitted += 1;
+        }
+        next
+    }
+}
+
+/// Strategy trait implemented by the three CIJ evaluation algorithms.
+///
+/// `stream` is the primary operation; the default `run` drains the stream
+/// into a [`CijOutcome`], which is exactly what the classic blocking entry
+/// points do.
+pub trait CijExecutor {
+    /// Which algorithm this executor implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Starts the join and returns the (lazy where the algorithm allows it)
+    /// stream of result pairs.
+    fn stream<'a>(&self, workload: &'a mut Workload, config: &CijConfig) -> PairStream<'a>;
+
+    /// Runs the join to completion.
+    fn run(&self, workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+        self.stream(workload, config).into_outcome()
+    }
+}
+
+/// Executor for FM-CIJ (Algorithm 3). Blocking: the stream starts only
+/// after both Voronoi R-trees are materialised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FmExecutor;
+
+impl CijExecutor for FmExecutor {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::FmCij
+    }
+
+    fn stream<'a>(&self, workload: &'a mut Workload, config: &CijConfig) -> PairStream<'a> {
+        PairStream::from_outcome(Algorithm::FmCij, fm_cij_eager(workload, config))
+    }
+
+    fn run(&self, workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+        // The eager evaluation already is the blocking outcome — skip the
+        // pointless wrap-in-a-stream-and-drain round trip.
+        fm_cij_eager(workload, config)
+    }
+}
+
+/// Executor for PM-CIJ (Algorithm 4). Blocking: the stream starts only
+/// after `R'P` is materialised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PmExecutor;
+
+impl CijExecutor for PmExecutor {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::PmCij
+    }
+
+    fn stream<'a>(&self, workload: &'a mut Workload, config: &CijConfig) -> PairStream<'a> {
+        PairStream::from_outcome(Algorithm::PmCij, pm_cij_eager(workload, config))
+    }
+
+    fn run(&self, workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+        // See FmExecutor::run — the eager outcome needs no stream round trip.
+        pm_cij_eager(workload, config)
+    }
+}
+
+/// Executor for NM-CIJ (Algorithm 6). Non-blocking: leaves of `RQ` are
+/// processed lazily, so the first pairs are available after a handful of
+/// page accesses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NmExecutor;
+
+impl CijExecutor for NmExecutor {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::NmCij
+    }
+
+    fn stream<'a>(&self, workload: &'a mut Workload, config: &CijConfig) -> PairStream<'a> {
+        let state: SharedStreamState = Rc::default();
+        let iter = NmPairIter::new(workload, *config, Rc::clone(&state));
+        PairStream::new(Algorithm::NmCij, Box::new(iter), state)
+    }
+}
+
+impl Algorithm {
+    /// The executor implementing this algorithm.
+    pub fn executor(&self) -> &'static dyn CijExecutor {
+        match self {
+            Algorithm::FmCij => &FmExecutor,
+            Algorithm::PmCij => &PmExecutor,
+            Algorithm::NmCij => &NmExecutor,
+        }
+    }
+}
+
+/// The unified entry point for common-influence joins.
+///
+/// A `QueryEngine` owns a [`CijConfig`] and exposes every operation of the
+/// workspace behind one API: building workloads, running or streaming any
+/// of the three join algorithms, and the multiway / grouped-NN extensions.
+/// Examples, integration tests and the benchmark harness go through this
+/// type instead of calling per-algorithm functions.
+///
+/// ```
+/// use cij_core::{Algorithm, CijConfig, QueryEngine};
+/// use cij_geom::Point;
+///
+/// let engine = QueryEngine::new(CijConfig::default());
+/// let p = vec![Point::new(2_000.0, 3_000.0), Point::new(7_000.0, 8_000.0)];
+/// let q = vec![Point::new(2_500.0, 2_500.0), Point::new(6_500.0, 8_500.0)];
+/// let outcome = engine.join(&p, &q, Algorithm::NmCij);
+/// assert!(!outcome.pairs.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryEngine {
+    config: CijConfig,
+}
+
+impl QueryEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: CijConfig) -> Self {
+        QueryEngine { config }
+    }
+
+    /// Creates an engine with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        QueryEngine::default()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CijConfig {
+        &self.config
+    }
+
+    /// Builds the R-tree indexed workload for two pointsets under this
+    /// engine's configuration.
+    pub fn build_workload(&self, p: &[Point], q: &[Point]) -> Workload {
+        Workload::build(p, q, &self.config)
+    }
+
+    /// Starts `algorithm` on `workload` and returns the pair stream.
+    ///
+    /// For [`Algorithm::NmCij`] the stream is lazy: pulling the first pair
+    /// performs only the page accesses needed for the first productive leaf
+    /// of `RQ`.
+    pub fn stream<'a>(&self, workload: &'a mut Workload, algorithm: Algorithm) -> PairStream<'a> {
+        algorithm.executor().stream(workload, &self.config)
+    }
+
+    /// Runs `algorithm` on `workload` to completion.
+    pub fn run(&self, workload: &mut Workload, algorithm: Algorithm) -> CijOutcome {
+        algorithm.executor().run(workload, &self.config)
+    }
+
+    /// Convenience: builds the workload for `p` and `q` and runs
+    /// `algorithm` to completion.
+    pub fn join(&self, p: &[Point], q: &[Point], algorithm: Algorithm) -> CijOutcome {
+        let mut workload = self.build_workload(p, q);
+        self.run(&mut workload, algorithm)
+    }
+
+    /// Runs the multiway CIJ over `sets` (see
+    /// [`multiway_cij`](crate::multiway::multiway_cij)).
+    pub fn multiway(&self, sets: &[Vec<Point>]) -> MultiwayOutcome {
+        multiway_cij(sets, &self.config)
+    }
+
+    /// Runs the CIJ-based grouped nearest-neighbour analysis (see
+    /// [`grouped_nn_via_cij`](crate::grouped::grouped_nn_via_cij)).
+    pub fn grouped_nn(&self, p: &[Point], q: &[Point], locations: &[Point]) -> GroupCounts {
+        grouped_nn_via_cij(p, q, locations, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_cij;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> CijConfig {
+        CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn engine_runs_every_algorithm_to_the_same_result() {
+        let engine = QueryEngine::new(small_config());
+        let p = random_points(80, 501);
+        let q = random_points(90, 502);
+        let oracle = brute_force_cij(&p, &q, &engine.config().domain);
+        for alg in Algorithm::ALL {
+            let outcome = engine.join(&p, &q, alg);
+            assert_eq!(outcome.sorted_pairs(), oracle, "{} disagrees", alg.name());
+        }
+    }
+
+    #[test]
+    fn streaming_and_blocking_paths_agree() {
+        let engine = QueryEngine::new(small_config());
+        let p = random_points(120, 503);
+        let q = random_points(110, 504);
+        for alg in Algorithm::ALL {
+            let streamed: Vec<(u64, u64)> = {
+                let mut w = engine.build_workload(&p, &q);
+                engine.stream(&mut w, alg).collect()
+            };
+            let mut streamed_sorted = streamed;
+            streamed_sorted.sort_unstable();
+            streamed_sorted.dedup();
+            let blocking = engine.join(&p, &q, alg).sorted_pairs();
+            assert_eq!(streamed_sorted, blocking, "{} stream differs", alg.name());
+        }
+    }
+
+    #[test]
+    fn nm_stream_is_lazy_first_pair_needs_few_accesses() {
+        let engine = QueryEngine::new(small_config());
+        let p = random_points(600, 505);
+        let q = random_points(600, 506);
+
+        // Total cost of a complete run, for reference.
+        let total = engine.join(&p, &q, Algorithm::NmCij).page_accesses();
+
+        let mut w = engine.build_workload(&p, &q);
+        let stats = w.stats.clone();
+        let mut stream = engine.stream(&mut w, Algorithm::NmCij);
+        let first = stream.next();
+        assert!(first.is_some(), "join of non-empty sets yields pairs");
+        let at_first = stats.snapshot().page_accesses();
+        assert!(
+            at_first * 4 < total,
+            "first pair after {at_first} accesses vs {total} total — not lazy"
+        );
+        assert_eq!(stream.pairs_emitted(), 1);
+        // Draining afterwards completes the join.
+        let rest: Vec<_> = stream.collect();
+        assert!(!rest.is_empty());
+    }
+
+    #[test]
+    fn mid_stream_progress_is_observable() {
+        let engine = QueryEngine::new(small_config());
+        let p = random_points(400, 507);
+        let q = random_points(400, 508);
+        let mut w = engine.build_workload(&p, &q);
+        let mut stream = engine.stream(&mut w, Algorithm::NmCij);
+        let _ = stream.next();
+        let early = stream.progress_so_far();
+        assert!(!early.is_empty(), "progress recorded by the first pair");
+        let outcome = stream.into_outcome();
+        assert!(outcome.progress.len() >= early.len());
+        // Counters flowed through the shared state.
+        assert!(outcome.nm.q_cells_computed > 0);
+    }
+
+    #[test]
+    fn executor_trait_objects_dispatch_correctly() {
+        let config = small_config();
+        let p = random_points(60, 509);
+        let q = random_points(60, 510);
+        for alg in Algorithm::ALL {
+            let executor = alg.executor();
+            assert_eq!(executor.algorithm(), alg);
+            let mut w = Workload::build(&p, &q, &config);
+            let outcome = executor.run(&mut w, &config);
+            assert!(!outcome.is_empty());
+        }
+    }
+
+    #[test]
+    fn engine_multiway_and_grouped_entry_points_work() {
+        let engine = QueryEngine::new(small_config());
+        let sets = vec![random_points(25, 511), random_points(30, 512)];
+        let multi = engine.multiway(&sets);
+        let binary: Vec<Vec<u64>> = brute_force_cij(&sets[0], &sets[1], &engine.config().domain)
+            .into_iter()
+            .map(|(a, b)| vec![a, b])
+            .collect();
+        assert_eq!(multi.sorted_ids(), binary);
+
+        let locations = random_points(300, 513);
+        let counts = engine.grouped_nn(&sets[0], &sets[1], &locations);
+        assert_eq!(counts.values().sum::<u64>(), locations.len() as u64);
+    }
+}

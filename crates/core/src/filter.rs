@@ -209,7 +209,8 @@ mod tests {
         let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
         // Use the cell of one Q point as the probe polygon.
         let t = brute_force_cell(&q, 17, &Rect::DOMAIN);
-        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        let (candidates, _) =
+            batch_conditional_filter(&mut rp, std::slice::from_ref(&t), &Rect::DOMAIN);
         let candidate_ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
         for joiner in oracle_joiners(&p, &[t]) {
             assert!(
@@ -284,7 +285,8 @@ mod tests {
         let p = random_points(200, 81);
         let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
         let t = ConvexPolygon::from_rect(&Rect::from_coords(2_000.0, 2_000.0, 5_000.0, 5_000.0));
-        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        let (candidates, _) =
+            batch_conditional_filter(&mut rp, std::slice::from_ref(&t), &Rect::DOMAIN);
         let ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
         for (i, pt) in p.iter().enumerate() {
             if t.contains_point(pt) {
@@ -316,10 +318,15 @@ mod tests {
         }
         let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
         let t = ConvexPolygon::from_rect(&Rect::from_coords(9_000.0, 9_000.0, 9_200.0, 9_200.0));
-        let (candidates, _) = batch_conditional_filter(&mut rp, &[t.clone()], &Rect::DOMAIN);
+        let (candidates, _) =
+            batch_conditional_filter(&mut rp, std::slice::from_ref(&t), &Rect::DOMAIN);
         // Only boundary points of the cluster (whose cells extend to the far
         // corner) should survive; certainly not the whole cluster.
-        assert!(candidates.len() < 100, "got {} candidates", candidates.len());
+        assert!(
+            candidates.len() < 100,
+            "got {} candidates",
+            candidates.len()
+        );
         // And it must still be a superset of the truth.
         let ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
         for joiner in oracle_joiners(&p, &[t]) {

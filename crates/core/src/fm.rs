@@ -8,6 +8,7 @@
 //! blocking (no result pair is produced before both trees are built).
 
 use crate::config::CijConfig;
+use crate::engine::{CijExecutor, FmExecutor};
 use crate::stats::{CijOutcome, CostBreakdown, ProgressSample};
 use crate::vor_rtree::materialize_voronoi_rtree;
 use crate::workload::Workload;
@@ -16,7 +17,16 @@ use std::time::Instant;
 
 /// Runs FM-CIJ on a workload, returning the result pairs and the MAT/JOIN
 /// cost breakdown.
+///
+/// Thin blocking wrapper over the [`FmExecutor`] stream (FM-CIJ is
+/// inherently blocking — the stream only starts after both Voronoi R-trees
+/// are materialised, which is the point of comparing it against NM-CIJ).
 pub fn fm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+    FmExecutor.run(workload, config)
+}
+
+/// The eager FM-CIJ evaluation backing [`FmExecutor`].
+pub(crate) fn fm_cij_eager(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
     let stats = workload.stats.clone();
     let start_io = stats.snapshot();
 
@@ -39,7 +49,7 @@ pub fn fm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
         |a, b| a.cell.intersects(&b.cell),
         |a, b| {
             pairs.push((a.id.0, b.id.0));
-            if pairs.len() as u64 % sample_every == 0 {
+            if (pairs.len() as u64).is_multiple_of(sample_every) {
                 progress.push(ProgressSample {
                     page_accesses: stats.snapshot().since(&start_io).page_accesses(),
                     pairs: pairs.len() as u64,

@@ -10,11 +10,43 @@
 //! two expensive all-nearest-neighbour joins of the naive plan.
 
 use crate::config::CijConfig;
-use crate::nm::nm_cij;
+use crate::nm::nm_cij_keep_cache;
 use crate::workload::Workload;
-use cij_geom::{ConvexPolygon, Point};
-use cij_voronoi::{brute_force_diagram, nearest_index};
+use cij_geom::{hilbert, ConvexPolygon, Point, Rect};
+use cij_rtree::{PointObject, RTree};
+use cij_voronoi::{batch_voronoi_cached, nearest_index, CellStore, NoCache};
 use std::collections::HashMap;
+
+/// Group size for batched exact-cell computation: roughly one R-tree leaf's
+/// worth of spatially adjacent points, the granularity Algorithm 2 is
+/// designed for.
+const CELL_BATCH: usize = 24;
+
+/// Computes the exact Voronoi cells of the given point ids in shared
+/// traversals: ids are deduplicated, ordered along the Hilbert curve so each
+/// batch is spatially compact, and computed through the cache in
+/// leaf-sized groups.
+fn cells_by_id<C: CellStore>(
+    tree: &mut RTree<PointObject>,
+    objects: &[PointObject],
+    ids: impl Iterator<Item = u64>,
+    domain: &Rect,
+    cache: &mut C,
+) -> HashMap<u64, ConvexPolygon> {
+    let mut unique: Vec<u64> = ids.collect();
+    unique.sort_unstable();
+    unique.dedup();
+    let mut members: Vec<PointObject> = unique.iter().map(|&i| objects[i as usize]).collect();
+    members.sort_by_key(|o| hilbert::hilbert_value(&o.point, domain));
+    let mut out = HashMap::with_capacity(members.len());
+    for group in members.chunks(CELL_BATCH) {
+        let cells = batch_voronoi_cached(tree, group, domain, cache);
+        for (obj, cell) in group.iter().zip(cells) {
+            out.insert(obj.id.0, cell);
+        }
+    }
+    out
+}
 
 /// Counts per (p, q) pair produced by a grouped-NN analysis.
 pub type GroupCounts = HashMap<(u64, u64), u64>;
@@ -32,19 +64,37 @@ pub fn grouped_nn_via_cij(
     config: &CijConfig,
 ) -> GroupCounts {
     let mut workload = Workload::build(p, q, config);
-    let cij = nm_cij(&mut workload, config);
+    // Keep the join's reuse buffer alive: it already holds the exact cells
+    // of recently refined `P` candidates, which are exactly the cells the
+    // region-materialisation step below needs again.
+    let (cij, mut cache_p) = nm_cij_keep_cache(&mut workload, config);
 
-    let cells_p = brute_force_diagram(p, &config.domain);
-    let cells_q = brute_force_diagram(q, &config.domain);
+    // Materialise each pair's common influence region through the input
+    // R-trees: the participating ids are deduplicated and their exact cells
+    // computed in shared Hilbert-ordered batch traversals (each unique cell
+    // exactly once). The `P` side is served from the join's cell cache
+    // where possible; the `Q` side has no reuse opportunity after
+    // deduplication (the join never caches `Q` cells), so it runs uncached.
+    let objects_p = PointObject::from_points(p);
+    let objects_q = PointObject::from_points(q);
+    let cells_p = cells_by_id(
+        &mut workload.rp,
+        &objects_p,
+        cij.pairs.iter().map(|&(a, _)| a),
+        &config.domain,
+        &mut cache_p,
+    );
+    let cells_q = cells_by_id(
+        &mut workload.rq,
+        &objects_q,
+        cij.pairs.iter().map(|&(_, b)| b),
+        &config.domain,
+        &mut NoCache,
+    );
     let regions: Vec<((u64, u64), ConvexPolygon)> = cij
         .pairs
         .iter()
-        .map(|&(a, b)| {
-            (
-                (a, b),
-                cells_p[a as usize].intersection(&cells_q[b as usize]),
-            )
-        })
+        .map(|&(a, b)| ((a, b), cells_p[&a].intersection(&cells_q[&b])))
         .collect();
 
     let mut counts: GroupCounts = HashMap::new();
@@ -76,6 +126,7 @@ pub fn grouped_nn_via_all_nn(p: &[Point], q: &[Point], locations: &[Point]) -> G
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nm::nm_cij;
     use cij_rtree::RTreeConfig;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -10,39 +10,71 @@
 //! region of `p` and of `q`. The join is parameter-free, unlike ε-distance
 //! joins and k-closest-pair joins.
 //!
-//! Three evaluation algorithms are provided, in increasing order of
-//! sophistication and decreasing order of I/O cost:
+//! ## The streaming execution core
+//!
+//! All evaluation goes through the [`engine`] module:
+//!
+//! * [`QueryEngine`] — the unified entry point: build a workload once, then
+//!   run or **stream** any algorithm against it.
+//! * [`PairStream`] — a pull-based iterator of result pairs. NM-CIJ is
+//!   implemented natively as this stream (one `RQ` leaf is processed per
+//!   demand), which makes the paper's *non-blocking* claim an observable
+//!   property: the first pair costs only a handful of page accesses.
+//! * [`CijExecutor`] — the strategy trait behind [`Algorithm`]; the classic
+//!   blocking functions are thin `.into_outcome()` wrappers over it.
+//!
+//! ## The three algorithms
+//!
+//! In increasing order of sophistication and decreasing order of I/O cost:
 //!
 //! * [`fm_cij`] — **FM-CIJ** (Algorithm 3): materialise both Voronoi
 //!   diagrams into Hilbert-packed R-trees and intersection-join them.
-//! * [`pm_cij`] — **PM-CIJ** (Algorithm 4): materialise only `V or(P)`;
+//!   Blocking.
+//! * [`pm_cij`] — **PM-CIJ** (Algorithm 4): materialise only `Vor(P)`;
 //!   probe batches of `Q` cells against it (block index nested loops).
+//!   Blocking.
 //! * [`nm_cij`] — **NM-CIJ** (Algorithm 6): materialise nothing; per leaf of
 //!   `RQ`, filter `RP` with the [`filter`] module's conditional filter
-//!   (Algorithm 5) and verify candidates with on-demand cell computation and
-//!   a cell [reuse buffer]. Non-blocking and nearly I/O-optimal.
+//!   (Algorithm 5) and verify candidates with on-demand cell computation.
+//!   Non-blocking and nearly I/O-optimal.
 //!
-//! [reuse buffer]: crate::nm
+//! ## The shared cell cache
+//!
+//! The Section IV-B *reuse buffer* is the bounded LRU
+//! [`CellCache`](cell_cache::CellCache), shared by NM-CIJ, PM-CIJ and the
+//! [`multiway`] / [`grouped`] extensions through the cache-aware
+//! [`cij_voronoi::batch_voronoi_cached`] API. Its capacity is bounded by
+//! [`CijConfig::cell_cache_capacity`]; hit/miss/eviction counts surface
+//! through [`NmCounters`] and the shared [`cij_pagestore::IoStats`].
 //!
 //! ## Quick example
 //!
 //! ```
-//! use cij_core::{nm_cij, CijConfig, Workload};
+//! use cij_core::{Algorithm, CijConfig, QueryEngine};
 //! use cij_geom::Point;
 //!
 //! let restaurants = vec![Point::new(2_000.0, 3_000.0), Point::new(7_000.0, 8_000.0)];
 //! let cinemas = vec![Point::new(2_500.0, 2_500.0), Point::new(6_500.0, 8_500.0)];
-//! let config = CijConfig::default();
-//! let mut workload = Workload::build(&restaurants, &cinemas, &config);
-//! let result = nm_cij(&mut workload, &config);
+//! let engine = QueryEngine::new(CijConfig::default());
+//!
+//! // Blocking: collect the whole result.
+//! let result = engine.join(&restaurants, &cinemas, Algorithm::NmCij);
 //! assert!(!result.pairs.is_empty());
+//!
+//! // Streaming: pairs arrive while the join is still running.
+//! let mut workload = engine.build_workload(&restaurants, &cinemas);
+//! let mut stream = engine.stream(&mut workload, Algorithm::NmCij);
+//! let first = stream.next();
+//! assert!(first.is_some());
 //! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod brute;
+pub mod cell_cache;
 pub mod config;
+pub mod engine;
 pub mod filter;
 pub mod fm;
 pub mod grouped;
@@ -54,7 +86,9 @@ pub mod vor_rtree;
 pub mod workload;
 
 pub use brute::brute_force_cij;
+pub use cell_cache::CellCache;
 pub use config::CijConfig;
+pub use engine::{CijExecutor, FmExecutor, NmExecutor, PairStream, PmExecutor, QueryEngine};
 pub use filter::{batch_conditional_filter, FilterStats};
 pub use fm::fm_cij;
 pub use grouped::{grouped_nn_via_all_nn, grouped_nn_via_cij, GroupCounts};
@@ -89,13 +123,10 @@ impl Algorithm {
         }
     }
 
-    /// Runs this algorithm on a workload.
+    /// Runs this algorithm on a workload (blocking; delegates to the
+    /// algorithm's [`CijExecutor`]).
     pub fn run(&self, workload: &mut Workload, config: &CijConfig) -> CijOutcome {
-        match self {
-            Algorithm::FmCij => fm_cij(workload, config),
-            Algorithm::PmCij => pm_cij(workload, config),
-            Algorithm::NmCij => nm_cij(workload, config),
-        }
+        self.executor().run(workload, config)
     }
 }
 

@@ -17,12 +17,12 @@
 //! computed on demand with BatchVoronoi, and the region is narrowed by
 //! polygon intersection.
 
+use crate::cell_cache::CellCache;
 use crate::config::CijConfig;
 use crate::filter::batch_conditional_filter;
 use cij_geom::{ConvexPolygon, Point, Rect};
 use cij_rtree::{PointObject, RTree};
-use cij_voronoi::{batch_voronoi, brute_force_diagram};
-use std::collections::HashMap;
+use cij_voronoi::{batch_voronoi, batch_voronoi_cached, brute_force_diagram};
 
 /// One result tuple of a multiway CIJ: the ids of the joined points (one per
 /// input set, in input order) and the common influence region they share.
@@ -96,9 +96,13 @@ pub fn multiway_cij(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayOutcome 
     // Extend the partial tuples one set at a time.
     for set_idx in 1..sets.len() {
         let mut next: Vec<MultiwayTuple> = Vec::new();
-        // Cache exact cells of this set across partial tuples (the same
-        // neighbourhood is probed by many partial regions).
-        let mut cell_cache: HashMap<u64, ConvexPolygon> = HashMap::new();
+        // The shared bounded reuse buffer (Section IV-B) caches exact cells
+        // of this set across partial tuples — the same neighbourhood is
+        // probed by many partial regions, so hit rates are high. Wired to
+        // the set's tree stats so cache behaviour is observable alongside
+        // page accesses.
+        let mut cell_cache =
+            CellCache::with_stats(config.cell_cache_capacity, trees[set_idx].stats());
         for partial in &partials {
             if partial.region.is_empty() {
                 continue;
@@ -110,22 +114,15 @@ pub fn multiway_cij(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayOutcome 
                 std::slice::from_ref(&partial.region),
                 &config.domain,
             );
-            // Refinement: exact cells (cached) + region intersection.
-            let mut missing: Vec<PointObject> = Vec::new();
-            for cand in &candidates {
-                if !cell_cache.contains_key(&cand.id.0) {
-                    missing.push(*cand);
-                }
-            }
-            if !missing.is_empty() {
-                let computed = batch_voronoi(&mut trees[set_idx], &missing, &config.domain);
-                cells_computed[set_idx] += missing.len() as u64;
-                for (obj, cell) in missing.iter().zip(computed) {
-                    cell_cache.insert(obj.id.0, cell);
-                }
-            }
-            for cand in &candidates {
-                let cell = &cell_cache[&cand.id.0];
+            // Refinement: exact cells (through the cache) + region
+            // intersection.
+            let cells = batch_voronoi_cached(
+                &mut trees[set_idx],
+                &candidates,
+                &config.domain,
+                &mut cell_cache,
+            );
+            for (cand, cell) in candidates.iter().zip(&cells) {
                 let region = partial.region.intersection(cell);
                 if !region.is_empty() {
                     let mut ids = partial.ids.clone();
@@ -134,6 +131,7 @@ pub fn multiway_cij(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayOutcome 
                 }
             }
         }
+        cells_computed[set_idx] = cell_cache.misses();
         partials = next;
     }
 
@@ -260,7 +258,10 @@ mod tests {
         }
         pairwise.sort();
         for t in &three_way {
-            assert!(pairwise.binary_search(t).is_ok(), "tuple {t:?} not pairwise-consistent");
+            assert!(
+                pairwise.binary_search(t).is_ok(),
+                "tuple {t:?} not pairwise-consistent"
+            );
         }
         assert!(
             three_way.len() < pairwise.len(),
@@ -275,7 +276,7 @@ mod tests {
     fn single_set_returns_one_tuple_per_point() {
         let config = small_config();
         let p = random_points(40, 231);
-        let outcome = multiway_cij(&[p.clone()], &config);
+        let outcome = multiway_cij(std::slice::from_ref(&p), &config);
         assert_eq!(outcome.tuples.len(), p.len());
         // The regions are the Voronoi cells and tile the domain.
         let total: f64 = outcome.tuples.iter().map(|t| t.region.area()).sum();
@@ -285,7 +286,11 @@ mod tests {
     #[test]
     fn regions_are_inside_every_member_cell() {
         let config = small_config();
-        let sets = vec![random_points(20, 241), random_points(22, 242), random_points(18, 243)];
+        let sets = vec![
+            random_points(20, 241),
+            random_points(22, 242),
+            random_points(18, 243),
+        ];
         let diagrams: Vec<Vec<ConvexPolygon>> = sets
             .iter()
             .map(|s| brute_force_diagram(s, &config.domain))

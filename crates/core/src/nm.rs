@@ -9,115 +9,212 @@
 //! 2. runs the **BatchConditionalFilter** (Algorithm 5) against `RP` to find
 //!    the candidate points of `P` whose cells may intersect any of those
 //!    cells,
-//! 3. computes the exact cells of the candidates (batched; cells cached in a
-//!    **reuse buffer** keyed by point id, because neighbouring leaves of `RQ`
-//!    share candidates — Section IV-B),
+//! 3. computes the exact cells of the candidates through the shared
+//!    [`CellCache`] (the Section IV-B **reuse buffer**, now a bounded LRU —
+//!    neighbouring leaves of `RQ` share candidates, so most lookups hit),
 //! 4. reports every `(p, q)` whose exact cells intersect.
 //!
-//! Result pairs therefore start streaming out after only a few page
-//! accesses (non-blocking), and the total I/O stays close to the traversal
-//! lower bound LB.
+//! Since this refactor the algorithm *is* implemented as a stream:
+//! [`NmPairIter`] processes one leaf of `RQ` at a time, only when the
+//! consumer pulls and the pairs of previous leaves are exhausted. The
+//! classic blocking [`nm_cij`] is a thin collect-wrapper over that stream
+//! (via [`PairStream::into_outcome`]), so the non-blocking property —
+//! result pairs after only a few page accesses — is now directly observable
+//! by pulling a [`PairStream`] obtained from
+//! [`QueryEngine::stream`](crate::engine::QueryEngine::stream).
+//!
+//! [`CellCache`]: crate::cell_cache::CellCache
+//! [`PairStream`]: crate::engine::PairStream
+//! [`PairStream::into_outcome`]: crate::engine::PairStream::into_outcome
 
+use crate::cell_cache::CellCache;
 use crate::config::CijConfig;
+use crate::engine::{CijExecutor, NmExecutor, SharedStreamState};
 use crate::filter::batch_conditional_filter;
-use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+use crate::stats::CijOutcome;
+use crate::stats::ProgressSample;
 use crate::workload::Workload;
 use cij_geom::ConvexPolygon;
-use cij_rtree::PointObject;
-use cij_voronoi::batch_voronoi;
-use std::collections::{HashMap, HashSet};
+use cij_pagestore::{IoSnapshot, IoStats, PageId};
+use cij_voronoi::{batch_voronoi, batch_voronoi_cached};
+use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
-/// Runs NM-CIJ on a workload, returning the result pairs, the cost breakdown
-/// (all cost is JOIN cost — there is no materialisation phase) and the
-/// NM-specific counters used by Figures 10 and 11.
+/// Runs NM-CIJ on a workload to completion, returning the result pairs, the
+/// cost breakdown (all cost is JOIN cost — there is no materialisation
+/// phase) and the NM-specific counters used by Figures 10 and 11.
+///
+/// This is a thin blocking wrapper: it drains the lazy pair stream of
+/// [`NmExecutor`]. Use [`QueryEngine::stream`] to consume pairs
+/// incrementally instead.
+///
+/// [`QueryEngine::stream`]: crate::engine::QueryEngine::stream
 pub fn nm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
-    let stats = workload.stats.clone();
-    let start_io = stats.snapshot();
-    let start = Instant::now();
+    NmExecutor.stream(workload, config).into_outcome()
+}
 
-    let mut pairs: Vec<(u64, u64)> = Vec::new();
-    let mut progress: Vec<ProgressSample> = Vec::new();
-    let mut counters = NmCounters::default();
+/// Like [`nm_cij`], but also hands back the reuse buffer so a caller can
+/// keep serving exact `P` cells from it after the join (grouped-NN
+/// materialises the common influence regions of the result pairs from the
+/// very cells the join just computed).
+pub(crate) fn nm_cij_keep_cache(
+    workload: &mut Workload,
+    config: &CijConfig,
+) -> (CijOutcome, CellCache) {
+    use crate::engine::StreamState;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
-    // Reuse buffer B: exact Voronoi cells of P candidates from the previous
-    // leaf of RQ (Section IV-B).
-    let mut reuse: HashMap<u64, ConvexPolygon> = HashMap::new();
+    let state: Rc<RefCell<StreamState>> = Rc::default();
+    let mut iter = NmPairIter::new(workload, *config, Rc::clone(&state));
+    let pairs: Vec<(u64, u64)> = iter.by_ref().collect();
+    let cache = iter.cache;
+    let state = state.borrow();
+    (
+        CijOutcome {
+            pairs,
+            breakdown: state.breakdown,
+            progress: state.progress.clone(),
+            nm: state.nm,
+        },
+        cache,
+    )
+}
 
-    let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
-    for leaf in leaves {
-        let group = workload.rq.read_node(leaf).objects;
-        if group.is_empty() {
-            continue;
+/// The lazy leaf-by-leaf pair producer behind the NM-CIJ stream.
+///
+/// Each call to [`Iterator::next`] first serves pairs buffered from the
+/// current leaf of `RQ`; when that buffer runs dry, the next leaf is
+/// processed (steps 1–4 of Algorithm 6). Page accesses therefore happen
+/// only as the consumer demands pairs.
+pub(crate) struct NmPairIter<'a> {
+    workload: &'a mut Workload,
+    config: CijConfig,
+    leaves: std::vec::IntoIter<PageId>,
+    cache: CellCache,
+    pending: VecDeque<(u64, u64)>,
+    state: SharedStreamState,
+    stats: IoStats,
+    start_io: IoSnapshot,
+    pairs_produced: u64,
+    finished: bool,
+}
+
+impl<'a> NmPairIter<'a> {
+    pub(crate) fn new(
+        workload: &'a mut Workload,
+        config: CijConfig,
+        state: SharedStreamState,
+    ) -> Self {
+        let stats = workload.stats.clone();
+        let start_io = stats.snapshot();
+        let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
+        let cache_capacity = if config.reuse_cells {
+            config.cell_cache_capacity
+        } else {
+            0
+        };
+        let cache = CellCache::with_stats(cache_capacity, stats.clone());
+        NmPairIter {
+            workload,
+            config,
+            leaves: leaves.into_iter(),
+            cache,
+            pending: VecDeque::new(),
+            state,
+            stats,
+            start_io,
+            pairs_produced: 0,
+            finished: false,
         }
+    }
+
+    /// Processes one leaf of `RQ`, pushing its result pairs into `pending`
+    /// and updating counters, progress and cost attribution.
+    fn process_leaf(&mut self, leaf: PageId) {
+        let start = Instant::now();
+        let group = self.workload.rq.read_node(leaf).objects;
+        if group.is_empty() {
+            self.account(start);
+            return;
+        }
+        let domain = self.config.domain;
 
         // (1) Voronoi cells of the leaf's Q points.
-        let cells_q = batch_voronoi(&mut workload.rq, &group, &config.domain);
-        counters.q_cells_computed += group.len() as u64;
+        let cells_q = batch_voronoi(&mut self.workload.rq, &group, &domain);
 
         // (2) Filter phase on RP.
         let (candidates, _fstats) =
-            batch_conditional_filter(&mut workload.rp, &cells_q, &config.domain);
-        counters.filter_candidates += candidates.len() as u64;
+            batch_conditional_filter(&mut self.workload.rp, &cells_q, &domain);
 
-        // (3) Refinement phase: exact cells of the candidates, via the reuse
-        // buffer where possible.
-        let mut cells_p: Vec<(PointObject, ConvexPolygon)> = Vec::with_capacity(candidates.len());
-        let mut missing: Vec<PointObject> = Vec::new();
-        for cand in &candidates {
-            match reuse.get(&cand.id.0) {
-                Some(cell) if config.reuse_cells => {
-                    counters.p_cells_reused += 1;
-                    cells_p.push((*cand, cell.clone()));
-                }
-                _ => missing.push(*cand),
-            }
-        }
-        if !missing.is_empty() {
-            let computed = batch_voronoi(&mut workload.rp, &missing, &config.domain);
-            counters.p_cells_computed += missing.len() as u64;
-            for (obj, cell) in missing.iter().zip(computed) {
-                cells_p.push((*obj, cell));
-            }
-        }
+        // (3) Refinement phase: exact cells of the candidates through the
+        // bounded reuse buffer. With REUSE disabled the cache was built
+        // with capacity zero, so every lookup misses, nothing is stored,
+        // and this degrades to one plain batch computation per leaf.
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let cells_p: Vec<ConvexPolygon> =
+            batch_voronoi_cached(&mut self.workload.rp, &candidates, &domain, &mut self.cache);
 
         // (4) Report intersecting pairs; track which candidates were true
         // hits for the false-hit-ratio of Figure 10.
         let mut true_hits: HashSet<u64> = HashSet::new();
         for (q_obj, q_cell) in group.iter().zip(&cells_q) {
             let q_bbox = q_cell.bbox();
-            for (p_obj, p_cell) in &cells_p {
+            for (p_obj, p_cell) in candidates.iter().zip(&cells_p) {
                 if p_cell.bbox().intersects(&q_bbox) && p_cell.intersects(q_cell) {
-                    pairs.push((p_obj.id.0, q_obj.id.0));
+                    self.pending.push_back((p_obj.id.0, q_obj.id.0));
+                    self.pairs_produced += 1;
                     true_hits.insert(p_obj.id.0);
                 }
             }
         }
-        counters.filter_true_hits += true_hits.len() as u64;
 
-        // B is updated to hold the cells of the *current* candidate set.
-        reuse.clear();
-        for (obj, cell) in &cells_p {
-            reuse.insert(obj.id.0, cell.clone());
+        {
+            let mut state = self.state.borrow_mut();
+            state.nm.q_cells_computed += group.len() as u64;
+            state.nm.filter_candidates += candidates.len() as u64;
+            state.nm.filter_true_hits += true_hits.len() as u64;
+            state.nm.p_cells_reused += self.cache.hits() - hits_before;
+            state.nm.p_cells_computed += self.cache.misses() - misses_before;
+            state.nm.cell_cache_evictions = self.cache.evictions();
+            state.progress.push(ProgressSample {
+                page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+                pairs: self.pairs_produced,
+            });
         }
-
-        progress.push(ProgressSample {
-            page_accesses: stats.snapshot().since(&start_io).page_accesses(),
-            pairs: pairs.len() as u64,
-        });
+        self.account(start);
     }
 
-    let total_io = stats.snapshot().since(&start_io);
-    CijOutcome {
-        pairs,
-        breakdown: CostBreakdown {
-            mat_io: Default::default(),
-            join_io: total_io,
-            mat_cpu: std::time::Duration::ZERO,
-            join_cpu: start.elapsed(),
-        },
-        progress,
-        nm: counters,
+    /// Folds the leaf's elapsed CPU time and the I/O delta so far into the
+    /// shared cost breakdown (NM has no materialisation phase, so all cost
+    /// is JOIN cost).
+    fn account(&mut self, start: Instant) {
+        let mut state = self.state.borrow_mut();
+        state.breakdown.join_cpu += start.elapsed();
+        state.breakdown.join_io = self.stats.snapshot().since(&self.start_io);
+    }
+}
+
+impl Iterator for NmPairIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if let Some(pair) = self.pending.pop_front() {
+                return Some(pair);
+            }
+            if self.finished {
+                return None;
+            }
+            match self.leaves.next() {
+                Some(leaf) => self.process_leaf(leaf),
+                None => {
+                    self.finished = true;
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -293,5 +390,32 @@ mod tests {
         for j in 0..q.len() as u64 {
             assert!(outcome.pairs.iter().any(|&(_, b)| b == j), "q{j} missing");
         }
+    }
+
+    #[test]
+    fn tiny_cell_cache_still_produces_exact_results() {
+        // Eviction pressure must never change the join result: evicted
+        // cells are recomputed, not lost.
+        let p = random_points(300, 115);
+        let q = random_points(300, 116);
+        let roomy = {
+            let config = small_config();
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config)
+        };
+        let tiny = {
+            let config = small_config().with_cell_cache_capacity(4);
+            let mut w = Workload::build(&p, &q, &config);
+            nm_cij(&mut w, &config)
+        };
+        assert_eq!(roomy.sorted_pairs(), tiny.sorted_pairs());
+        assert!(
+            tiny.nm.cell_cache_evictions > 0,
+            "capacity 4 must evict on this workload"
+        );
+        assert!(
+            tiny.nm.p_cells_computed >= roomy.nm.p_cells_computed,
+            "evictions can only force recomputation, never remove it"
+        );
     }
 }

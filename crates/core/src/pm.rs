@@ -8,16 +8,25 @@
 //! an LRU buffer PM-CIJ is cheaper than FM-CIJ.
 
 use crate::config::CijConfig;
+use crate::engine::{CijExecutor, PmExecutor};
 use crate::stats::{CijOutcome, CostBreakdown, ProgressSample};
 use crate::vor_rtree::materialize_voronoi_rtree;
 use crate::workload::Workload;
 use cij_geom::Rect;
-use cij_voronoi::batch_voronoi;
+use cij_voronoi::{batch_voronoi_cached, NoCache};
 use std::time::Instant;
 
 /// Runs PM-CIJ on a workload, returning the result pairs and the MAT/JOIN
 /// cost breakdown.
+///
+/// Thin blocking wrapper over the [`PmExecutor`] stream (PM-CIJ is
+/// blocking — nothing flows before `R'P` is materialised).
 pub fn pm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
+    PmExecutor.run(workload, config)
+}
+
+/// The eager PM-CIJ evaluation backing [`PmExecutor`].
+pub(crate) fn pm_cij_eager(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
     let stats = workload.stats.clone();
     let start_io = stats.snapshot();
 
@@ -33,13 +42,22 @@ pub fn pm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
     let mut pairs: Vec<(u64, u64)> = Vec::new();
     let mut progress: Vec<ProgressSample> = Vec::new();
 
+    // PM goes through the same cache-aware batch API as NM and the
+    // extensions, but with `NoCache`: leaf groups of RQ are disjoint, so no
+    // cell is ever requested twice — exactly like NM's own Q-cell step,
+    // which is also uncached. Keeping the store out of the stats avoids
+    // recording structurally-unavoidable computations as reuse-buffer
+    // misses.
+    let mut cell_cache = NoCache;
+
     let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
     for leaf in leaves {
         let group = workload.rq.read_node(leaf).objects;
         if group.is_empty() {
             continue;
         }
-        let cells_q = batch_voronoi(&mut workload.rq, &group, &config.domain);
+        let cells_q =
+            batch_voronoi_cached(&mut workload.rq, &group, &config.domain, &mut cell_cache);
 
         // One batched range probe covering every cell of the group.
         let mut probe = Rect::empty();

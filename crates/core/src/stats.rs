@@ -55,10 +55,15 @@ pub struct NmCounters {
     /// buffered cells are not recomputed and not recounted).
     pub p_cells_computed: u64,
     /// Number of candidate occurrences whose exact cell was served from the
-    /// reuse buffer.
+    /// reuse buffer (the [`CellCache`](crate::cell_cache::CellCache) hit
+    /// count).
     pub p_cells_reused: u64,
     /// Number of exact Voronoi cells of `Q` points computed (one per point).
     pub q_cells_computed: u64,
+    /// Number of cells evicted from the bounded reuse buffer during the
+    /// evaluation (zero when the working set fits in
+    /// [`cell_cache_capacity`](crate::config::CijConfig::cell_cache_capacity)).
+    pub cell_cache_evictions: u64,
 }
 
 impl NmCounters {
@@ -68,8 +73,18 @@ impl NmCounters {
         if self.filter_true_hits == 0 {
             0.0
         } else {
-            (self.filter_candidates - self.filter_true_hits) as f64
-                / self.filter_true_hits as f64
+            (self.filter_candidates - self.filter_true_hits) as f64 / self.filter_true_hits as f64
+        }
+    }
+
+    /// Hit ratio of the cell reuse buffer: reused / (reused + computed).
+    /// Zero when no exact `P` cell was ever requested.
+    pub fn cell_cache_hit_ratio(&self) -> f64 {
+        let total = self.p_cells_reused + self.p_cells_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.p_cells_reused as f64 / total as f64
         }
     }
 }

@@ -110,7 +110,10 @@ mod tests {
             config.buffer_pages_for(w.rp.num_pages())
         );
         assert!(w.rq.buffer_pages() >= config.min_buffer_pages);
-        assert_eq!(w.lower_bound_io(), (w.rp.num_pages() + w.rq.num_pages()) as u64);
+        assert_eq!(
+            w.lower_bound_io(),
+            (w.rp.num_pages() + w.rq.num_pages()) as u64
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl ConvexPolygon {
 
     /// The empty polygon.
     pub fn empty() -> Self {
-        ConvexPolygon { vertices: Vec::new() }
+        ConvexPolygon {
+            vertices: Vec::new(),
+        }
     }
 
     /// The rectangle `r` as a convex polygon (counter-clockwise corners).
@@ -76,7 +78,7 @@ impl ConvexPolygon {
         }
         let mut out: Vec<Point> = Vec::with_capacity(self.vertices.len());
         for &v in &self.vertices {
-            if out.last().map_or(true, |last| last.dist_sq(&v) > EPS * EPS) {
+            if out.last().is_none_or(|last| last.dist_sq(&v) > EPS * EPS) {
                 out.push(v);
             }
         }
@@ -260,8 +262,7 @@ impl ConvexPolygon {
         if self.vertices.len() >= 3 {
             self.contains_point(p)
         } else if self.vertices.len() == 2 {
-            crate::segment::Segment::new(self.vertices[0], self.vertices[1]).mindist_point(p)
-                <= EPS
+            crate::segment::Segment::new(self.vertices[0], self.vertices[1]).mindist_point(p) <= EPS
         } else if self.vertices.len() == 1 {
             self.vertices[0].dist_sq(p) <= EPS * EPS
         } else {

@@ -98,10 +98,7 @@ impl Rect {
     /// Center of the rectangle.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) * 0.5,
-            (self.lo.y + self.hi.y) * 0.5,
-        )
+        Point::new((self.lo.x + self.hi.x) * 0.5, (self.lo.y + self.hi.y) * 0.5)
     }
 
     /// Smallest rectangle containing both operands.
@@ -164,9 +161,7 @@ impl Rect {
     /// Whether `self` fully contains `other`.
     #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        !other.is_empty()
-            && self.contains_point(&other.lo)
-            && self.contains_point(&other.hi)
+        !other.is_empty() && self.contains_point(&other.lo) && self.contains_point(&other.hi)
     }
 
     /// Minimum distance from the rectangle to a point (`mindist(e, p)` in
@@ -196,8 +191,12 @@ impl Rect {
     /// Minimum distance between two rectangles (`mindist(eP, eQ)`), the lower
     /// bound used by the synchronous-traversal distance join.
     pub fn mindist_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.lo.x - other.hi.x).max(0.0).max(other.lo.x - self.hi.x);
-        let dy = (self.lo.y - other.hi.y).max(0.0).max(other.lo.y - self.hi.y);
+        let dx = (self.lo.x - other.hi.x)
+            .max(0.0)
+            .max(other.lo.x - self.hi.x);
+        let dy = (self.lo.y - other.hi.y)
+            .max(0.0)
+            .max(other.lo.y - self.hi.y);
         (dx * dx + dy * dy).sqrt()
     }
 

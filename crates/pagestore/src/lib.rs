@@ -28,7 +28,7 @@ pub mod lru;
 pub mod stats;
 pub mod store;
 
-pub use lru::LruBuffer;
+pub use lru::{Admission, LruBuffer};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{PageId, PageStore, PageStoreConfig};
 

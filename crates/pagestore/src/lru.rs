@@ -259,7 +259,9 @@ mod tests {
         // Touch 1 so that 2 becomes LRU.
         b.touch(1, false);
         match b.touch(3, false) {
-            Admission::Miss { evicted: Some((2, false)) } => {}
+            Admission::Miss {
+                evicted: Some((2, false)),
+            } => {}
             other => panic!("expected eviction of page 2, got {other:?}"),
         }
         assert!(b.contains(1));
@@ -273,7 +275,9 @@ mod tests {
         b.touch(7, true);
         b.touch(7, false); // still dirty
         match b.touch(8, false) {
-            Admission::Miss { evicted: Some((7, true)) } => {}
+            Admission::Miss {
+                evicted: Some((7, true)),
+            } => {}
             other => panic!("expected dirty eviction of page 7, got {other:?}"),
         }
     }

@@ -23,6 +23,9 @@ struct Counters {
     logical_reads: Cell<u64>,
     logical_writes: Cell<u64>,
     buffer_hits: Cell<u64>,
+    cell_cache_hits: Cell<u64>,
+    cell_cache_misses: Cell<u64>,
+    cell_cache_evictions: Cell<u64>,
 }
 
 /// A point-in-time copy of the counters, used to compute per-phase deltas.
@@ -38,6 +41,14 @@ pub struct IoSnapshot {
     pub logical_writes: u64,
     /// Logical reads served from the buffer.
     pub buffer_hits: u64,
+    /// Voronoi-cell requests served from a `CellCache`-style reuse buffer
+    /// (cells are a CPU-side resource, so these do not count as page
+    /// accesses — they *avoid* them).
+    pub cell_cache_hits: u64,
+    /// Voronoi-cell requests that required an exact cell computation.
+    pub cell_cache_misses: u64,
+    /// Cells evicted from the bounded reuse buffer.
+    pub cell_cache_evictions: u64,
 }
 
 impl IoSnapshot {
@@ -55,6 +66,24 @@ impl IoSnapshot {
             logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
             logical_writes: self.logical_writes.saturating_sub(earlier.logical_writes),
             buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+            cell_cache_hits: self.cell_cache_hits.saturating_sub(earlier.cell_cache_hits),
+            cell_cache_misses: self
+                .cell_cache_misses
+                .saturating_sub(earlier.cell_cache_misses),
+            cell_cache_evictions: self
+                .cell_cache_evictions
+                .saturating_sub(earlier.cell_cache_evictions),
+        }
+    }
+
+    /// Hit ratio of the Voronoi-cell reuse buffer (0 when it was never
+    /// consulted).
+    pub fn cell_cache_hit_ratio(&self) -> f64 {
+        let total = self.cell_cache_hits + self.cell_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cell_cache_hits as f64 / total as f64
         }
     }
 
@@ -76,7 +105,9 @@ impl IoStats {
 
     /// Records a logical read that missed the buffer (a physical read).
     pub fn record_miss(&self) {
-        self.inner.logical_reads.set(self.inner.logical_reads.get() + 1);
+        self.inner
+            .logical_reads
+            .set(self.inner.logical_reads.get() + 1);
         self.inner
             .physical_reads
             .set(self.inner.physical_reads.get() + 1);
@@ -84,7 +115,9 @@ impl IoStats {
 
     /// Records a logical read served from the buffer.
     pub fn record_hit(&self) {
-        self.inner.logical_reads.set(self.inner.logical_reads.get() + 1);
+        self.inner
+            .logical_reads
+            .set(self.inner.logical_reads.get() + 1);
         self.inner.buffer_hits.set(self.inner.buffer_hits.get() + 1);
     }
 
@@ -102,6 +135,27 @@ impl IoStats {
             .set(self.inner.physical_writes.get() + 1);
     }
 
+    /// Records a Voronoi cell served from a reuse buffer.
+    pub fn record_cell_cache_hit(&self) {
+        self.inner
+            .cell_cache_hits
+            .set(self.inner.cell_cache_hits.get() + 1);
+    }
+
+    /// Records a Voronoi-cell request that had to be computed.
+    pub fn record_cell_cache_miss(&self) {
+        self.inner
+            .cell_cache_misses
+            .set(self.inner.cell_cache_misses.get() + 1);
+    }
+
+    /// Records a cell evicted from a bounded reuse buffer.
+    pub fn record_cell_cache_eviction(&self) {
+        self.inner
+            .cell_cache_evictions
+            .set(self.inner.cell_cache_evictions.get() + 1);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -110,6 +164,9 @@ impl IoStats {
             logical_reads: self.inner.logical_reads.get(),
             logical_writes: self.inner.logical_writes.get(),
             buffer_hits: self.inner.buffer_hits.get(),
+            cell_cache_hits: self.inner.cell_cache_hits.get(),
+            cell_cache_misses: self.inner.cell_cache_misses.get(),
+            cell_cache_evictions: self.inner.cell_cache_evictions.get(),
         }
     }
 
@@ -128,6 +185,9 @@ impl IoStats {
         self.inner.logical_reads.set(0);
         self.inner.logical_writes.set(0);
         self.inner.buffer_hits.set(0);
+        self.inner.cell_cache_hits.set(0);
+        self.inner.cell_cache_misses.set(0);
+        self.inner.cell_cache_evictions.set(0);
     }
 
     /// Whether two handles share the same underlying counters.
@@ -211,7 +271,30 @@ mod tests {
         let s = IoStats::new();
         s.record_miss();
         s.record_physical_write();
+        s.record_cell_cache_hit();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn cell_cache_counters_accumulate_and_delta() {
+        let s = IoStats::new();
+        s.record_cell_cache_miss();
+        let before = s.snapshot();
+        s.record_cell_cache_hit();
+        s.record_cell_cache_hit();
+        s.record_cell_cache_miss();
+        s.record_cell_cache_eviction();
+        let snap = s.snapshot();
+        assert_eq!(snap.cell_cache_hits, 2);
+        assert_eq!(snap.cell_cache_misses, 2);
+        assert_eq!(snap.cell_cache_evictions, 1);
+        // Cell-cache traffic never counts as page accesses.
+        assert_eq!(snap.page_accesses(), 0);
+        assert!((snap.cell_cache_hit_ratio() - 0.5).abs() < 1e-12);
+        let delta = snap.since(&before);
+        assert_eq!(delta.cell_cache_misses, 1);
+        assert_eq!(delta.cell_cache_hits, 2);
+        assert_eq!(IoSnapshot::default().cell_cache_hit_ratio(), 0.0);
     }
 }

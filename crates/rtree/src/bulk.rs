@@ -67,10 +67,9 @@ impl<D: RTreeObject> RTree<D> {
                     || current.objects.len() >= config.max_entries);
             if would_overflow {
                 let mbr = current.mbr();
-                let page = tree.store_mut().allocate(std::mem::replace(
-                    &mut current,
-                    Node::new_leaf(),
-                ));
+                let page = tree
+                    .store_mut()
+                    .allocate(std::mem::replace(&mut current, Node::new_leaf()));
                 leaf_entries.push(ChildEntry { mbr, page });
                 current_bytes = 0;
             }
@@ -152,10 +151,7 @@ mod tests {
 
     #[test]
     fn bulk_load_single_object() {
-        let tree = RTree::bulk_load(
-            config(),
-            vec![PointObject::new(0, Point::new(5.0, 5.0))],
-        );
+        let tree = RTree::bulk_load(config(), vec![PointObject::new(0, Point::new(5.0, 5.0))]);
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.root_level(), 0);
         tree.check_invariants().unwrap();
@@ -204,11 +200,18 @@ mod tests {
             let cx = rng.gen_range(100.0..9_900.0);
             let cy = rng.gen_range(100.0..9_900.0);
             let site = Point::new(cx, cy);
-            let mut cell =
-                ConvexPolygon::from_rect(&Rect::from_coords(cx - 50.0, cy - 50.0, cx + 50.0, cy + 50.0));
+            let mut cell = ConvexPolygon::from_rect(&Rect::from_coords(
+                cx - 50.0,
+                cy - 50.0,
+                cx + 50.0,
+                cy + 50.0,
+            ));
             let sides = rng.gen_range(0..6);
             for _ in 0..sides {
-                let other = Point::new(cx + rng.gen_range(-80.0..80.0), cy + rng.gen_range(-80.0..80.0));
+                let other = Point::new(
+                    cx + rng.gen_range(-80.0..80.0),
+                    cy + rng.gen_range(-80.0..80.0),
+                );
                 if other.dist(&site) > 1.0 {
                     cell = cell.clip_bisector(&site, &other);
                 }

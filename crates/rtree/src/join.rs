@@ -209,12 +209,11 @@ mod tests {
         let mut tp = RTree::bulk_load(config(), PointObject::from_points(&p));
         let mut tq = RTree::bulk_load(config(), PointObject::from_points(&q));
         let eps = 40.0;
-        let mut got: Vec<(u64, u64)> = distance_join(&mut tp, &mut tq, eps, |a, b| {
-            a.point.dist(&b.point)
-        })
-        .into_iter()
-        .map(|(a, b)| (a.0, b.0))
-        .collect();
+        let mut got: Vec<(u64, u64)> =
+            distance_join(&mut tp, &mut tq, eps, |a, b| a.point.dist(&b.point))
+                .into_iter()
+                .map(|(a, b)| (a.0, b.0))
+                .collect();
         got.sort_unstable();
         let expected = brute_distance_join(&p, &q, eps);
         assert_eq!(got, expected);

@@ -242,6 +242,9 @@ mod tests {
         tree.drop_buffer();
         tree.stats().reset();
         let _ = tree.range_query(&Rect::from_coords(0.0, 0.0, 1000.0, 1000.0));
-        assert_eq!(tree.stats().snapshot().physical_reads as usize, tree.num_pages());
+        assert_eq!(
+            tree.stats().snapshot().physical_reads as usize,
+            tree.num_pages()
+        );
     }
 }

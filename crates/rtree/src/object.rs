@@ -137,11 +137,7 @@ mod tests {
         let site = Point::new(5.0, 5.0);
         let square = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
         let cell = CellObject::new(0, site, square.clone());
-        let clipped = CellObject::new(
-            1,
-            site,
-            square.clip_bisector(&site, &Point::new(20.0, 7.0)),
-        );
+        let clipped = CellObject::new(1, site, square.clip_bisector(&site, &Point::new(20.0, 7.0)));
         assert!(cell.entry_bytes() >= 4 * 16);
         assert!(clipped.entry_bytes() >= cell.entry_bytes());
         assert!(cell.mbr().contains_point(&site));

@@ -207,7 +207,10 @@ impl<D: RTreeObject> RTree<D> {
                 self.store.write(page, left);
                 let right_page = self.store.allocate(right);
                 Some((
-                    ChildEntry { mbr: left_mbr, page },
+                    ChildEntry {
+                        mbr: left_mbr,
+                        page,
+                    },
                     ChildEntry {
                         mbr: right_mbr,
                         page: right_page,
@@ -244,7 +247,10 @@ impl<D: RTreeObject> RTree<D> {
                         self.store.write(page, left_node);
                         let right_page = self.store.allocate(right_node);
                         Some((
-                            ChildEntry { mbr: left_mbr, page },
+                            ChildEntry {
+                                mbr: left_mbr,
+                                page,
+                            },
                             ChildEntry {
                                 mbr: right_mbr,
                                 page: right_page,
@@ -325,7 +331,9 @@ impl<D: RTreeObject> RTree<D> {
             }
             let node = self.store.read(page);
             let mut kids: Vec<&ChildEntry> = node.children.iter().collect();
-            kids.sort_by_key(|c| std::cmp::Reverse(hilbert::hilbert_value(&c.mbr.center(), domain)));
+            kids.sort_by_key(|c| {
+                std::cmp::Reverse(hilbert::hilbert_value(&c.mbr.center(), domain))
+            });
             for c in kids {
                 stack.push((c.page, level - 1));
             }
@@ -436,7 +444,7 @@ pub(crate) fn quadratic_split<T, F: Fn(&T) -> Rect>(
     let mut mbr_a = rects[seed_a];
     let mut mbr_b = rects[seed_b];
     let mut remaining: Vec<(T, Rect)> = Vec::with_capacity(n);
-    for (idx, (entry, rect)) in entries.into_iter().zip(rects.into_iter()).enumerate() {
+    for (idx, (entry, rect)) in entries.into_iter().zip(rects).enumerate() {
         if idx == seed_a {
             group_a.push(entry);
         } else if idx == seed_b {
@@ -640,7 +648,10 @@ mod tests {
         }
         for i in 0..5 {
             let d = i as f64 * 0.1;
-            objs.push(PointObject::new(100 + i, Point::new(1000.0 + d, 1000.0 + d)));
+            objs.push(PointObject::new(
+                100 + i,
+                Point::new(1000.0 + d, 1000.0 + d),
+            ));
         }
         let (a, b) = quadratic_split(objs, 2, |o| o.mbr());
         let a_low = a.iter().all(|o| o.point.x < 500.0);
@@ -662,7 +673,10 @@ mod tests {
                 page: PageId(2),
             },
         ];
-        assert_eq!(choose_subtree(&children, &Rect::from_point(Point::new(5.0, 5.0))), 0);
+        assert_eq!(
+            choose_subtree(&children, &Rect::from_point(Point::new(5.0, 5.0))),
+            0
+        );
         assert_eq!(
             choose_subtree(&children, &Rect::from_point(Point::new(25.0, 25.0))),
             1
@@ -678,7 +692,8 @@ mod tests {
         assert_eq!(tree.len(), 50);
         tree.check_invariants().unwrap();
         assert_eq!(
-            tree.range_query(&Rect::from_point(Point::new(1.0, 1.0))).len(),
+            tree.range_query(&Rect::from_point(Point::new(1.0, 1.0)))
+                .len(),
             50
         );
     }

@@ -18,6 +18,77 @@ enum HeapEntry {
     Point(PointObject),
 }
 
+/// A store of previously computed exact Voronoi cells, keyed by point id.
+///
+/// [`batch_voronoi_cached`] consults the store before computing a cell and
+/// deposits every freshly computed cell back into it. The canonical
+/// implementation is the bounded LRU `CellCache` of `cij-core` (the paper's
+/// Section IV-B *reuse buffer*); [`NoCache`] disables reuse.
+pub trait CellStore {
+    /// Returns a clone of the cached cell of point `id`, if present.
+    fn get(&mut self, id: u64) -> Option<ConvexPolygon>;
+
+    /// Stores the exact cell of point `id`.
+    fn put(&mut self, id: u64, cell: &ConvexPolygon);
+}
+
+/// A [`CellStore`] that never caches — every request is a miss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl CellStore for NoCache {
+    fn get(&mut self, _id: u64) -> Option<ConvexPolygon> {
+        None
+    }
+
+    fn put(&mut self, _id: u64, _cell: &ConvexPolygon) {}
+}
+
+/// [`batch_voronoi`] with a reuse buffer: cells already present in `cache`
+/// are served without touching the tree; only the missing group members are
+/// computed (in one shared traversal) and the fresh cells are deposited back
+/// into the cache.
+///
+/// The returned vector is aligned with `group`, exactly like
+/// [`batch_voronoi`].
+pub fn batch_voronoi_cached<C: CellStore>(
+    tree: &mut RTree<PointObject>,
+    group: &[PointObject],
+    domain: &Rect,
+    cache: &mut C,
+) -> Vec<ConvexPolygon> {
+    // Fast path: nothing to look up.
+    if group.is_empty() {
+        return Vec::new();
+    }
+    let mut cells: Vec<Option<ConvexPolygon>> = Vec::with_capacity(group.len());
+    let mut missing: Vec<PointObject> = Vec::new();
+    for member in group {
+        match cache.get(member.id.0) {
+            Some(cell) => cells.push(Some(cell)),
+            None => {
+                cells.push(None);
+                missing.push(*member);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let computed = batch_voronoi(tree, &missing, domain);
+        let mut fresh = missing.iter().zip(computed);
+        for slot in cells.iter_mut() {
+            if slot.is_none() {
+                let (obj, cell) = fresh.next().expect("one computed cell per missing member");
+                cache.put(obj.id.0, &cell);
+                *slot = Some(cell);
+            }
+        }
+    }
+    cells
+        .into_iter()
+        .map(|c| c.expect("every slot filled"))
+        .collect()
+}
+
 /// Computes the exact Voronoi cells of every point in `group` within the
 /// pointset indexed by `tree`, clipped to `domain`, sharing one best-first
 /// traversal (Algorithm 2, "BatchVoronoi").
@@ -229,6 +300,91 @@ mod tests {
             "batched traversal ({batched} node reads) should beat {} individual calls ({individual})",
             group.len()
         );
+    }
+
+    #[test]
+    fn cached_batch_matches_uncached_and_serves_hits() {
+        use std::collections::HashMap;
+
+        struct MapStore {
+            cells: HashMap<u64, ConvexPolygon>,
+            hits: usize,
+        }
+        impl CellStore for MapStore {
+            fn get(&mut self, id: u64) -> Option<ConvexPolygon> {
+                let hit = self.cells.get(&id).cloned();
+                if hit.is_some() {
+                    self.hits += 1;
+                }
+                hit
+            }
+            fn put(&mut self, id: u64, cell: &ConvexPolygon) {
+                self.cells.insert(id, cell.clone());
+            }
+        }
+
+        let pts = random_points(300, 31);
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        let group: Vec<PointObject> = objects[40..52].to_vec();
+
+        let uncached = batch_voronoi(&mut tree, &group, &Rect::DOMAIN);
+        let mut store = MapStore {
+            cells: HashMap::new(),
+            hits: 0,
+        };
+        // First pass: all misses, results identical to the uncached call.
+        let first = batch_voronoi_cached(&mut tree, &group, &Rect::DOMAIN, &mut store);
+        assert_eq!(store.hits, 0);
+        for (a, b) in uncached.iter().zip(&first) {
+            assert!(cells_equal(a, b));
+        }
+        // Second pass: every cell is served from the store, without touching
+        // the tree.
+        tree.stats().reset();
+        let second = batch_voronoi_cached(&mut tree, &group, &Rect::DOMAIN, &mut store);
+        assert_eq!(store.hits, group.len());
+        assert_eq!(tree.stats().snapshot().logical_reads, 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(cells_equal(a, b));
+        }
+        // A NoCache store degrades to the plain batch computation.
+        let none = batch_voronoi_cached(&mut tree, &group, &Rect::DOMAIN, &mut NoCache);
+        for (a, b) in uncached.iter().zip(&none) {
+            assert!(cells_equal(a, b));
+        }
+    }
+
+    #[test]
+    fn cached_batch_with_partial_cache_fills_only_gaps() {
+        let pts = random_points(200, 32);
+        let objects = PointObject::from_points(&pts);
+        let mut tree = RTree::bulk_load(config(), objects.clone());
+        let group: Vec<PointObject> = objects[10..20].to_vec();
+        let reference = batch_voronoi(&mut tree, &group, &Rect::DOMAIN);
+
+        struct HalfStore(std::collections::HashMap<u64, ConvexPolygon>);
+        impl CellStore for HalfStore {
+            fn get(&mut self, id: u64) -> Option<ConvexPolygon> {
+                self.0.get(&id).cloned()
+            }
+            fn put(&mut self, id: u64, cell: &ConvexPolygon) {
+                self.0.insert(id, cell.clone());
+            }
+        }
+        // Pre-populate the store with every other member's exact cell.
+        let mut store = HalfStore(std::collections::HashMap::new());
+        for (i, (obj, cell)) in group.iter().zip(&reference).enumerate() {
+            if i % 2 == 0 {
+                store.0.insert(obj.id.0, cell.clone());
+            }
+        }
+        let mixed = batch_voronoi_cached(&mut tree, &group, &Rect::DOMAIN, &mut store);
+        for (a, b) in reference.iter().zip(&mixed) {
+            assert!(cells_equal(a, b));
+        }
+        // The store now holds all members.
+        assert_eq!(store.0.len(), group.len());
     }
 
     #[test]

@@ -131,12 +131,9 @@ mod tests {
         if (a.area() - b.area()).abs() > 1e-3 {
             return false;
         }
-        a.vertices().iter().all(|v| {
-            b.vertices()
-                .iter()
-                .any(|w| v.dist(w) < 1e-3)
-                || b.contains_point(v)
-        })
+        a.vertices()
+            .iter()
+            .all(|v| b.vertices().iter().any(|w| v.dist(w) < 1e-3) || b.contains_point(v))
     }
 
     #[test]

@@ -38,9 +38,8 @@ fn main() {
         12,
     );
 
-    let config = CijConfig::default();
-    let mut workload = Workload::build(&restaurants, &cinemas, &config);
-    let result = nm_cij(&mut workload, &config);
+    let engine = QueryEngine::new(CijConfig::default());
+    let result = engine.join(&restaurants, &cinemas, Algorithm::NmCij);
     println!(
         "{} restaurants x {} cinemas -> {} collaborative promotion pairs",
         restaurants.len(),

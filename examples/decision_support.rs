@@ -33,17 +33,17 @@ fn main() {
         .map(|r| {
             // Base quality varies smoothly across space + noise.
             let base = 3.0 + 1.5 * ((r.x / 10_000.0) - 0.5) + 0.5 * ((r.y / 10_000.0) - 0.5);
-            (base + rng.gen_range(-0.5..0.5)).clamp(1.0, 5.0)
+            (base + rng.gen_range(-0.5..0.5f64)).clamp(1.0, 5.0)
         })
         .collect();
 
     // Candidate cinemas (Q).
     let cinemas = uniform_points(50, &Rect::DOMAIN, 33);
 
-    // Common influence join.
-    let config = CijConfig::default();
-    let mut workload = Workload::build(&restaurants, &cinemas, &config);
-    let result = fm_cij(&mut workload, &config);
+    // Common influence join, via the unified engine (FM-CIJ here: the
+    // investor wants the complete picture and the sets are small).
+    let engine = QueryEngine::new(CijConfig::default());
+    let result = engine.join(&restaurants, &cinemas, Algorithm::FmCij);
     println!(
         "evaluated {} cinemas against {} restaurants: {} CIJ pairs",
         cinemas.len(),

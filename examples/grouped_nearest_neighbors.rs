@@ -34,9 +34,8 @@ fn main() {
     );
 
     // CIJ plan: join the two small sets, then assign houses to CIJ regions.
-    let config = CijConfig::default();
-    let mut workload = Workload::build(&hospitals, &parks, &config);
-    let cij = nm_cij(&mut workload, &config);
+    let engine = QueryEngine::new(CijConfig::default());
+    let cij = engine.join(&hospitals, &parks, Algorithm::NmCij);
     println!(
         "CIJ(hospitals, parks) has {} of {} possible pairs",
         cij.pairs.len(),
@@ -51,7 +50,12 @@ fn main() {
     let regions: Vec<((u64, u64), ConvexPolygon)> = cij
         .pairs
         .iter()
-        .map(|&(h, p)| ((h, p), cells_h[h as usize].intersection(&cells_p[p as usize])))
+        .map(|&(h, p)| {
+            (
+                (h, p),
+                cells_h[h as usize].intersection(&cells_p[p as usize]),
+            )
+        })
         .collect();
     let mut counts_cij: HashMap<(u64, u64), u32> = HashMap::new();
     for house in &houses {

@@ -1,5 +1,6 @@
-//! Quickstart: run the Common Influence Join on two small pointsets and
-//! contrast it with a traditional ε-distance join.
+//! Quickstart: run the Common Influence Join through the [`QueryEngine`],
+//! watch NM-CIJ stream its first pairs, and contrast the parameter-free
+//! join with a traditional ε-distance join.
 //!
 //! Run with:
 //! ```text
@@ -14,9 +15,11 @@ fn main() {
     let p = uniform_points(2_000, &Rect::DOMAIN, 1);
     let q = uniform_points(2_000, &Rect::DOMAIN, 2);
 
-    // Build the R-tree indexed workload (1 KB pages, 2 % LRU buffer).
-    let config = CijConfig::default();
-    let mut workload = Workload::build(&p, &q, &config);
+    // The engine owns the configuration (1 KB pages, 2 % LRU buffer,
+    // bounded Voronoi cell cache) and is the single entry point for every
+    // join operation.
+    let engine = QueryEngine::new(CijConfig::default());
+    let mut workload = engine.build_workload(&p, &q);
     println!(
         "indexed |P| = {} and |Q| = {} points ({} + {} R-tree pages)",
         p.len(),
@@ -25,31 +28,45 @@ fn main() {
         workload.rq.num_pages()
     );
 
-    // The common influence join: parameter-free.
-    let result = nm_cij(&mut workload, &config);
+    // --- Streaming: NM-CIJ is non-blocking. ---------------------------------
+    // Pull a handful of pairs and observe how little I/O they cost compared
+    // to the full join: this is the paper's headline property, made
+    // observable by the lazy PairStream.
+    let stats = workload.stats.clone();
+    let mut stream = engine.stream(&mut workload, Algorithm::NmCij);
+    let first: Vec<(u64, u64)> = stream.by_ref().take(5).collect();
+    let accesses_at_first = stats.snapshot().page_accesses();
     println!(
-        "NM-CIJ produced {} pairs with {} page accesses (lower bound {})",
-        result.pairs.len(),
-        result.page_accesses(),
-        workload.lower_bound_io()
+        "\nfirst {} pairs after only {accesses_at_first} page accesses:",
+        first.len()
     );
-    println!(
-        "filter false-hit ratio: {:.3}, exact P-cells computed: {}",
-        result.nm.false_hit_ratio(),
-        result.nm.p_cells_computed
-    );
-
-    // A few sample pairs.
-    for (pi, qi) in result.pairs.iter().take(5) {
+    for (pi, qi) in &first {
         println!(
             "  pair: p{}{} joins q{}{}",
             pi, p[*pi as usize], qi, q[*qi as usize]
         );
     }
 
+    // --- Blocking: drain the rest of the stream into the classic outcome. ---
+    let result = stream.into_outcome();
+    let total_pairs = first.len() + result.pairs.len();
+    println!(
+        "\nNM-CIJ produced {} pairs with {} page accesses (lower bound {})",
+        total_pairs,
+        result.page_accesses(),
+        workload.lower_bound_io()
+    );
+    println!(
+        "filter false-hit ratio: {:.3}, exact P-cells computed: {}, reused: {} ({} evictions)",
+        result.nm.false_hit_ratio(),
+        result.nm.p_cells_computed,
+        result.nm.p_cells_reused,
+        result.nm.cell_cache_evictions
+    );
+
     // Contrast: an ε-distance join needs a distance threshold, and its result
     // size swings wildly with that parameter — the burden CIJ removes.
-    let mut workload = Workload::build(&p, &q, &config);
+    let mut workload = engine.build_workload(&p, &q);
     for eps in [50.0, 150.0, 400.0] {
         let pairs = distance_join(&mut workload.rp, &mut workload.rq, eps, |a, b| {
             a.point.dist(&b.point)

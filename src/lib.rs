@@ -10,20 +10,16 @@
 //! Unlike ε-distance joins or k-closest-pair joins the operation is
 //! parameter-free.
 //!
-//! This facade crate re-exports the public API of the workspace:
+//! ## The `QueryEngine`
 //!
-//! * [`geom`] — geometric primitives (points, rectangles, convex polygons,
-//!   bisector halfplanes, Φ regions, Hilbert curve),
-//! * [`pagestore`] — simulated 1 KB disk pages, LRU buffer, I/O statistics,
-//! * [`rtree`] — the disk-based R-tree (insertion, bulk loading, NN search,
-//!   spatial joins),
-//! * [`voronoi`] — R-tree based Voronoi cell computation (BF-VOR,
-//!   BatchVoronoi, TP-VOR, diagram builders),
-//! * [`datagen`] — workload generators (uniform, clustered, real-dataset
-//!   stand-ins),
-//! * [`core`] — the CIJ algorithms themselves (FM-CIJ, PM-CIJ, NM-CIJ).
-//!
-//! ## Quickstart
+//! All evaluation goes through one entry point, the [`QueryEngine`]: it owns
+//! the configuration, builds R-tree workloads, and runs — or **streams** —
+//! any of the three join algorithms, plus the multiway and grouped-NN
+//! extensions. The paper's headline claim about NM-CIJ, that it is
+//! *non-blocking*, is directly observable through [`QueryEngine::stream`]:
+//! the returned [`PairStream`] is a lazy iterator, and pulling its first
+//! pair performs only the page accesses needed for the first productive
+//! leaf of `RQ`.
 //!
 //! ```
 //! use cij::prelude::*;
@@ -32,14 +28,37 @@
 //! let p = cij::datagen::uniform_points(200, &Rect::DOMAIN, 1);
 //! let q = cij::datagen::uniform_points(150, &Rect::DOMAIN, 2);
 //!
-//! let config = CijConfig::default();
-//! let mut workload = Workload::build(&p, &q, &config);
-//! let result = nm_cij(&mut workload, &config);
+//! let engine = QueryEngine::new(CijConfig::default());
 //!
-//! // Every point participates in the (parameter-free) join result.
+//! // Blocking: run the non-blocking algorithm to completion.
+//! let result = engine.join(&p, &q, Algorithm::NmCij);
 //! assert!(result.pairs.len() >= p.len().max(q.len()));
 //! println!("{} CIJ pairs using {} page accesses", result.pairs.len(), result.page_accesses());
+//!
+//! // Streaming: consume pairs while the join is still running.
+//! let mut workload = engine.build_workload(&p, &q);
+//! let mut stream = engine.stream(&mut workload, Algorithm::NmCij);
+//! let first = stream.next().expect("non-empty join");
+//! println!("first pair {first:?} after {:?} samples", stream.progress_so_far().len());
 //! ```
+//!
+//! ## Workspace layout
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`geom`] — geometric primitives (points, rectangles, convex polygons,
+//!   bisector halfplanes, Φ regions, Hilbert curve),
+//! * [`pagestore`] — simulated 1 KB disk pages, LRU buffer, I/O statistics
+//!   (including the cell-cache hit/miss/eviction counters),
+//! * [`rtree`] — the disk-based R-tree (insertion, bulk loading, NN search,
+//!   spatial joins),
+//! * [`voronoi`] — R-tree based Voronoi cell computation (BF-VOR,
+//!   BatchVoronoi and its cache-aware variant, TP-VOR, diagram builders),
+//! * [`datagen`] — workload generators (uniform, clustered, real-dataset
+//!   stand-ins),
+//! * [`core`] — the CIJ algorithms (FM-CIJ, PM-CIJ, streaming NM-CIJ), the
+//!   [`QueryEngine`]/[`PairStream`] execution core and the shared bounded
+//!   [`CellCache`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -51,14 +70,17 @@ pub use cij_pagestore as pagestore;
 pub use cij_rtree as rtree;
 pub use cij_voronoi as voronoi;
 
+pub use cij_core::{Algorithm, CellCache, CijConfig, CijExecutor, PairStream, QueryEngine};
+
 /// Commonly used items, for `use cij::prelude::*`.
 pub mod prelude {
     pub use cij_core::{
-        brute_force_cij, fm_cij, nm_cij, pm_cij, Algorithm, CijConfig, CijOutcome, Workload,
+        brute_force_cij, fm_cij, nm_cij, pm_cij, Algorithm, CellCache, CijConfig, CijExecutor,
+        CijOutcome, PairStream, QueryEngine, Workload,
     };
     pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
     pub use cij_geom::{ConvexPolygon, Point, Rect};
     pub use cij_pagestore::IoStats;
     pub use cij_rtree::{PointObject, RTree, RTreeConfig};
-    pub use cij_voronoi::{batch_voronoi, single_voronoi, tp_voronoi};
+    pub use cij_voronoi::{batch_voronoi, batch_voronoi_cached, single_voronoi, tp_voronoi};
 }

@@ -14,15 +14,20 @@ fn test_config() -> CijConfig {
     })
 }
 
+/// The unified entry point every integration test goes through.
+fn engine() -> QueryEngine {
+    QueryEngine::new(test_config())
+}
+
 #[test]
 fn all_algorithms_agree_with_oracle_on_uniform_data() {
     let config = test_config();
     let p = uniform_points(120, &Rect::DOMAIN, 1001);
     let q = uniform_points(140, &Rect::DOMAIN, 1002);
     let oracle = brute_force_cij(&p, &q, &config.domain);
+    let engine = engine();
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = alg.run(&mut w, &config);
+        let outcome = engine.join(&p, &q, alg);
         assert_eq!(outcome.sorted_pairs(), oracle, "{} disagrees", alg.name());
     }
 }
@@ -53,9 +58,9 @@ fn all_algorithms_agree_with_oracle_on_clustered_data() {
         2002,
     );
     let oracle = brute_force_cij(&p, &q, &config.domain);
+    let engine = engine();
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
-        let outcome = alg.run(&mut w, &config);
+        let outcome = engine.join(&p, &q, alg);
         assert_eq!(outcome.sorted_pairs(), oracle, "{} disagrees", alg.name());
     }
 }
@@ -67,10 +72,10 @@ fn all_algorithms_agree_on_real_like_samples() {
     let p = RealDataset::PA.generate_scaled(0.002);
     let q = RealDataset::PP.generate_scaled(0.001);
     let oracle = brute_force_cij(&p, &q, &config.domain);
+    let engine = engine();
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
         assert_eq!(
-            alg.run(&mut w, &config).sorted_pairs(),
+            engine.join(&p, &q, alg).sorted_pairs(),
             oracle,
             "{} disagrees on real-like data",
             alg.name()
@@ -84,9 +89,9 @@ fn asymmetric_cardinalities_are_handled() {
     let p = uniform_points(30, &Rect::DOMAIN, 3001);
     let q = uniform_points(300, &Rect::DOMAIN, 3002);
     let oracle = brute_force_cij(&p, &q, &config.domain);
+    let engine = engine();
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
-        assert_eq!(alg.run(&mut w, &config).sorted_pairs(), oracle);
+        assert_eq!(engine.join(&p, &q, alg).sorted_pairs(), oracle);
     }
     // And the mirrored join swaps pair components.
     let mirrored = brute_force_cij(&q, &p, &config.domain);
@@ -102,10 +107,10 @@ fn tiny_datasets_and_edge_cardinalities() {
         let p = uniform_points(np, &Rect::DOMAIN, 4000 + np as u64);
         let q = uniform_points(nq, &Rect::DOMAIN, 5000 + nq as u64);
         let oracle = brute_force_cij(&p, &q, &config.domain);
+        let engine = engine();
         for alg in Algorithm::ALL {
-            let mut w = Workload::build(&p, &q, &config);
             assert_eq!(
-                alg.run(&mut w, &config).sorted_pairs(),
+                engine.join(&p, &q, alg).sorted_pairs(),
                 oracle,
                 "{} on |P|={np}, |Q|={nq}",
                 alg.name()
@@ -118,15 +123,15 @@ fn tiny_datasets_and_edge_cardinalities() {
 fn cost_ordering_matches_the_paper() {
     // The headline experimental finding: NM-CIJ < PM-CIJ < FM-CIJ in page
     // accesses, and NM-CIJ stays above (but close to) the LB lower bound.
-    let config = test_config();
     let p = uniform_points(1_500, &Rect::DOMAIN, 6001);
     let q = uniform_points(1_500, &Rect::DOMAIN, 6002);
+    let engine = engine();
     let mut costs = Vec::new();
     let mut lb = 0;
     for alg in Algorithm::ALL {
-        let mut w = Workload::build(&p, &q, &config);
+        let mut w = engine.build_workload(&p, &q);
         lb = w.lower_bound_io();
-        let outcome = alg.run(&mut w, &config);
+        let outcome = engine.run(&mut w, alg);
         costs.push((alg, outcome.page_accesses()));
     }
     let fm = costs[0].1;
@@ -144,8 +149,8 @@ fn voronoi_pipeline_is_consistent_with_join_results() {
     let config = test_config();
     let p = uniform_points(90, &Rect::DOMAIN, 7001);
     let q = uniform_points(80, &Rect::DOMAIN, 7002);
-    let mut w = Workload::build(&p, &q, &config);
-    let outcome = nm_cij(&mut w, &config);
+    let engine = engine();
+    let outcome = engine.join(&p, &q, Algorithm::NmCij);
 
     let mut wp = Workload::build(&p, &q, &config);
     let cells_p: Vec<ConvexPolygon> = (0..p.len())
@@ -170,9 +175,9 @@ fn voronoi_pipeline_is_consistent_with_join_results() {
         .collect();
 
     let pairs = outcome.sorted_pairs();
-    for i in 0..p.len() {
-        for j in 0..q.len() {
-            let expected = cells_p[i].intersects(&cells_q[j]);
+    for (i, cell_p) in cells_p.iter().enumerate() {
+        for (j, cell_q) in cells_q.iter().enumerate() {
+            let expected = cell_p.intersects(cell_q);
             let in_result = pairs.binary_search(&(i as u64, j as u64)).is_ok();
             assert_eq!(
                 expected, in_result,
@@ -188,9 +193,8 @@ fn buffer_size_monotonically_helps_io() {
     let q = uniform_points(2_000, &Rect::DOMAIN, 8002);
     let mut previous = u64::MAX;
     for fraction in [0.005, 0.02, 0.08] {
-        let config = test_config().with_buffer_fraction(fraction);
-        let mut w = Workload::build(&p, &q, &config);
-        let io = nm_cij(&mut w, &config).page_accesses();
+        let engine = QueryEngine::new(test_config().with_buffer_fraction(fraction));
+        let io = engine.join(&p, &q, Algorithm::NmCij).page_accesses();
         assert!(
             io <= previous,
             "I/O should not increase with a larger buffer ({io} after {previous})"

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`])
+//! with a deliberately simple measurement loop: each benchmark body runs
+//! `sample_size` times and the mean wall-clock time is printed. No
+//! statistics, plots or baselines — just enough to keep `cargo bench`
+//! meaningful without network access to crates.io.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, passed to every function registered with
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing point in real criterion).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_id.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_id, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] times the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the measurement sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher::default();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iterations == 0 {
+        println!("  {name}: no iterations recorded");
+    } else {
+        let mean = b.elapsed / b.iterations as u32;
+        println!("  {name}: {mean:?} mean over {} iterations", b.iterations);
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.iterations, 2);
+    }
+}

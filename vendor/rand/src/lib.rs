@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access, so the subset of `rand`'s
+//! API that the reproduction actually uses is vendored here:
+//!
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding,
+//! * [`Rng::gen_range`] over `Range` / `RangeInclusive` of the primitive
+//!   numeric types,
+//! * [`rngs::StdRng`] — a deterministic generator (xoshiro256\*\* seeded via
+//!   SplitMix64, the construction recommended by the xoshiro authors).
+//!
+//! The generated streams differ from the real `rand` crate's `StdRng`
+//! (ChaCha12), which is fine: the workspace only relies on determinism for a
+//! fixed seed and on good statistical uniformity, never on a specific
+//! stream.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (the only constructor style the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a value uniformly distributed in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, the standard bits-to-double construction.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        let v = self.start + unit_f64(rng.next_u64()) * span;
+        // Guard against round-up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (self.start as f64..self.end as f64).sample_single(rng) as f32
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (*self.start() as f64..=*self.end() as f64).sample_single(rng) as f32
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo sampling: the bias is < span / 2^64, irrelevant for
+                // the workload-generation use in this workspace.
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ready-made generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256\*\*
+    /// seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain reference).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0.0..1.0f64).to_bits(),
+                b.gen_range(0.0..1.0f64).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3.0..5.0f64);
+            assert!((3.0..5.0).contains(&v));
+            let w = rng.gen_range(-2.0..=2.0f64);
+            assert!((-2.0..=2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_respect_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 appear");
+        for _ in 0..1_000 {
+            let v: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}
