@@ -1,0 +1,4 @@
+//! Runs the cell-cache capacity sweep (Fig. 8a-style, for the reuse buffer).
+fn main() {
+    cij_bench::experiments::cache_sweep::run(&cij_bench::Args::capture());
+}

@@ -24,5 +24,7 @@ fn main() {
     experiments::fig10::run(&forward(0.02));
     experiments::fig11::run(&forward(0.02));
     experiments::table3::run(&forward(0.02));
+    experiments::cache_sweep::run(&forward(0.02));
+    experiments::scaling::run(&forward(0.02));
     println!("\nAll experiments completed.");
 }

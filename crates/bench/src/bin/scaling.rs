@@ -1,0 +1,4 @@
+//! Runs the NM-CIJ thread-scaling experiment (speedup + parity vs T = 1).
+fn main() {
+    cij_bench::experiments::scaling::run(&cij_bench::Args::capture());
+}

@@ -11,7 +11,16 @@
 //! | [`fig10`] | Fig. 10 — false-hit ratio of the NM-CIJ filter |
 //! | [`fig11`] | Fig. 11 — REUSE vs NO-REUSE Voronoi-cell computations |
 //! | [`table3`] | Table III — result sizes and page accesses on real dataset pairs |
+//!
+//! Beyond the paper's own figures, two engineering experiments cover this
+//! reproduction's extensions:
+//!
+//! | Module | Measures |
+//! |---|---|
+//! | [`cache_sweep`] | Fig. 8a-style sweep of the Section IV-B reuse-buffer capacity (`cell_cache_capacity`) |
+//! | [`scaling`] | NM-CIJ thread scaling (`worker_threads` ∈ {1, 2, 4, 8}): speedup + sequential-parity check |
 
+pub mod cache_sweep;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;
@@ -19,5 +28,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scaling;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,93 @@
+//! Thread-scaling experiment for parallel NM-CIJ.
+//!
+//! Sweeps [`CijConfig::worker_threads`](cij_core::CijConfig::worker_threads)
+//! over T ∈ {1, 2, 4, 8} on one workload and reports, per thread count, the
+//! wall-clock time, the speedup over the sequential run and a **parity
+//! verdict**: the parallel execution contract says the emitted pairs (set
+//! *and* order), the NM counters and the page-access totals must be
+//! identical to T = 1, so the experiment verifies exactly that on every
+//! row. A parity violation panics (nonzero exit), so the CI smoke run of
+//! this experiment fails on a parallel-determinism regression. A speedup
+//! requires actual cores — on a single-core host the parallel path only
+//! demonstrates parity and pays a small coordination overhead.
+
+use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
+use cij_core::{Algorithm, CijOutcome, QueryEngine};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use std::time::Instant;
+
+/// The swept worker-thread counts.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the thread-scaling experiment. `--scale` scales the 100 K default
+/// cardinality.
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.05);
+    let n = scaled(100_000, scale);
+    let p = uniform_points(n, &Rect::DOMAIN, 12_001);
+    let q = uniform_points(n, &Rect::DOMAIN, 12_002);
+
+    print_header(
+        &format!("Thread scaling: NM-CIJ with worker_threads ∈ {THREADS:?}, |P| = |Q| = {n}"),
+        &[
+            "threads",
+            "wall (s)",
+            "speedup",
+            "page accesses",
+            "pairs",
+            "parity vs T=1",
+        ],
+    );
+
+    let mut baseline: Option<(f64, CijOutcome)> = None;
+    let mut violations: Vec<String> = Vec::new();
+    for threads in THREADS {
+        let engine = QueryEngine::new(paper_config().with_worker_threads(threads));
+        let mut w = engine.build_workload(&p, &q);
+        let start = Instant::now();
+        let outcome = engine.run(&mut w, Algorithm::NmCij);
+        let wall = secs(start.elapsed());
+
+        let (speedup, parity) = match &baseline {
+            None => ("1.00x (ref)".to_string(), "ref".to_string()),
+            Some((base_wall, base)) => {
+                let speedup = format!("{:.2}x", base_wall / wall.max(1e-9));
+                let pairs_ok = outcome.pairs == base.pairs;
+                let counters_ok = outcome.nm == base.nm;
+                let io_ok = outcome.page_accesses() == base.page_accesses();
+                let parity = if pairs_ok && counters_ok && io_ok {
+                    "exact".to_string()
+                } else {
+                    let verdict =
+                        format!("VIOLATED (pairs {pairs_ok}, counters {counters_ok}, io {io_ok})");
+                    violations.push(format!("T={threads}: {verdict}"));
+                    verdict
+                };
+                (speedup, parity)
+            }
+        };
+        print_row(&[
+            threads.to_string(),
+            format!("{wall:.3}"),
+            speedup,
+            outcome.page_accesses().to_string(),
+            outcome.pairs.len().to_string(),
+            parity,
+        ]);
+        if baseline.is_none() {
+            baseline = Some((wall, outcome));
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "shape check: parity must read `exact` on every row; speedup approaches \
+         min(T, cores) on multicore hardware (this host: {cores} core(s))"
+    );
+    assert!(
+        violations.is_empty(),
+        "parallel NM-CIJ diverged from the sequential run: {violations:?}"
+    );
+}

@@ -102,6 +102,94 @@ impl CellCache {
         let _ = self.lru.clear();
         self.cells.clear();
     }
+
+    // ------------------------------------------------------------------
+    // Split policy/payload API for the parallel NM-CIJ coordinator.
+    //
+    // The parallel path must reproduce the sequential cache behaviour
+    // exactly, but at the time the coordinator decides hits and misses (in
+    // Hilbert leaf order) the freshly computed cells of the in-flight chunk
+    // do not exist yet. The replacement-policy decisions depend only on the
+    // *id sequence*, so they are taken up front (`policy_get`/`policy_put`,
+    // which also keep the hit/miss/eviction counters exact), while payloads
+    // are attached (`fill_payload`) and victims dropped (`drop_payload`)
+    // later, once the workers have produced the cells — still in leaf
+    // order, so every resolved hit serves the same polygon the sequential
+    // run would. Between a policy op and its deferred payload op the
+    // `cells` map intentionally lags the LRU resident set.
+    // ------------------------------------------------------------------
+
+    /// Policy-only counterpart of [`CellStore::get`]: records the hit or
+    /// miss (touching recency on a hit) without cloning a payload. Returns
+    /// `true` on a hit.
+    pub(crate) fn policy_get(&mut self, id: u64) -> bool {
+        if self.lru.contains(id) {
+            let _ = self.lru.touch(id, false);
+            self.hits += 1;
+            if let Some(stats) = &self.stats {
+                stats.record_cell_cache_hit();
+            }
+            true
+        } else {
+            self.misses += 1;
+            if let Some(stats) = &self.stats {
+                stats.record_cell_cache_miss();
+            }
+            false
+        }
+    }
+
+    /// Policy-only counterpart of [`CellStore::put`]: admits `id`, counts
+    /// an eviction when one happens and returns the victim id — the caller
+    /// drops the victim's payload later via [`CellCache::drop_payload`]
+    /// (deferred so that hits recorded *before* the eviction can still
+    /// resolve the victim's cell).
+    pub(crate) fn policy_put(&mut self, id: u64) -> Option<u64> {
+        if self.lru.capacity() == 0 {
+            return None;
+        }
+        if let Admission::Miss {
+            evicted: Some((victim, _)),
+        } = self.lru.touch(id, false)
+        {
+            self.evictions += 1;
+            if let Some(stats) = &self.stats {
+                stats.record_cell_cache_eviction();
+            }
+            Some(victim)
+        } else {
+            None
+        }
+    }
+
+    /// Attaches the payload for an id previously admitted with
+    /// [`CellCache::policy_put`].
+    pub(crate) fn fill_payload(&mut self, id: u64, cell: &ConvexPolygon) {
+        if self.lru.capacity() == 0 {
+            return;
+        }
+        self.cells.insert(id, cell.clone());
+    }
+
+    /// Drops the payload of a victim returned by [`CellCache::policy_put`].
+    pub(crate) fn drop_payload(&mut self, id: u64) {
+        self.cells.remove(&id);
+    }
+
+    /// Resolves the payload of an id that [`CellCache::policy_get`]
+    /// reported as a hit (no counters move).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is absent — the coordinator resolves hits in
+    /// leaf order after filling the producing leaf's cells, so a missing
+    /// payload is a violated invariant, not a runtime condition.
+    pub(crate) fn resolved_payload(&self, id: u64) -> ConvexPolygon {
+        self.cells
+            .get(&id)
+            .expect("hit on a resident cell whose payload was never filled")
+            .clone()
+    }
 }
 
 impl CellStore for CellCache {
@@ -253,6 +341,51 @@ mod tests {
         assert!(resident > 0);
         // One lookup per round, each either a hit or a miss.
         assert_eq!(c.hits() + c.misses(), 1_000);
+    }
+
+    #[test]
+    fn policy_split_mirrors_sequential_get_put_exactly() {
+        // Drive the same id sequence through the classic get/put API and
+        // through the split policy/fill API (the parallel coordinator's
+        // protocol): hit/miss/eviction counters and resident payloads must
+        // agree at every step.
+        let mut seq = CellCache::new(3);
+        let mut par = CellCache::new(3);
+        let ids = [1u64, 2, 3, 1, 4, 2, 5, 1, 1, 6, 7, 3, 4];
+        for &id in &ids {
+            let seq_hit = seq.get(id).is_some();
+            if !seq_hit {
+                seq.put(id, &poly(id as f64));
+            }
+
+            let par_hit = par.policy_get(id);
+            assert_eq!(par_hit, seq_hit, "id {id} hit/miss diverged");
+            if par_hit {
+                let cell = par.resolved_payload(id);
+                assert!((cell.area() - poly(id as f64).area()).abs() < 1e-9);
+            } else {
+                let victim = par.policy_put(id);
+                if let Some(v) = victim {
+                    par.drop_payload(v);
+                }
+                par.fill_payload(id, &poly(id as f64));
+            }
+            assert_eq!(par.hits(), seq.hits());
+            assert_eq!(par.misses(), seq.misses());
+            assert_eq!(par.evictions(), seq.evictions());
+            assert_eq!(par.len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn policy_split_with_zero_capacity_never_admits() {
+        let mut c = CellCache::new(0);
+        assert!(!c.policy_get(1));
+        assert_eq!(c.policy_put(1), None);
+        c.fill_payload(1, &poly(1.0));
+        assert!(!c.policy_get(1));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 2);
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub struct CijConfig {
     /// Granularity of the progressive-output trace: a sample is recorded
     /// every this many result pairs (plus one sample per outer-loop step).
     pub progress_sample_pairs: u64,
+    /// Number of worker threads NM-CIJ uses to process the leaves of `RQ`.
+    ///
+    /// `0` or `1` (the default) runs the classic single-threaded leaf loop,
+    /// byte-for-byte unchanged. Values above `1` execute leaf units
+    /// `(cells → filter → refine)` on a [`std::thread::scope`] worker pool
+    /// and reassemble the per-leaf pair buffers in Hilbert leaf order, so
+    /// the emitted pairs (set *and* order), the NM counters and the
+    /// page-access totals are identical to the sequential run — workers
+    /// compute against the trees as immutable snapshots and the coordinator
+    /// replays each leaf's page-access trace through the real LRU buffer in
+    /// leaf order (see [`crate::nm`] for the full protocol). The stream
+    /// stays lazy: at most a small multiple of `worker_threads` leaves are
+    /// in flight, so first pairs never wait for the whole join.
+    pub worker_threads: usize,
 }
 
 impl Default for CijConfig {
@@ -54,6 +68,7 @@ impl Default for CijConfig {
             reuse_cells: true,
             cell_cache_capacity: 1024,
             progress_sample_pairs: 1_000,
+            worker_threads: 1,
         }
     }
 }
@@ -101,6 +116,44 @@ impl CijConfig {
         self
     }
 
+    /// Sets the NM-CIJ worker-thread count (see
+    /// [`CijConfig::worker_threads`]; `0` and `1` both mean sequential).
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Applies environment overrides: `CIJ_WORKER_THREADS=<n>` sets
+    /// [`CijConfig::worker_threads`].
+    ///
+    /// Intended for harnesses (CI runs the whole test suite a second time
+    /// with `CIJ_WORKER_THREADS=4`); library behaviour never depends on the
+    /// environment unless a caller opts in through this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but not a valid thread count — a
+    /// harness that asks for the parallel path must never silently fall
+    /// back to the sequential one.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Ok(value) = std::env::var("CIJ_WORKER_THREADS") {
+            match value.parse() {
+                // 0 would degrade to the sequential leaf loop — reject it
+                // here so the override can't silently undo itself (the
+                // `with_worker_threads` builder still accepts 0 for callers
+                // who explicitly want sequential).
+                Ok(threads) if threads >= 1 => self.worker_threads = threads,
+                _ => panic!("CIJ_WORKER_THREADS must be a thread count >= 1, got {value:?}"),
+            }
+        }
+        self
+    }
+
+    /// The effective number of worker threads (at least one).
+    pub fn effective_worker_threads(&self) -> usize {
+        self.worker_threads.max(1)
+    }
+
     /// The buffer capacity (in pages) for a tree of `num_pages` pages under
     /// this configuration: `buffer_fraction` of the tree, but never below
     /// `min_buffer_pages` (and never zero unless the fraction is zero and the
@@ -135,6 +188,18 @@ mod tests {
         assert!(!c.reuse_cells);
         assert_eq!(c.cell_cache_capacity, 64);
         assert_eq!(c.domain.hi.x, 1.0);
+    }
+
+    #[test]
+    fn worker_threads_default_and_builder() {
+        let c = CijConfig::default();
+        assert_eq!(c.worker_threads, 1, "sequential by default");
+        assert_eq!(c.effective_worker_threads(), 1);
+        let c = c.with_worker_threads(4);
+        assert_eq!(c.worker_threads, 4);
+        assert_eq!(c.effective_worker_threads(), 4);
+        // Zero degrades to the sequential path, never to zero workers.
+        assert_eq!(c.with_worker_threads(0).effective_worker_threads(), 1);
     }
 
     #[test]

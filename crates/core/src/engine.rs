@@ -27,14 +27,13 @@ use crate::config::CijConfig;
 use crate::fm::fm_cij_eager;
 use crate::grouped::{grouped_nn_via_cij, GroupCounts};
 use crate::multiway::{multiway_cij, MultiwayOutcome};
-use crate::nm::NmPairIter;
+use crate::nm::{CacheSlot, NmPairIter};
 use crate::pm::pm_cij_eager;
 use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
 use crate::workload::Workload;
 use crate::Algorithm;
 use cij_geom::Point;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Mutable state shared between a [`PairStream`] and its producing
 /// iterator: cost attribution, progress samples and NM counters fill in as
@@ -46,7 +45,12 @@ pub(crate) struct StreamState {
     pub breakdown: CostBreakdown,
 }
 
-pub(crate) type SharedStreamState = Rc<RefCell<StreamState>>;
+/// `Arc<Mutex<…>>` rather than the earlier `Rc<RefCell<…>>`: the parallel
+/// NM-CIJ execution path needs `Send + Sync` state (its producing iterator
+/// crosses a `std::thread::scope`), and together with the `Send` bound on
+/// the stream's inner iterator it makes [`PairStream`] itself `Send`, so a
+/// consumer can move a running stream to another thread.
+pub(crate) type SharedStreamState = Arc<Mutex<StreamState>>;
 
 /// A pull-based stream of CIJ result pairs.
 ///
@@ -57,7 +61,7 @@ pub(crate) type SharedStreamState = Rc<RefCell<StreamState>>;
 /// blocking [`CijOutcome`].
 pub struct PairStream<'a> {
     algorithm: Algorithm,
-    inner: Box<dyn Iterator<Item = (u64, u64)> + 'a>,
+    inner: Box<dyn Iterator<Item = (u64, u64)> + Send + 'a>,
     state: SharedStreamState,
     emitted: u64,
 }
@@ -74,7 +78,7 @@ impl std::fmt::Debug for PairStream<'_> {
 impl<'a> PairStream<'a> {
     pub(crate) fn new(
         algorithm: Algorithm,
-        inner: Box<dyn Iterator<Item = (u64, u64)> + 'a>,
+        inner: Box<dyn Iterator<Item = (u64, u64)> + Send + 'a>,
         state: SharedStreamState,
     ) -> Self {
         PairStream {
@@ -88,7 +92,7 @@ impl<'a> PairStream<'a> {
     /// Wraps an eagerly computed outcome as a (trivially complete) stream —
     /// the adapter used by the blocking FM/PM algorithms.
     pub(crate) fn from_outcome(algorithm: Algorithm, outcome: CijOutcome) -> PairStream<'static> {
-        let state = Rc::new(RefCell::new(StreamState {
+        let state = Arc::new(Mutex::new(StreamState {
             progress: outcome.progress,
             nm: outcome.nm,
             breakdown: outcome.breakdown,
@@ -114,12 +118,12 @@ impl<'a> PairStream<'a> {
     /// The progressive-output samples recorded so far (one per processed
     /// leaf of `RQ` for NM-CIJ; the full eager trace for FM/PM).
     pub fn progress_so_far(&self) -> Vec<ProgressSample> {
-        self.state.borrow().progress.clone()
+        self.state.lock().unwrap().progress.clone()
     }
 
     /// The NM-specific counters accumulated so far (zeroed for FM/PM).
     pub fn counters_so_far(&self) -> NmCounters {
-        self.state.borrow().nm
+        self.state.lock().unwrap().nm
     }
 
     /// Drains the remaining pairs and packages everything into the blocking
@@ -131,7 +135,7 @@ impl<'a> PairStream<'a> {
         for pair in &mut self {
             pairs.push(pair);
         }
-        let state = self.state.borrow();
+        let state = self.state.lock().unwrap();
         CijOutcome {
             pairs,
             breakdown: state.breakdown,
@@ -219,15 +223,36 @@ impl CijExecutor for PmExecutor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NmExecutor;
 
+impl NmExecutor {
+    /// The single construction path of every NM-CIJ stream: wires up the
+    /// shared state, the lazy [`NmPairIter`] and a [`CacheSlot`] the
+    /// iterator deposits its reuse buffer into once the stream is drained.
+    ///
+    /// Both [`CijExecutor::stream`] and the grouped-NN keep-the-cache entry
+    /// point go through here, so counters and progress attribution cannot
+    /// drift between the two.
+    pub(crate) fn stream_with_cache_slot<'a>(
+        workload: &'a mut Workload,
+        config: &CijConfig,
+    ) -> (PairStream<'a>, CacheSlot) {
+        let state: SharedStreamState = Arc::default();
+        let slot: CacheSlot = Arc::default();
+        let iter = NmPairIter::new(workload, *config, Arc::clone(&state))
+            .with_cache_slot(Arc::clone(&slot));
+        (
+            PairStream::new(Algorithm::NmCij, Box::new(iter), state),
+            slot,
+        )
+    }
+}
+
 impl CijExecutor for NmExecutor {
     fn algorithm(&self) -> Algorithm {
         Algorithm::NmCij
     }
 
     fn stream<'a>(&self, workload: &'a mut Workload, config: &CijConfig) -> PairStream<'a> {
-        let state: SharedStreamState = Rc::default();
-        let iter = NmPairIter::new(workload, *config, Rc::clone(&state));
-        PairStream::new(Algorithm::NmCij, Box::new(iter), state)
+        NmExecutor::stream_with_cache_slot(workload, config).0
     }
 }
 
@@ -427,6 +452,31 @@ mod tests {
             let outcome = executor.run(&mut w, &config);
             assert!(!outcome.is_empty());
         }
+    }
+
+    #[test]
+    fn pair_streams_are_send() {
+        // A running stream can be handed to another thread: the inner
+        // iterator is `Send` and the shared state is `Arc<Mutex<…>>`.
+        fn assert_send<T: Send>() {}
+        assert_send::<PairStream<'static>>();
+
+        let engine = QueryEngine::new(small_config());
+        let p = random_points(80, 514);
+        let q = random_points(80, 515);
+        let mut w = engine.build_workload(&p, &q);
+        let mut stream = engine.stream(&mut w, Algorithm::NmCij);
+        let first = stream.next();
+        let rest: usize = std::thread::scope(|s| {
+            s.spawn(move || {
+                // The moved stream keeps producing on the other thread.
+                stream.count()
+            })
+            .join()
+            .expect("consumer thread")
+        });
+        assert!(first.is_some());
+        assert!(rest > 0);
     }
 
     #[test]

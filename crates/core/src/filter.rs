@@ -22,7 +22,7 @@
 
 use cij_geom::{ConvexPolygon, Point, Rect};
 use cij_pagestore::PageId;
-use cij_rtree::{MinDistHeap, MinHeapItem, PointObject, RTree};
+use cij_rtree::{MinDistHeap, MinHeapItem, NodeReader, PointObject};
 
 enum HeapEntry {
     Node { page: PageId, mbr: Rect },
@@ -45,8 +45,12 @@ pub struct FilterStats {
 ///
 /// With a single polygon this is exactly Algorithm 5; with several it is the
 /// BatchConditionalFilter of Section IV-A.
-pub fn batch_conditional_filter(
-    rp: &mut RTree<PointObject>,
+///
+/// Generic over [`NodeReader`], so the same traversal runs in counted mode
+/// (`&mut RTree`) and in the traced snapshot mode used by parallel NM-CIJ
+/// workers ([`cij_rtree::TracedReader`]).
+pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
+    rp: &mut T,
     polys: &[ConvexPolygon],
     domain: &Rect,
 ) -> (Vec<PointObject>, FilterStats) {
@@ -69,7 +73,7 @@ pub fn batch_conditional_filter(
     let mut heap: MinDistHeap<HeapEntry> = MinDistHeap::new();
     // The root is read up front (Algorithm 5, line 4) and its entries seeded.
     let root = rp.root_page();
-    let root_node = rp.read_node(root);
+    let root_node = rp.read(root);
     if root_node.is_leaf() {
         for o in root_node.objects {
             heap.push(MinHeapItem::new(
@@ -124,7 +128,7 @@ pub fn batch_conditional_filter(
                     stats.entries_pruned += 1;
                     continue;
                 }
-                let node = rp.read_node(page);
+                let node = rp.read(page);
                 if node.is_leaf() {
                     for o in node.objects {
                         heap.push(MinHeapItem::new(
@@ -170,7 +174,7 @@ fn is_shielded(mbr: &Rect, polys: &[&ConvexPolygon], candidates: &[PointObject])
 mod tests {
     use super::*;
     use cij_geom::Rect;
-    use cij_rtree::RTreeConfig;
+    use cij_rtree::{RTree, RTreeConfig};
     use cij_voronoi::{brute_force_cell, brute_force_diagram};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

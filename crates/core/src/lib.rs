@@ -23,6 +23,12 @@
 //! * [`CijExecutor`] — the strategy trait behind [`Algorithm`]; the classic
 //!   blocking functions are thin `.into_outcome()` wrappers over it.
 //!
+//! NM-CIJ optionally executes leaf units in parallel
+//! ([`CijConfig::worker_threads`]) on a `std::thread::scope` worker pool
+//! with ordered reassembly — pairs (set and order), counters and
+//! page-access totals stay identical to the sequential run; see the
+//! [`nm`] module docs for the determinism protocol.
+//!
 //! ## The three algorithms
 //!
 //! In increasing order of sophistication and decreasing order of I/O cost:

@@ -14,16 +14,55 @@
 //!    neighbouring leaves of `RQ` share candidates, so most lookups hit),
 //! 4. reports every `(p, q)` whose exact cells intersect.
 //!
-//! Since this refactor the algorithm *is* implemented as a stream:
-//! [`NmPairIter`] processes one leaf of `RQ` at a time, only when the
-//! consumer pulls and the pairs of previous leaves are exhausted. The
-//! classic blocking [`nm_cij`] is a thin collect-wrapper over that stream
-//! (via [`PairStream::into_outcome`]), so the non-blocking property —
-//! result pairs after only a few page accesses — is now directly observable
-//! by pulling a [`PairStream`] obtained from
+//! The algorithm is implemented as a stream: [`NmPairIter`] processes leaves
+//! of `RQ` only when the consumer pulls and the pairs of previous leaves are
+//! exhausted. The classic blocking [`nm_cij`] is a thin collect-wrapper over
+//! that stream (via [`PairStream::into_outcome`]), so the non-blocking
+//! property — result pairs after only a few page accesses — is directly
+//! observable by pulling a [`PairStream`] obtained from
 //! [`QueryEngine::stream`](crate::engine::QueryEngine::stream).
 //!
+//! # Parallel leaf processing
+//!
+//! Leaf units are independent given read access to the two input trees, so
+//! with [`CijConfig::worker_threads`] > 1 the iterator executes them on a
+//! [`std::thread::scope`] worker pool — **without changing any observable
+//! result**. The design problem is that naive concurrency would perturb
+//! three kinds of shared sequential state: the LRU page buffers (physical
+//! read counts depend on access order), the cell reuse buffer (hits and
+//! misses depend on which leaf ran first) and the emission order of pairs.
+//! The parallel path therefore decouples *computation* from *accounting*:
+//!
+//! * **Workers never touch the buffers.** During a join the trees are
+//!   read-only, so workers traverse them as immutable snapshots through
+//!   [`cij_rtree::TracedReader`], which serves nodes without accounting and
+//!   records the page-id sequence each traversal touches. The coordinator
+//!   later **replays** every leaf's trace through the real buffer + stats
+//!   ([`cij_rtree::RTree::replay_read`]) in Hilbert leaf order — the exact
+//!   access sequence of a sequential run, hence identical page-access
+//!   totals, buffer state and per-leaf [`ProgressSample`]s.
+//! * **Cache policy is decided sequentially on ids, payloads are computed in
+//!   parallel.** Which candidates hit the reuse buffer depends only on the
+//!   candidate-id sequence in leaf order, never on the polygons themselves.
+//!   The coordinator runs the LRU policy (`policy_get`/`policy_put` on the
+//!   real [`CellCache`], keeping hit/miss/evict counters exact) over each
+//!   leaf's candidates in order, which also tells every leaf precisely which
+//!   cells it must compute — the same set the sequential run would compute,
+//!   so the refinement traversals (and their traces) are identical too.
+//! * **Ordered reassembly.** Per-leaf pair buffers are appended to the
+//!   output queue in Hilbert leaf order, so the stream yields the same pairs
+//!   in the same order as `worker_threads = 1`.
+//!
+//! Execution proceeds in bounded chunks of leaves — scan (parallel) →
+//! cache policy (coordinator) → refine (parallel) → payload resolution
+//! (coordinator) → pair reporting (parallel) → replay + emit (coordinator) —
+//! so the non-blocking contract is preserved: chunk widths ramp from a
+//! single leaf up to a small multiple of `worker_threads`, and first pairs
+//! arrive after the same handful of page accesses a sequential run needs
+//! rather than after the whole join.
+//!
 //! [`CellCache`]: crate::cell_cache::CellCache
+//! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
 //! [`PairStream`]: crate::engine::PairStream
 //! [`PairStream::into_outcome`]: crate::engine::PairStream::into_outcome
 
@@ -34,11 +73,28 @@ use crate::filter::batch_conditional_filter;
 use crate::stats::CijOutcome;
 use crate::stats::ProgressSample;
 use crate::workload::Workload;
-use cij_geom::ConvexPolygon;
+use cij_geom::{ConvexPolygon, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
+use cij_rtree::{NodeReader, PointObject, RTree, TracedReader};
 use cij_voronoi::{batch_voronoi, batch_voronoi_cached};
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Slot an [`NmPairIter`] deposits its reuse buffer into when the stream is
+/// exhausted, so callers that need the cache after the join (grouped-NN)
+/// share the executor's stream-construction path instead of wiring their
+/// own.
+pub(crate) type CacheSlot = Arc<Mutex<Option<CellCache>>>;
+
+/// Steady-state chunk width, as a multiple of the worker count. Chunks ramp
+/// 1 → `worker_threads` → `worker_threads * CHUNK_RAMP`: the first chunk
+/// covers a single leaf so the first pair costs exactly the page accesses a
+/// sequential run pays for it (the non-blocking budget), and later chunks
+/// widen to amortise the per-chunk synchronisation barriers. In-flight
+/// leaves stay bounded by `worker_threads * CHUNK_RAMP`.
+const CHUNK_RAMP: usize = 4;
 
 /// Runs NM-CIJ on a workload to completion, returning the result pairs, the
 /// cost breakdown (all cost is JOIN cost — there is no materialisation
@@ -57,47 +113,82 @@ pub fn nm_cij(workload: &mut Workload, config: &CijConfig) -> CijOutcome {
 /// keep serving exact `P` cells from it after the join (grouped-NN
 /// materialises the common influence regions of the result pairs from the
 /// very cells the join just computed).
+///
+/// Routed through [`NmExecutor::stream_with_cache_slot`] — the same
+/// stream-construction path as every other NM-CIJ invocation — so counters
+/// and progress attribution cannot drift between the entry points.
 pub(crate) fn nm_cij_keep_cache(
     workload: &mut Workload,
     config: &CijConfig,
 ) -> (CijOutcome, CellCache) {
-    use crate::engine::StreamState;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    let (stream, slot) = NmExecutor::stream_with_cache_slot(workload, config);
+    let outcome = stream.into_outcome();
+    let cache = slot
+        .lock()
+        .unwrap()
+        .take()
+        .expect("a drained NM-CIJ stream deposits its reuse buffer");
+    (outcome, cache)
+}
 
-    let state: Rc<RefCell<StreamState>> = Rc::default();
-    let mut iter = NmPairIter::new(workload, *config, Rc::clone(&state));
-    let pairs: Vec<(u64, u64)> = iter.by_ref().collect();
-    let cache = iter.cache;
-    let state = state.borrow();
-    (
-        CijOutcome {
-            pairs,
-            breakdown: state.breakdown,
-            progress: state.progress.clone(),
-            nm: state.nm,
-        },
-        cache,
-    )
+/// Everything a parallel scan of one `RQ` leaf produces: the leaf's points,
+/// their Voronoi cells, the filter's candidate set, and the page-access
+/// traces of the two trees (replayed later by the coordinator).
+struct LeafScan {
+    group: Vec<PointObject>,
+    cells_q: Vec<ConvexPolygon>,
+    candidates: Vec<PointObject>,
+    trace_rq: Vec<PageId>,
+    trace_rp: Vec<PageId>,
+}
+
+/// The coordinator's replacement-policy verdict for one leaf: which
+/// candidates hit the reuse buffer, which must be computed (`missing`, in
+/// candidate order — exactly the group the sequential run would refine),
+/// and the deferred payload bookkeeping of the puts.
+#[derive(Default)]
+struct LeafPlan {
+    /// Aligned with the leaf's candidates: `true` when the cell was a cache
+    /// hit.
+    hit: Vec<bool>,
+    /// Candidates whose exact cells this leaf computes, in candidate order.
+    missing: Vec<PointObject>,
+    /// One entry per `missing` member: `(id, evicted victim)`.
+    puts: Vec<(u64, Option<u64>)>,
+    /// Cache hits attributed to this leaf (`p_cells_reused` delta).
+    reused: u64,
+    /// Cache misses attributed to this leaf (`p_cells_computed` delta).
+    computed: u64,
+    /// Total cache evictions as of the end of this leaf (the sequential
+    /// per-leaf value of `NmCounters::cell_cache_evictions`).
+    evictions_after: u64,
 }
 
 /// The lazy leaf-by-leaf pair producer behind the NM-CIJ stream.
 ///
-/// Each call to [`Iterator::next`] first serves pairs buffered from the
-/// current leaf of `RQ`; when that buffer runs dry, the next leaf is
-/// processed (steps 1–4 of Algorithm 6). Page accesses therefore happen
-/// only as the consumer demands pairs.
+/// Each call to [`Iterator::next`] first serves pairs buffered from already
+/// processed leaves of `RQ`; when that buffer runs dry, the next leaf (or,
+/// with [`CijConfig::worker_threads`] > 1, the next bounded chunk of
+/// leaves) is processed — steps 1–4 of Algorithm 6. Page accesses therefore
+/// happen only as the consumer demands pairs.
 pub(crate) struct NmPairIter<'a> {
     workload: &'a mut Workload,
     config: CijConfig,
-    leaves: std::vec::IntoIter<PageId>,
+    leaves: Vec<PageId>,
+    next_leaf: usize,
     cache: CellCache,
     pending: VecDeque<(u64, u64)>,
     state: SharedStreamState,
     stats: IoStats,
     start_io: IoSnapshot,
     pairs_produced: u64,
+    chunks_done: usize,
     finished: bool,
+    /// Scratch set for the per-leaf true-hit count, reused across leaves so
+    /// the hot loop never reallocates (the pending `VecDeque` is likewise
+    /// reused for the whole stream).
+    true_hits: HashSet<u64>,
+    cache_slot: Option<CacheSlot>,
 }
 
 impl<'a> NmPairIter<'a> {
@@ -118,16 +209,43 @@ impl<'a> NmPairIter<'a> {
         NmPairIter {
             workload,
             config,
-            leaves: leaves.into_iter(),
+            leaves,
+            next_leaf: 0,
             cache,
             pending: VecDeque::new(),
             state,
             stats,
             start_io,
             pairs_produced: 0,
+            chunks_done: 0,
             finished: false,
+            true_hits: HashSet::new(),
+            cache_slot: None,
         }
     }
+
+    /// Attaches the slot the iterator deposits its reuse buffer into when
+    /// the stream is exhausted.
+    pub(crate) fn with_cache_slot(mut self, slot: CacheSlot) -> Self {
+        self.cache_slot = Some(slot);
+        self
+    }
+
+    /// Deposits the reuse buffer into the cache slot (once, on exhaustion).
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(slot) = &self.cache_slot {
+            let cache = std::mem::replace(&mut self.cache, CellCache::new(0));
+            *slot.lock().unwrap() = Some(cache);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential path (worker_threads <= 1) — the classic leaf loop.
+    // ------------------------------------------------------------------
 
     /// Processes one leaf of `RQ`, pushing its result pairs into `pending`
     /// and updating counters, progress and cost attribution.
@@ -157,21 +275,25 @@ impl<'a> NmPairIter<'a> {
             batch_voronoi_cached(&mut self.workload.rp, &candidates, &domain, &mut self.cache);
 
         // (4) Report intersecting pairs; track which candidates were true
-        // hits for the false-hit-ratio of Figure 10.
-        let mut true_hits: HashSet<u64> = HashSet::new();
-        for (q_obj, q_cell) in group.iter().zip(&cells_q) {
-            let q_bbox = q_cell.bbox();
-            for (p_obj, p_cell) in candidates.iter().zip(&cells_p) {
-                if p_cell.bbox().intersects(&q_bbox) && p_cell.intersects(q_cell) {
-                    self.pending.push_back((p_obj.id.0, q_obj.id.0));
-                    self.pairs_produced += 1;
-                    true_hits.insert(p_obj.id.0);
-                }
-            }
-        }
+        // hits for the false-hit-ratio of Figure 10. (The set is a reused
+        // field, temporarily moved out so the emit closure can borrow the
+        // iterator's queue.)
+        let mut true_hits = std::mem::take(&mut self.true_hits);
+        true_hits.clear();
+        report_leaf_pairs(
+            &group,
+            &cells_q,
+            &candidates,
+            &cells_p,
+            &mut true_hits,
+            |p, q| {
+                self.pending.push_back((p, q));
+                self.pairs_produced += 1;
+            },
+        );
 
         {
-            let mut state = self.state.borrow_mut();
+            let mut state = self.state.lock().unwrap();
             state.nm.q_cells_computed += group.len() as u64;
             state.nm.filter_candidates += candidates.len() as u64;
             state.nm.filter_true_hits += true_hits.len() as u64;
@@ -183,6 +305,7 @@ impl<'a> NmPairIter<'a> {
                 pairs: self.pairs_produced,
             });
         }
+        self.true_hits = true_hits;
         self.account(start);
     }
 
@@ -190,10 +313,287 @@ impl<'a> NmPairIter<'a> {
     /// shared cost breakdown (NM has no materialisation phase, so all cost
     /// is JOIN cost).
     fn account(&mut self, start: Instant) {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().unwrap();
         state.breakdown.join_cpu += start.elapsed();
         state.breakdown.join_io = self.stats.snapshot().since(&self.start_io);
     }
+
+    // ------------------------------------------------------------------
+    // Parallel path (worker_threads > 1) — see the module docs for the
+    // determinism protocol.
+    // ------------------------------------------------------------------
+
+    /// Processes the next bounded chunk of leaves on the worker pool and
+    /// appends their pairs to `pending` in Hilbert leaf order.
+    fn process_chunk(&mut self) {
+        let start = Instant::now();
+        let workers = self.config.effective_worker_threads();
+        let width = match self.chunks_done {
+            0 => 1,
+            1 => workers,
+            _ => workers * CHUNK_RAMP,
+        };
+        let upto = (self.next_leaf + width).min(self.leaves.len());
+        let chunk: Vec<PageId> = self.leaves[self.next_leaf..upto].to_vec();
+        self.next_leaf = upto;
+        self.chunks_done += 1;
+        let domain = self.config.domain;
+
+        // Phase 1 (parallel): scan — leaf read, Q cells, conditional filter,
+        // all against immutable tree snapshots with traced page accesses.
+        let scans: Vec<LeafScan> = {
+            let rp = &self.workload.rp;
+            let rq = &self.workload.rq;
+            run_ordered(workers, chunk.len(), |i| {
+                scan_leaf(rp, rq, chunk[i], &domain)
+            })
+        };
+
+        // Phase 2 (coordinator, leaf order): replacement-policy decisions on
+        // the real cache — identical hit/miss/evict sequence to a
+        // sequential run, and it fixes each leaf's `missing` set.
+        let plans: Vec<LeafPlan> = scans
+            .iter()
+            .map(|scan| {
+                let mut plan = LeafPlan::default();
+                for cand in &scan.candidates {
+                    if self.cache.policy_get(cand.id.0) {
+                        plan.hit.push(true);
+                        plan.reused += 1;
+                    } else {
+                        plan.hit.push(false);
+                        plan.computed += 1;
+                        plan.missing.push(*cand);
+                    }
+                }
+                for m in &plan.missing {
+                    let victim = self.cache.policy_put(m.id.0);
+                    plan.puts.push((m.id.0, victim));
+                }
+                plan.evictions_after = self.cache.evictions();
+                plan
+            })
+            .collect();
+
+        // Phase 3 (parallel): refine — exact cells of each leaf's missing
+        // candidates, again traced against the snapshot.
+        let (cells_refined, traces_refined): (Vec<Vec<ConvexPolygon>>, Vec<Vec<PageId>>) = {
+            let rp = &self.workload.rp;
+            run_ordered(workers, plans.len(), |i| {
+                let missing = &plans[i].missing;
+                if missing.is_empty() {
+                    (Vec::new(), Vec::new())
+                } else {
+                    let mut reader = TracedReader::new(rp);
+                    let cells = batch_voronoi(&mut reader, missing, &domain);
+                    (cells, reader.into_trace())
+                }
+            })
+            .into_iter()
+            .unzip()
+        };
+
+        // Phase 4 (coordinator, leaf order): resolve each leaf's aligned
+        // candidate cells — hits from the cache (the payload the sequential
+        // run would have served), misses from the leaf's own refinement —
+        // then apply the deferred payload updates of the leaf's puts.
+        let resolved: Vec<Vec<ConvexPolygon>> = plans
+            .iter()
+            .zip(&scans)
+            .zip(cells_refined)
+            .map(|((plan, scan), cells_m)| {
+                // Hits first: sequential gets all happen before any put, so
+                // a payload this leaf's own puts evict must still serve the
+                // hits recorded before them.
+                let mut aligned: Vec<Option<ConvexPolygon>> = scan
+                    .candidates
+                    .iter()
+                    .zip(&plan.hit)
+                    .map(|(cand, hit)| hit.then(|| self.cache.resolved_payload(cand.id.0)))
+                    .collect();
+                // Apply the puts in order (victim payload drops were
+                // deferred by the policy pass), then move — not clone —
+                // each fresh cell into its slot: like the sequential path,
+                // the cache holds the only other copy.
+                let mut fresh = cells_m.into_iter();
+                let mut puts = plan.puts.iter();
+                for slot in aligned.iter_mut() {
+                    if slot.is_none() {
+                        let cell = fresh
+                            .next()
+                            .expect("one refined cell per missing candidate");
+                        let (id, victim) = puts.next().expect("one put per missing candidate");
+                        if let Some(v) = victim {
+                            self.cache.drop_payload(*v);
+                        }
+                        self.cache.fill_payload(*id, &cell);
+                        *slot = Some(cell);
+                    }
+                }
+                aligned
+                    .into_iter()
+                    .map(|cell| cell.expect("every slot filled"))
+                    .collect()
+            })
+            .collect();
+
+        // Phase 5 (parallel): pair reporting — the same kernel as the
+        // sequential path, so per-leaf pair order is identical.
+        let reported: Vec<(Vec<(u64, u64)>, u64)> = run_ordered(workers, scans.len(), |i| {
+            let scan = &scans[i];
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            let mut true_hits: HashSet<u64> = HashSet::new();
+            report_leaf_pairs(
+                &scan.group,
+                &scan.cells_q,
+                &scan.candidates,
+                &resolved[i],
+                &mut true_hits,
+                |p, q| pairs.push((p, q)),
+            );
+            (pairs, true_hits.len() as u64)
+        });
+
+        // Phase 6 (coordinator, leaf order): replay every leaf's page-access
+        // trace through the real buffers (deferred accounting), fold in the
+        // counters and emit the pairs — ordered reassembly.
+        for (i, scan) in scans.iter().enumerate() {
+            for &page in &scan.trace_rq {
+                self.workload.rq.replay_read(page);
+            }
+            for &page in &scan.trace_rp {
+                self.workload.rp.replay_read(page);
+            }
+            for &page in &traces_refined[i] {
+                self.workload.rp.replay_read(page);
+            }
+            if scan.group.is_empty() {
+                continue;
+            }
+            let (pairs, true_hit_count) = &reported[i];
+            self.pairs_produced += pairs.len() as u64;
+            {
+                let mut state = self.state.lock().unwrap();
+                state.nm.q_cells_computed += scan.group.len() as u64;
+                state.nm.filter_candidates += scan.candidates.len() as u64;
+                state.nm.filter_true_hits += true_hit_count;
+                state.nm.p_cells_reused += plans[i].reused;
+                state.nm.p_cells_computed += plans[i].computed;
+                state.nm.cell_cache_evictions = plans[i].evictions_after;
+                state.progress.push(ProgressSample {
+                    page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+                    pairs: self.pairs_produced,
+                });
+            }
+            self.pending.extend(pairs.iter().copied());
+        }
+        self.account(start);
+    }
+}
+
+/// Step 4 of Algorithm 6 — the pair-reporting kernel, shared by the
+/// sequential and the parallel path so the two can never drift apart:
+/// walks `group × candidates` in order, emits every pair whose exact cells
+/// intersect through `emit` and records the distinct joining `P` ids in
+/// `true_hits` (the Figure 10 false-hit-ratio numerator). `cells_q` and
+/// `cells_p` are aligned with `group` and `candidates` respectively.
+fn report_leaf_pairs(
+    group: &[PointObject],
+    cells_q: &[ConvexPolygon],
+    candidates: &[PointObject],
+    cells_p: &[ConvexPolygon],
+    true_hits: &mut HashSet<u64>,
+    mut emit: impl FnMut(u64, u64),
+) {
+    for (q_obj, q_cell) in group.iter().zip(cells_q) {
+        let q_bbox = q_cell.bbox();
+        for (p_obj, p_cell) in candidates.iter().zip(cells_p) {
+            if p_cell.bbox().intersects(&q_bbox) && p_cell.intersects(q_cell) {
+                true_hits.insert(p_obj.id.0);
+                emit(p_obj.id.0, q_obj.id.0);
+            }
+        }
+    }
+}
+
+/// The parallel scan of one leaf: read the leaf node, compute its points'
+/// Voronoi cells, run the conditional filter — all through traced snapshot
+/// readers, so the recorded page sequences match what a sequential run
+/// would access for this leaf.
+fn scan_leaf(
+    rp: &RTree<PointObject>,
+    rq: &RTree<PointObject>,
+    leaf: PageId,
+    domain: &Rect,
+) -> LeafScan {
+    let mut rq_reader = TracedReader::new(rq);
+    let group = rq_reader.read(leaf).objects;
+    if group.is_empty() {
+        return LeafScan {
+            group,
+            cells_q: Vec::new(),
+            candidates: Vec::new(),
+            trace_rq: rq_reader.into_trace(),
+            trace_rp: Vec::new(),
+        };
+    }
+    let cells_q = batch_voronoi(&mut rq_reader, &group, domain);
+    let mut rp_reader = TracedReader::new(rp);
+    let (candidates, _fstats) = batch_conditional_filter(&mut rp_reader, &cells_q, domain);
+    LeafScan {
+        group,
+        cells_q,
+        candidates,
+        trace_rq: rq_reader.into_trace(),
+        trace_rp: rp_reader.into_trace(),
+    }
+}
+
+/// Runs `f(0..n)` on a scoped pool of at most `workers` threads and returns
+/// the results in index order. Work is handed out through a shared atomic
+/// cursor, so uneven leaf units balance across the pool. Worker panics
+/// propagate to the caller.
+fn run_ordered<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = workers.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("NM-CIJ worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every leaf unit produces a result"))
+        .collect()
 }
 
 impl Iterator for NmPairIter<'_> {
@@ -204,15 +604,16 @@ impl Iterator for NmPairIter<'_> {
             if let Some(pair) = self.pending.pop_front() {
                 return Some(pair);
             }
-            if self.finished {
+            if self.next_leaf >= self.leaves.len() {
+                self.finish();
                 return None;
             }
-            match self.leaves.next() {
-                Some(leaf) => self.process_leaf(leaf),
-                None => {
-                    self.finished = true;
-                    return None;
-                }
+            if self.config.effective_worker_threads() > 1 {
+                self.process_chunk();
+            } else {
+                let leaf = self.leaves[self.next_leaf];
+                self.next_leaf += 1;
+                self.process_leaf(leaf);
             }
         }
     }
@@ -416,6 +817,77 @@ mod tests {
         assert!(
             tiny.nm.p_cells_computed >= roomy.nm.p_cells_computed,
             "evictions can only force recomputation, never remove it"
+        );
+    }
+
+    /// Runs NM-CIJ with a given thread count and returns the full outcome.
+    fn run_with_threads(
+        p: &[Point],
+        q: &[Point],
+        config: &CijConfig,
+        threads: usize,
+    ) -> CijOutcome {
+        let config = config.with_worker_threads(threads);
+        let mut w = Workload::build(p, q, &config);
+        nm_cij(&mut w, &config)
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let base = small_config();
+        let p = random_points(500, 117);
+        let q = random_points(500, 118);
+        let sequential = run_with_threads(&p, &q, &base, 1);
+        for threads in [2usize, 3, 4] {
+            let parallel = run_with_threads(&p, &q, &base, threads);
+            // Pairs: same set AND same order.
+            assert_eq!(
+                parallel.pairs, sequential.pairs,
+                "pair sequence diverged at {threads} threads"
+            );
+            // NM counters match exactly.
+            assert_eq!(parallel.nm, sequential.nm, "counters diverged");
+            // Page-access totals and per-leaf progress match exactly.
+            assert_eq!(
+                parallel.page_accesses(),
+                sequential.page_accesses(),
+                "page accesses diverged"
+            );
+            assert_eq!(parallel.progress, sequential.progress, "progress diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_under_eviction_pressure() {
+        // A tiny reuse buffer maximises policy churn: hits, misses and
+        // evictions must still be decided identically to sequential order.
+        let base = small_config().with_cell_cache_capacity(4);
+        let p = random_points(350, 119);
+        let q = random_points(350, 120);
+        let sequential = run_with_threads(&p, &q, &base, 1);
+        let parallel = run_with_threads(&p, &q, &base, 4);
+        assert_eq!(parallel.pairs, sequential.pairs);
+        assert_eq!(parallel.nm, sequential.nm);
+        assert!(parallel.nm.cell_cache_evictions > 0);
+        assert_eq!(parallel.page_accesses(), sequential.page_accesses());
+    }
+
+    #[test]
+    fn parallel_keep_cache_serves_the_same_cells() {
+        let config = small_config().with_worker_threads(4);
+        let p = random_points(120, 121);
+        let q = random_points(120, 122);
+        let mut w = Workload::build(&p, &q, &config);
+        let (outcome, cache) = nm_cij_keep_cache(&mut w, &config);
+        assert!(!outcome.is_empty());
+        assert!(
+            !cache.is_empty(),
+            "the deposited reuse buffer holds the last leaves' cells"
+        );
+        assert_eq!(
+            cache.hits(),
+            outcome.nm.p_cells_reused,
+            "deposited cache counters match the outcome"
         );
     }
 }

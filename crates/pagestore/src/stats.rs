@@ -1,31 +1,36 @@
 //! I/O statistics counters.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared, interior-mutable I/O counters.
+/// Shared, thread-safe I/O counters.
 ///
 /// One `IoStats` instance is shared (via [`IoStats::clone`], which is a
 /// reference-count bump) between the page store, the buffer manager and any
 /// algorithm that wants to attribute costs. The experiment harness takes
 /// [`IoSnapshot`]s before and after a phase and subtracts them to obtain the
 /// phase cost (e.g. MAT vs JOIN in Figure 7).
+///
+/// The counters are `AtomicU64`-backed (relaxed ordering — they are pure
+/// event counts with no synchronisation role), so an `IoStats` handle is
+/// `Send + Sync` and concurrent leaf units of the parallel NM-CIJ path can
+/// attribute page accesses without data races.
 #[derive(Debug, Clone, Default)]
 pub struct IoStats {
-    inner: Rc<Counters>,
+    inner: Arc<Counters>,
 }
 
 #[derive(Debug, Default)]
 struct Counters {
-    physical_reads: Cell<u64>,
-    physical_writes: Cell<u64>,
-    logical_reads: Cell<u64>,
-    logical_writes: Cell<u64>,
-    buffer_hits: Cell<u64>,
-    cell_cache_hits: Cell<u64>,
-    cell_cache_misses: Cell<u64>,
-    cell_cache_evictions: Cell<u64>,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    logical_reads: AtomicU64,
+    logical_writes: AtomicU64,
+    buffer_hits: AtomicU64,
+    cell_cache_hits: AtomicU64,
+    cell_cache_misses: AtomicU64,
+    cell_cache_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the counters, used to compute per-phase deltas.
@@ -105,68 +110,54 @@ impl IoStats {
 
     /// Records a logical read that missed the buffer (a physical read).
     pub fn record_miss(&self) {
-        self.inner
-            .logical_reads
-            .set(self.inner.logical_reads.get() + 1);
-        self.inner
-            .physical_reads
-            .set(self.inner.physical_reads.get() + 1);
+        self.inner.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.physical_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a logical read served from the buffer.
     pub fn record_hit(&self) {
-        self.inner
-            .logical_reads
-            .set(self.inner.logical_reads.get() + 1);
-        self.inner.buffer_hits.set(self.inner.buffer_hits.get() + 1);
+        self.inner.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.buffer_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a logical write request.
     pub fn record_logical_write(&self) {
-        self.inner
-            .logical_writes
-            .set(self.inner.logical_writes.get() + 1);
+        self.inner.logical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a physical page write (dirty eviction or flush).
     pub fn record_physical_write(&self) {
-        self.inner
-            .physical_writes
-            .set(self.inner.physical_writes.get() + 1);
+        self.inner.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a Voronoi cell served from a reuse buffer.
     pub fn record_cell_cache_hit(&self) {
-        self.inner
-            .cell_cache_hits
-            .set(self.inner.cell_cache_hits.get() + 1);
+        self.inner.cell_cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a Voronoi-cell request that had to be computed.
     pub fn record_cell_cache_miss(&self) {
-        self.inner
-            .cell_cache_misses
-            .set(self.inner.cell_cache_misses.get() + 1);
+        self.inner.cell_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a cell evicted from a bounded reuse buffer.
     pub fn record_cell_cache_eviction(&self) {
         self.inner
             .cell_cache_evictions
-            .set(self.inner.cell_cache_evictions.get() + 1);
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            physical_reads: self.inner.physical_reads.get(),
-            physical_writes: self.inner.physical_writes.get(),
-            logical_reads: self.inner.logical_reads.get(),
-            logical_writes: self.inner.logical_writes.get(),
-            buffer_hits: self.inner.buffer_hits.get(),
-            cell_cache_hits: self.inner.cell_cache_hits.get(),
-            cell_cache_misses: self.inner.cell_cache_misses.get(),
-            cell_cache_evictions: self.inner.cell_cache_evictions.get(),
+            physical_reads: self.inner.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.inner.physical_writes.load(Ordering::Relaxed),
+            logical_reads: self.inner.logical_reads.load(Ordering::Relaxed),
+            logical_writes: self.inner.logical_writes.load(Ordering::Relaxed),
+            buffer_hits: self.inner.buffer_hits.load(Ordering::Relaxed),
+            cell_cache_hits: self.inner.cell_cache_hits.load(Ordering::Relaxed),
+            cell_cache_misses: self.inner.cell_cache_misses.load(Ordering::Relaxed),
+            cell_cache_evictions: self.inner.cell_cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -180,19 +171,19 @@ impl IoStats {
     /// The buffer contents are *not* affected; use this together with
     /// clearing the buffer when a fully cold-start measurement is needed.
     pub fn reset(&self) {
-        self.inner.physical_reads.set(0);
-        self.inner.physical_writes.set(0);
-        self.inner.logical_reads.set(0);
-        self.inner.logical_writes.set(0);
-        self.inner.buffer_hits.set(0);
-        self.inner.cell_cache_hits.set(0);
-        self.inner.cell_cache_misses.set(0);
-        self.inner.cell_cache_evictions.set(0);
+        self.inner.physical_reads.store(0, Ordering::Relaxed);
+        self.inner.physical_writes.store(0, Ordering::Relaxed);
+        self.inner.logical_reads.store(0, Ordering::Relaxed);
+        self.inner.logical_writes.store(0, Ordering::Relaxed);
+        self.inner.buffer_hits.store(0, Ordering::Relaxed);
+        self.inner.cell_cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cell_cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cell_cache_evictions.store(0, Ordering::Relaxed);
     }
 
     /// Whether two handles share the same underlying counters.
     pub fn same_counters(&self, other: &IoStats) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -296,5 +287,26 @@ mod tests {
         assert_eq!(delta.cell_cache_misses, 1);
         assert_eq!(delta.cell_cache_hits, 2);
         assert_eq!(IoSnapshot::default().cell_cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IoStats>();
+
+        // Concurrent attribution from several threads lands in one counter
+        // set without loss.
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        s.record_miss();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().physical_reads, 4_000);
     }
 }

@@ -154,6 +154,35 @@ impl<T: Clone> PageStore<T> {
         self.admit(id, true);
     }
 
+    /// Accounts for a logical read of `id` **without** returning the
+    /// payload: the buffer is touched (admitting the page and evicting the
+    /// LRU victim exactly as [`PageStore::read`] would) and the hit or miss
+    /// is recorded in the shared [`IoStats`].
+    ///
+    /// This is the replay hook of the parallel NM-CIJ execution path:
+    /// workers read tree nodes from an immutable snapshot (via
+    /// [`PageStore::peek`]) and record the page ids they touch; the
+    /// coordinator then replays each leaf's trace through this method in
+    /// the sequential (Hilbert) leaf order, so buffer state and every
+    /// counter end up identical to a single-threaded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist, like [`PageStore::read`].
+    pub fn note_read(&mut self, id: PageId) {
+        assert!(
+            (id.0 as usize) < self.pages.len() && self.pages[id.0 as usize].is_some(),
+            "note_read of unallocated page"
+        );
+        match self.buffer.touch(id.as_key(), false) {
+            Admission::Hit => self.stats.record_hit(),
+            Admission::Miss { evicted } => {
+                self.stats.record_miss();
+                self.handle_eviction(evicted);
+            }
+        }
+    }
+
     /// Reads a page **without** touching the buffer or the counters.
     ///
     /// Used only for assertions and for in-memory oracles; never by the
@@ -333,6 +362,41 @@ mod tests {
         let mut s = store(2);
         let a = s.allocate(1);
         let _ = s.read(PageId(a.0 + 7));
+    }
+
+    #[test]
+    fn note_read_replays_exactly_like_read() {
+        // Two stores with identical contents: replaying a page-id trace via
+        // note_read must leave counters and buffer state identical to
+        // performing the reads directly.
+        let mut live = store(2);
+        let mut replay = store(2);
+        let ids: Vec<PageId> = (0..4).map(|i| live.allocate(i)).collect();
+        for i in 0..4 {
+            replay.allocate(i);
+        }
+        live.stats().reset();
+        replay.stats().reset();
+        let trace = [ids[0], ids[1], ids[0], ids[2], ids[3], ids[1], ids[0]];
+        for &id in &trace {
+            let _ = live.read(id);
+        }
+        for &id in &trace {
+            replay.note_read(id);
+        }
+        assert_eq!(live.stats().snapshot(), replay.stats().snapshot());
+        assert_eq!(
+            live.buffer.keys_mru_to_lru(),
+            replay.buffer.keys_mru_to_lru()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn note_read_of_unallocated_page_panics() {
+        let mut s = store(2);
+        let a = s.allocate(1);
+        s.note_read(PageId(a.0 + 9));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod join;
 pub mod nn;
 pub mod node;
 pub mod object;
+pub mod reader;
 pub mod tree;
 
 pub use closest_pairs::k_closest_pairs;
@@ -37,4 +38,5 @@ pub use join::{distance_join, intersection_join, intersection_join_pairs, IdPair
 pub use nn::{MinDistHeap, MinHeapItem, NearestNeighbourIter};
 pub use node::{ChildEntry, Node};
 pub use object::{CellObject, ObjectId, PointObject, RTreeObject};
+pub use reader::{NodeReader, TracedReader};
 pub use tree::{RTree, RTreeConfig};

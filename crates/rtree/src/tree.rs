@@ -117,9 +117,23 @@ impl<D: RTreeObject> RTree<D> {
         self.store.read(page)
     }
 
-    /// Reads a node without counting the access (oracles/tests only).
+    /// Reads a node without counting the access (oracles/tests only, and
+    /// the snapshot reads of [`TracedReader`](crate::reader::TracedReader)
+    /// whose accounting is deferred to [`RTree::replay_read`]).
     pub fn peek_node(&self, page: PageId) -> &Node<D> {
         self.store.peek(page)
+    }
+
+    /// Accounts for a read of `page` without returning the payload: the LRU
+    /// buffer is touched and the hit/miss recorded exactly as
+    /// [`RTree::read_node`] would.
+    ///
+    /// Used to replay the access traces recorded by
+    /// [`TracedReader`](crate::reader::TracedReader) in sequential order, so
+    /// the parallel NM-CIJ path reports the same page accesses and leaves
+    /// the same buffer state as a single-threaded run.
+    pub fn replay_read(&mut self, page: PageId) {
+        self.store.note_read(page);
     }
 
     /// Sets the LRU buffer capacity in pages.

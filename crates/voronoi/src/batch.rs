@@ -11,7 +11,7 @@
 use crate::single::can_refine;
 use cij_geom::{ConvexPolygon, Point, Rect};
 use cij_pagestore::PageId;
-use cij_rtree::{MinDistHeap, MinHeapItem, PointObject, RTree, RTreeObject};
+use cij_rtree::{MinDistHeap, MinHeapItem, NodeReader, PointObject, RTreeObject};
 
 enum HeapEntry {
     Node { page: PageId, mbr: Rect },
@@ -51,8 +51,8 @@ impl CellStore for NoCache {
 ///
 /// The returned vector is aligned with `group`, exactly like
 /// [`batch_voronoi`].
-pub fn batch_voronoi_cached<C: CellStore>(
-    tree: &mut RTree<PointObject>,
+pub fn batch_voronoi_cached<T: NodeReader<PointObject>, C: CellStore>(
+    tree: &mut T,
     group: &[PointObject],
     domain: &Rect,
     cache: &mut C,
@@ -95,8 +95,13 @@ pub fn batch_voronoi_cached<C: CellStore>(
 ///
 /// The returned vector is aligned with `group`. Group members do constrain
 /// each other (they are part of `P`); a member never constrains itself.
-pub fn batch_voronoi(
-    tree: &mut RTree<PointObject>,
+///
+/// Generic over [`NodeReader`], so the same traversal runs in counted mode
+/// (`&mut RTree`) and in the traced snapshot mode of the parallel NM-CIJ
+/// path ([`cij_rtree::TracedReader`]); the traversal logic — and therefore
+/// the computed cells and the page-access sequence — is identical in both.
+pub fn batch_voronoi<T: NodeReader<PointObject>>(
+    tree: &mut T,
     group: &[PointObject],
     domain: &Rect,
 ) -> Vec<ConvexPolygon> {
@@ -164,7 +169,7 @@ pub fn batch_voronoi(
                 if !any_can_refine(&mbr, &cells) {
                     continue;
                 }
-                let node = tree.read_node(page);
+                let node = tree.read(page);
                 if node.is_leaf() {
                     for o in node.objects {
                         if any_can_refine(&o.mbr(), &cells) {
@@ -197,7 +202,7 @@ mod tests {
     use super::*;
     use crate::brute::brute_force_cell;
     use crate::single::single_voronoi;
-    use cij_rtree::RTreeConfig;
+    use cij_rtree::{RTree, RTreeConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -5,13 +5,17 @@
 use cij::prelude::*;
 use cij::rtree::RTreeConfig;
 
-/// Small pages so even modest datasets produce multi-level trees.
+/// Small pages so even modest datasets produce multi-level trees; honours
+/// the `CIJ_WORKER_THREADS` override CI uses to run this suite a second
+/// time over the parallel NM-CIJ path.
 fn test_config() -> CijConfig {
-    CijConfig::default().with_rtree(RTreeConfig {
-        page_size: 512,
-        min_fill: 0.4,
-        max_entries: 64,
-    })
+    CijConfig::default()
+        .with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+        .with_env_overrides()
 }
 
 fn clustered(n: usize, seed: u64) -> Vec<Point> {
@@ -112,8 +116,8 @@ fn bounded_cache_stays_within_capacity_while_still_reusing() {
 /// This is the regression tripwire for the streaming refactor: a blocking
 /// implementation (compute everything, then iterate) pays ~100 % of the I/O
 /// before the first pair and fails this immediately.
-fn assert_first_pair_within_fraction(n: usize, seed: u64, fraction: f64) {
-    let engine = QueryEngine::new(test_config());
+fn assert_first_pair_within_fraction(n: usize, seed: u64, fraction: f64, threads: usize) {
+    let engine = QueryEngine::new(test_config().with_worker_threads(threads));
     let p = uniform_points(n, &Rect::DOMAIN, seed);
     let q = uniform_points(n, &Rect::DOMAIN, seed + 1);
 
@@ -130,8 +134,9 @@ fn assert_first_pair_within_fraction(n: usize, seed: u64, fraction: f64) {
     );
     assert!(
         (at_first as f64) <= fraction * total as f64,
-        "first pair cost {at_first} of {total} total accesses — exceeds the \
-         non-blocking budget of {fraction} (did the stream regress to blocking?)"
+        "first pair cost {at_first} of {total} total accesses with {threads} worker \
+         thread(s) — exceeds the non-blocking budget of {fraction} (did the stream \
+         regress to blocking?)"
     );
     // The stream completes with the full result.
     let produced = 1 + stream.count();
@@ -146,9 +151,18 @@ fn nm_first_pair_is_yielded_within_a_small_io_fraction() {
     // The fraction is configurable per call site; 25 % is a loose ceiling —
     // measured behaviour is far below it, while a blocking implementation
     // sits at ~100 %.
-    assert_first_pair_within_fraction(800, 9101, 0.25);
+    assert_first_pair_within_fraction(800, 9101, 0.25, 1);
     // Tighter budget at a larger size: laziness must not degrade with scale.
-    assert_first_pair_within_fraction(1_600, 9103, 0.15);
+    assert_first_pair_within_fraction(1_600, 9103, 0.15, 1);
+}
+
+#[test]
+fn nm_first_pair_stays_cheap_with_parallel_workers() {
+    // The parallel path processes leaves in bounded chunks whose width
+    // ramps up from a single leaf, so the non-blocking budget must hold
+    // for it too — parallelism must not regress to blocking.
+    assert_first_pair_within_fraction(800, 9101, 0.25, 4);
+    assert_first_pair_within_fraction(1_600, 9103, 0.15, 4);
 }
 
 #[test]
