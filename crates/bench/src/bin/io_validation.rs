@@ -1,0 +1,5 @@
+//! Runs the I/O-validation experiment (counted page accesses vs actual
+//! backend bytes, heap vs file storage).
+fn main() {
+    cij_bench::experiments::io_validation::run(&cij_bench::Args::capture());
+}

@@ -26,5 +26,6 @@ fn main() {
     experiments::table3::run(&forward(0.02));
     experiments::cache_sweep::run(&forward(0.02));
     experiments::scaling::run(&forward(0.02));
+    experiments::io_validation::run(&forward(0.02));
     println!("\nAll experiments completed.");
 }

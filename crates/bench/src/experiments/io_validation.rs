@@ -1,0 +1,153 @@
+//! I/O-validation experiment: counted page accesses vs. actual file bytes.
+//!
+//! The paper's cost metric is *counted* page accesses over a simulated
+//! disk. With the storage-backend refactor the same join can run over the
+//! real-file backend, which makes the count falsifiable: every buffer miss
+//! must transfer exactly one `page_size`-byte frame from the file, so
+//!
+//! ```text
+//! bytes_read == physical_reads × page_size
+//! ```
+//!
+//! must hold on a cold *and* on a warm buffer, and the heap- and
+//! file-backed runs must agree on every result and every counter (the
+//! parity guarantee). This experiment runs NM-CIJ once cold and once warm
+//! per backend and checks both invariants; a violation panics, so the CI
+//! smoke run fails on an accounting regression.
+
+use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
+use cij_core::{Algorithm, CijOutcome, QueryEngine, StorageBackend};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use cij_pagestore::BackendIo;
+use std::time::Instant;
+
+/// One measured phase: the stats/backend deltas of a cold or warm join.
+struct Phase {
+    label: &'static str,
+    physical_reads: u64,
+    logical_reads: u64,
+    bytes_read: u64,
+    wall: f64,
+}
+
+/// Runs the I/O-validation experiment. `--scale` scales the 100 K default
+/// cardinality.
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.02);
+    let n = scaled(100_000, scale);
+    let p = uniform_points(n, &Rect::DOMAIN, 13_001);
+    let q = uniform_points(n, &Rect::DOMAIN, 13_002);
+
+    print_header(
+        &format!("I/O validation: NM-CIJ logical accesses vs actual bytes, |P| = |Q| = {n}"),
+        &[
+            "backend",
+            "phase",
+            "logical reads",
+            "physical reads",
+            "bytes read",
+            "bytes/page",
+            "wall (s)",
+        ],
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    // Cold and warm outcomes of the first backend, compared phase-wise
+    // against every later backend (cold vs cold, warm vs warm).
+    let mut reference: Option<Vec<CijOutcome>> = None;
+    for backend in StorageBackend::ALL {
+        let config = paper_config().with_storage_backend(backend);
+        let page_size = config.rtree.page_size as u64;
+        let engine = QueryEngine::new(config);
+        let mut w = engine.build_workload(&p, &q);
+
+        let mut outcomes: Vec<CijOutcome> = Vec::new();
+        let cold = measure("cold", &engine, &mut w, &mut outcomes);
+        // Second run on the warm buffer: hits rise, misses (and bytes) drop.
+        let warm = measure("warm", &engine, &mut w, &mut outcomes);
+
+        for phase in [&cold, &warm] {
+            let per_page = if phase.physical_reads == 0 {
+                0.0
+            } else {
+                phase.bytes_read as f64 / phase.physical_reads as f64
+            };
+            print_row(&[
+                backend.to_string(),
+                phase.label.to_string(),
+                phase.logical_reads.to_string(),
+                phase.physical_reads.to_string(),
+                phase.bytes_read.to_string(),
+                format!("{per_page:.1}"),
+                format!("{:.3}", phase.wall),
+            ]);
+            if phase.bytes_read != phase.physical_reads * page_size {
+                violations.push(format!(
+                    "{backend}/{}: {} bytes read but {} physical reads × {page_size} B pages",
+                    phase.label, phase.bytes_read, phase.physical_reads
+                ));
+            }
+        }
+        if warm.physical_reads >= cold.physical_reads {
+            violations.push(format!(
+                "{backend}: warm run ({} misses) not cheaper than cold ({} misses)",
+                warm.physical_reads, cold.physical_reads
+            ));
+        }
+
+        // Heap/file parity: identical pairs and counted accesses, phase by
+        // phase.
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(base) => {
+                for (phase, (outcome, base)) in outcomes.iter().zip(base).enumerate() {
+                    let label = if phase == 0 { "cold" } else { "warm" };
+                    if outcome.pairs != base.pairs {
+                        violations.push(format!("{backend}/{label}: pair sequence diverged"));
+                    }
+                    if outcome.page_accesses() != base.page_accesses() {
+                        violations.push(format!(
+                            "{backend}/{label}: page accesses {} vs reference {}",
+                            outcome.page_accesses(),
+                            base.page_accesses()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "shape check: bytes/page must read exactly {} on every row (each counted miss \
+         moves one full frame), warm < cold, and both backends agree pair-for-pair",
+        paper_config().rtree.page_size
+    );
+    assert!(
+        violations.is_empty(),
+        "counted page accesses diverged from actual backend I/O: {violations:?}"
+    );
+}
+
+fn measure(
+    label: &'static str,
+    engine: &QueryEngine,
+    w: &mut cij_core::Workload,
+    outcomes: &mut Vec<CijOutcome>,
+) -> Phase {
+    let stats_before = w.stats.snapshot();
+    let io_before: BackendIo = w.backend_io();
+    let start = Instant::now();
+    let outcome = engine.run(w, Algorithm::NmCij);
+    let wall = secs(start.elapsed());
+    let stats = w.stats.snapshot().since(&stats_before);
+    let io = w.backend_io().since(&io_before);
+    outcomes.push(outcome);
+    Phase {
+        label,
+        physical_reads: stats.physical_reads,
+        logical_reads: stats.logical_reads,
+        bytes_read: io.bytes_read,
+        wall,
+    }
+}

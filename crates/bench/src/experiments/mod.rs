@@ -19,6 +19,7 @@
 //! |---|---|
 //! | [`cache_sweep`] | Fig. 8a-style sweep of the Section IV-B reuse-buffer capacity (`cell_cache_capacity`) |
 //! | [`scaling`] | NM-CIJ thread scaling (`worker_threads` ∈ {1, 2, 4, 8}): speedup + sequential-parity check |
+//! | [`io_validation`] | Heap vs file `StorageBackend`: counted page accesses vs actual bytes read, cold and warm buffer, plus backend parity |
 
 pub mod cache_sweep;
 pub mod fig10;
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod io_validation;
 pub mod scaling;
 pub mod table2;
 pub mod table3;

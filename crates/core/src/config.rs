@@ -1,6 +1,7 @@
 //! Configuration shared by the CIJ algorithms.
 
 use cij_geom::Rect;
+use cij_pagestore::StorageBackend;
 use cij_rtree::RTreeConfig;
 
 /// Configuration of a CIJ evaluation.
@@ -12,6 +13,17 @@ pub struct CijConfig {
     /// R-tree configuration used for any tree the algorithms build
     /// themselves (the Voronoi R-trees `R'P`/`R'Q`).
     pub rtree: RTreeConfig,
+    /// Storage backend for every page store this configuration builds — the
+    /// input trees of a [`Workload`](crate::workload::Workload), the
+    /// materialised Voronoi R-trees, the multiway trees.
+    ///
+    /// [`StorageBackend::Heap`] (default) keeps page frames in memory, the
+    /// historical simulated disk; [`StorageBackend::File`] keeps them in a
+    /// real file accessed with positioned I/O. The choice cannot affect
+    /// results or page-access counts (the heap/file parity guarantee of
+    /// `cij_pagestore`) — it decides whether the counted accesses move real
+    /// bytes, which the `io_validation` bench experiment cross-checks.
+    pub storage_backend: StorageBackend,
     /// Buffer capacity, as a fraction of each tree's size, applied to trees
     /// the algorithms build themselves (2 % in the paper).
     pub buffer_fraction: f64,
@@ -63,6 +75,7 @@ impl Default for CijConfig {
         CijConfig {
             domain: Rect::DOMAIN,
             rtree: RTreeConfig::default(),
+            storage_backend: StorageBackend::Heap,
             buffer_fraction: cij_pagestore::DEFAULT_BUFFER_FRACTION,
             min_buffer_pages: 40,
             reuse_cells: true,
@@ -88,6 +101,13 @@ impl CijConfig {
     /// Sets the R-tree configuration for algorithm-built trees.
     pub fn with_rtree(mut self, rtree: RTreeConfig) -> Self {
         self.rtree = rtree;
+        self
+    }
+
+    /// Sets the storage backend for every page store built under this
+    /// configuration (see [`CijConfig::storage_backend`]).
+    pub fn with_storage_backend(mut self, storage: StorageBackend) -> Self {
+        self.storage_backend = storage;
         self
     }
 
@@ -124,17 +144,19 @@ impl CijConfig {
     }
 
     /// Applies environment overrides: `CIJ_WORKER_THREADS=<n>` sets
-    /// [`CijConfig::worker_threads`].
+    /// [`CijConfig::worker_threads`] and `CIJ_STORAGE=heap|file` sets
+    /// [`CijConfig::storage_backend`].
     ///
     /// Intended for harnesses (CI runs the whole test suite a second time
-    /// with `CIJ_WORKER_THREADS=4`); library behaviour never depends on the
+    /// with `CIJ_WORKER_THREADS=4` and a third time with
+    /// `CIJ_STORAGE=file`); library behaviour never depends on the
     /// environment unless a caller opts in through this method.
     ///
     /// # Panics
     ///
-    /// Panics when the variable is set but not a valid thread count — a
-    /// harness that asks for the parallel path must never silently fall
-    /// back to the sequential one.
+    /// Panics when a variable is set but invalid — a harness that asks for
+    /// the parallel path or the file backend must never silently fall back
+    /// to the default one.
     pub fn with_env_overrides(mut self) -> Self {
         if let Ok(value) = std::env::var("CIJ_WORKER_THREADS") {
             match value.parse() {
@@ -144,6 +166,12 @@ impl CijConfig {
                 // who explicitly want sequential).
                 Ok(threads) if threads >= 1 => self.worker_threads = threads,
                 _ => panic!("CIJ_WORKER_THREADS must be a thread count >= 1, got {value:?}"),
+            }
+        }
+        if let Ok(value) = std::env::var("CIJ_STORAGE") {
+            match value.parse() {
+                Ok(storage) => self.storage_backend = storage,
+                Err(err) => panic!("CIJ_STORAGE: {err}"),
             }
         }
         self
@@ -200,6 +228,18 @@ mod tests {
         assert_eq!(c.effective_worker_threads(), 4);
         // Zero degrades to the sequential path, never to zero workers.
         assert_eq!(c.with_worker_threads(0).effective_worker_threads(), 1);
+    }
+
+    #[test]
+    fn storage_backend_default_and_builder() {
+        let c = CijConfig::default();
+        assert_eq!(
+            c.storage_backend,
+            StorageBackend::Heap,
+            "the simulated disk stays the default"
+        );
+        let c = c.with_storage_backend(StorageBackend::File);
+        assert_eq!(c.storage_backend, StorageBackend::File);
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod workload;
 
 pub use brute::brute_force_cij;
 pub use cell_cache::CellCache;
+pub use cij_pagestore::StorageBackend;
 pub use config::CijConfig;
 pub use engine::{CijExecutor, FmExecutor, NmExecutor, PairStream, PmExecutor, QueryEngine};
 pub use filter::{batch_conditional_filter, FilterStats};

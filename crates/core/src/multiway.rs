@@ -64,7 +64,13 @@ pub fn multiway_cij(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayOutcome 
     let mut trees: Vec<RTree<PointObject>> = sets
         .iter()
         .map(|points| {
-            let mut t = RTree::bulk_load(config.rtree, PointObject::from_points(points));
+            let mut t = RTree::bulk_load_with_stats_on(
+                config.rtree,
+                cij_pagestore::IoStats::new(),
+                PointObject::from_points(points),
+                cij_rtree::bulk::DEFAULT_FILL,
+                config.storage_backend,
+            );
             t.set_buffer_fraction(config.buffer_fraction);
             t
         })

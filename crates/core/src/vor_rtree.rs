@@ -35,7 +35,8 @@ pub fn build_voronoi_rtree(
     config: &CijConfig,
     stats: IoStats,
 ) -> RTree<CellObject> {
-    let mut tree = RTree::bulk_load_with_stats(config.rtree, stats, cells, 1.0);
+    let mut tree =
+        RTree::bulk_load_with_stats_on(config.rtree, stats, cells, 1.0, config.storage_backend);
     // Materialisation cost = writing the nodes of the new tree to disk.
     tree.flush();
     tree.set_buffer_pages(config.buffer_pages_for(tree.num_pages()));

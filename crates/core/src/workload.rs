@@ -27,17 +27,19 @@ impl Workload {
     /// ready-to-measure workload.
     pub fn build(p: &[Point], q: &[Point], config: &CijConfig) -> Workload {
         let stats = IoStats::new();
-        let mut rp = RTree::bulk_load_with_stats(
+        let mut rp = RTree::bulk_load_with_stats_on(
             config.rtree,
             stats.clone(),
             PointObject::from_points(p),
             1.0,
+            config.storage_backend,
         );
-        let mut rq = RTree::bulk_load_with_stats(
+        let mut rq = RTree::bulk_load_with_stats_on(
             config.rtree,
             stats.clone(),
             PointObject::from_points(q),
             1.0,
+            config.storage_backend,
         );
         rp.set_buffer_pages(config.buffer_pages_for(rp.num_pages()));
         rq.set_buffer_pages(config.buffer_pages_for(rq.num_pages()));
@@ -53,6 +55,19 @@ impl Workload {
     /// trees exactly once (footnote 3 of the paper).
     pub fn lower_bound_io(&self) -> u64 {
         (self.rp.num_pages() + self.rq.num_pages()) as u64
+    }
+
+    /// Combined backend byte counters of the two *input* trees `RP`/`RQ`:
+    /// the bytes actually transferred by their storage backends.
+    ///
+    /// Covers every byte of an NM-CIJ run (it touches only the input
+    /// trees), so there `bytes_read == physical_reads × page_size` against
+    /// [`Workload::stats`]. FM/PM additionally materialise Voronoi R-trees
+    /// whose stores share the *counters* of [`Workload::stats`] but not
+    /// these byte totals — compare against the Voronoi trees' own
+    /// [`backend_io`](cij_rtree::RTree::backend_io) for those.
+    pub fn backend_io(&self) -> cij_pagestore::BackendIo {
+        self.rp.backend_io().plus(&self.rq.backend_io())
     }
 
     /// Resets counters and buffers so a fresh measurement starts cold.

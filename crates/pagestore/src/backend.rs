@@ -1,0 +1,533 @@
+//! Pluggable page-frame storage: the [`PageBackend`] trait and its two
+//! implementations, [`HeapBackend`] (in-memory frames, the historical
+//! simulated disk) and [`FileBackend`] (a real file accessed with positioned
+//! reads and writes).
+//!
+//! The backend sits *below* the LRU buffer and the [`IoStats`]
+//! accounting of [`PageStore`](crate::PageStore): it only moves fixed-size
+//! byte frames. Which backend is plugged in therefore cannot change any
+//! logical read/write count, buffer hit, eviction or page-access total — the
+//! **heap/file parity guarantee** asserted by the integration tests. What
+//! the backend *adds* is a second, independent measurement: the
+//! [`BackendIo`] byte counters record how many bytes were actually
+//! transferred, so the paper's counted page accesses can be validated
+//! against real I/O (`bytes_read == physical_reads × page_size`).
+//!
+//! [`IoStats`]: crate::IoStats
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which [`PageBackend`] a [`PageStore`](crate::PageStore) uses for its
+/// frames.
+///
+/// This is the configuration-level knob ([`PageStoreConfig::backend`],
+/// threaded up through `cij_core::CijConfig::storage_backend` and the
+/// `CIJ_STORAGE` environment override); the trait object itself is created
+/// by [`StorageBackend::create`].
+///
+/// [`PageStoreConfig::backend`]: crate::PageStoreConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// Frames live in memory — the simulated disk the reproduction started
+    /// with. No persistence, no real I/O; byte counters still account every
+    /// frame transfer.
+    #[default]
+    Heap,
+    /// Frames live in a real file (anonymous, in the system temp directory)
+    /// accessed with `read_at`/`write_at`, so every buffer miss and
+    /// write-back is an actual positioned disk I/O.
+    File,
+}
+
+impl StorageBackend {
+    /// Every selectable backend, for sweeps and tests.
+    pub const ALL: [StorageBackend; 2] = [StorageBackend::Heap, StorageBackend::File];
+
+    /// Short lowercase name, the same token [`StorageBackend::from_str`]
+    /// parses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageBackend::Heap => "heap",
+            StorageBackend::File => "file",
+        }
+    }
+
+    /// Creates a fresh, empty backend of this kind for `frame_size`-byte
+    /// frames.
+    pub fn create(self, frame_size: usize) -> Box<dyn PageBackend> {
+        match self {
+            StorageBackend::Heap => Box::new(HeapBackend::new(frame_size)),
+            StorageBackend::File => Box::new(FileBackend::anonymous(frame_size)),
+        }
+    }
+}
+
+impl fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for StorageBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "heap" | "mem" | "memory" => Ok(StorageBackend::Heap),
+            "file" | "disk" => Ok(StorageBackend::File),
+            other => Err(format!(
+                "unknown storage backend {other:?} (expected \"heap\" or \"file\")"
+            )),
+        }
+    }
+}
+
+/// Byte counters of a [`PageBackend`]: the *actual* I/O volume, as opposed
+/// to the logical page-access counts of [`IoStats`](crate::IoStats).
+///
+/// Both counters advance by exactly one frame size per operation, so for a
+/// store whose accounting is intact, `bytes_read == physical_reads ×
+/// page_size` — the invariant the `io_validation` bench experiment checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendIo {
+    /// Bytes read from the backing storage.
+    pub bytes_read: u64,
+    /// Bytes written to the backing storage.
+    pub bytes_written: u64,
+}
+
+impl BackendIo {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &BackendIo) -> BackendIo {
+        BackendIo {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+
+    /// Sum of two counter sets (e.g. the two trees of a workload).
+    pub fn plus(&self, other: &BackendIo) -> BackendIo {
+        BackendIo {
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// Storage of fixed-size byte frames, one per [`PageId`](crate::PageId).
+///
+/// The [`PageStore`](crate::PageStore) drives the backend under write-back
+/// semantics: `allocate` only reserves a frame slot (the first `write`
+/// happens when the page is evicted from the LRU buffer or flushed), `read`
+/// is only issued on buffer misses, and a frame is never read before its
+/// first write — implementations are encouraged to assert that invariant,
+/// because violating it means the store's accounting has drifted.
+pub trait PageBackend: fmt::Debug + Send + Sync {
+    /// Which configuration knob selects this backend.
+    fn kind(&self) -> StorageBackend;
+
+    /// Size of one frame in bytes (the page size).
+    fn frame_size(&self) -> usize;
+
+    /// Reserves the next frame slot and returns its index. Indices are
+    /// dense, starting at 0; freed slots are not recycled.
+    fn allocate(&mut self) -> u32;
+
+    /// Reads the frame at `index` into `frame` (`frame.len() ==
+    /// frame_size()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was never written or was freed.
+    fn read(&mut self, index: u32, frame: &mut [u8]);
+
+    /// Writes the frame at `index` (`frame.len() == frame_size()`).
+    fn write(&mut self, index: u32, frame: &[u8]);
+
+    /// Marks a frame slot as freed; it must not be read again.
+    fn free(&mut self, index: u32);
+
+    /// Makes previous writes durable where the medium supports it (no-op
+    /// for the heap backend).
+    fn flush(&mut self);
+
+    /// Bytes transferred so far.
+    fn io(&self) -> BackendIo;
+
+    /// An independent copy of this backend with identical contents (used by
+    /// `PageStore::clone`).
+    fn clone_backend(&self) -> Box<dyn PageBackend>;
+}
+
+/// The in-memory backend: frames in a `Vec`, byte-for-byte the simulated
+/// disk this reproduction always had — plus the [`BackendIo`] counters.
+#[derive(Debug, Clone, Default)]
+pub struct HeapBackend {
+    frame_size: usize,
+    frames: Vec<Option<Box<[u8]>>>,
+    io: BackendIo,
+}
+
+impl HeapBackend {
+    /// Creates an empty heap backend for `frame_size`-byte frames.
+    pub fn new(frame_size: usize) -> Self {
+        HeapBackend {
+            frame_size,
+            frames: Vec::new(),
+            io: BackendIo::default(),
+        }
+    }
+}
+
+impl PageBackend for HeapBackend {
+    fn kind(&self) -> StorageBackend {
+        StorageBackend::Heap
+    }
+
+    fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    fn allocate(&mut self) -> u32 {
+        self.frames.push(None);
+        (self.frames.len() - 1) as u32
+    }
+
+    fn read(&mut self, index: u32, frame: &mut [u8]) {
+        let stored = self.frames[index as usize]
+            .as_ref()
+            .expect("backend read of a never-written or freed frame");
+        frame.copy_from_slice(stored);
+        self.io.bytes_read += self.frame_size as u64;
+    }
+
+    fn write(&mut self, index: u32, frame: &[u8]) {
+        assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
+        match &mut self.frames[index as usize] {
+            // Overwrite in place: no fresh allocation per write-back.
+            Some(existing) => existing.copy_from_slice(frame),
+            slot => *slot = Some(frame.into()),
+        }
+        self.io.bytes_written += self.frame_size as u64;
+    }
+
+    fn free(&mut self, index: u32) {
+        if let Some(slot) = self.frames.get_mut(index as usize) {
+            *slot = None;
+        }
+    }
+
+    fn flush(&mut self) {}
+
+    fn io(&self) -> BackendIo {
+        self.io
+    }
+
+    fn clone_backend(&self) -> Box<dyn PageBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// Monotonic discriminator for anonymous backing-file names (several stores
+/// are routinely alive at once — `RP`, `RQ`, Voronoi trees).
+static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The real-file backend: one frame per `page_size`-byte slot of a file,
+/// accessed with positioned I/O (`FileExt::read_at` / `write_at`).
+///
+/// [`FileBackend::anonymous`] creates the file in the system temp directory
+/// and immediately unlinks it, so the data lives exactly as long as the
+/// backend (kernel cleanup on drop or crash, nothing to clean up by hand).
+/// [`FileBackend::at_path`] keeps the file visible for inspection.
+///
+/// The `written` bitmap tracks which slots hold valid frames; reading a
+/// never-written slot panics instead of returning uninitialized file bytes,
+/// which is the backend-level symptom of broken write-back accounting.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    /// `Some` only for [`FileBackend::at_path`] backends (anonymous files
+    /// have no path once unlinked).
+    path: Option<PathBuf>,
+    frame_size: usize,
+    written: Vec<bool>,
+    io: BackendIo,
+}
+
+impl FileBackend {
+    /// Creates a backend over a fresh anonymous file in the system temp
+    /// directory (created, opened, unlinked).
+    pub fn anonymous(frame_size: usize) -> Self {
+        let serial = FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let name = format!("cij-pagestore-{}-{}.pages", std::process::id(), serial);
+        let path = std::env::temp_dir().join(name);
+        let backend = Self::open(&path, frame_size);
+        std::fs::remove_file(&path).expect("unlink anonymous pagestore file");
+        backend
+    }
+
+    /// Creates a backend over a visible file at `path` (truncated if it
+    /// exists). The file is *not* removed on drop.
+    pub fn at_path<P: AsRef<Path>>(path: P, frame_size: usize) -> Self {
+        let mut backend = Self::open(path.as_ref(), frame_size);
+        backend.path = Some(path.as_ref().to_path_buf());
+        backend
+    }
+
+    fn open(path: &Path, frame_size: usize) -> Self {
+        assert!(frame_size > 0, "frame size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("create pagestore file {}: {e}", path.display()));
+        FileBackend {
+            file,
+            path: None,
+            frame_size,
+            written: Vec::new(),
+            io: BackendIo::default(),
+        }
+    }
+
+    /// The backing file's path, when it has one ([`FileBackend::at_path`]).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn offset(&self, index: u32) -> u64 {
+        index as u64 * self.frame_size as u64
+    }
+}
+
+impl PageBackend for FileBackend {
+    fn kind(&self) -> StorageBackend {
+        StorageBackend::File
+    }
+
+    fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    fn allocate(&mut self) -> u32 {
+        self.written.push(false);
+        (self.written.len() - 1) as u32
+    }
+
+    fn read(&mut self, index: u32, frame: &mut [u8]) {
+        assert!(
+            self.written.get(index as usize).copied().unwrap_or(false),
+            "backend read of a never-written or freed frame"
+        );
+        self.file
+            .read_exact_at(frame, self.offset(index))
+            .unwrap_or_else(|e| panic!("read_at frame {index}: {e}"));
+        self.io.bytes_read += self.frame_size as u64;
+    }
+
+    fn write(&mut self, index: u32, frame: &[u8]) {
+        assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
+        self.file
+            .write_all_at(frame, self.offset(index))
+            .unwrap_or_else(|e| panic!("write_at frame {index}: {e}"));
+        self.written[index as usize] = true;
+        self.io.bytes_written += self.frame_size as u64;
+    }
+
+    fn free(&mut self, index: u32) {
+        if let Some(slot) = self.written.get_mut(index as usize) {
+            *slot = false;
+        }
+    }
+
+    fn flush(&mut self) {
+        // Counted page accesses — not durability — are what the experiments
+        // measure, but syncing keeps the backend honest as real storage.
+        self.file.sync_data().expect("sync pagestore file");
+    }
+
+    fn io(&self) -> BackendIo {
+        self.io
+    }
+
+    fn clone_backend(&self) -> Box<dyn PageBackend> {
+        // An independent copy: fresh anonymous file, every valid frame
+        // copied over. The copy is maintenance traffic, not measured I/O,
+        // so the byte counters transfer unchanged instead of growing.
+        let mut copy = FileBackend::anonymous(self.frame_size);
+        let mut frame = vec![0u8; self.frame_size];
+        for (index, &written) in self.written.iter().enumerate() {
+            copy.written.push(false);
+            if written {
+                self.file
+                    .read_exact_at(&mut frame, self.offset(index as u32))
+                    .unwrap_or_else(|e| panic!("clone read frame {index}: {e}"));
+                copy.file
+                    .write_all_at(&frame, copy.offset(index as u32))
+                    .unwrap_or_else(|e| panic!("clone write frame {index}: {e}"));
+                copy.written[index] = true;
+            }
+        }
+        copy.io = self.io;
+        Box::new(copy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut b: Box<dyn PageBackend>) -> Box<dyn PageBackend> {
+        let fs = b.frame_size();
+        let a = b.allocate();
+        let c = b.allocate();
+        assert_eq!((a, c), (0, 1));
+        let mut frame = vec![0u8; fs];
+        frame[0] = 0xAB;
+        frame[fs - 1] = 0xCD;
+        b.write(a, &frame);
+        frame[0] = 0x11;
+        b.write(c, &frame);
+        let mut out = vec![0u8; fs];
+        b.read(a, &mut out);
+        assert_eq!((out[0], out[fs - 1]), (0xAB, 0xCD));
+        b.read(c, &mut out);
+        assert_eq!(out[0], 0x11);
+        // Overwrite sticks.
+        frame[0] = 0x22;
+        b.write(a, &frame);
+        b.read(a, &mut out);
+        assert_eq!(out[0], 0x22);
+        b.flush();
+        let io = b.io();
+        assert_eq!(io.bytes_written, 3 * fs as u64);
+        assert_eq!(io.bytes_read, 3 * fs as u64);
+        b
+    }
+
+    #[test]
+    fn heap_backend_roundtrip_and_counters() {
+        let b = exercise(Box::new(HeapBackend::new(64)));
+        assert_eq!(b.kind(), StorageBackend::Heap);
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_counters() {
+        let b = exercise(Box::new(FileBackend::anonymous(64)));
+        assert_eq!(b.kind(), StorageBackend::File);
+    }
+
+    #[test]
+    fn file_backend_at_path_is_visible_and_frames_land_at_offsets() {
+        let path = std::env::temp_dir().join(format!(
+            "cij-backend-test-{}-{}.pages",
+            std::process::id(),
+            FILE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut b = FileBackend::at_path(&path, 16);
+            assert_eq!(b.path(), Some(path.as_path()));
+            let i0 = b.allocate();
+            let i1 = b.allocate();
+            b.write(i1, &[1u8; 16]);
+            b.write(i0, &[2u8; 16]);
+            b.flush();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 32);
+        assert!(bytes[..16].iter().all(|&x| x == 2));
+        assert!(bytes[16..].iter().all(|&x| x == 1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "never-written")]
+    fn heap_read_before_write_panics() {
+        let mut b = HeapBackend::new(8);
+        let i = b.allocate();
+        let mut out = vec![0u8; 8];
+        b.read(i, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "never-written")]
+    fn file_read_before_write_panics() {
+        let mut b = FileBackend::anonymous(8);
+        let i = b.allocate();
+        let mut out = vec![0u8; 8];
+        b.read(i, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "never-written")]
+    fn file_read_after_free_panics() {
+        let mut b = FileBackend::anonymous(8);
+        let i = b.allocate();
+        b.write(i, &[9u8; 8]);
+        b.free(i);
+        let mut out = vec![0u8; 8];
+        b.read(i, &mut out);
+    }
+
+    #[test]
+    fn clone_backend_is_independent_with_identical_contents() {
+        for kind in StorageBackend::ALL {
+            let mut b = kind.create(8);
+            let i = b.allocate();
+            b.write(i, &[7u8; 8]);
+            let mut copy = b.clone_backend();
+            assert_eq!(copy.kind(), kind);
+            assert_eq!(copy.io(), b.io());
+            // Divergent writes stay private to each copy.
+            copy.write(i, &[8u8; 8]);
+            let mut out = vec![0u8; 8];
+            b.read(i, &mut out);
+            assert_eq!(out, [7u8; 8], "{kind}: original mutated by clone");
+            copy.read(i, &mut out);
+            assert_eq!(out, [8u8; 8], "{kind}: clone lost its write");
+        }
+    }
+
+    #[test]
+    fn storage_backend_parses_and_prints() {
+        assert_eq!("heap".parse::<StorageBackend>(), Ok(StorageBackend::Heap));
+        assert_eq!("FILE".parse::<StorageBackend>(), Ok(StorageBackend::File));
+        assert_eq!(" disk ".parse::<StorageBackend>(), Ok(StorageBackend::File));
+        assert!("floppy".parse::<StorageBackend>().is_err());
+        assert_eq!(StorageBackend::File.to_string(), "file");
+        assert_eq!(StorageBackend::default(), StorageBackend::Heap);
+    }
+
+    #[test]
+    fn backend_io_deltas_and_sums() {
+        let a = BackendIo {
+            bytes_read: 10,
+            bytes_written: 4,
+        };
+        let b = BackendIo {
+            bytes_read: 25,
+            bytes_written: 4,
+        };
+        assert_eq!(
+            b.since(&a),
+            BackendIo {
+                bytes_read: 15,
+                bytes_written: 0
+            }
+        );
+        assert_eq!(
+            a.plus(&b),
+            BackendIo {
+                bytes_read: 35,
+                bytes_written: 8
+            }
+        );
+    }
+}

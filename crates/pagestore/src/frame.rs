@@ -1,0 +1,276 @@
+//! Page-frame serialization: the [`PagePayload`] codec contract and the
+//! little-endian cursor helpers payload implementations build on.
+//!
+//! A [`PageBackend`](crate::backend::PageBackend) stores **fixed-size byte
+//! frames**, so every payload type kept in a [`PageStore`](crate::PageStore)
+//! must round-trip through bytes. The codec is the point where the paper's
+//! 1 KB page size stops being a bookkeeping fiction: a payload whose encoding
+//! does not fit its frame is rejected ([`FrameOverflow`]) instead of being
+//! silently stored, so node fanout genuinely respects the page budget.
+
+use std::fmt;
+
+/// Error raised when an encoded payload does not fit its page frame.
+///
+/// The page store treats this as a logic error in the client (its node-size
+/// budgeting let an oversized payload through) and panics with this message;
+/// the type is public so tests and size-budget code can perform the same
+/// check without going through a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameOverflow {
+    /// Bytes the encoded payload needs.
+    pub needed: usize,
+    /// Bytes a frame provides (the page size).
+    pub frame: usize,
+}
+
+impl fmt::Display for FrameOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page frame overflow: payload needs {} bytes but a page holds {}",
+            self.needed, self.frame
+        )
+    }
+}
+
+impl std::error::Error for FrameOverflow {}
+
+/// A payload that can live in a fixed-size page frame.
+///
+/// The contract, enforced by [`PageStore`](crate::PageStore) and the
+/// round-trip property tests:
+///
+/// * `decode(encode(p)) == p` observably — encoding is lossless (floats are
+///   transferred bit-exactly, so heap- and file-backed stores return
+///   identical payloads),
+/// * `encode_into` appends exactly `encoded_len()` bytes — the cheap size
+///   estimate is exact, so overflow detection never needs a trial encoding,
+/// * `decode` is self-delimiting: it reads exactly the encoded prefix of the
+///   frame and ignores the zero padding behind it.
+pub trait PagePayload: Clone {
+    /// Exact number of bytes [`PagePayload::encode_into`] appends. Must be
+    /// cheap; the store calls it on every allocate/write for overflow
+    /// detection.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends the serialized payload to `out`.
+    ///
+    /// Appending (rather than returning a fresh buffer) lets the store
+    /// reuse one scratch buffer across every write-back on its hot
+    /// eviction path.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Serializes the payload into a fresh buffer (convenience wrapper over
+    /// [`PagePayload::encode_into`]).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Deserializes a payload from the prefix of a frame previously produced
+    /// by [`PagePayload::encode_into`] (plus arbitrary padding).
+    ///
+    /// # Panics
+    ///
+    /// May panic on a frame that was never written by the encoder — frames
+    /// are trusted storage, not untrusted input.
+    fn decode(bytes: &[u8]) -> Self;
+
+    /// Checks that the encoding fits a frame of `frame` bytes.
+    fn check_frame(&self, frame: usize) -> Result<(), FrameOverflow> {
+        let needed = self.encoded_len();
+        if needed > frame {
+            Err(FrameOverflow { needed, frame })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Diagnostic payload used by the page store's own tests: a bare `u32`,
+/// encoded little-endian in 4 bytes.
+impl PagePayload for u32 {
+    fn encoded_len(&self) -> usize {
+        4
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&bytes[..4]);
+        u32::from_le_bytes(raw)
+    }
+}
+
+/// Append-only little-endian writer used by [`PagePayload::encode`]
+/// implementations.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Creates a writer with `capacity` bytes preallocated (pass
+    /// [`PagePayload::encoded_len`] to avoid reallocation).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FrameWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing buffer, appending behind its current content —
+    /// the allocation-reuse path of [`PagePayload::encode_into`]
+    /// implementations (take the buffer, wrap, write, unwrap with
+    /// [`FrameWriter::into_bytes`]).
+    pub fn over(buf: Vec<u8>) -> Self {
+        FrameWriter { buf }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`, bit-exactly (via its IEEE-754 bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Consumes the writer, returning the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential little-endian reader over an encoded frame, the inverse of
+/// [`FrameWriter`].
+///
+/// # Panics
+///
+/// Every `take_*` method panics when the frame is exhausted — a truncated
+/// frame means storage corruption or a codec bug, not a runtime condition.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Creates a reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FrameReader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.pos + n <= self.bytes.len(),
+            "truncated page frame: needed {} bytes at offset {} of a {}-byte frame",
+            n,
+            self.pos,
+            self.bytes.len()
+        );
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    /// Reads the next `u32`.
+    pub fn take_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.take(4));
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads the next `u64`.
+    pub fn take_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8));
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads the next `f64` (bit-exact inverse of [`FrameWriter::put_f64`]).
+    pub fn take_f64(&mut self) -> f64 {
+        f64::from_bits(self.take_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = FrameWriter::with_capacity(28);
+        w.put_u32(7);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.0);
+        w.put_f64(f64::MIN_POSITIVE);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 28);
+        let mut r = FrameReader::new(&bytes);
+        assert_eq!(r.take_u32(), 7);
+        assert_eq!(r.take_u64(), u64::MAX - 3);
+        assert_eq!(r.take_f64().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64(), f64::MIN_POSITIVE);
+        assert_eq!(r.consumed(), bytes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated page frame")]
+    fn reader_panics_on_truncated_frame() {
+        let bytes = [1u8, 2, 3];
+        let mut r = FrameReader::new(&bytes);
+        let _ = r.take_u32();
+    }
+
+    #[test]
+    fn u32_payload_roundtrip_ignores_padding() {
+        let v: u32 = 0xDEAD_BEEF;
+        assert_eq!(v.encoded_len(), 4);
+        let mut frame = v.encode();
+        assert_eq!(frame.len(), 4);
+        frame.extend_from_slice(&[0u8; 60]); // zero padding, as in a real frame
+        assert_eq!(u32::decode(&frame), v);
+    }
+
+    #[test]
+    fn check_frame_detects_overflow() {
+        let v: u32 = 1;
+        assert!(v.check_frame(4).is_ok());
+        let err = v.check_frame(3).unwrap_err();
+        assert_eq!(
+            err,
+            FrameOverflow {
+                needed: 4,
+                frame: 3
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("4 bytes") && msg.contains("3"), "{msg}");
+    }
+}

@@ -1,33 +1,58 @@
 //! # cij-pagestore
 //!
-//! A simulated disk substrate for the CIJ reproduction.
+//! The storage substrate of the CIJ reproduction: fixed-size disk pages, an
+//! LRU buffer pool, I/O accounting — and, since the storage-backend
+//! refactor, **pluggable page-frame backends**.
 //!
 //! The paper's evaluation is I/O-centric: every dataset is indexed by an
 //! R-tree with a **1 KB page size**, algorithms run on top of an **LRU
 //! buffer** whose default capacity is **2 % of the data size on disk**, and
 //! the reported cost metric is the number of **page accesses**. This crate
-//! provides exactly that substrate:
+//! provides exactly that substrate, layered as:
 //!
-//! * [`PageId`] / [`PageStore`] — an in-memory "disk" of fixed-size pages
-//!   that owns page payloads and routes every read and write through the
-//!   buffer manager,
+//! * [`PageId`] / [`PageStore`] — the page table: owns decoded payloads,
+//!   routes every logical read and write through the buffer manager, and
+//!   moves serialized frames to/from the backend on misses and write-backs,
+//! * [`PagePayload`] (+ [`FrameWriter`]/[`FrameReader`]) — the serialization
+//!   contract turning payloads into `page_size`-bounded byte frames, with
+//!   [`FrameOverflow`] rejection so node fanout genuinely respects the page
+//!   budget,
+//! * [`PageBackend`] — the frame-storage trait, selected by
+//!   [`StorageBackend`]: [`HeapBackend`] keeps frames in memory (the
+//!   historical simulated disk), [`FileBackend`] keeps them in a real file
+//!   accessed with positioned I/O,
 //! * [`LruBuffer`] — an O(1) least-recently-used buffer pool with write-back
 //!   semantics,
 //! * [`IoStats`] — counters for physical reads/writes, logical accesses and
 //!   buffer hits, with snapshot/delta helpers used by the experiment harness
-//!   to attribute cost to materialisation vs join phases.
+//!   to attribute cost to materialisation vs join phases; [`BackendIo`]
+//!   carries the backend's *byte* counters alongside.
 //!
-//! The store is deliberately *not* persistent: the paper's experiments never
-//! rely on durability, only on counting page transfers, so simulating the
-//! transfers is the faithful reproduction.
+//! ## The heap/file parity guarantee
+//!
+//! All accounting decisions — what is a hit, what gets evicted, which
+//! counter moves — are made **above** the backend, and the [`PagePayload`]
+//! codec is lossless, so a heap-backed and a file-backed store driven by
+//! the same operations produce *identical* payloads, buffer states,
+//! [`IoStats`] counters and even [`BackendIo`] byte counts. The backends
+//! differ only in whether the frames actually hit storage. This is asserted
+//! at the store level here, and end-to-end (identical join results and
+//! page-access totals under `CIJ_STORAGE=file`) by the workspace's
+//! integration tests — which is what finally lets the paper's counted page
+//! accesses be validated against real file I/O (`bytes_read ==
+//! physical_reads × page_size`, see the `io_validation` bench experiment).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
+pub mod frame;
 pub mod lru;
 pub mod stats;
 pub mod store;
 
+pub use backend::{BackendIo, FileBackend, HeapBackend, PageBackend, StorageBackend};
+pub use frame::{FrameOverflow, FrameReader, FrameWriter, PagePayload};
 pub use lru::{Admission, LruBuffer};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{PageId, PageStore, PageStoreConfig};

@@ -1,10 +1,13 @@
-//! The page store: a simulated disk that owns page payloads.
+//! The page store: fixed-size page frames behind an LRU buffer, over a
+//! pluggable [`PageBackend`].
 
+use crate::backend::{BackendIo, PageBackend, StorageBackend};
+use crate::frame::PagePayload;
 use crate::lru::{Admission, LruBuffer};
 use crate::stats::IoStats;
-use crate::{DEFAULT_BUFFER_FRACTION, DEFAULT_PAGE_SIZE};
+use crate::DEFAULT_PAGE_SIZE;
 
-/// Identifier of a page on the simulated disk.
+/// Identifier of a page on the (simulated or real) disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
@@ -17,26 +20,46 @@ impl PageId {
 /// Configuration of a [`PageStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct PageStoreConfig {
-    /// Size of a disk page in bytes (used by clients to derive node fanout).
+    /// Size of a disk page in bytes. Doubles as the frame size of the
+    /// backend and as the byte budget clients use to derive node fanout.
     pub page_size: usize,
     /// Number of pages the LRU buffer can hold.
     pub buffer_pages: usize,
+    /// Which storage backend holds the page frames.
+    pub backend: StorageBackend,
 }
 
 impl Default for PageStoreConfig {
+    /// A generic default: 4 KB pages (a typical OS page size), no buffer,
+    /// heap frames. The paper's experimental setting is deliberately *not*
+    /// the default — use [`PageStoreConfig::paper_default`] for that.
     fn default() -> Self {
         PageStoreConfig {
-            page_size: DEFAULT_PAGE_SIZE,
+            page_size: 4096,
             buffer_pages: 0,
+            backend: StorageBackend::Heap,
         }
     }
 }
 
 impl PageStoreConfig {
-    /// The paper's default: 1 KB pages, buffer sized later as a fraction of
-    /// the data size via [`PageStore::set_buffer_fraction`].
+    /// The paper's experimental setting: **1 KB pages**
+    /// ([`DEFAULT_PAGE_SIZE`]), explicitly distinct from the generic
+    /// [`Default`] (4 KB).
+    ///
+    /// The paper sizes the LRU buffer *relative to the data*: "2 % of the
+    /// data size" ([`crate::DEFAULT_BUFFER_FRACTION`]). Since the data size
+    /// is unknown until pages are allocated, `buffer_pages` starts at 0 here
+    /// and the buffer is sized after loading via
+    /// [`PageStore::set_buffer_fraction`] (or
+    /// [`PageStore::set_default_buffer`]) — that call is part of the
+    /// convention, not optional.
     pub fn paper_default() -> Self {
-        Self::default()
+        PageStoreConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            buffer_pages: 0,
+            backend: StorageBackend::Heap,
+        }
     }
 
     /// Sets the buffer capacity in pages.
@@ -50,35 +73,72 @@ impl PageStoreConfig {
         self.page_size = bytes;
         self
     }
+
+    /// Sets the storage backend.
+    pub fn with_backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
-/// A simulated disk of fixed-size pages with an LRU buffer in front of it.
+/// A disk of fixed-size pages with an LRU buffer in front of it.
 ///
-/// Payloads of type `T` (R-tree nodes, in practice) are owned by the store;
-/// [`PageStore::read`] returns clones so that callers never hold borrows
-/// across further store operations (which would be unsound for a real buffer
-/// pool too — pages can be evicted under you).
+/// Payloads of type `T` (R-tree nodes, in practice) are serialized through
+/// the [`PagePayload`] codec into `page_size`-byte frames held by the
+/// configured [`PageBackend`]; a payload whose encoding exceeds the page
+/// size is rejected at allocate/write time, so fanout budgets cannot be
+/// silently violated. [`PageStore::read`] returns owned payloads so that
+/// callers never hold borrows across further store operations (pages can be
+/// evicted under you, exactly like a real buffer pool).
 ///
-/// Every logical read and write is routed through the buffer and recorded in
-/// the shared [`IoStats`].
-#[derive(Debug, Clone)]
-pub struct PageStore<T: Clone> {
+/// # Read/write path and the heap/file parity guarantee
+///
+/// * Logical reads go through the LRU buffer: a **hit** is served from the
+///   in-memory image, a **miss** transfers the frame from the backend and
+///   decodes it — on the [`FileBackend`](crate::backend::FileBackend) this
+///   is a real positioned read, and the decoded bytes (not the in-memory
+///   image) are what the caller gets.
+/// * Writes are **write-back**: allocate/write dirty the buffered page; the
+///   frame is encoded and written to the backend when the page is evicted
+///   or on [`PageStore::flush`].
+///
+/// All accounting ([`IoStats`], buffer state, eviction decisions) happens
+/// *above* the backend, so swapping [`StorageBackend::Heap`] for
+/// [`StorageBackend::File`] changes no counter and no result — only whether
+/// the frames actually hit storage, measured by [`PageStore::backend_io`].
+///
+/// The store also keeps a decoded in-memory image of every page. Besides
+/// serving buffer hits, it backs [`PageStore::peek`] — the uncounted
+/// snapshot reads used by oracles and by the parallel NM-CIJ workers whose
+/// accounting is deferred to [`PageStore::note_read`] replay.
+#[derive(Debug)]
+pub struct PageStore<T: PagePayload> {
     pages: Vec<Option<T>>,
+    backend: Box<dyn PageBackend>,
     buffer: LruBuffer,
     stats: IoStats,
-    page_size: usize,
+    /// Scratch frame (always `page_size` bytes) for encode/decode transfers.
+    frame: Vec<u8>,
 }
 
-impl<T: Clone> PageStore<T> {
+impl<T: PagePayload> Clone for PageStore<T> {
+    fn clone(&self) -> Self {
+        PageStore {
+            pages: self.pages.clone(),
+            backend: self.backend.clone_backend(),
+            buffer: self.buffer.clone(),
+            // Shared counters, like every other handle copy.
+            stats: self.stats.clone(),
+            frame: self.frame.clone(),
+        }
+    }
+}
+
+impl<T: PagePayload> PageStore<T> {
     /// Creates an empty store with the given configuration and fresh
     /// statistics counters.
     pub fn new(config: PageStoreConfig) -> Self {
-        PageStore {
-            pages: Vec::new(),
-            buffer: LruBuffer::new(config.buffer_pages),
-            stats: IoStats::new(),
-            page_size: config.page_size,
-        }
+        Self::with_stats(config, IoStats::new())
     }
 
     /// Creates a store that shares statistics counters with `stats`.
@@ -87,17 +147,30 @@ impl<T: Clone> PageStore<T> {
     /// paper reports a single page-access figure, so the trees' stores share
     /// one counter set.
     pub fn with_stats(config: PageStoreConfig, stats: IoStats) -> Self {
+        assert!(config.page_size > 0, "page size must be positive");
         PageStore {
             pages: Vec::new(),
+            backend: config.backend.create(config.page_size),
             buffer: LruBuffer::new(config.buffer_pages),
             stats,
-            page_size: config.page_size,
+            frame: vec![0u8; config.page_size],
         }
     }
 
     /// The configured page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.page_size
+        self.backend.frame_size()
+    }
+
+    /// Which storage backend holds this store's frames.
+    pub fn backend_kind(&self) -> StorageBackend {
+        self.backend.kind()
+    }
+
+    /// Bytes actually transferred to/from the backend so far — the physical
+    /// counterpart of the [`IoStats`] page-access counts.
+    pub fn backend_io(&self) -> BackendIo {
+        self.backend.io()
     }
 
     /// Number of allocated pages (the data size on disk, in pages).
@@ -115,86 +188,122 @@ impl<T: Clone> PageStore<T> {
     /// Allocation counts as a logical write; the physical write happens when
     /// the page is evicted from the buffer (write-back) or on
     /// [`PageStore::flush`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`FrameOverflow`](crate::FrameOverflow) message if the
+    /// payload's encoding does not fit one page.
     pub fn allocate(&mut self, payload: T) -> PageId {
-        let id = PageId(self.pages.len() as u32);
+        self.check_fits(&payload);
+        let index = self.backend.allocate();
+        debug_assert_eq!(
+            index as usize,
+            self.pages.len(),
+            "backend frame index drifted from the page table"
+        );
+        let id = PageId(index);
         self.pages.push(Some(payload));
         self.stats.record_logical_write();
         self.admit(id, true);
         id
     }
 
-    /// Reads the payload of a page, going through the buffer.
+    /// Reads the payload of a page, going through the buffer. A miss
+    /// transfers the frame from the backend and decodes it; a hit is served
+    /// from the in-memory image.
     ///
     /// # Panics
     ///
     /// Panics if the page does not exist — that is a logic error in the
     /// caller (dangling `PageId`), not a runtime condition to handle.
     pub fn read(&mut self, id: PageId) -> T {
+        assert!(self.is_allocated(id), "read of unallocated page");
         match self.buffer.touch(id.as_key(), false) {
-            Admission::Hit => self.stats.record_hit(),
+            Admission::Hit => {
+                self.stats.record_hit();
+                self.pages[id.0 as usize]
+                    .clone()
+                    .expect("read of unallocated page")
+            }
             Admission::Miss { evicted } => {
                 self.stats.record_miss();
                 self.handle_eviction(evicted);
+                self.fetch(id)
             }
         }
-        self.pages
-            .get(id.0 as usize)
-            .and_then(|p| p.clone())
-            .expect("read of unallocated page")
     }
 
     /// Overwrites the payload of an existing page, going through the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unallocated pages and on payloads that exceed the page size
+    /// (see [`PageStore::allocate`]).
     pub fn write(&mut self, id: PageId, payload: T) {
-        assert!(
-            (id.0 as usize) < self.pages.len() && self.pages[id.0 as usize].is_some(),
-            "write to unallocated page"
-        );
+        assert!(self.is_allocated(id), "write to unallocated page");
+        self.check_fits(&payload);
         self.pages[id.0 as usize] = Some(payload);
         self.stats.record_logical_write();
         self.admit(id, true);
     }
 
     /// Accounts for a logical read of `id` **without** returning the
-    /// payload: the buffer is touched (admitting the page and evicting the
-    /// LRU victim exactly as [`PageStore::read`] would) and the hit or miss
-    /// is recorded in the shared [`IoStats`].
+    /// payload: the buffer is touched and the hit or miss recorded exactly
+    /// as [`PageStore::read`] would — including the physical frame transfer
+    /// on a miss, so backend byte counters replay identically too.
     ///
-    /// This is the replay hook of the parallel NM-CIJ execution path:
-    /// workers read tree nodes from an immutable snapshot (via
-    /// [`PageStore::peek`]) and record the page ids they touch; the
-    /// coordinator then replays each leaf's trace through this method in
-    /// the sequential (Hilbert) leaf order, so buffer state and every
-    /// counter end up identical to a single-threaded run.
+    /// This is the deferred-accounting hook of the parallel NM-CIJ path:
+    /// workers read from the snapshot ([`PageStore::peek`]) and record page
+    /// ids; the coordinator replays each trace here in sequential leaf
+    /// order (through `RTree::replay_read` in `cij-rtree`, a thin wrapper
+    /// over this method — this doc is the authoritative one).
+    ///
+    /// In debug builds the transferred frame is additionally compared
+    /// against the re-encoded snapshot payload, catching trace/snapshot
+    /// drift at the first diverging page.
     ///
     /// # Panics
     ///
-    /// Panics if the page does not exist, like [`PageStore::read`].
+    /// Panics if the replayed page id does not exist (trace drift), like
+    /// [`PageStore::read`].
     pub fn note_read(&mut self, id: PageId) {
-        assert!(
-            (id.0 as usize) < self.pages.len() && self.pages[id.0 as usize].is_some(),
-            "note_read of unallocated page"
-        );
+        assert!(self.is_allocated(id), "note_read of unallocated page");
         match self.buffer.touch(id.as_key(), false) {
             Admission::Hit => self.stats.record_hit(),
             Admission::Miss { evicted } => {
                 self.stats.record_miss();
                 self.handle_eviction(evicted);
+                self.backend.read(id.0, &mut self.frame);
+                #[cfg(debug_assertions)]
+                {
+                    let expected = self.pages[id.0 as usize]
+                        .as_ref()
+                        .expect("note_read of unallocated page")
+                        .encode();
+                    assert_eq!(
+                        &self.frame[..expected.len()],
+                        &expected[..],
+                        "replayed frame of page {id:?} drifted from the snapshot"
+                    );
+                }
             }
         }
     }
 
-    /// Reads a page **without** touching the buffer or the counters.
+    /// Reads a page **without** touching the buffer, the backend or the
+    /// counters — straight from the decoded in-memory image.
     ///
-    /// Used only for assertions and for in-memory oracles; never by the
-    /// algorithms being measured.
+    /// Used only for assertions, in-memory oracles and the snapshot reads of
+    /// the parallel execution path; never by the algorithms being measured.
     pub fn peek(&self, id: PageId) -> &T {
         self.pages[id.0 as usize]
             .as_ref()
             .expect("peek of unallocated page")
     }
 
-    /// Frees a page: it no longer counts towards [`PageStore::num_pages`] and
-    /// is dropped from the buffer without write-back accounting.
+    /// Frees a page: it no longer counts towards [`PageStore::num_pages`],
+    /// is dropped from the buffer without write-back accounting, and its
+    /// backend frame is released.
     ///
     /// Used by the R-tree bulk loader to discard the placeholder root of an
     /// initially-empty tree once the packed root replaces it. Freed page ids
@@ -203,42 +312,48 @@ impl<T: Clone> PageStore<T> {
         if let Some(slot) = self.pages.get_mut(id.0 as usize) {
             *slot = None;
             self.buffer.remove(id.as_key());
+            self.backend.free(id.0);
         }
     }
 
-    /// Writes back every dirty buffered page and empties the buffer.
+    /// Writes back every dirty buffered page, empties the buffer and flushes
+    /// the backend.
     pub fn flush(&mut self) {
-        for _ in self.buffer.clear() {
+        for key in self.buffer.clear() {
+            self.write_back(key);
             self.stats.record_physical_write();
         }
+        self.backend.flush();
     }
 
     /// Empties the buffer *without* counting write-backs. Useful to make
     /// separate measurements start cold without attributing the previous
     /// phase's dirty pages to the next one.
+    ///
+    /// The dirty frames are still physically written (data must survive on a
+    /// real backend — a later cold read serves them from storage); only the
+    /// [`IoStats`] accounting is skipped, by design of the measurement
+    /// convention.
     pub fn drop_buffer(&mut self) {
-        self.buffer.clear();
+        for key in self.buffer.clear() {
+            self.write_back(key);
+        }
     }
 
     /// Resizes the buffer to `pages` pages, accounting for the write-back of
-    /// any dirty pages that get evicted by the shrink.
+    /// any dirty pages that get evicted by a shrink. (Growing keeps all
+    /// resident pages; [`LruBuffer::resize`] handles both directions.)
     pub fn set_buffer_pages(&mut self, pages: usize) {
-        for _ in self.buffer.resize(pages) {
+        for key in self.buffer.resize(pages) {
+            self.write_back(key);
             self.stats.record_physical_write();
-        }
-        if self.buffer.capacity() != pages {
-            // resize only evicts; growing is handled by replacing the buffer.
-            let mut fresh = LruBuffer::new(pages);
-            for key in self.buffer.keys_mru_to_lru().into_iter().rev() {
-                fresh.touch(key, false);
-            }
-            self.buffer = fresh;
         }
     }
 
     /// Sets the buffer capacity to `fraction` of the current data size on
     /// disk (in pages), the way the paper expresses buffer sizes ("2 % of the
-    /// data size"). At least one page is kept whenever `fraction > 0`.
+    /// data size"). At least one page is kept whenever `fraction > 0` — even
+    /// when the store is so small that the fraction rounds to zero pages.
     pub fn set_buffer_fraction(&mut self, fraction: f64) {
         let pages = if fraction <= 0.0 {
             0
@@ -250,12 +365,47 @@ impl<T: Clone> PageStore<T> {
 
     /// The paper's default buffer: 2 % of the data size.
     pub fn set_default_buffer(&mut self) {
-        self.set_buffer_fraction(DEFAULT_BUFFER_FRACTION);
+        self.set_buffer_fraction(crate::DEFAULT_BUFFER_FRACTION);
     }
 
     /// Current buffer capacity in pages.
     pub fn buffer_pages(&self) -> usize {
         self.buffer.capacity()
+    }
+
+    fn is_allocated(&self, id: PageId) -> bool {
+        self.pages
+            .get(id.0 as usize)
+            .map(|p| p.is_some())
+            .unwrap_or(false)
+    }
+
+    fn check_fits(&self, payload: &T) {
+        if let Err(overflow) = payload.check_frame(self.page_size()) {
+            panic!("{overflow}");
+        }
+    }
+
+    /// Transfers the frame of `id` from the backend and decodes it.
+    fn fetch(&mut self, id: PageId) -> T {
+        self.backend.read(id.0, &mut self.frame);
+        T::decode(&self.frame)
+    }
+
+    /// Encodes the in-memory image of a page into a zero-padded frame and
+    /// writes it to the backend. Reuses the scratch frame across calls —
+    /// no allocation on the eviction path.
+    fn write_back(&mut self, key: u64) {
+        let page_size = self.frame.len();
+        let mut frame = std::mem::take(&mut self.frame);
+        frame.clear();
+        self.pages[key as usize]
+            .as_ref()
+            .expect("write-back of unallocated page")
+            .encode_into(&mut frame);
+        frame.resize(page_size, 0); // zero padding up to the page size
+        self.backend.write(key as u32, &frame);
+        self.frame = frame;
     }
 
     fn admit(&mut self, id: PageId, dirty: bool) {
@@ -268,11 +418,17 @@ impl<T: Clone> PageStore<T> {
     }
 
     fn handle_eviction(&mut self, evicted: Option<(u64, bool)>) {
-        if let Some((_, dirty)) = evicted {
+        if let Some((key, dirty)) = evicted {
             if dirty {
+                self.write_back(key);
                 self.stats.record_physical_write();
             }
         }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn buffer_keys_mru_to_lru(&self) -> Vec<u64> {
+        self.buffer.keys_mru_to_lru()
     }
 }
 
@@ -281,79 +437,103 @@ mod tests {
     use super::*;
 
     fn store(buffer_pages: usize) -> PageStore<u32> {
-        PageStore::new(PageStoreConfig::default().with_buffer_pages(buffer_pages))
+        store_on(buffer_pages, StorageBackend::Heap)
+    }
+
+    fn store_on(buffer_pages: usize, backend: StorageBackend) -> PageStore<u32> {
+        PageStore::new(
+            PageStoreConfig::default()
+                .with_buffer_pages(buffer_pages)
+                .with_backend(backend),
+        )
     }
 
     #[test]
     fn allocate_and_read_roundtrip() {
-        let mut s = store(4);
-        let a = s.allocate(10);
-        let b = s.allocate(20);
-        assert_eq!(s.read(a), 10);
-        assert_eq!(s.read(b), 20);
-        assert_eq!(s.num_pages(), 2);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(4, backend);
+            let a = s.allocate(10);
+            let b = s.allocate(20);
+            assert_eq!(s.read(a), 10);
+            assert_eq!(s.read(b), 20);
+            assert_eq!(s.num_pages(), 2);
+            assert_eq!(s.backend_kind(), backend);
+        }
     }
 
     #[test]
     fn buffered_reads_hit_after_first_access() {
-        let mut s = store(4);
-        let a = s.allocate(1);
-        s.drop_buffer();
-        s.stats().reset();
-        s.read(a);
-        s.read(a);
-        s.read(a);
-        let snap = s.stats().snapshot();
-        assert_eq!(snap.physical_reads, 1);
-        assert_eq!(snap.buffer_hits, 2);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(4, backend);
+            let a = s.allocate(1);
+            s.drop_buffer();
+            s.stats().reset();
+            s.read(a);
+            s.read(a);
+            s.read(a);
+            let snap = s.stats().snapshot();
+            assert_eq!(snap.physical_reads, 1);
+            assert_eq!(snap.buffer_hits, 2);
+        }
     }
 
     #[test]
     fn unbuffered_store_counts_every_read() {
-        let mut s = store(0);
-        let a = s.allocate(1);
-        s.stats().reset();
-        for _ in 0..5 {
-            s.read(a);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(0, backend);
+            let a = s.allocate(1);
+            s.stats().reset();
+            for _ in 0..5 {
+                assert_eq!(s.read(a), 1);
+            }
+            assert_eq!(s.stats().snapshot().physical_reads, 5);
         }
-        assert_eq!(s.stats().snapshot().physical_reads, 5);
     }
 
     #[test]
     fn write_back_counts_on_eviction() {
-        let mut s = store(1);
-        let a = s.allocate(1); // dirty in buffer
-        let _b = s.allocate(2); // evicts a (dirty) -> physical write
-        let snap = s.stats().snapshot();
-        assert_eq!(snap.physical_writes, 1);
-        assert_eq!(snap.logical_writes, 2);
-        // Reading a again is a miss.
-        s.stats().reset();
-        s.read(a);
-        assert_eq!(s.stats().snapshot().physical_reads, 1);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(1, backend);
+            let a = s.allocate(1); // dirty in buffer
+            let _b = s.allocate(2); // evicts a (dirty) -> physical write
+            let snap = s.stats().snapshot();
+            assert_eq!(snap.physical_writes, 1);
+            assert_eq!(snap.logical_writes, 2);
+            // Reading a again is a miss served from the backend frame.
+            s.stats().reset();
+            assert_eq!(s.read(a), 1);
+            assert_eq!(s.stats().snapshot().physical_reads, 1);
+        }
     }
 
     #[test]
     fn flush_writes_dirty_pages_once() {
-        let mut s = store(10);
-        for i in 0..5 {
-            s.allocate(i);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(10, backend);
+            for i in 0..5 {
+                s.allocate(i);
+            }
+            s.flush();
+            let snap = s.stats().snapshot();
+            assert_eq!(snap.physical_writes, 5);
+            // A second flush has nothing left to write.
+            s.flush();
+            assert_eq!(s.stats().snapshot().physical_writes, 5);
         }
-        s.flush();
-        let snap = s.stats().snapshot();
-        assert_eq!(snap.physical_writes, 5);
-        // A second flush has nothing left to write.
-        s.flush();
-        assert_eq!(s.stats().snapshot().physical_writes, 5);
     }
 
     #[test]
     fn write_updates_payload() {
-        let mut s = store(2);
-        let a = s.allocate(1);
-        s.write(a, 42);
-        assert_eq!(s.read(a), 42);
-        assert_eq!(*s.peek(a), 42);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(2, backend);
+            let a = s.allocate(1);
+            s.write(a, 42);
+            assert_eq!(s.read(a), 42);
+            assert_eq!(*s.peek(a), 42);
+            // The overwrite survives eviction and a cold backend read.
+            s.drop_buffer();
+            assert_eq!(s.read(a), 42);
+        }
     }
 
     #[test]
@@ -367,28 +547,31 @@ mod tests {
     #[test]
     fn note_read_replays_exactly_like_read() {
         // Two stores with identical contents: replaying a page-id trace via
-        // note_read must leave counters and buffer state identical to
-        // performing the reads directly.
-        let mut live = store(2);
-        let mut replay = store(2);
-        let ids: Vec<PageId> = (0..4).map(|i| live.allocate(i)).collect();
-        for i in 0..4 {
-            replay.allocate(i);
+        // note_read must leave counters, buffer state and backend byte
+        // counters identical to performing the reads directly.
+        for backend in StorageBackend::ALL {
+            let mut live = store_on(2, backend);
+            let mut replay = store_on(2, backend);
+            let ids: Vec<PageId> = (0..4).map(|i| live.allocate(i)).collect();
+            for i in 0..4 {
+                replay.allocate(i);
+            }
+            live.stats().reset();
+            replay.stats().reset();
+            let trace = [ids[0], ids[1], ids[0], ids[2], ids[3], ids[1], ids[0]];
+            for &id in &trace {
+                let _ = live.read(id);
+            }
+            for &id in &trace {
+                replay.note_read(id);
+            }
+            assert_eq!(live.stats().snapshot(), replay.stats().snapshot());
+            assert_eq!(
+                live.buffer_keys_mru_to_lru(),
+                replay.buffer_keys_mru_to_lru()
+            );
+            assert_eq!(live.backend_io(), replay.backend_io());
         }
-        live.stats().reset();
-        replay.stats().reset();
-        let trace = [ids[0], ids[1], ids[0], ids[2], ids[3], ids[1], ids[0]];
-        for &id in &trace {
-            let _ = live.read(id);
-        }
-        for &id in &trace {
-            replay.note_read(id);
-        }
-        assert_eq!(live.stats().snapshot(), replay.stats().snapshot());
-        assert_eq!(
-            live.buffer.keys_mru_to_lru(),
-            replay.buffer.keys_mru_to_lru()
-        );
     }
 
     #[test]
@@ -401,16 +584,18 @@ mod tests {
 
     #[test]
     fn free_removes_page_from_count_and_buffer() {
-        let mut s = store(4);
-        let a = s.allocate(1);
-        let b = s.allocate(2);
-        assert_eq!(s.num_pages(), 2);
-        s.free(a);
-        assert_eq!(s.num_pages(), 1);
-        // The freed (dirty) page is not written back on flush.
-        s.flush();
-        assert_eq!(s.stats().snapshot().physical_writes, 1);
-        assert_eq!(s.read(b), 2);
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(4, backend);
+            let a = s.allocate(1);
+            let b = s.allocate(2);
+            assert_eq!(s.num_pages(), 2);
+            s.free(a);
+            assert_eq!(s.num_pages(), 1);
+            // The freed (dirty) page is not written back on flush.
+            s.flush();
+            assert_eq!(s.stats().snapshot().physical_writes, 1);
+            assert_eq!(s.read(b), 2);
+        }
     }
 
     #[test]
@@ -425,6 +610,70 @@ mod tests {
         assert_eq!(s.buffer_pages(), 1);
         s.set_buffer_fraction(0.0);
         assert_eq!(s.buffer_pages(), 0);
+    }
+
+    #[test]
+    fn zero_fraction_disables_the_buffer_entirely() {
+        let mut s = store(8);
+        let a = s.allocate(7);
+        s.set_buffer_fraction(0.0);
+        assert_eq!(s.buffer_pages(), 0);
+        s.stats().reset();
+        s.read(a);
+        s.read(a);
+        // Every read is a miss once the buffer is gone.
+        assert_eq!(s.stats().snapshot().physical_reads, 2);
+        assert_eq!(s.stats().snapshot().buffer_hits, 0);
+    }
+
+    #[test]
+    fn tiny_store_fractions_round_up_to_one_page() {
+        // On stores so small that fraction * pages rounds to zero, a
+        // positive fraction must still keep one buffer page.
+        let mut s = store(0);
+        s.allocate(1);
+        s.set_buffer_fraction(0.001);
+        assert_eq!(s.buffer_pages(), 1);
+        // Even an empty store gets the one-page floor for fraction > 0 —
+        // the buffer exists before data does.
+        let mut empty = store(0);
+        empty.set_buffer_fraction(0.5);
+        assert_eq!(empty.buffer_pages(), 1);
+    }
+
+    #[test]
+    fn refraction_after_growth_tracks_the_new_data_size() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(0, backend);
+            for i in 0..50 {
+                s.allocate(i);
+            }
+            s.set_buffer_fraction(0.1);
+            assert_eq!(s.buffer_pages(), 5);
+            // Re-apply the fraction after the store grew: capacity follows
+            // the new num_pages.
+            for i in 50..150 {
+                s.allocate(i);
+            }
+            s.set_buffer_fraction(0.1);
+            assert_eq!(s.buffer_pages(), 15);
+            // Fill the buffer with dirty pages, then shrink: the evicted
+            // dirty pages must be written back and accounted.
+            for i in 0..15u32 {
+                s.write(PageId(i), i * 3);
+            }
+            s.stats().reset();
+            s.set_buffer_fraction(0.02); // 150 * 0.02 = 3 pages, shrink by 12
+            assert_eq!(s.buffer_pages(), 3);
+            assert_eq!(
+                s.stats().snapshot().physical_writes,
+                12,
+                "shrink must write back exactly the evicted dirty pages"
+            );
+            // Data survives the churn.
+            assert_eq!(s.read(PageId(0)), 0);
+            assert_eq!(s.read(PageId(149)), 149);
+        }
     }
 
     #[test]
@@ -452,5 +701,97 @@ mod tests {
         s.read(b);
         // Both pages were resident before the grow and must still hit.
         assert_eq!(s.stats().snapshot().buffer_hits, 2);
+    }
+
+    #[test]
+    fn paper_default_differs_from_generic_default() {
+        let paper = PageStoreConfig::paper_default();
+        let generic = PageStoreConfig::default();
+        assert_eq!(paper.page_size, DEFAULT_PAGE_SIZE);
+        assert_eq!(paper.page_size, 1024);
+        assert_ne!(
+            paper.page_size, generic.page_size,
+            "paper_default must not silently alias Default"
+        );
+        // Both defer buffer sizing to the fraction convention.
+        assert_eq!(paper.buffer_pages, 0);
+        assert_eq!(paper.backend, StorageBackend::Heap);
+    }
+
+    #[test]
+    #[should_panic(expected = "page frame overflow")]
+    fn oversized_payload_is_rejected_at_allocate() {
+        // A u32 needs 4 bytes; a 3-byte page cannot hold it.
+        let mut s: PageStore<u32> = PageStore::new(PageStoreConfig::default().with_page_size(3));
+        s.allocate(1);
+    }
+
+    #[test]
+    fn heap_and_file_stores_behave_identically() {
+        // One interleaved workload, both backends: every counter, the buffer
+        // state and every payload must match — the parity guarantee at the
+        // store level.
+        let mut heap = store_on(3, StorageBackend::Heap);
+        let mut file = store_on(3, StorageBackend::File);
+        for s in [&mut heap, &mut file] {
+            let ids: Vec<PageId> = (0..8u32).map(|i| s.allocate(i * 11)).collect();
+            s.write(ids[2], 999);
+            for &id in &[ids[0], ids[5], ids[2], ids[7], ids[0], ids[2]] {
+                let _ = s.read(id);
+            }
+            s.free(ids[3]);
+            s.set_buffer_pages(2);
+            for &id in &[ids[6], ids[1], ids[6]] {
+                let _ = s.read(id);
+            }
+            s.flush();
+        }
+        assert_eq!(heap.stats().snapshot(), file.stats().snapshot());
+        assert_eq!(heap.buffer_keys_mru_to_lru(), file.buffer_keys_mru_to_lru());
+        assert_eq!(heap.num_pages(), file.num_pages());
+        assert_eq!(heap.backend_io(), file.backend_io());
+        for i in 0..8u32 {
+            if i == 3 {
+                continue;
+            }
+            assert_eq!(heap.read(PageId(i)), file.read(PageId(i)), "page {i}");
+        }
+    }
+
+    #[test]
+    fn file_store_serves_data_from_disk_after_cold_restart_of_the_buffer() {
+        let mut s = store_on(4, StorageBackend::File);
+        let ids: Vec<PageId> = (0..20u32).map(|i| s.allocate(i * 7 + 1)).collect();
+        s.flush();
+        let io_flushed = s.backend_io();
+        assert_eq!(io_flushed.bytes_written as usize, 20 * s.page_size());
+        s.drop_buffer();
+        s.stats().reset();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(s.read(id), i as u32 * 7 + 1);
+        }
+        let snap = s.stats().snapshot();
+        let io = s.backend_io().since(&io_flushed);
+        assert_eq!(
+            io.bytes_read,
+            snap.physical_reads * s.page_size() as u64,
+            "bytes actually read must equal counted physical reads × page size"
+        );
+    }
+
+    #[test]
+    fn cloned_store_diverges_independently() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(2, backend);
+            let a = s.allocate(5);
+            s.flush();
+            let mut copy = s.clone();
+            copy.write(a, 6);
+            copy.flush();
+            s.drop_buffer();
+            copy.drop_buffer();
+            assert_eq!(s.read(a), 5, "{backend}: original saw the clone's write");
+            assert_eq!(copy.read(a), 6, "{backend}: clone lost its write");
+        }
     }
 }

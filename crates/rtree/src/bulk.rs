@@ -11,7 +11,7 @@ use crate::node::{ChildEntry, Node};
 use crate::object::RTreeObject;
 use crate::tree::{RTree, RTreeConfig};
 use cij_geom::{hilbert, Rect};
-use cij_pagestore::IoStats;
+use cij_pagestore::{IoStats, StorageBackend};
 
 /// Packing fill factor for bulk loading (fraction of the page byte budget a
 /// leaf is filled to before a new leaf is started). The paper packs pages
@@ -25,7 +25,9 @@ impl<D: RTreeObject> RTree<D> {
     }
 
     /// Bulk-loads a tree that shares `stats`, packing leaf pages to `fill`
-    /// (in `(0, 1]`) of the page byte budget in Hilbert order.
+    /// (in `(0, 1]`) of the page byte budget in Hilbert order. Node frames
+    /// live on the heap backend; use [`RTree::bulk_load_with_stats_on`] to
+    /// choose.
     ///
     /// Construction writes every node page exactly once (the logical writes
     /// become physical when the buffer evicts them or on
@@ -34,11 +36,23 @@ impl<D: RTreeObject> RTree<D> {
     pub fn bulk_load_with_stats(
         config: RTreeConfig,
         stats: IoStats,
-        mut objects: Vec<D>,
+        objects: Vec<D>,
         fill: f64,
     ) -> Self {
+        Self::bulk_load_with_stats_on(config, stats, objects, fill, StorageBackend::Heap)
+    }
+
+    /// [`RTree::bulk_load_with_stats`] with an explicit [`StorageBackend`]
+    /// for the node frames.
+    pub fn bulk_load_with_stats_on(
+        config: RTreeConfig,
+        stats: IoStats,
+        mut objects: Vec<D>,
+        fill: f64,
+        storage: StorageBackend,
+    ) -> Self {
         let fill = fill.clamp(0.1, 1.0);
-        let mut tree = RTree::with_stats(config, stats);
+        let mut tree = RTree::with_stats_on(config, stats, storage);
         if objects.is_empty() {
             return tree;
         }
@@ -54,7 +68,7 @@ impl<D: RTreeObject> RTree<D> {
         objects.sort_by_key(|o| hilbert::hilbert_value(&o.mbr().center(), &domain));
 
         let total = objects.len();
-        let byte_budget = ((config.page_size as f64) * fill) as usize;
+        let byte_budget = ((config.node_byte_budget() as f64) * fill) as usize;
 
         // Pack leaves.
         let mut leaf_entries: Vec<ChildEntry> = Vec::new();

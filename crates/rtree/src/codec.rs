@@ -1,0 +1,191 @@
+//! Node serialization: R-tree nodes as page frames.
+//!
+//! Implements [`PagePayload`] for [`Node`], which is what lets a whole tree
+//! live on any [`PageBackend`](cij_pagestore::PageBackend) — the heap
+//! simulation and the real-file backend store the exact same frames.
+//!
+//! ## Frame layout (little-endian)
+//!
+//! ```text
+//! header  (12 B): level u32 | child_count u32 | object_count u32
+//! children      : child_count × (mbr 4×f64 | page u32)      — non-leaf
+//! objects       : object_count × RTreeObject::encode_entry  — leaf
+//! padding       : zeros up to the page size
+//! ```
+//!
+//! The header is part of the page-size budget: [`RTreeConfig`]'s fanout
+//! rules subtract [`NODE_HEADER_BYTES`] before packing entries
+//! ([`RTreeConfig::node_byte_budget`]), so every node the tree produces is
+//! guaranteed to encode into one page frame — the store's
+//! [`FrameOverflow`](cij_pagestore::FrameOverflow) rejection is a backstop,
+//! not a code path.
+//!
+//! [`RTreeConfig`]: crate::tree::RTreeConfig
+//! [`RTreeConfig::node_byte_budget`]: crate::tree::RTreeConfig::node_byte_budget
+
+use crate::node::{ChildEntry, Node};
+use crate::object::RTreeObject;
+use cij_geom::{Point, Rect};
+use cij_pagestore::{FrameReader, FrameWriter, PageId, PagePayload};
+
+/// Serialized size of the node header (level + child count + object count).
+pub const NODE_HEADER_BYTES: usize = 3 * std::mem::size_of::<u32>();
+
+impl<D: RTreeObject> PagePayload for Node<D> {
+    fn encoded_len(&self) -> usize {
+        NODE_HEADER_BYTES + self.payload_bytes()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.reserve(self.encoded_len());
+        let mut w = FrameWriter::over(std::mem::take(out));
+        w.put_u32(self.level);
+        w.put_u32(self.children.len() as u32);
+        w.put_u32(self.objects.len() as u32);
+        for c in &self.children {
+            w.put_f64(c.mbr.lo.x);
+            w.put_f64(c.mbr.lo.y);
+            w.put_f64(c.mbr.hi.x);
+            w.put_f64(c.mbr.hi.y);
+            w.put_u32(c.page.0);
+        }
+        for o in &self.objects {
+            o.encode_entry(&mut w);
+        }
+        *out = w.into_bytes();
+        debug_assert_eq!(
+            out.len() - start,
+            self.encoded_len(),
+            "entry_bytes() drifted from the serialized entry size"
+        );
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        let mut r = FrameReader::new(bytes);
+        let level = r.take_u32();
+        let child_count = r.take_u32() as usize;
+        let object_count = r.take_u32() as usize;
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            let lo = Point::new(r.take_f64(), r.take_f64());
+            let hi = Point::new(r.take_f64(), r.take_f64());
+            let page = PageId(r.take_u32());
+            children.push(ChildEntry {
+                // Constructed field-by-field (not Rect::new) so the empty
+                // MBR of an empty subtree round-trips bit-exactly.
+                mbr: Rect { lo, hi },
+                page,
+            });
+        }
+        let objects = (0..object_count).map(|_| D::decode_entry(&mut r)).collect();
+        Node {
+            level,
+            children,
+            objects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{CellObject, PointObject};
+    use cij_geom::ConvexPolygon;
+
+    fn leaf_with_points(n: u64) -> Node<PointObject> {
+        let mut node = Node::new_leaf();
+        for i in 0..n {
+            node.objects.push(PointObject::new(
+                i,
+                Point::new(i as f64 * 1.5 - 3.0, -(i as f64) / 7.0),
+            ));
+        }
+        node
+    }
+
+    #[test]
+    fn point_leaf_roundtrip_is_lossless() {
+        let node = leaf_with_points(10);
+        let bytes = node.encode();
+        assert_eq!(bytes.len(), node.encoded_len());
+        assert_eq!(bytes.len(), NODE_HEADER_BYTES + 10 * 24);
+        let back: Node<PointObject> = Node::decode(&bytes);
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn inner_node_roundtrip_is_lossless() {
+        let mut node: Node<PointObject> = Node::new_inner(3);
+        for i in 0..7u32 {
+            node.children.push(ChildEntry {
+                mbr: Rect::from_coords(
+                    i as f64,
+                    i as f64 * 2.0,
+                    i as f64 + 0.5,
+                    i as f64 * 2.0 + 0.25,
+                ),
+                page: PageId(100 + i),
+            });
+        }
+        let bytes = node.encode();
+        assert_eq!(bytes.len(), NODE_HEADER_BYTES + 7 * ChildEntry::BYTES);
+        let back: Node<PointObject> = Node::decode(&bytes);
+        assert_eq!(back, node);
+        assert_eq!(back.level, 3);
+    }
+
+    #[test]
+    fn cell_leaf_roundtrip_is_lossless() {
+        let mut node: Node<CellObject> = Node::new_leaf();
+        for i in 0..4u64 {
+            let site = Point::new(10.0 * i as f64 + 1.0, 20.0 - i as f64);
+            let mut cell = ConvexPolygon::from_rect(&Rect::from_coords(
+                site.x - 5.0,
+                site.y - 5.0,
+                site.x + 5.0,
+                site.y + 5.0,
+            ));
+            cell = cell.clip_bisector(&site, &Point::new(site.x + 3.0, site.y + 4.0));
+            node.objects.push(CellObject::new(i, site, cell));
+        }
+        let bytes = node.encode();
+        assert_eq!(bytes.len(), node.encoded_len());
+        let back: Node<CellObject> = Node::decode(&bytes);
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node: Node<PointObject> = Node::new_leaf();
+        let back: Node<PointObject> = Node::decode(&node.encode());
+        assert_eq!(back, node);
+        assert_eq!(node.encoded_len(), NODE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn decode_ignores_frame_padding() {
+        let node = leaf_with_points(3);
+        let mut frame = node.encode();
+        frame.resize(1024, 0); // zero padding to a full page, as in the store
+        let back: Node<PointObject> = Node::decode(&frame);
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn special_float_values_survive_bit_exactly() {
+        let mut node: Node<PointObject> = Node::new_inner(1);
+        node.children.push(ChildEntry {
+            mbr: Rect::empty(), // ±infinity corners of the union identity
+            page: PageId(0),
+        });
+        let back: Node<PointObject> = Node::decode(&node.encode());
+        assert!(back.children[0].mbr.is_empty());
+        let mut leaf = Node::new_leaf();
+        leaf.objects
+            .push(PointObject::new(1, Point::new(-0.0, 1e-320)));
+        let back: Node<PointObject> = Node::decode(&leaf.encode());
+        assert_eq!(back.objects[0].point.x.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.objects[0].point.y, 1e-320);
+    }
+}

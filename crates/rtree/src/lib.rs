@@ -19,13 +19,19 @@
 //! * the synchronous-traversal [`intersection_join`] of Brinkhoff et al. [9]
 //!   and an ε-[`distance_join`] for comparison,
 //! * page-access statistics via the shared
-//!   [`IoStats`](cij_pagestore::IoStats) of `cij-pagestore`.
+//!   [`IoStats`](cij_pagestore::IoStats) of `cij-pagestore`,
+//! * node serialization ([`codec`]) implementing
+//!   [`PagePayload`](cij_pagestore::PagePayload): every node encodes into
+//!   one page frame, so trees run unchanged on the heap or the real-file
+//!   [`PageBackend`](cij_pagestore::PageBackend) (pick one with
+//!   [`RTree::with_stats_on`] / [`RTree::bulk_load_with_stats_on`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bulk;
 pub mod closest_pairs;
+pub mod codec;
 pub mod join;
 pub mod nn;
 pub mod node;
@@ -34,6 +40,7 @@ pub mod reader;
 pub mod tree;
 
 pub use closest_pairs::k_closest_pairs;
+pub use codec::NODE_HEADER_BYTES;
 pub use join::{distance_join, intersection_join, intersection_join_pairs, IdPair};
 pub use nn::{MinDistHeap, MinHeapItem, NearestNeighbourIter};
 pub use node::{ChildEntry, Node};

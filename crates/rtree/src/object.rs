@@ -1,6 +1,7 @@
 //! Objects stored in R-tree leaves: data points and Voronoi cells.
 
 use cij_geom::{ConvexPolygon, Point, Rect};
+use cij_pagestore::{FrameReader, FrameWriter};
 
 /// Identifier of a data object (a point of `P`/`Q` or a Voronoi cell).
 ///
@@ -12,17 +13,32 @@ pub struct ObjectId(pub u64);
 
 /// A payload that can be stored in an R-tree leaf.
 ///
-/// The trait exposes the two things the tree needs: the object's MBR (for
-/// tree organisation and query pruning) and its size in bytes (so leaf nodes
-/// respect the 1 KB page budget — Voronoi cells have variable size, as
-/// Section III-C of the paper discusses).
+/// The trait exposes what the tree needs: the object's MBR (for tree
+/// organisation and query pruning), its serialized size in bytes (so leaf
+/// nodes respect the 1 KB page budget — Voronoi cells have variable size,
+/// as Section III-C of the paper discusses), and the leaf-entry codec the
+/// node serializer ([`PagePayload`](cij_pagestore::PagePayload) for
+/// [`Node`](crate::node::Node)) builds on, so whole trees can live on any
+/// [`PageBackend`](cij_pagestore::PageBackend).
+///
+/// Codec contract: [`RTreeObject::encode_entry`] must append **exactly**
+/// [`RTreeObject::entry_bytes`] bytes, and [`RTreeObject::decode_entry`]
+/// must consume exactly what `encode_entry` wrote and reconstruct an
+/// observably identical object (floats transfer bit-exactly through the
+/// frame cursors). The workspace round-trip property tests enforce this.
 pub trait RTreeObject: Clone {
     /// Minimum bounding rectangle of the object.
     fn mbr(&self) -> Rect;
-    /// Approximate serialized size of one leaf entry holding this object.
+    /// Exact serialized size of one leaf entry holding this object.
     fn entry_bytes(&self) -> usize;
     /// Identifier of the object.
     fn id(&self) -> ObjectId;
+    /// Serializes one leaf entry (exactly [`RTreeObject::entry_bytes`]
+    /// bytes).
+    fn encode_entry(&self, w: &mut FrameWriter);
+    /// Deserializes one leaf entry, the inverse of
+    /// [`RTreeObject::encode_entry`].
+    fn decode_entry(r: &mut FrameReader<'_>) -> Self;
 }
 
 /// A point object: a member of one of the joined pointsets.
@@ -66,6 +82,19 @@ impl RTreeObject for PointObject {
     fn id(&self) -> ObjectId {
         self.id
     }
+
+    fn encode_entry(&self, w: &mut FrameWriter) {
+        w.put_u64(self.id.0);
+        w.put_f64(self.point.x);
+        w.put_f64(self.point.y);
+    }
+
+    fn decode_entry(r: &mut FrameReader<'_>) -> Self {
+        let id = r.take_u64();
+        let x = r.take_f64();
+        let y = r.take_f64();
+        PointObject::new(id, Point::new(x, y))
+    }
 }
 
 /// A Voronoi-cell object: the cell of a point, stored in the Voronoi R-trees
@@ -106,6 +135,32 @@ impl RTreeObject for CellObject {
 
     fn id(&self) -> ObjectId {
         self.id
+    }
+
+    fn encode_entry(&self, w: &mut FrameWriter) {
+        w.put_u64(self.id.0);
+        w.put_f64(self.site.x);
+        w.put_f64(self.site.y);
+        let vertices = self.cell.vertices();
+        w.put_u32(vertices.len() as u32);
+        for v in vertices {
+            w.put_f64(v.x);
+            w.put_f64(v.y);
+        }
+    }
+
+    fn decode_entry(r: &mut FrameReader<'_>) -> Self {
+        let id = r.take_u64();
+        let site = Point::new(r.take_f64(), r.take_f64());
+        let n = r.take_u32() as usize;
+        let vertices = (0..n)
+            .map(|_| Point::new(r.take_f64(), r.take_f64()))
+            .collect();
+        CellObject {
+            id: ObjectId(id),
+            site,
+            cell: ConvexPolygon::new(vertices),
+        }
     }
 }
 

@@ -1,9 +1,10 @@
 //! The disk-based R-tree.
 
+use crate::codec::NODE_HEADER_BYTES;
 use crate::node::{ChildEntry, Node};
 use crate::object::RTreeObject;
 use cij_geom::{hilbert, Rect};
-use cij_pagestore::{IoStats, PageId, PageStore, PageStoreConfig};
+use cij_pagestore::{BackendIo, IoStats, PageId, PageStore, PageStoreConfig, StorageBackend};
 
 /// Configuration of an R-tree.
 #[derive(Debug, Clone, Copy)]
@@ -28,9 +29,19 @@ impl Default for RTreeConfig {
 }
 
 impl RTreeConfig {
+    /// Byte budget for a node's entries: the page size minus the serialized
+    /// node header. Packing against this budget (instead of the raw page
+    /// size) guarantees every node the tree produces encodes into one page
+    /// frame — fanout genuinely respects the paper's 1 KB pages.
+    pub fn node_byte_budget(&self) -> usize {
+        self.page_size
+            .saturating_sub(NODE_HEADER_BYTES)
+            .max(ChildEntry::BYTES)
+    }
+
     /// Maximum number of child entries a non-leaf node can hold.
     pub fn max_children(&self) -> usize {
-        (self.page_size / ChildEntry::BYTES).clamp(2, self.max_entries)
+        (self.node_byte_budget() / ChildEntry::BYTES).clamp(2, self.max_entries)
     }
 }
 
@@ -57,10 +68,19 @@ impl<D: RTreeObject> RTree<D> {
 
     /// Creates an empty tree whose page store shares the given statistics
     /// counters (so that joint operations over several trees report a single
-    /// page-access figure, as in the paper).
+    /// page-access figure, as in the paper). Node frames live on the heap
+    /// backend; use [`RTree::with_stats_on`] to choose.
     pub fn with_stats(config: RTreeConfig, stats: IoStats) -> Self {
+        Self::with_stats_on(config, stats, StorageBackend::Heap)
+    }
+
+    /// Creates an empty tree with shared statistics counters whose node
+    /// frames live on the given [`StorageBackend`].
+    pub fn with_stats_on(config: RTreeConfig, stats: IoStats, storage: StorageBackend) -> Self {
         let mut store = PageStore::with_stats(
-            PageStoreConfig::default().with_page_size(config.page_size),
+            PageStoreConfig::default()
+                .with_page_size(config.page_size)
+                .with_backend(storage),
             stats,
         );
         let root = store.allocate(Node::new_leaf());
@@ -81,6 +101,17 @@ impl<D: RTreeObject> RTree<D> {
     /// Handle to the shared I/O statistics.
     pub fn stats(&self) -> IoStats {
         self.store.stats()
+    }
+
+    /// Which storage backend holds this tree's node frames.
+    pub fn storage_backend(&self) -> StorageBackend {
+        self.store.backend_kind()
+    }
+
+    /// Bytes actually transferred to/from the storage backend — the
+    /// physical counterpart of the counted page accesses.
+    pub fn backend_io(&self) -> BackendIo {
+        self.store.backend_io()
     }
 
     /// Number of data objects in the tree.
@@ -124,14 +155,16 @@ impl<D: RTreeObject> RTree<D> {
         self.store.peek(page)
     }
 
-    /// Accounts for a read of `page` without returning the payload: the LRU
-    /// buffer is touched and the hit/miss recorded exactly as
-    /// [`RTree::read_node`] would.
+    /// Replays one recorded page access: thin wrapper over
+    /// [`PageStore::note_read`], which carries the authoritative description
+    /// of the accounting (buffer touch, hit/miss recording, backend frame
+    /// transfer on a miss, and the debug-build trace-drift assertion).
     ///
-    /// Used to replay the access traces recorded by
+    /// Replays the access traces recorded by
     /// [`TracedReader`](crate::reader::TracedReader) in sequential order, so
     /// the parallel NM-CIJ path reports the same page accesses and leaves
-    /// the same buffer state as a single-threaded run.
+    /// the same buffer state as a single-threaded run. A replayed id that
+    /// does not exist (trace drift) panics.
     pub fn replay_read(&mut self, page: PageId) {
         self.store.note_read(page);
     }
@@ -197,7 +230,7 @@ impl<D: RTreeObject> RTree<D> {
 
     fn leaf_overflows(&self, node: &Node<D>) -> bool {
         node.objects.len() > 1
-            && (node.payload_bytes() > self.config.page_size
+            && (node.payload_bytes() > self.config.node_byte_budget()
                 || node.objects.len() > self.config.max_entries)
     }
 

@@ -70,13 +70,15 @@ pub use cij_pagestore as pagestore;
 pub use cij_rtree as rtree;
 pub use cij_voronoi as voronoi;
 
-pub use cij_core::{Algorithm, CellCache, CijConfig, CijExecutor, PairStream, QueryEngine};
+pub use cij_core::{
+    Algorithm, CellCache, CijConfig, CijExecutor, PairStream, QueryEngine, StorageBackend,
+};
 
 /// Commonly used items, for `use cij::prelude::*`.
 pub mod prelude {
     pub use cij_core::{
         brute_force_cij, fm_cij, nm_cij, pm_cij, Algorithm, CellCache, CijConfig, CijExecutor,
-        CijOutcome, PairStream, QueryEngine, Workload,
+        CijOutcome, PairStream, QueryEngine, StorageBackend, Workload,
     };
     pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
     pub use cij_geom::{ConvexPolygon, Point, Rect};

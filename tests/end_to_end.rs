@@ -5,13 +5,17 @@
 use cij::prelude::*;
 use cij::rtree::RTreeConfig;
 
-/// Small pages so even modest datasets produce multi-level trees.
+/// Small pages so even modest datasets produce multi-level trees; honours
+/// the `CIJ_WORKER_THREADS` / `CIJ_STORAGE` overrides CI uses to rerun
+/// this suite over the parallel path and the file storage backend.
 fn test_config() -> CijConfig {
-    CijConfig::default().with_rtree(RTreeConfig {
-        page_size: 512,
-        min_fill: 0.4,
-        max_entries: 64,
-    })
+    CijConfig::default()
+        .with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+        .with_env_overrides()
 }
 
 /// The unified entry point every integration test goes through.

@@ -5,12 +5,16 @@ use cij::prelude::*;
 use cij::rtree::RTreeConfig;
 use proptest::prelude::*;
 
+/// Honours the `CIJ_WORKER_THREADS` / `CIJ_STORAGE` overrides CI uses to
+/// rerun this suite over the parallel path and the file storage backend.
 fn test_config() -> CijConfig {
-    CijConfig::default().with_rtree(RTreeConfig {
-        page_size: 512,
-        min_fill: 0.4,
-        max_entries: 64,
-    })
+    CijConfig::default()
+        .with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+        .with_env_overrides()
 }
 
 fn pointset(max_len: usize) -> impl Strategy<Value = Vec<Point>> {

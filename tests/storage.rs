@@ -1,0 +1,283 @@
+//! Integration tests for the pluggable storage backends: NM-CIJ over the
+//! real-file `PageBackend` must be observably indistinguishable from the
+//! heap-backed run (same pairs in the same order, same NM counters, same
+//! page-access totals, at any worker-thread count), and the `PagePayload`
+//! node codec must round-trip losslessly while rejecting frames that
+//! exceed the page size.
+
+use cij::pagestore::{BackendIo, PagePayload};
+use cij::prelude::*;
+use cij::rtree::{CellObject, Node, PointObject, RTree, RTreeConfig, NODE_HEADER_BYTES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small pages so even modest datasets produce multi-level trees.
+fn test_config() -> CijConfig {
+    CijConfig::default().with_rtree(RTreeConfig {
+        page_size: 512,
+        min_fill: 0.4,
+        max_entries: 64,
+    })
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Point> {
+    clustered_points(
+        &ClusterSpec {
+            n,
+            clusters: 5,
+            sigma_fraction: 0.03,
+            background_fraction: 0.15,
+            size_skew: 0.8,
+        },
+        &Rect::DOMAIN,
+        seed,
+    )
+}
+
+fn run_nm(p: &[Point], q: &[Point], config: &CijConfig) -> CijOutcome {
+    QueryEngine::new(*config).join(p, q, Algorithm::NmCij)
+}
+
+/// The acceptance contract: for uniform and clustered workloads, NM-CIJ
+/// over `FileBackend` produces identical pairs (set *and* order), NM
+/// counters and logical page-access totals as `HeapBackend`, at
+/// `worker_threads` ∈ {1, 4}.
+#[test]
+fn file_backend_matches_heap_backend_exactly() {
+    let workloads = [
+        (
+            "uniform",
+            uniform_points(600, &Rect::DOMAIN, 9401),
+            uniform_points(600, &Rect::DOMAIN, 9402),
+        ),
+        ("clustered", clustered(500, 9403), clustered(550, 9404)),
+    ];
+    for (name, p, q) in &workloads {
+        for threads in [1usize, 4] {
+            let base = test_config().with_worker_threads(threads);
+            let heap = run_nm(p, q, &base.with_storage_backend(StorageBackend::Heap));
+            let file = run_nm(p, q, &base.with_storage_backend(StorageBackend::File));
+            let label = format!("{name}, T={threads}");
+            assert_eq!(
+                file.pairs, heap.pairs,
+                "{label}: pair sequence (set or order) diverged"
+            );
+            assert_eq!(file.nm, heap.nm, "{label}: NM counters diverged");
+            assert_eq!(
+                file.page_accesses(),
+                heap.page_accesses(),
+                "{label}: page-access totals diverged"
+            );
+            assert_eq!(
+                file.progress, heap.progress,
+                "{label}: progress samples diverged"
+            );
+        }
+    }
+}
+
+/// All three algorithms (including the Voronoi-tree-materialising FM/PM)
+/// agree with the brute-force oracle when every tree lives on the file
+/// backend.
+#[test]
+fn every_algorithm_is_correct_over_the_file_backend() {
+    let config = test_config().with_storage_backend(StorageBackend::File);
+    let engine = QueryEngine::new(config);
+    let p = uniform_points(150, &Rect::DOMAIN, 9405);
+    let q = clustered(150, 9406);
+    let oracle = brute_force_cij(&p, &q, &config.domain);
+    for alg in Algorithm::ALL {
+        let outcome = engine.join(&p, &q, alg);
+        assert_eq!(outcome.sorted_pairs(), oracle, "{} diverged", alg.name());
+    }
+}
+
+/// Counted physical reads translate 1:1 into frame-sized file transfers.
+#[test]
+fn file_bytes_read_match_counted_physical_reads() {
+    let config = test_config().with_storage_backend(StorageBackend::File);
+    let engine = QueryEngine::new(config);
+    let p = uniform_points(400, &Rect::DOMAIN, 9407);
+    let q = uniform_points(400, &Rect::DOMAIN, 9408);
+    let mut w = engine.build_workload(&p, &q);
+    let io_before: BackendIo = w.backend_io();
+    let outcome = engine.run(&mut w, Algorithm::NmCij);
+    assert!(!outcome.pairs.is_empty());
+    let page_size = config.rtree.page_size as u64;
+    let snap = w.stats.snapshot();
+    let io = w.backend_io().since(&io_before);
+    assert_eq!(
+        io.bytes_read,
+        snap.physical_reads * page_size,
+        "every counted miss must move exactly one page-sized frame"
+    );
+}
+
+/// A whole tree built page-by-page (insertion path, splits included) on the
+/// file backend answers queries identically to its heap twin, with
+/// identical I/O counters.
+#[test]
+fn insert_built_trees_agree_across_backends() {
+    let build = |storage: StorageBackend| {
+        let mut tree: RTree<PointObject> =
+            RTree::with_stats_on(test_config().rtree, cij::pagestore::IoStats::new(), storage);
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..500u64 {
+            tree.insert(PointObject::new(
+                i,
+                Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)),
+            ));
+        }
+        tree.set_buffer_pages(8);
+        tree.drop_buffer();
+        tree.stats().reset();
+        tree
+    };
+    let mut heap = build(StorageBackend::Heap);
+    let mut file = build(StorageBackend::File);
+    heap.check_invariants().unwrap();
+    file.check_invariants().unwrap();
+    for query in [
+        Rect::from_coords(0.0, 0.0, 2_500.0, 2_500.0),
+        Rect::from_coords(4_000.0, 1_000.0, 9_000.0, 8_000.0),
+    ] {
+        let mut a: Vec<u64> = heap.range_query(&query).iter().map(|o| o.id.0).collect();
+        let mut b: Vec<u64> = file.range_query(&query).iter().map(|o| o.id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+    assert_eq!(heap.stats().snapshot(), file.stats().snapshot());
+    assert_eq!(heap.backend_io(), file.backend_io());
+}
+
+fn arbitrary_point_node(seed: u64, entries: usize, inner: bool) -> Node<PointObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if inner {
+        let mut node: Node<PointObject> = Node::new_inner(1 + (seed % 5) as u32);
+        for _ in 0..entries {
+            let x = rng.gen_range(-1e6..1e6);
+            let y = rng.gen_range(-1e6..1e6);
+            node.children.push(cij::rtree::ChildEntry {
+                mbr: Rect::from_coords(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..1e3),
+                    y + rng.gen_range(0.0..1e3),
+                ),
+                page: cij::pagestore::PageId(rng.gen_range(0..u32::MAX)),
+            });
+        }
+        node
+    } else {
+        let mut node = Node::new_leaf();
+        for _ in 0..entries {
+            node.objects.push(PointObject::new(
+                rng.gen_range(0..u64::MAX),
+                Point::new(rng.gen_range(-1e9..1e9), rng.gen_range(-1e9..1e9)),
+            ));
+        }
+        node
+    }
+}
+
+fn arbitrary_cell_node(seed: u64, entries: usize) -> Node<CellObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = Node::new_leaf();
+    for i in 0..entries as u64 {
+        let cx = rng.gen_range(100.0..9_900.0);
+        let cy = rng.gen_range(100.0..9_900.0);
+        let site = Point::new(cx, cy);
+        let mut cell = ConvexPolygon::from_rect(&Rect::from_coords(
+            cx - 60.0,
+            cy - 60.0,
+            cx + 60.0,
+            cy + 60.0,
+        ));
+        for _ in 0..rng.gen_range(0..8) {
+            let other = Point::new(
+                cx + rng.gen_range(-90.0..90.0),
+                cy + rng.gen_range(-90.0..90.0),
+            );
+            if other.dist(&site) > 1.0 {
+                cell = cell.clip_bisector(&site, &other);
+            }
+        }
+        node.objects.push(CellObject::new(i, site, cell));
+    }
+    node
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `PagePayload` encode/decode is lossless for arbitrary R-tree nodes:
+    /// point leaves, inner nodes and variable-size Voronoi-cell leaves all
+    /// round-trip observably unchanged, and the size estimate is exact.
+    #[test]
+    fn node_codec_roundtrip_is_lossless(
+        seed in 0u64..10_000,
+        entries in 0usize..40,
+        inner in 0u8..2,
+    ) {
+        let point_node = arbitrary_point_node(seed, entries, inner == 1);
+        let bytes = point_node.encode();
+        prop_assert_eq!(bytes.len(), point_node.encoded_len());
+        prop_assert_eq!(&Node::<PointObject>::decode(&bytes), &point_node);
+
+        let cell_node = arbitrary_cell_node(seed, entries.min(12));
+        let bytes = cell_node.encode();
+        prop_assert_eq!(bytes.len(), cell_node.encoded_len());
+        prop_assert_eq!(&Node::<CellObject>::decode(&bytes), &cell_node);
+    }
+
+    /// Overflow detection: a node whose encoding exceeds the page size is
+    /// rejected by the frame check; anything the R-tree's fanout budget
+    /// admits fits with its header.
+    #[test]
+    fn frames_exceeding_page_size_are_rejected(
+        seed in 0u64..10_000,
+        entries in 0usize..60,
+    ) {
+        let node = arbitrary_point_node(seed, entries, false);
+        let page_size = 512usize;
+        let fits_budget =
+            node.payload_bytes() <= page_size - NODE_HEADER_BYTES;
+        prop_assert_eq!(
+            node.check_frame(page_size).is_ok(),
+            fits_budget,
+            "frame check must agree with the header-aware fanout budget"
+        );
+        if let Err(overflow) = node.check_frame(page_size) {
+            prop_assert_eq!(overflow.needed, node.encoded_len());
+            prop_assert_eq!(overflow.frame, page_size);
+        }
+    }
+}
+
+/// The store enforces the frame check: a single object too large for any
+/// page (which node splitting cannot fix) is rejected with a panic instead
+/// of being silently stored in an unserializable node.
+#[test]
+#[should_panic(expected = "page frame overflow")]
+fn oversized_node_is_rejected_by_the_store() {
+    let mut tree: RTree<CellObject> = RTree::with_stats_on(
+        RTreeConfig {
+            page_size: 128,
+            min_fill: 0.4,
+            max_entries: 64,
+        },
+        cij::pagestore::IoStats::new(),
+        StorageBackend::File,
+    );
+    // A 20-vertex cell needs 28 + 20 × 16 = 348 bytes — more than a page.
+    let vertices = (0..20)
+        .map(|i| {
+            let angle = i as f64 * std::f64::consts::TAU / 20.0;
+            Point::new(5_000.0 + 100.0 * angle.cos(), 5_000.0 + 100.0 * angle.sin())
+        })
+        .collect();
+    let cell = ConvexPolygon::new(vertices);
+    tree.insert(CellObject::new(0, Point::new(5_000.0, 5_000.0), cell));
+}
