@@ -1,0 +1,10 @@
+//! Standalone runner for the multiway-CIJ scaling experiment (batched vs
+//! per-tuple probing, thread parity; see
+//! [`cij_bench::experiments::multiway_scale`]).
+
+use cij_bench::experiments::multiway_scale;
+use cij_bench::Args;
+
+fn main() {
+    multiway_scale::run(&Args::capture());
+}

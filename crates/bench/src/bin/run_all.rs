@@ -27,5 +27,6 @@ fn main() {
     experiments::cache_sweep::run(&forward(0.02));
     experiments::scaling::run(&forward(0.02));
     experiments::io_validation::run(&forward(0.02));
+    experiments::multiway_scale::run(&forward(0.01));
     println!("\nAll experiments completed.");
 }

@@ -4,6 +4,33 @@ use cij_geom::Rect;
 use cij_pagestore::StorageBackend;
 use cij_rtree::RTreeConfig;
 
+/// How the multiway CIJ probes the next set's tree with the regions of its
+/// live partial tuples (the filter phase of every extension round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiwayProbe {
+    /// One [`batch_conditional_filter`](crate::filter::batch_conditional_filter)
+    /// call per leaf unit, probing all live partial regions of the unit at
+    /// once — the same redundant-traversal cut binary NM-CIJ gets from
+    /// batching the cells of one `RQ` leaf. The default.
+    #[default]
+    Batched,
+    /// One filter call per partial tuple — the historical baseline the
+    /// `multiway_scale` experiment compares against. Results are identical
+    /// to [`MultiwayProbe::Batched`]; page accesses and filter
+    /// points-examined are strictly higher on non-trivial workloads.
+    PerTuple,
+}
+
+impl MultiwayProbe {
+    /// Short label used by benches and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MultiwayProbe::Batched => "batched",
+            MultiwayProbe::PerTuple => "per-tuple",
+        }
+    }
+}
+
 /// Configuration of a CIJ evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct CijConfig {
@@ -67,7 +94,14 @@ pub struct CijConfig {
     /// leaf order (see [`crate::nm`] for the full protocol). The stream
     /// stays lazy: at most a small multiple of `worker_threads` leaves are
     /// in flight, so first pairs never wait for the whole join.
+    ///
+    /// The multiway [`TupleStream`](crate::multiway::TupleStream) honours
+    /// the same knob with the same exact-parity guarantee over its leaf
+    /// units.
     pub worker_threads: usize,
+    /// Probe strategy of the multiway CIJ's extension rounds (see
+    /// [`MultiwayProbe`]); [`MultiwayProbe::Batched`] by default.
+    pub multiway_probe: MultiwayProbe,
 }
 
 impl Default for CijConfig {
@@ -82,6 +116,7 @@ impl Default for CijConfig {
             cell_cache_capacity: 1024,
             progress_sample_pairs: 1_000,
             worker_threads: 1,
+            multiway_probe: MultiwayProbe::Batched,
         }
     }
 }
@@ -140,6 +175,12 @@ impl CijConfig {
     /// [`CijConfig::worker_threads`]; `0` and `1` both mean sequential).
     pub fn with_worker_threads(mut self, threads: usize) -> Self {
         self.worker_threads = threads;
+        self
+    }
+
+    /// Sets the multiway probe strategy (see [`MultiwayProbe`]).
+    pub fn with_multiway_probe(mut self, probe: MultiwayProbe) -> Self {
+        self.multiway_probe = probe;
         self
     }
 
@@ -240,6 +281,16 @@ mod tests {
         );
         let c = c.with_storage_backend(StorageBackend::File);
         assert_eq!(c.storage_backend, StorageBackend::File);
+    }
+
+    #[test]
+    fn multiway_probe_default_and_builder() {
+        let c = CijConfig::default();
+        assert_eq!(c.multiway_probe, MultiwayProbe::Batched);
+        assert_eq!(c.multiway_probe.name(), "batched");
+        let c = c.with_multiway_probe(MultiwayProbe::PerTuple);
+        assert_eq!(c.multiway_probe, MultiwayProbe::PerTuple);
+        assert_eq!(c.multiway_probe.name(), "per-tuple");
     }
 
     #[test]

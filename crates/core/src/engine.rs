@@ -26,11 +26,11 @@
 use crate::config::CijConfig;
 use crate::fm::fm_cij_eager;
 use crate::grouped::{grouped_nn_via_cij, GroupCounts};
-use crate::multiway::{multiway_cij, MultiwayOutcome};
+use crate::multiway::{MultiwayOutcome, TupleStream};
 use crate::nm::{CacheSlot, NmPairIter};
 use crate::pm::pm_cij_eager;
 use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
-use crate::workload::Workload;
+use crate::workload::{MultiwayWorkload, Workload};
 use crate::Algorithm;
 use cij_geom::Point;
 use std::sync::{Arc, Mutex};
@@ -333,10 +333,26 @@ impl QueryEngine {
         self.run(&mut workload, algorithm)
     }
 
-    /// Runs the multiway CIJ over `sets` (see
-    /// [`multiway_cij`](crate::multiway::multiway_cij)).
+    /// Builds the R-tree indexed multiway workload for `sets` under this
+    /// engine's configuration.
+    pub fn multiway_workload(&self, sets: &[Vec<Point>]) -> MultiwayWorkload {
+        MultiwayWorkload::build(sets, &self.config)
+    }
+
+    /// Starts the multiway CIJ on `workload` and returns the lazy
+    /// [`TupleStream`]: leaf units of the first set's tree are processed
+    /// only as tuples are demanded, with progress samples and per-leaf
+    /// watermarks observable mid-join (see [`crate::multiway`]).
+    pub fn multiway_stream<'a>(&self, workload: &'a mut MultiwayWorkload) -> TupleStream<'a> {
+        TupleStream::new(workload, self.config)
+    }
+
+    /// Runs the multiway CIJ over `sets` to completion (see
+    /// [`multiway_cij`](crate::multiway::multiway_cij)) — a thin
+    /// drain-the-stream wrapper over [`QueryEngine::multiway_stream`].
     pub fn multiway(&self, sets: &[Vec<Point>]) -> MultiwayOutcome {
-        multiway_cij(sets, &self.config)
+        let mut workload = self.multiway_workload(sets);
+        self.multiway_stream(&mut workload).into_outcome()
     }
 
     /// Runs the CIJ-based grouped nearest-neighbour analysis (see
@@ -493,5 +509,34 @@ mod tests {
         let locations = random_points(300, 513);
         let counts = engine.grouped_nn(&sets[0], &sets[1], &locations);
         assert_eq!(counts.values().sum::<u64>(), locations.len() as u64);
+    }
+
+    #[test]
+    fn multiway_stream_is_lazy_and_matches_the_blocking_run() {
+        let engine = QueryEngine::new(small_config());
+        let sets = vec![random_points(1_500, 516), random_points(1_500, 517)];
+
+        // Total cost of a complete run, for reference.
+        let blocking = engine.multiway(&sets);
+        let total = blocking.page_accesses;
+
+        let mut w = engine.multiway_workload(&sets);
+        let stats = w.stats.clone();
+        let mut stream = engine.multiway_stream(&mut w);
+        let first = stream.next();
+        assert!(first.is_some(), "join of non-empty sets yields tuples");
+        let at_first = stats.snapshot().page_accesses();
+        assert!(
+            at_first * 4 < total,
+            "first tuple after {at_first} accesses vs {total} total — not lazy"
+        );
+        assert_eq!(stream.tuples_emitted(), 1);
+        assert!(!stream.watermarks_so_far().is_empty());
+
+        // Draining afterwards completes the join with the same result.
+        let mut ids: Vec<Vec<u64>> = vec![first.unwrap().ids];
+        ids.extend(stream.map(|t| t.ids));
+        ids.sort();
+        assert_eq!(ids, blocking.sorted_ids());
     }
 }

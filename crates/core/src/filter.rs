@@ -39,6 +39,16 @@ pub struct FilterStats {
     pub entries_pruned: u64,
 }
 
+impl FilterStats {
+    /// Folds another invocation's statistics into this accumulator (used by
+    /// the multiway join, which issues one filter call per probe unit and
+    /// reports totals).
+    pub fn absorb(&mut self, other: &FilterStats) {
+        self.points_examined += other.points_examined;
+        self.entries_pruned += other.entries_pruned;
+    }
+}
+
 /// Runs the (batch) conditional filter: returns every point of `P` whose
 /// Voronoi cell may intersect at least one polygon of `polys`, plus filter
 /// statistics.
@@ -297,6 +307,21 @@ mod tests {
                 assert!(ids.contains(&(i as u64)), "inside point {i} filtered out");
             }
         }
+    }
+
+    #[test]
+    fn filter_stats_absorb_accumulates() {
+        let mut total = FilterStats::default();
+        total.absorb(&FilterStats {
+            points_examined: 3,
+            entries_pruned: 1,
+        });
+        total.absorb(&FilterStats {
+            points_examined: 5,
+            entries_pruned: 2,
+        });
+        assert_eq!(total.points_examined, 8);
+        assert_eq!(total.entries_pruned, 3);
     }
 
     #[test]

@@ -94,17 +94,21 @@ pub mod workload;
 pub use brute::brute_force_cij;
 pub use cell_cache::CellCache;
 pub use cij_pagestore::StorageBackend;
-pub use config::CijConfig;
+pub use config::{CijConfig, MultiwayProbe};
 pub use engine::{CijExecutor, FmExecutor, NmExecutor, PairStream, PmExecutor, QueryEngine};
 pub use filter::{batch_conditional_filter, FilterStats};
 pub use fm::fm_cij;
 pub use grouped::{grouped_nn_via_all_nn, grouped_nn_via_cij, GroupCounts};
-pub use multiway::{brute_force_multiway_cij, multiway_cij, MultiwayOutcome, MultiwayTuple};
+pub use multiway::{
+    brute_force_multiway_cij, multiway_cij, MultiwayOutcome, MultiwayTuple, TupleStream,
+};
 pub use nm::nm_cij;
 pub use pm::pm_cij;
-pub use stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+pub use stats::{
+    CijOutcome, CostBreakdown, LeafWatermark, MultiwayCounters, NmCounters, ProgressSample,
+};
 pub use vor_rtree::{build_voronoi_rtree, compute_all_cells, materialize_voronoi_rtree};
-pub use workload::Workload;
+pub use workload::{MultiwayWorkload, Workload};
 
 /// The three CIJ evaluation algorithms, for harnesses that sweep over them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

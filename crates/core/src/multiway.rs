@@ -1,6 +1,7 @@
 //! Multiway common influence join — the extension the paper lists as future
 //! work ("we plan to generalize CIJ computation for multiple pointsets and
-//! develop multiway CIJ algorithms").
+//! develop multiway CIJ algorithms") — implemented as a first-class engine
+//! component: leaf-batched, streaming and optionally parallel.
 //!
 //! Given pointsets `S1, …, Sk`, the multiway CIJ returns every tuple
 //! `(s1, …, sk)` with `si ∈ Si` such that **one common location** exists that
@@ -10,19 +11,93 @@
 //! share no common point, so the join must track the running intersection
 //! region explicitly.
 //!
-//! The evaluation strategy composes the machinery of NM-CIJ: tuples are
-//! grown one input set at a time; for every partial tuple the running
-//! intersection region (a convex polygon) is probed against the next set's
-//! R-tree with the conditional filter (Algorithm 5), candidate cells are
-//! computed on demand with BatchVoronoi, and the region is narrowed by
-//! polygon intersection.
+//! # Leaf-batched evaluation
+//!
+//! Evaluation is driven by the leaves of the **first** set's R-tree, walked
+//! in Hilbert order exactly like the outer loop of binary NM-CIJ. One leaf
+//! unit flows through `k` rounds:
+//!
+//! * **Seed (round 0)**: the Voronoi cells of the leaf's points are computed
+//!   with BatchVoronoi *through the set's [`CellCache`]* — the seeding phase
+//!   uses the same reuse buffer as every extension round, so
+//!   `cells_computed[0]` has the same meaning ("exact cells computed",
+//!   i.e. cache misses) as every other slot and duplicate seed work would be
+//!   served from the buffer.
+//! * **Extend (rounds 1 … k−1)**: the unit's live partial tuples are grouped
+//!   into **probe units** and each probe unit issues *one*
+//!   [`batch_conditional_filter`] call carrying all of its partial regions
+//!   ([`MultiwayProbe::Batched`], the default) — the same redundant-traversal
+//!   cut that batching the cells of one `RQ` leaf gives binary NM-CIJ,
+//!   observable as a drop in page accesses and filter points-examined
+//!   (measured by the `multiway_scale` bench experiment against the
+//!   [`MultiwayProbe::PerTuple`] baseline, which probes once per partial
+//!   tuple). Candidate cells are then resolved through the set's
+//!   [`CellCache`] and each partial region is narrowed by polygon
+//!   intersection; empty intersections drop the candidate tuple.
+//!
+//! The partial tuples of one leaf stay spatially close through every round
+//! (they are intersections of neighbouring cells), which is what makes the
+//! per-leaf batch probe effective.
+//!
+//! # Streaming
+//!
+//! [`TupleStream`] is the multiway analogue of
+//! [`PairStream`](crate::engine::PairStream): a lazy pull-based iterator of
+//! [`MultiwayTuple`]s. Leaf units are processed only as the consumer
+//! demands tuples, progress samples accumulate per productive leaf, and a
+//! [`LeafWatermark`] is recorded per completed leaf — everything emitted up
+//! to a watermark is final, so downstream operators can checkpoint at leaf
+//! granularity. The blocking [`multiway_cij`] is a thin
+//! [`TupleStream::into_outcome`] wrapper, and
+//! [`QueryEngine::multiway_stream`](crate::engine::QueryEngine::multiway_stream)
+//! exposes the stream directly.
+//!
+//! # Parallelism with exact parity
+//!
+//! With [`CijConfig::worker_threads`] > 1 the leaf units of a bounded chunk
+//! run on a [`std::thread::scope`] worker pool using the same
+//! determinism protocol as parallel NM-CIJ (see [`crate::nm`]), generalised
+//! to `k` trees and `k` caches:
+//!
+//! * workers traverse the trees as immutable snapshots through
+//!   [`cij_rtree::TracedReader`], recording per-unit page traces;
+//! * the coordinator decides every [`CellCache`] hit/miss/eviction on id
+//!   sequences in leaf order (policy/payload split) and later replays each
+//!   leaf's traces through the real LRU buffers in the exact sequential
+//!   interleaving;
+//! * tuples are reassembled in leaf order.
+//!
+//! In fact there is only **one** execution path: the sequential run is the
+//! chunked protocol at worker count 1 (the worker pool degenerates to
+//! inline calls), so tuples (set *and* order), all [`MultiwayCounters`],
+//! page-access totals, progress samples and watermarks are identical at any
+//! thread count by construction — and asserted by `tests/multiway.rs` and
+//! the `multiway_scale` parity column.
+//!
+//! [`batch_conditional_filter`]: crate::filter::batch_conditional_filter
+//! [`CellCache`]: crate::cell_cache::CellCache
+//! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
+//! [`MultiwayProbe::Batched`]: crate::config::MultiwayProbe::Batched
+//! [`MultiwayProbe::PerTuple`]: crate::config::MultiwayProbe::PerTuple
 
 use crate::cell_cache::CellCache;
-use crate::config::CijConfig;
-use crate::filter::batch_conditional_filter;
+use crate::config::{CijConfig, MultiwayProbe};
+use crate::filter::{batch_conditional_filter, FilterStats};
+use crate::nm::run_ordered;
+use crate::stats::{LeafWatermark, MultiwayCounters, ProgressSample};
+use crate::workload::MultiwayWorkload;
 use cij_geom::{ConvexPolygon, Point, Rect};
-use cij_rtree::{PointObject, RTree};
-use cij_voronoi::{batch_voronoi, batch_voronoi_cached, brute_force_diagram};
+use cij_pagestore::{IoSnapshot, IoStats, PageId};
+use cij_rtree::{NodeReader, PointObject, TracedReader};
+use cij_voronoi::{batch_voronoi, brute_force_diagram};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Steady-state chunk width as a multiple of the worker count; chunks ramp
+/// `1 → workers → workers * CHUNK_RAMP` so the first tuples cost only one
+/// leaf unit's page accesses (the streaming contract) while later chunks
+/// amortise the per-chunk synchronisation barriers.
+const CHUNK_RAMP: usize = 4;
 
 /// One result tuple of a multiway CIJ: the ids of the joined points (one per
 /// input set, in input order) and the common influence region they share.
@@ -37,114 +112,530 @@ pub struct MultiwayTuple {
 /// Result of a multiway CIJ evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct MultiwayOutcome {
-    /// All result tuples.
+    /// All result tuples, in emission order (leaf-major, deterministic).
     pub tuples: Vec<MultiwayTuple>,
-    /// Exact Voronoi cells computed per input set (diagnostic counter).
-    pub cells_computed: Vec<u64>,
+    /// Cell, filter and cache counters (see [`MultiwayCounters`]).
+    pub counters: MultiwayCounters,
+    /// Progressive-output samples, one per productive leaf of the driving
+    /// tree (`pairs` counts result *tuples* here).
+    pub progress: Vec<ProgressSample>,
+    /// Per-leaf watermarks, one per leaf of the driving tree.
+    pub watermarks: Vec<LeafWatermark>,
+    /// Total physical page accesses of the evaluation.
+    pub page_accesses: u64,
 }
 
 impl MultiwayOutcome {
+    /// Exact Voronoi cells computed per input set — shorthand for
+    /// [`MultiwayCounters::cells_computed`].
+    pub fn cells_computed(&self) -> &[u64] {
+        &self.counters.cells_computed
+    }
+
     /// The id tuples, sorted lexicographically (for comparisons in tests).
+    ///
+    /// Deliberately does **not** dedup: the stream must never emit the same
+    /// id tuple twice (each first-set point lives in exactly one leaf and
+    /// each filter call returns distinct candidates), so a duplicate is a
+    /// bug that should surface in comparisons — and trips the debug
+    /// assertion here and in the stream — rather than be papered over.
     pub fn sorted_ids(&self) -> Vec<Vec<u64>> {
         let mut v: Vec<Vec<u64>> = self.tuples.iter().map(|t| t.ids.clone()).collect();
         v.sort();
-        v.dedup();
+        debug_assert!(
+            v.windows(2).all(|w| w[0] != w[1]),
+            "duplicate multiway tuples must never be emitted"
+        );
         v
     }
 }
 
-/// Evaluates the multiway CIJ over `sets`, each indexed by an R-tree built by
-/// this function (trees share the workload-style accounting internally).
+/// The coordinator's replacement-policy verdict for one probe unit: which
+/// candidates hit the set's reuse buffer, which must be computed
+/// (`missing`, in candidate order — exactly the cells a width-1 run would
+/// compute), and the deferred payload bookkeeping of the puts.
+#[derive(Default)]
+struct ProbePlan {
+    /// Aligned with the unit's candidates: `true` when the cell was a hit.
+    hit: Vec<bool>,
+    /// Candidates whose exact cells this unit computes, in candidate order.
+    missing: Vec<PointObject>,
+    /// One entry per `missing` member: `(id, evicted victim)`.
+    puts: Vec<(u64, Option<u64>)>,
+    /// Cache hits attributed to this unit.
+    reused: u64,
+    /// Cache misses attributed to this unit.
+    computed: u64,
+}
+
+/// Runs the replacement policy of one probe unit over `candidates` on the
+/// real cache (coordinator only, unit order) — the exact hit/miss/eviction
+/// sequence a width-1 run would produce.
+fn policy_pass(cache: &mut CellCache, candidates: &[PointObject]) -> ProbePlan {
+    let mut plan = ProbePlan::default();
+    for cand in candidates {
+        if cache.policy_get(cand.id.0) {
+            plan.hit.push(true);
+            plan.reused += 1;
+        } else {
+            plan.hit.push(false);
+            plan.computed += 1;
+            plan.missing.push(*cand);
+        }
+    }
+    for m in &plan.missing {
+        plan.puts.push((m.id.0, cache.policy_put(m.id.0)));
+    }
+    plan
+}
+
+/// Resolves one probe unit's aligned candidate cells: hits from the cache
+/// payloads, misses from the unit's freshly refined cells, applying the
+/// deferred payload updates of the unit's puts (coordinator only, unit
+/// order — hits recorded before a put must still see the victim's payload).
+fn resolve_unit(
+    cache: &mut CellCache,
+    candidates: &[PointObject],
+    plan: &ProbePlan,
+    refined: Vec<ConvexPolygon>,
+) -> Vec<ConvexPolygon> {
+    let mut aligned: Vec<Option<ConvexPolygon>> = candidates
+        .iter()
+        .zip(&plan.hit)
+        .map(|(cand, hit)| hit.then(|| cache.resolved_payload(cand.id.0)))
+        .collect();
+    let mut fresh = refined.into_iter();
+    let mut puts = plan.puts.iter();
+    for slot in aligned.iter_mut() {
+        if slot.is_none() {
+            let cell = fresh
+                .next()
+                .expect("one refined cell per missing candidate");
+            let (id, victim) = puts.next().expect("one put per missing candidate");
+            if let Some(v) = victim {
+                cache.drop_payload(*v);
+            }
+            cache.fill_payload(*id, &cell);
+            *slot = Some(cell);
+        }
+    }
+    aligned
+        .into_iter()
+        .map(|cell| cell.expect("every slot filled"))
+        .collect()
+}
+
+/// A lazy pull-based stream of multiway CIJ result tuples — the k-way
+/// analogue of [`PairStream`](crate::engine::PairStream).
+///
+/// Obtained from
+/// [`QueryEngine::multiway_stream`](crate::engine::QueryEngine::multiway_stream).
+/// Leaf units of the first set's tree are processed only as tuples are
+/// demanded; [`TupleStream::progress_so_far`],
+/// [`TupleStream::counters_so_far`] and [`TupleStream::watermarks_so_far`]
+/// expose the incremental measurements, and [`TupleStream::into_outcome`]
+/// drains the remainder into the blocking [`MultiwayOutcome`].
+pub struct TupleStream<'a> {
+    workload: &'a mut MultiwayWorkload,
+    config: CijConfig,
+    leaves: Vec<PageId>,
+    next_leaf: usize,
+    /// One reuse buffer per input set (set 0 included: seeding goes through
+    /// the cache like every extension round).
+    caches: Vec<CellCache>,
+    pending: VecDeque<MultiwayTuple>,
+    stats: IoStats,
+    start_io: IoSnapshot,
+    counters: MultiwayCounters,
+    progress: Vec<ProgressSample>,
+    watermarks: Vec<LeafWatermark>,
+    /// Tuples pushed into `pending` so far (cumulative, ahead of `emitted`
+    /// by the buffered tuples).
+    produced: u64,
+    /// Tuples pulled by the consumer so far.
+    emitted: u64,
+    chunks_done: usize,
+    /// Debug-build guard: every emitted id tuple must be unique.
+    #[cfg(debug_assertions)]
+    seen_ids: std::collections::HashSet<Vec<u64>>,
+}
+
+impl std::fmt::Debug for TupleStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TupleStream")
+            .field("k", &self.workload.k())
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> TupleStream<'a> {
+    pub(crate) fn new(workload: &'a mut MultiwayWorkload, config: CijConfig) -> Self {
+        let stats = workload.stats.clone();
+        let start_io = stats.snapshot();
+        let leaves = workload.trees[0].leaf_pages_hilbert_order(&config.domain);
+        let capacity = if config.reuse_cells {
+            config.cell_cache_capacity
+        } else {
+            0
+        };
+        let caches = (0..workload.k())
+            .map(|_| CellCache::with_stats(capacity, stats.clone()))
+            .collect();
+        let counters = MultiwayCounters::for_sets(workload.k());
+        TupleStream {
+            workload,
+            config,
+            leaves,
+            next_leaf: 0,
+            caches,
+            pending: VecDeque::new(),
+            stats,
+            start_io,
+            counters,
+            progress: Vec::new(),
+            watermarks: Vec::new(),
+            produced: 0,
+            emitted: 0,
+            chunks_done: 0,
+            #[cfg(debug_assertions)]
+            seen_ids: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of tuples this stream has yielded so far.
+    pub fn tuples_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The progressive-output samples recorded so far (one per productive
+    /// leaf of the driving tree; `pairs` counts tuples).
+    pub fn progress_so_far(&self) -> Vec<ProgressSample> {
+        self.progress.clone()
+    }
+
+    /// The multiway counters accumulated so far (exact at leaf boundaries).
+    pub fn counters_so_far(&self) -> MultiwayCounters {
+        self.counters.clone()
+    }
+
+    /// The per-leaf watermarks recorded so far. Everything up to the last
+    /// watermark is final: no later leaf can add or change those tuples.
+    pub fn watermarks_so_far(&self) -> Vec<LeafWatermark> {
+        self.watermarks.clone()
+    }
+
+    /// Drains the remaining tuples and packages everything into the
+    /// blocking [`MultiwayOutcome`] (tuples already pulled through the
+    /// iterator are *not* replayed — call this immediately for the classic
+    /// collect-all behaviour).
+    pub fn into_outcome(mut self) -> MultiwayOutcome {
+        let mut tuples = Vec::new();
+        for tuple in &mut self {
+            tuples.push(tuple);
+        }
+        MultiwayOutcome {
+            tuples,
+            counters: self.counters.clone(),
+            progress: self.progress.clone(),
+            watermarks: self.watermarks.clone(),
+            page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+        }
+    }
+
+    /// Processes the next bounded chunk of leaf units — every phase of the
+    /// determinism protocol described in the module docs — and appends the
+    /// resulting tuples to `pending` in leaf order.
+    fn process_chunk(&mut self) {
+        let workers = self.config.effective_worker_threads();
+        let width = match self.chunks_done {
+            0 => 1,
+            1 => workers,
+            _ => workers * CHUNK_RAMP,
+        };
+        let upto = (self.next_leaf + width).min(self.leaves.len());
+        let chunk: Vec<PageId> = self.leaves[self.next_leaf..upto].to_vec();
+        let first_leaf_index = self.next_leaf;
+        self.next_leaf = upto;
+        self.chunks_done += 1;
+        let domain = self.config.domain;
+        let k = self.workload.k();
+        let n = chunk.len();
+
+        // Ordered replay segments per leaf: (tree index, page trace). The
+        // coordinator replays them leaf-major at the end of the chunk, so
+        // every tree's buffer sees the exact access sequence of a width-1
+        // run (buffers are per-tree; the per-tree subsequence is what
+        // matters).
+        let mut replays: Vec<Vec<(usize, Vec<PageId>)>> = vec![Vec::new(); n];
+        // Per-leaf counter deltas, folded into the shared counters at emit
+        // time so `counters_so_far` is exact at every leaf boundary.
+        let mut reused = vec![vec![0u64; k]; n];
+        let mut computed = vec![vec![0u64; k]; n];
+        let mut evictions_after = vec![vec![0u64; k]; n];
+        let mut probes = vec![0u64; n];
+        let mut fstats = vec![FilterStats::default(); n];
+
+        // Scan (parallel): read each chunk leaf of the driving tree against
+        // the immutable snapshot, recording the page trace.
+        let groups: Vec<Vec<PointObject>> = {
+            let tree = &self.workload.trees[0];
+            let scans = run_ordered(workers, n, |i| {
+                let mut reader = TracedReader::new(tree);
+                let group = reader.read(chunk[i]).objects;
+                (group, reader.into_trace())
+            });
+            scans
+                .into_iter()
+                .zip(&mut replays)
+                .map(|((group, trace), replay)| {
+                    replay.push((0, trace));
+                    group
+                })
+                .collect()
+        };
+
+        // Seed (round 0): the leaf's own cells through cache 0. One probe
+        // unit per leaf whose candidates are the leaf's points.
+        let mut partials: Vec<Vec<MultiwayTuple>> = {
+            // Policy (coordinator, leaf order).
+            let plans: Vec<ProbePlan> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, group)| {
+                    let plan = policy_pass(&mut self.caches[0], group);
+                    reused[i][0] += plan.reused;
+                    computed[i][0] += plan.computed;
+                    evictions_after[i][0] = self.caches[0].evictions();
+                    plan
+                })
+                .collect();
+            // Refine (parallel): exact cells of each leaf's missing points.
+            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
+                let tree = &self.workload.trees[0];
+                run_ordered(workers, n, |i| {
+                    let missing = &plans[i].missing;
+                    if missing.is_empty() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        let mut reader = TracedReader::new(tree);
+                        let cells = batch_voronoi(&mut reader, missing, &domain);
+                        (cells, reader.into_trace())
+                    }
+                })
+            };
+            // Resolve (coordinator, leaf order) and seed the partials.
+            groups
+                .iter()
+                .zip(plans)
+                .zip(refined)
+                .zip(&mut replays)
+                .map(|(((group, plan), (cells, trace)), replay)| {
+                    replay.push((0, trace));
+                    let aligned = resolve_unit(&mut self.caches[0], group, &plan, cells);
+                    group
+                        .iter()
+                        .zip(aligned)
+                        .map(|(obj, cell)| MultiwayTuple {
+                            ids: vec![obj.id.0],
+                            region: cell,
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // Extension rounds: one per remaining set.
+        for set_idx in 1..k {
+            // Probe units: `(leaf, range of partial indices)`, leaf-major.
+            // Batched probing forms one unit per leaf; the per-tuple
+            // baseline forms one per live partial.
+            let units: Vec<(usize, Range<usize>)> = partials
+                .iter()
+                .enumerate()
+                .filter(|(_, parts)| !parts.is_empty())
+                .flat_map(|(i, parts)| -> Vec<(usize, Range<usize>)> {
+                    match self.config.multiway_probe {
+                        MultiwayProbe::Batched => vec![(i, 0..parts.len())],
+                        MultiwayProbe::PerTuple => {
+                            (0..parts.len()).map(|j| (i, j..j + 1)).collect()
+                        }
+                    }
+                })
+                .collect();
+
+            // Filter (parallel, per unit): ONE batch_conditional_filter
+            // call carrying every region of the unit.
+            let filtered: Vec<(Vec<PointObject>, FilterStats, Vec<PageId>)> = {
+                let tree = &self.workload.trees[set_idx];
+                let partials = &partials;
+                run_ordered(workers, units.len(), |u| {
+                    let (leaf, range) = &units[u];
+                    let regions: Vec<ConvexPolygon> = partials[*leaf][range.clone()]
+                        .iter()
+                        .map(|t| t.region.clone())
+                        .collect();
+                    let mut reader = TracedReader::new(tree);
+                    let (candidates, stats) =
+                        batch_conditional_filter(&mut reader, &regions, &domain);
+                    (candidates, stats, reader.into_trace())
+                })
+            };
+
+            // Policy (coordinator, unit order). Walk leaves and units
+            // together so each leaf's eviction watermark is captured at its
+            // sequential position even when the leaf has no unit this round.
+            let mut plans: Vec<ProbePlan> = Vec::with_capacity(units.len());
+            {
+                let mut u = 0;
+                for i in 0..n {
+                    while u < units.len() && units[u].0 == i {
+                        let plan = policy_pass(&mut self.caches[set_idx], &filtered[u].0);
+                        reused[i][set_idx] += plan.reused;
+                        computed[i][set_idx] += plan.computed;
+                        probes[i] += 1;
+                        fstats[i].absorb(&filtered[u].1);
+                        plans.push(plan);
+                        u += 1;
+                    }
+                    evictions_after[i][set_idx] = self.caches[set_idx].evictions();
+                }
+            }
+
+            // Refine (parallel, per unit): exact cells of the unit's
+            // missing candidates.
+            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
+                let tree = &self.workload.trees[set_idx];
+                run_ordered(workers, units.len(), |u| {
+                    let missing = &plans[u].missing;
+                    if missing.is_empty() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        let mut reader = TracedReader::new(tree);
+                        let cells = batch_voronoi(&mut reader, missing, &domain);
+                        (cells, reader.into_trace())
+                    }
+                })
+            };
+
+            // Resolve (coordinator, unit order) + record each unit's replay
+            // segments in the sequential interleaving (filter, then refine).
+            let mut aligned_cells: Vec<Vec<ConvexPolygon>> = Vec::with_capacity(units.len());
+            let mut candidates: Vec<Vec<PointObject>> = Vec::with_capacity(units.len());
+            for (((leaf_range, plan), (cands, _, ftrace)), (cells, rtrace)) in
+                units.iter().zip(&plans).zip(filtered).zip(refined)
+            {
+                let leaf = leaf_range.0;
+                replays[leaf].push((set_idx, ftrace));
+                replays[leaf].push((set_idx, rtrace));
+                aligned_cells.push(resolve_unit(&mut self.caches[set_idx], &cands, plan, cells));
+                candidates.push(cands);
+            }
+
+            // Extend (parallel, per unit): narrow each partial region by
+            // every candidate cell, dropping empty intersections.
+            let extensions: Vec<Vec<MultiwayTuple>> = {
+                let partials = &partials;
+                run_ordered(workers, units.len(), |u| {
+                    let (leaf, range) = &units[u];
+                    let mut out = Vec::new();
+                    for partial in &partials[*leaf][range.clone()] {
+                        for (cand, cell) in candidates[u].iter().zip(&aligned_cells[u]) {
+                            let region = partial.region.intersection(cell);
+                            if !region.is_empty() {
+                                let mut ids = partial.ids.clone();
+                                ids.push(cand.id.0);
+                                out.push(MultiwayTuple { ids, region });
+                            }
+                        }
+                    }
+                    out
+                })
+            };
+
+            // Reassemble (unit order is leaf-major, so this is leaf order).
+            let mut next: Vec<Vec<MultiwayTuple>> = vec![Vec::new(); n];
+            for ((leaf, _), ext) in units.iter().zip(extensions) {
+                next[*leaf].extend(ext);
+            }
+            partials = next;
+        }
+
+        // Emit (coordinator, leaf order): replay every leaf's page traces
+        // through the real buffers, fold in the leaf's counter deltas,
+        // record progress + watermark, and enqueue the tuples.
+        for (i, leaf_tuples) in partials.into_iter().enumerate() {
+            for (tree_idx, trace) in &replays[i] {
+                for &page in trace {
+                    self.workload.trees[*tree_idx].replay_read(page);
+                }
+            }
+            for s in 0..k {
+                self.counters.cells_reused[s] += reused[i][s];
+                self.counters.cells_computed[s] += computed[i][s];
+                self.counters.cell_cache_evictions[s] = evictions_after[i][s];
+            }
+            self.counters.filter_probes += probes[i];
+            self.counters.filter_points_examined += fstats[i].points_examined;
+            self.counters.filter_entries_pruned += fstats[i].entries_pruned;
+            self.produced += leaf_tuples.len() as u64;
+            self.counters.tuples_produced = self.produced;
+            let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+            if !groups[i].is_empty() {
+                self.progress.push(ProgressSample {
+                    page_accesses,
+                    pairs: self.produced,
+                });
+            }
+            self.watermarks.push(LeafWatermark {
+                leaf_index: first_leaf_index + i,
+                tuples: self.produced,
+                page_accesses,
+            });
+            #[cfg(debug_assertions)]
+            for tuple in &leaf_tuples {
+                debug_assert!(
+                    self.seen_ids.insert(tuple.ids.clone()),
+                    "duplicate multiway tuple emitted: {:?}",
+                    tuple.ids
+                );
+            }
+            self.pending.extend(leaf_tuples);
+        }
+    }
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = MultiwayTuple;
+
+    fn next(&mut self) -> Option<MultiwayTuple> {
+        loop {
+            if let Some(tuple) = self.pending.pop_front() {
+                self.emitted += 1;
+                return Some(tuple);
+            }
+            if self.next_leaf >= self.leaves.len() {
+                return None;
+            }
+            self.process_chunk();
+        }
+    }
+}
+
+/// Evaluates the multiway CIJ over `sets` to completion.
+///
+/// This is a thin blocking wrapper: it builds a [`MultiwayWorkload`] under
+/// `config` and drains the lazy [`TupleStream`]. Use
+/// [`QueryEngine::multiway_stream`](crate::engine::QueryEngine::multiway_stream)
+/// to consume tuples incrementally, or build the workload once and stream
+/// several evaluations against it.
 ///
 /// # Panics
 ///
 /// Panics if `sets` is empty.
 pub fn multiway_cij(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayOutcome {
-    assert!(!sets.is_empty(), "multiway CIJ needs at least one pointset");
-    let mut trees: Vec<RTree<PointObject>> = sets
-        .iter()
-        .map(|points| {
-            let mut t = RTree::bulk_load_with_stats_on(
-                config.rtree,
-                cij_pagestore::IoStats::new(),
-                PointObject::from_points(points),
-                cij_rtree::bulk::DEFAULT_FILL,
-                config.storage_backend,
-            );
-            t.set_buffer_fraction(config.buffer_fraction);
-            t
-        })
-        .collect();
-
-    let mut cells_computed = vec![0u64; sets.len()];
-
-    // Seed the partial tuples with the cells of the first set, computed per
-    // leaf exactly like the outer loop of NM-CIJ.
-    let mut partials: Vec<MultiwayTuple> = Vec::new();
-    {
-        let leaves = trees[0].leaf_pages_hilbert_order(&config.domain);
-        for leaf in leaves {
-            let group = trees[0].read_node(leaf).objects;
-            if group.is_empty() {
-                continue;
-            }
-            let cells = batch_voronoi(&mut trees[0], &group, &config.domain);
-            cells_computed[0] += group.len() as u64;
-            for (obj, cell) in group.iter().zip(cells) {
-                partials.push(MultiwayTuple {
-                    ids: vec![obj.id.0],
-                    region: cell,
-                });
-            }
-        }
-    }
-
-    // Extend the partial tuples one set at a time.
-    for set_idx in 1..sets.len() {
-        let mut next: Vec<MultiwayTuple> = Vec::new();
-        // The shared bounded reuse buffer (Section IV-B) caches exact cells
-        // of this set across partial tuples — the same neighbourhood is
-        // probed by many partial regions, so hit rates are high. Wired to
-        // the set's tree stats so cache behaviour is observable alongside
-        // page accesses.
-        let mut cell_cache =
-            CellCache::with_stats(config.cell_cache_capacity, trees[set_idx].stats());
-        for partial in &partials {
-            if partial.region.is_empty() {
-                continue;
-            }
-            // Filter phase: candidate points of set `set_idx` whose cells may
-            // reach the current region.
-            let (candidates, _) = batch_conditional_filter(
-                &mut trees[set_idx],
-                std::slice::from_ref(&partial.region),
-                &config.domain,
-            );
-            // Refinement: exact cells (through the cache) + region
-            // intersection.
-            let cells = batch_voronoi_cached(
-                &mut trees[set_idx],
-                &candidates,
-                &config.domain,
-                &mut cell_cache,
-            );
-            for (cand, cell) in candidates.iter().zip(&cells) {
-                let region = partial.region.intersection(cell);
-                if !region.is_empty() {
-                    let mut ids = partial.ids.clone();
-                    ids.push(cand.id.0);
-                    next.push(MultiwayTuple { ids, region });
-                }
-            }
-        }
-        cells_computed[set_idx] = cell_cache.misses();
-        partials = next;
-    }
-
-    MultiwayOutcome {
-        tuples: partials,
-        cells_computed,
-    }
+    let mut workload = MultiwayWorkload::build(sets, config);
+    TupleStream::new(&mut workload, *config).into_outcome()
 }
 
 /// Brute-force multiway CIJ oracle: builds every Voronoi diagram by halfplane
@@ -232,6 +723,67 @@ mod tests {
     }
 
     #[test]
+    fn probe_modes_agree_and_batching_probes_less() {
+        let config = small_config();
+        let sets = vec![
+            random_points(60, 214),
+            random_points(60, 215),
+            random_points(60, 216),
+        ];
+        let batched = multiway_cij(&sets, &config);
+        let per_tuple = multiway_cij(&sets, &config.with_multiway_probe(MultiwayProbe::PerTuple));
+        assert_eq!(batched.sorted_ids(), per_tuple.sorted_ids());
+        assert!(
+            batched.counters.filter_probes < per_tuple.counters.filter_probes,
+            "batched mode must issue fewer filter calls ({} vs {})",
+            batched.counters.filter_probes,
+            per_tuple.counters.filter_probes
+        );
+        assert!(
+            batched.counters.filter_points_examined <= per_tuple.counters.filter_points_examined
+        );
+        assert!(batched.page_accesses <= per_tuple.page_accesses);
+    }
+
+    #[test]
+    fn seeding_counts_cells_through_the_cache() {
+        let config = small_config();
+        let sets = vec![random_points(40, 217), random_points(45, 218)];
+        let outcome = multiway_cij(&sets, &config);
+        // Every first-set point lives in exactly one leaf, so with a roomy
+        // cache each seed cell is computed exactly once and never re-served:
+        // the uniform "exact cells computed = cache misses" semantics.
+        assert_eq!(outcome.counters.cells_computed[0], sets[0].len() as u64);
+        assert_eq!(outcome.counters.cells_reused[0], 0);
+        // The extension set's candidates overlap across leaves, so reuse
+        // kicks in there.
+        assert!(outcome.counters.cells_computed[1] > 0);
+        assert!(outcome.counters.cells_reused[1] > 0);
+        assert_eq!(
+            outcome.counters.tuples_produced,
+            outcome.tuples.len() as u64
+        );
+    }
+
+    #[test]
+    fn watermarks_checkpoint_every_leaf() {
+        let config = small_config();
+        let sets = vec![random_points(120, 219), random_points(120, 220)];
+        let outcome = multiway_cij(&sets, &config);
+        assert!(!outcome.watermarks.is_empty());
+        for (i, w) in outcome.watermarks.iter().enumerate() {
+            assert_eq!(w.leaf_index, i, "watermarks are dense and ordered");
+        }
+        for pair in outcome.watermarks.windows(2) {
+            assert!(pair[0].tuples <= pair[1].tuples);
+            assert!(pair[0].page_accesses <= pair[1].page_accesses);
+        }
+        let last = outcome.watermarks.last().unwrap();
+        assert_eq!(last.tuples, outcome.tuples.len() as u64);
+        assert_eq!(last.page_accesses, outcome.page_accesses);
+    }
+
+    #[test]
     fn pairwise_intersection_is_not_sufficient_for_three_way() {
         // Construct three cells that pairwise intersect but share no common
         // point is hard with Voronoi cells directly; instead verify that the
@@ -302,19 +854,28 @@ mod tests {
             .map(|s| brute_force_diagram(s, &config.domain))
             .collect();
         let outcome = multiway_cij(&sets, &config);
+        assert!(!outcome.tuples.is_empty());
         for tuple in &outcome.tuples {
-            if let Some(c) = tuple.region.centroid() {
-                for (set_idx, &id) in tuple.ids.iter().enumerate() {
-                    // The centroid of the common region must lie (within
-                    // tolerance) in each member's exact cell.
-                    let cell = &diagrams[set_idx][id as usize];
-                    assert!(
-                        cell.intersects(&tuple.region),
-                        "region of {:?} escapes the cell of set {set_idx} point {id}",
-                        tuple.ids
-                    );
-                    let _ = c;
-                }
+            let c = tuple
+                .region
+                .centroid()
+                .expect("result regions are never empty");
+            for (set_idx, &id) in tuple.ids.iter().enumerate() {
+                let cell = &diagrams[set_idx][id as usize];
+                assert!(
+                    cell.intersects(&tuple.region),
+                    "region of {:?} escapes the cell of set {set_idx} point {id}",
+                    tuple.ids
+                );
+                // The region is the running intersection of exactly these
+                // cells, so its centroid must lie in every member's exact
+                // cell (within the boundary tolerance of `contains_point`,
+                // which covers degenerate zero-area intersections).
+                assert!(
+                    cell.contains_point(&c),
+                    "centroid {c:?} of {:?} lies outside the cell of set {set_idx} point {id}",
+                    tuple.ids
+                );
             }
         }
     }

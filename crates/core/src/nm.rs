@@ -553,7 +553,10 @@ fn scan_leaf(
 /// the results in index order. Work is handed out through a shared atomic
 /// cursor, so uneven leaf units balance across the pool. Worker panics
 /// propagate to the caller.
-fn run_ordered<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+///
+/// Shared with the multiway [`TupleStream`](crate::multiway::TupleStream),
+/// whose parallel phases use the same scheduling.
+pub(crate) fn run_ordered<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

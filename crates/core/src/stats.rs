@@ -89,6 +89,89 @@ impl NmCounters {
     }
 }
 
+/// Per-leaf checkpoint of a multiway [`TupleStream`]: everything emitted up
+/// to a watermark is final, so downstream operators can checkpoint at leaf
+/// granularity instead of waiting for the stream to drain (the
+/// "incremental / watermarked streams" item of the roadmap, realised for
+/// the multiway join).
+///
+/// One watermark is recorded per leaf of the driving tree — including empty
+/// leaves, so `leaf_index` is dense.
+///
+/// [`TupleStream`]: crate::multiway::TupleStream
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafWatermark {
+    /// Index of the completed leaf in the Hilbert leaf order of the first
+    /// set's tree.
+    pub leaf_index: usize,
+    /// Cumulative result tuples produced up to and including this leaf.
+    pub tuples: u64,
+    /// Cumulative physical page accesses when this leaf completed.
+    pub page_accesses: u64,
+}
+
+/// Counters of one multiway CIJ evaluation — the k-way analogue of
+/// [`NmCounters`], with one slot per input set where the quantity is
+/// per-set.
+///
+/// `cells_computed[i]` uniformly means "exact Voronoi cells of set `i`
+/// computed", i.e. the reuse-buffer misses of that set's
+/// [`CellCache`](crate::cell_cache::CellCache) — including set 0, whose
+/// seeding phase routes through a cache like every extension round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiwayCounters {
+    /// Exact Voronoi cells computed per input set (cache misses).
+    pub cells_computed: Vec<u64>,
+    /// Cell-cache hits per input set (cells served without recomputation).
+    pub cells_reused: Vec<u64>,
+    /// Cells evicted from each set's bounded reuse buffer.
+    pub cell_cache_evictions: Vec<u64>,
+    /// Conditional-filter invocations across all extension rounds (one per
+    /// probe unit — per leaf with [`MultiwayProbe::Batched`], per partial
+    /// tuple with [`MultiwayProbe::PerTuple`]).
+    ///
+    /// [`MultiwayProbe::Batched`]: crate::config::MultiwayProbe::Batched
+    /// [`MultiwayProbe::PerTuple`]: crate::config::MultiwayProbe::PerTuple
+    pub filter_probes: u64,
+    /// Points examined (heap pops) across all filter invocations.
+    pub filter_points_examined: u64,
+    /// Non-leaf entries pruned by the Φ rule across all filter invocations.
+    pub filter_entries_pruned: u64,
+    /// Result tuples produced so far (equals the final tuple count once the
+    /// stream is drained; mid-stream it runs ahead of what the consumer has
+    /// pulled by the buffered tuples).
+    pub tuples_produced: u64,
+}
+
+impl MultiwayCounters {
+    /// A zeroed counter set for `k` input sets.
+    pub fn for_sets(k: usize) -> Self {
+        MultiwayCounters {
+            cells_computed: vec![0; k],
+            cells_reused: vec![0; k],
+            cell_cache_evictions: vec![0; k],
+            ..Default::default()
+        }
+    }
+
+    /// Total exact cells computed across all sets.
+    pub fn total_cells_computed(&self) -> u64 {
+        self.cells_computed.iter().sum()
+    }
+
+    /// Hit ratio of the reuse buffers across all sets: reused / (reused +
+    /// computed). Zero when no cell was ever requested.
+    pub fn cell_cache_hit_ratio(&self) -> f64 {
+        let reused: u64 = self.cells_reused.iter().sum();
+        let total = reused + self.total_cells_computed();
+        if total == 0 {
+            0.0
+        } else {
+            reused as f64 / total as f64
+        }
+    }
+}
+
 /// The result of one CIJ evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct CijOutcome {
@@ -153,6 +236,17 @@ mod tests {
         assert_eq!(outcome.sorted_pairs(), vec![(1, 0), (1, 1), (2, 1)]);
         assert_eq!(outcome.len(), 4);
         assert!(!outcome.is_empty());
+    }
+
+    #[test]
+    fn multiway_counters_for_sets_and_ratios() {
+        let mut c = MultiwayCounters::for_sets(3);
+        assert_eq!(c.cells_computed.len(), 3);
+        assert_eq!(c.cell_cache_hit_ratio(), 0.0);
+        c.cells_computed = vec![10, 20, 30];
+        c.cells_reused = vec![0, 20, 20];
+        assert_eq!(c.total_cells_computed(), 60);
+        assert!((c.cell_cache_hit_ratio() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -27,26 +27,8 @@ impl Workload {
     /// ready-to-measure workload.
     pub fn build(p: &[Point], q: &[Point], config: &CijConfig) -> Workload {
         let stats = IoStats::new();
-        let mut rp = RTree::bulk_load_with_stats_on(
-            config.rtree,
-            stats.clone(),
-            PointObject::from_points(p),
-            1.0,
-            config.storage_backend,
-        );
-        let mut rq = RTree::bulk_load_with_stats_on(
-            config.rtree,
-            stats.clone(),
-            PointObject::from_points(q),
-            1.0,
-            config.storage_backend,
-        );
-        rp.set_buffer_pages(config.buffer_pages_for(rp.num_pages()));
-        rq.set_buffer_pages(config.buffer_pages_for(rq.num_pages()));
-        // The input trees pre-exist in the paper's setting: their
-        // construction cost is not part of any measured experiment.
-        rp.drop_buffer();
-        rq.drop_buffer();
+        let rp = build_input_tree(p, config, &stats);
+        let rq = build_input_tree(q, config, &stats);
         stats.reset();
         Workload { rp, rq, stats }
     }
@@ -74,6 +56,101 @@ impl Workload {
     pub fn reset_measurement(&mut self) {
         self.rp.drop_buffer();
         self.rq.drop_buffer();
+        self.stats.reset();
+    }
+}
+
+/// Builds one measurement-ready input tree: bulk-loaded onto the shared
+/// stats and the configured storage backend, buffer sized by the uniform
+/// policy ([`CijConfig::buffer_pages_for`]), construction buffer dropped
+/// (the input trees pre-exist in the paper's setting, so their construction
+/// cost is not part of any measured experiment).
+///
+/// The single place the input-tree accounting rules live — [`Workload`]
+/// and [`MultiwayWorkload`] both build through here, so binary and multiway
+/// measurements can never drift apart.
+fn build_input_tree(points: &[Point], config: &CijConfig, stats: &IoStats) -> RTree<PointObject> {
+    let mut tree = RTree::bulk_load_with_stats_on(
+        config.rtree,
+        stats.clone(),
+        PointObject::from_points(points),
+        1.0,
+        config.storage_backend,
+    );
+    let pages = config.buffer_pages_for(tree.num_pages());
+    tree.set_buffer_pages(pages);
+    tree.drop_buffer();
+    tree
+}
+
+/// The `k` input trees of a multiway CIJ plus the shared I/O counters —
+/// the k-way generalisation of [`Workload`].
+///
+/// All trees share a single [`IoStats`] (one combined page-access figure,
+/// like the binary workload) and are built under the same
+/// [`CijConfig`] accounting rules: configured
+/// [`storage_backend`](CijConfig::storage_backend), the
+/// [`buffer_fraction`](CijConfig::buffer_fraction) with the
+/// [`min_buffer_pages`](CijConfig::min_buffer_pages) floor, cleared
+/// construction I/O. Heap- and file-backed multiway runs are therefore
+/// observably identical, exactly like the binary algorithms.
+#[derive(Debug)]
+pub struct MultiwayWorkload {
+    /// One R-tree per input pointset, in input order. The first tree drives
+    /// the leaf units of the multiway evaluation.
+    pub trees: Vec<RTree<PointObject>>,
+    /// Shared I/O counters of all trees.
+    pub stats: IoStats,
+}
+
+impl MultiwayWorkload {
+    /// Builds bulk-loaded R-trees over every pointset of `sets`, applies the
+    /// configured buffer policy to each, clears the construction I/O and
+    /// returns the ready-to-measure workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty — a multiway CIJ needs at least one
+    /// pointset.
+    pub fn build(sets: &[Vec<Point>], config: &CijConfig) -> MultiwayWorkload {
+        assert!(!sets.is_empty(), "multiway CIJ needs at least one pointset");
+        let stats = IoStats::new();
+        let trees: Vec<RTree<PointObject>> = sets
+            .iter()
+            .map(|points| build_input_tree(points, config, &stats))
+            .collect();
+        stats.reset();
+        MultiwayWorkload { trees, stats }
+    }
+
+    /// Number of input sets (= number of trees).
+    pub fn k(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The traversal lower bound for the multiway CIJ on this workload:
+    /// reading every tree exactly once.
+    pub fn lower_bound_io(&self) -> u64 {
+        self.trees.iter().map(|t| t.num_pages() as u64).sum()
+    }
+
+    /// Combined backend byte counters of all input trees: the bytes
+    /// actually transferred by their storage backends. The multiway join
+    /// touches only these trees, so `bytes_read == physical_reads ×
+    /// page_size` holds against [`MultiwayWorkload::stats`].
+    pub fn backend_io(&self) -> cij_pagestore::BackendIo {
+        self.trees
+            .iter()
+            .fold(cij_pagestore::BackendIo::default(), |acc, t| {
+                acc.plus(&t.backend_io())
+            })
+    }
+
+    /// Resets counters and buffers so a fresh measurement starts cold.
+    pub fn reset_measurement(&mut self) {
+        for tree in &mut self.trees {
+            tree.drop_buffer();
+        }
         self.stats.reset();
     }
 }
@@ -144,6 +221,42 @@ mod tests {
         let w = Workload::build(&random_points(1_000, 5), &random_points(1_000, 6), &config);
         let expected = ((w.rp.num_pages() as f64) * 0.01).ceil() as usize;
         assert_eq!(w.rp.buffer_pages(), expected.max(1));
+    }
+
+    #[test]
+    fn multiway_workload_builds_k_trees_with_shared_accounting() {
+        let config = CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        });
+        let sets = vec![
+            random_points(300, 11),
+            random_points(250, 12),
+            random_points(200, 13),
+        ];
+        let w = MultiwayWorkload::build(&sets, &config);
+        assert_eq!(w.k(), 3);
+        for (tree, set) in w.trees.iter().zip(&sets) {
+            assert_eq!(tree.len(), set.len());
+            assert!(w.stats.same_counters(&tree.stats()));
+        }
+        // Construction I/O has been cleared, buffer policy applied.
+        assert_eq!(w.stats.snapshot().page_accesses(), 0);
+        assert_eq!(
+            w.trees[0].buffer_pages(),
+            config.buffer_pages_for(w.trees[0].num_pages())
+        );
+        assert_eq!(
+            w.lower_bound_io(),
+            w.trees.iter().map(|t| t.num_pages() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pointset")]
+    fn multiway_workload_rejects_empty_input() {
+        let _ = MultiwayWorkload::build(&[], &CijConfig::default());
     }
 
     #[test]
