@@ -1,0 +1,11 @@
+//! Standalone runner for the conditional-filter kernel experiment
+//! (indexed vs scan kernel: byte-identical candidates, identical traversal,
+//! ≥ 3× fewer clip operations; see
+//! [`cij_bench::experiments::filter_kernel`]).
+
+use cij_bench::experiments::filter_kernel;
+use cij_bench::Args;
+
+fn main() {
+    filter_kernel::run(&Args::capture());
+}

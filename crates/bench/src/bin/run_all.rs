@@ -28,5 +28,6 @@ fn main() {
     experiments::scaling::run(&forward(0.02));
     experiments::io_validation::run(&forward(0.02));
     experiments::multiway_scale::run(&forward(0.01));
+    experiments::filter_kernel::run(&forward(0.02));
     println!("\nAll experiments completed.");
 }

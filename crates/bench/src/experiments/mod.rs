@@ -20,7 +20,8 @@
 //! | [`cache_sweep`] | Fig. 8a-style sweep of the Section IV-B reuse-buffer capacity (`cell_cache_capacity`) |
 //! | [`scaling`] | NM-CIJ thread scaling (`worker_threads` ∈ {1, 2, 4, 8}): speedup + sequential-parity check |
 //! | [`io_validation`] | Heap vs file `StorageBackend`: counted page accesses vs actual bytes read, cold and warm buffer, plus backend parity |
-//! | [`multiway_scale`] | Multiway CIJ over k ∈ {2, 3, 4} sets: leaf-batched vs per-tuple probing, thread-parity check |
+//! | [`multiway_scale`] | Multiway CIJ over k ∈ {2, 3, 4} sets: leaf-batched vs per-tuple probing, cost-driven planning vs the fixed-driver baseline, thread-parity check |
+//! | [`filter_kernel`] | Conditional-filter kernels: sub-quadratic `Indexed` vs quadratic `Scan` — byte-identical candidates, identical traversal, ≥ 3× fewer clip operations |
 
 pub mod cache_sweep;
 pub mod fig10;
@@ -30,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod filter_kernel;
 pub mod io_validation;
 pub mod multiway_scale;
 pub mod scaling;

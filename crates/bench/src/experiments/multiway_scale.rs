@@ -1,31 +1,42 @@
-//! Multiway-CIJ scaling experiment: leaf-batched vs per-tuple probing and
-//! thread parity over k ∈ {2, 3, 4} clustered pointsets.
+//! Multiway-CIJ scaling experiment: leaf-batched vs per-tuple probing,
+//! cost-driven planning vs the PR-4 fixed-driver baseline, and thread
+//! parity over k ∈ {2, 3, 4} clustered pointsets of *asymmetric* sizes
+//! (set `i` holds `n / (i + 1)` points, so driver choice genuinely
+//! matters).
 //!
-//! For every k this experiment runs the multiway join twice over the same
-//! pointsets (each run builds its own [`MultiwayWorkload`], so every
-//! measurement starts from identical cold trees) — once with the default
-//! [`MultiwayProbe::Batched`] strategy (one conditional-filter call per
-//! leaf unit, carrying all live partial regions) and once with the
-//! [`MultiwayProbe::PerTuple`] baseline (one call per partial tuple) — and
-//! reports page accesses, filter invocations and filter points-examined.
-//! Batching must cut both page accesses and points examined on every
-//! clustered workload here (the same redundant-traversal argument as
-//! batching the cells of one `RQ` leaf in binary NM-CIJ); a violation
-//! panics, so the CI smoke run fails on a batching regression. Results of
-//! the two modes must also be identical tuple sets.
+//! For every k this experiment runs the multiway join several times over
+//! the same pointsets (each run builds its own [`MultiwayWorkload`], so
+//! every measurement starts from identical cold trees):
 //!
-//! A third run per k repeats the batched join with `worker_threads = 4` and
-//! verifies the parallel-execution contract: tuples (set *and* order),
-//! [`MultiwayCounters`] and page-access totals identical to the
-//! single-threaded run.
+//! * **batched** (the default configuration: [`MultiwayProbe::Batched`],
+//!   cost-based driver, running-intersection pruning) vs **per-tuple**
+//!   ([`MultiwayProbe::PerTuple`] baseline): batching must cut page
+//!   accesses and filter points-examined with an identical tuple set.
+//! * **batched T=4**: the parallel-execution contract — tuples (set *and*
+//!   order), [`MultiwayCounters`] and page accesses identical to T=1.
+//! * **unpruned** (cost-based driver, running-intersection pruning off):
+//!   isolates the pruning contribution at a fixed plan — identical tuples,
+//!   probes, points examined and page accesses, strictly more bisector
+//!   clip operations.
+//! * **pr4-baseline** ([`MultiwayDriver::Fixed`]`(0)` + pruning off — the
+//!   hard-coded plan before cost-driven planning): the planned run must
+//!   produce the same tuple set with strictly fewer conditional-filter
+//!   invocations (the cheaper driver seeds fewer leaf units). Per-probe
+//!   work (points examined, clip ops) is *not* asserted across drivers —
+//!   a different driver probes different trees — which is exactly what
+//!   the unpruned variant is for.
+//!
+//! Any violated shape check panics, so the CI smoke run fails on a
+//! batching, planning or parity regression.
 //!
 //! [`MultiwayCounters`]: cij_core::MultiwayCounters
+//! [`MultiwayDriver::Fixed`]: cij_core::MultiwayDriver::Fixed
 //! [`MultiwayProbe::Batched`]: cij_core::MultiwayProbe::Batched
 //! [`MultiwayProbe::PerTuple`]: cij_core::MultiwayProbe::PerTuple
 //! [`MultiwayWorkload`]: cij_core::MultiwayWorkload
 
 use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
-use cij_core::{MultiwayOutcome, MultiwayProbe, QueryEngine};
+use cij_core::{CijConfig, MultiwayDriver, MultiwayOutcome, MultiwayProbe, QueryEngine};
 use cij_datagen::{clustered_points, ClusterSpec};
 use cij_geom::{Point, Rect};
 use std::time::Instant;
@@ -48,20 +59,24 @@ fn clustered(n: usize, seed: u64) -> Vec<Point> {
 }
 
 /// Runs the multiway scaling experiment. `--scale` scales the 100 K default
-/// per-set cardinality.
+/// first-set cardinality.
 pub fn run(args: &Args) {
     let scale: f64 = args.get("scale", 0.02);
     let n = scaled(100_000, scale);
 
     print_header(
-        &format!("Multiway CIJ: batched vs per-tuple probing, k sets of {n} clustered points"),
+        &format!(
+            "Multiway CIJ: probing and planning, k clustered sets of n/(i+1) points (n = {n})"
+        ),
         &[
             "k",
-            "probe",
+            "variant",
             "wall (s)",
+            "driver",
             "page accesses",
             "filter calls",
             "points examined",
+            "clip ops",
             "tuples",
             "parity T=4 vs T=1",
         ],
@@ -69,11 +84,27 @@ pub fn run(args: &Args) {
 
     let mut violations: Vec<String> = Vec::new();
     for k in SET_COUNTS {
-        let sets: Vec<Vec<Point>> = (0..k).map(|i| clustered(n, 14_001 + i as u64)).collect();
+        let sets: Vec<Vec<Point>> = (0..k)
+            .map(|i| clustered(n / (i + 1), 14_001 + i as u64))
+            .collect();
+        let base = paper_config().with_min_buffer_pages(1);
 
-        let (batched, batched_wall) = measure(&sets, MultiwayProbe::Batched, 1);
-        let (per_tuple, per_tuple_wall) = measure(&sets, MultiwayProbe::PerTuple, 1);
-        let (parallel, parallel_wall) = measure(&sets, MultiwayProbe::Batched, 4);
+        let (batched, batched_wall) = measure(&sets, &base, 1);
+        let (per_tuple, per_tuple_wall) =
+            measure(&sets, &base.with_multiway_probe(MultiwayProbe::PerTuple), 1);
+        let (parallel, parallel_wall) = measure(&sets, &base, 4);
+        // Same plan, pruning off: isolates the clip-op saving of the
+        // running-intersection bbox.
+        let (unpruned, unpruned_wall) = measure(&sets, &base.with_multiway_prune(false), 1);
+        // The plan the engine hard-coded before cost-driven planning:
+        // drive with set 0, no running-intersection pruning.
+        let (baseline, baseline_wall) = measure(
+            &sets,
+            &base
+                .with_multiway_driver(MultiwayDriver::Fixed(0))
+                .with_multiway_prune(false),
+            1,
+        );
 
         let tuples_ok = parallel
             .tuples
@@ -91,18 +122,22 @@ pub fn run(args: &Args) {
             verdict
         };
 
-        for (outcome, wall, probe, parity) in [
+        for (outcome, wall, variant, parity) in [
             (&batched, batched_wall, "batched", parity.as_str()),
             (&per_tuple, per_tuple_wall, "per-tuple", "-"),
             (&parallel, parallel_wall, "batched T=4", "see above"),
+            (&unpruned, unpruned_wall, "unpruned", "-"),
+            (&baseline, baseline_wall, "pr4-baseline", "-"),
         ] {
             print_row(&[
                 k.to_string(),
-                probe.to_string(),
+                variant.to_string(),
                 format!("{wall:.3}"),
+                outcome.driver.to_string(),
                 outcome.page_accesses.to_string(),
                 outcome.counters.filter_probes.to_string(),
                 outcome.counters.filter_points_examined.to_string(),
+                outcome.counters.filter_clip_ops.to_string(),
                 outcome.tuples.len().to_string(),
                 parity.to_string(),
             ]);
@@ -123,30 +158,52 @@ pub fn run(args: &Args) {
                 batched.counters.filter_points_examined, per_tuple.counters.filter_points_examined
             ));
         }
+        if batched.sorted_ids() != baseline.sorted_ids() {
+            violations.push(format!("k={k}: cost-driven planning changed the tuple set"));
+        }
+        if batched.counters.filter_probes >= baseline.counters.filter_probes {
+            violations.push(format!(
+                "k={k}: cost-driven driver did not reduce filter probes ({} vs {})",
+                batched.counters.filter_probes, baseline.counters.filter_probes
+            ));
+        }
+        if batched.sorted_ids() != unpruned.sorted_ids() {
+            violations.push(format!("k={k}: pruning changed the tuple set"));
+        }
+        if batched.counters.filter_points_examined != unpruned.counters.filter_points_examined
+            || batched.page_accesses != unpruned.page_accesses
+        {
+            violations.push(format!(
+                "k={k}: pruning must not change the filter traversal or I/O"
+            ));
+        }
+        if batched.counters.filter_clip_ops >= unpruned.counters.filter_clip_ops {
+            violations.push(format!(
+                "k={k}: running-intersection pruning did not reduce clip ops ({} vs {})",
+                batched.counters.filter_clip_ops, unpruned.counters.filter_clip_ops
+            ));
+        }
     }
 
     println!(
         "shape check: per k, batched must beat per-tuple on page accesses and points \
-         examined with an identical tuple set, and the T=4 parity column must read `exact`"
+         examined, the planned run must beat the pr4-baseline on filter calls, pruning \
+         must cut clip ops at unchanged traversal, all with identical tuple sets, and \
+         the T=4 parity column must read `exact`"
     );
     assert!(
         violations.is_empty(),
-        "multiway batching/parity contract violated: {violations:?}"
+        "multiway batching/planning/parity contract violated: {violations:?}"
     );
 }
 
-fn measure(sets: &[Vec<Point>], probe: MultiwayProbe, threads: usize) -> (MultiwayOutcome, f64) {
+fn measure(sets: &[Vec<Point>], config: &CijConfig, threads: usize) -> (MultiwayOutcome, f64) {
     // The paper's proportional 2 % buffer without the small-scale absolute
     // floor (like the Fig. 8a sweep): with the floor, reduced-scale trees
     // fit entirely in the buffer and every probe strategy pays exactly one
     // physical read per page — the redundant traversals batching removes
     // would be invisible in the page-access column.
-    let engine = QueryEngine::new(
-        paper_config()
-            .with_min_buffer_pages(1)
-            .with_multiway_probe(probe)
-            .with_worker_threads(threads),
-    );
+    let engine = QueryEngine::new(config.with_worker_threads(threads));
     let mut w = engine.multiway_workload(sets);
     let start = Instant::now();
     let outcome = engine.multiway_stream(&mut w).into_outcome();

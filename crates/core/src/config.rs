@@ -31,6 +31,80 @@ impl MultiwayProbe {
     }
 }
 
+/// Which conditional-filter kernel
+/// [`batch_conditional_filter`](crate::filter::batch_conditional_filter)
+/// runs — the strategy for computing each examined point's approximate cell
+/// and for testing cells/entries against the probe polygons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterKernel {
+    /// The sub-quadratic kernel: candidates live in a uniform-grid spatial
+    /// index queried nearest-first with a sound distance cutoff, and probe
+    /// polygons are bbox-indexed, so per-point clipping touches only *near*
+    /// candidates and the polygon tests stop being linear scans. The
+    /// default; returns the same candidate set as [`FilterKernel::Scan`].
+    #[default]
+    Indexed,
+    /// The historical quadratic kernel: every examined point clips against
+    /// all candidates found so far and every polygon test scans the whole
+    /// batch. Kept as the parity/benchmark baseline (the `filter_kernel`
+    /// experiment asserts identical candidates and counts the clip
+    /// operations the indexed kernel saves).
+    Scan,
+}
+
+impl FilterKernel {
+    /// Short label used by benches and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FilterKernel::Indexed => "indexed",
+            FilterKernel::Scan => "scan",
+        }
+    }
+}
+
+impl std::str::FromStr for FilterKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "indexed" => Ok(FilterKernel::Indexed),
+            "scan" => Ok(FilterKernel::Scan),
+            other => Err(format!(
+                "unknown filter kernel {other:?} (expected \"indexed\" or \"scan\")"
+            )),
+        }
+    }
+}
+
+/// How the multiway CIJ picks the **driver tree** — the input set whose
+/// Hilbert-ordered leaves drive the leaf units of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiwayDriver {
+    /// Pick the cheapest driver by the cost model of
+    /// [`MultiwayWorkload::estimated_driver_cost`](crate::workload::MultiwayWorkload::estimated_driver_cost)
+    /// (estimated leaf count of the driver × summed fan-out of the extension
+    /// sets, from tree metadata). Ties resolve to the lowest set index, so
+    /// symmetric workloads behave exactly like the historical hard-coded
+    /// choice. The default.
+    #[default]
+    CostBased,
+    /// Always drive with the given set index (PR-4 hard-coded set 0 — the
+    /// baseline the `multiway_scale` experiment compares against, and the
+    /// pin parity tests use: at a fixed driver, results are identical across
+    /// thread counts and storage backends tuple-for-tuple).
+    Fixed(usize),
+}
+
+impl MultiwayDriver {
+    /// Short label used by benches and tables.
+    pub fn name(&self) -> String {
+        match self {
+            MultiwayDriver::CostBased => "cost".to_string(),
+            MultiwayDriver::Fixed(d) => format!("fixed({d})"),
+        }
+    }
+}
+
 /// Configuration of a CIJ evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct CijConfig {
@@ -102,6 +176,22 @@ pub struct CijConfig {
     /// Probe strategy of the multiway CIJ's extension rounds (see
     /// [`MultiwayProbe`]); [`MultiwayProbe::Batched`] by default.
     pub multiway_probe: MultiwayProbe,
+    /// Conditional-filter kernel every algorithm's filter phase runs (see
+    /// [`FilterKernel`]); [`FilterKernel::Indexed`] by default, with
+    /// [`FilterKernel::Scan`] as the historical quadratic baseline. Both
+    /// kernels return the same candidate set — the knob trades CPU
+    /// strategies, never results.
+    pub filter_kernel: FilterKernel,
+    /// Driver-tree selection of the multiway CIJ (see [`MultiwayDriver`]);
+    /// cost-based by default.
+    pub multiway_driver: MultiwayDriver,
+    /// Whether the multiway CIJ prunes each extension round with the
+    /// running intersections' bounding box: batch probes seed every
+    /// examined point's approximate cell from the probe regions' union bbox
+    /// (provably decision-preserving, since a cell can only matter where a
+    /// probe region is), and candidate×partial narrowing skips bbox-disjoint
+    /// combinations. On by default; disable to reproduce the PR-4 baseline.
+    pub multiway_prune: bool,
 }
 
 impl Default for CijConfig {
@@ -117,6 +207,9 @@ impl Default for CijConfig {
             progress_sample_pairs: 1_000,
             worker_threads: 1,
             multiway_probe: MultiwayProbe::Batched,
+            filter_kernel: FilterKernel::Indexed,
+            multiway_driver: MultiwayDriver::CostBased,
+            multiway_prune: true,
         }
     }
 }
@@ -184,9 +277,29 @@ impl CijConfig {
         self
     }
 
+    /// Sets the conditional-filter kernel (see [`FilterKernel`]).
+    pub fn with_filter_kernel(mut self, kernel: FilterKernel) -> Self {
+        self.filter_kernel = kernel;
+        self
+    }
+
+    /// Sets the multiway driver-tree selection (see [`MultiwayDriver`]).
+    pub fn with_multiway_driver(mut self, driver: MultiwayDriver) -> Self {
+        self.multiway_driver = driver;
+        self
+    }
+
+    /// Enables or disables the multiway running-intersection bbox pruning
+    /// (see [`CijConfig::multiway_prune`]).
+    pub fn with_multiway_prune(mut self, prune: bool) -> Self {
+        self.multiway_prune = prune;
+        self
+    }
+
     /// Applies environment overrides: `CIJ_WORKER_THREADS=<n>` sets
-    /// [`CijConfig::worker_threads`] and `CIJ_STORAGE=heap|file` sets
-    /// [`CijConfig::storage_backend`].
+    /// [`CijConfig::worker_threads`], `CIJ_STORAGE=heap|file` sets
+    /// [`CijConfig::storage_backend`], and `CIJ_FILTER_KERNEL=indexed|scan`
+    /// sets [`CijConfig::filter_kernel`].
     ///
     /// Intended for harnesses (CI runs the whole test suite a second time
     /// with `CIJ_WORKER_THREADS=4` and a third time with
@@ -213,6 +326,12 @@ impl CijConfig {
             match value.parse() {
                 Ok(storage) => self.storage_backend = storage,
                 Err(err) => panic!("CIJ_STORAGE: {err}"),
+            }
+        }
+        if let Ok(value) = std::env::var("CIJ_FILTER_KERNEL") {
+            match value.parse() {
+                Ok(kernel) => self.filter_kernel = kernel,
+                Err(err) => panic!("CIJ_FILTER_KERNEL: {err}"),
             }
         }
         self
@@ -291,6 +410,33 @@ mod tests {
         let c = c.with_multiway_probe(MultiwayProbe::PerTuple);
         assert_eq!(c.multiway_probe, MultiwayProbe::PerTuple);
         assert_eq!(c.multiway_probe.name(), "per-tuple");
+    }
+
+    #[test]
+    fn filter_kernel_default_builder_and_parsing() {
+        let c = CijConfig::default();
+        assert_eq!(c.filter_kernel, FilterKernel::Indexed);
+        assert_eq!(c.filter_kernel.name(), "indexed");
+        let c = c.with_filter_kernel(FilterKernel::Scan);
+        assert_eq!(c.filter_kernel, FilterKernel::Scan);
+        assert_eq!(c.filter_kernel.name(), "scan");
+        assert_eq!("indexed".parse::<FilterKernel>(), Ok(FilterKernel::Indexed));
+        assert_eq!("Scan".parse::<FilterKernel>(), Ok(FilterKernel::Scan));
+        assert!("grid".parse::<FilterKernel>().is_err());
+    }
+
+    #[test]
+    fn multiway_planning_defaults_and_builders() {
+        let c = CijConfig::default();
+        assert_eq!(c.multiway_driver, MultiwayDriver::CostBased);
+        assert_eq!(c.multiway_driver.name(), "cost");
+        assert!(c.multiway_prune);
+        let c = c
+            .with_multiway_driver(MultiwayDriver::Fixed(2))
+            .with_multiway_prune(false);
+        assert_eq!(c.multiway_driver, MultiwayDriver::Fixed(2));
+        assert_eq!(c.multiway_driver.name(), "fixed(2)");
+        assert!(!c.multiway_prune);
     }
 
     #[test]

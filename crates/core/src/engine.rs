@@ -29,7 +29,7 @@ use crate::grouped::{grouped_nn_via_cij, GroupCounts};
 use crate::multiway::{MultiwayOutcome, TupleStream};
 use crate::nm::{CacheSlot, NmPairIter};
 use crate::pm::pm_cij_eager;
-use crate::stats::{CijOutcome, CostBreakdown, NmCounters, ProgressSample};
+use crate::stats::{CijOutcome, CostBreakdown, LeafWatermark, NmCounters, ProgressSample};
 use crate::workload::{MultiwayWorkload, Workload};
 use crate::Algorithm;
 use cij_geom::Point;
@@ -43,6 +43,7 @@ pub(crate) struct StreamState {
     pub progress: Vec<ProgressSample>,
     pub nm: NmCounters,
     pub breakdown: CostBreakdown,
+    pub watermarks: Vec<LeafWatermark>,
 }
 
 /// `Arc<Mutex<…>>` rather than the earlier `Rc<RefCell<…>>`: the parallel
@@ -96,6 +97,7 @@ impl<'a> PairStream<'a> {
             progress: outcome.progress,
             nm: outcome.nm,
             breakdown: outcome.breakdown,
+            watermarks: outcome.watermarks,
         }));
         PairStream {
             algorithm,
@@ -126,6 +128,16 @@ impl<'a> PairStream<'a> {
         self.state.lock().unwrap().nm
     }
 
+    /// The per-leaf watermarks recorded so far (one per processed leaf of
+    /// `RQ` for the lazy NM-CIJ stream; empty for the blocking FM/PM
+    /// streams). Everything emitted up to the last watermark is final: no
+    /// later leaf can add or change those pairs — the checkpointing
+    /// contract ported back from the multiway
+    /// [`TupleStream`](crate::multiway::TupleStream).
+    pub fn watermarks_so_far(&self) -> Vec<LeafWatermark> {
+        self.state.lock().unwrap().watermarks.clone()
+    }
+
     /// Drains the remaining pairs and packages everything into the blocking
     /// [`CijOutcome`] (pairs already pulled through the iterator are *not*
     /// replayed — call this immediately for the classic collect-all
@@ -141,6 +153,7 @@ impl<'a> PairStream<'a> {
             breakdown: state.breakdown,
             progress: state.progress.clone(),
             nm: state.nm,
+            watermarks: state.watermarks.clone(),
         }
     }
 }
@@ -340,7 +353,8 @@ impl QueryEngine {
     }
 
     /// Starts the multiway CIJ on `workload` and returns the lazy
-    /// [`TupleStream`]: leaf units of the first set's tree are processed
+    /// [`TupleStream`]: leaf units of the cost-selected driver tree are
+    /// processed
     /// only as tuples are demanded, with progress samples and per-leaf
     /// watermarks observable mid-join (see [`crate::multiway`]).
     pub fn multiway_stream<'a>(&self, workload: &'a mut MultiwayWorkload) -> TupleStream<'a> {

@@ -1,10 +1,12 @@
-//! The conditional filter of NM-CIJ (Algorithm 5 and its batch variant).
+//! The conditional filter of NM-CIJ (Algorithm 5 and its batch variant),
+//! with a sub-quadratic **indexed kernel** as the default execution
+//! strategy.
 //!
-//! Given one or more convex polygons `T` (Voronoi cells of points of `Q`),
-//! the filter traverses the R-tree `RP` of pointset `P` and returns a
-//! candidate set `CP ⊆ P` that is guaranteed to contain every point whose
-//! Voronoi cell intersects any of the polygons. Section IV-A's three pruning
-//! ingredients are used:
+//! Given one or more convex polygons `T` (Voronoi cells of points of `Q`,
+//! or running intersections of the multiway join), the filter traverses the
+//! R-tree `RP` of pointset `P` and returns a candidate set `CP ⊆ P` that is
+//! guaranteed to contain every point whose Voronoi cell intersects any of
+//! the polygons. Section IV-A's three pruning ingredients are used:
 //!
 //! 1. points inside a polygon `T` always join (they are kept as candidates
 //!    and their cells need not be checked for that polygon),
@@ -19,50 +21,169 @@
 //! Entries are visited in ascending distance from the centroid of the
 //! polygons (best-first), so nearby points enter `CP` early and shield the
 //! rest of the tree.
+//!
+//! # The two kernels
+//!
+//! How ingredient 2 computes the approximate cell — and how the
+//! "intersects some polygon" tests of ingredients 2 and 3 are evaluated —
+//! is the [`FilterKernel`] strategy:
+//!
+//! * [`FilterKernel::Scan`], the historical baseline, is quadratic: every
+//!   examined point clips its cell against **all** candidates found so far,
+//!   and every point/node test linearly scans all probe polygons.
+//! * [`FilterKernel::Indexed`], the default, keeps the candidates in a
+//!   uniform-grid spatial index ([`cij_geom::PointGrid`]) and the probe
+//!   polygons' bounding boxes in an overlap index ([`cij_geom::RectGrid`]).
+//!   Each examined point clips only against *near* candidates,
+//!   nearest-first by expanding grid rings, and each polygon test touches
+//!   only the polygons whose bbox can overlap the query.
+//!
+//! **Why bounded clipping is sufficient.** Let `R` be the *reach* of the
+//! current approximate cell from the examined point `p` — the maximum
+//! distance from `p` to a cell vertex ([`cij_voronoi::cell_reach_sq`]). The
+//! convex cell lies inside the circle of radius `R` around `p`. Every
+//! location the bisector `⊥(p, c)` removes is closer to `c` than to `p`, so
+//! by the triangle inequality it lies at least `dist(p, c) / 2` from `p`.
+//! Hence a candidate with `dist(p, c) > 2R` cannot shrink the cell at all,
+//! and once a grid ring's minimum distance exceeds `2R` **no remaining
+//! candidate in that ring or beyond can either** — the enumeration stops.
+//! Clipping near candidates first shrinks `R` as fast as possible, which is
+//! what makes the cutoff bite early. Skipped clips are provably no-ops, so
+//! both kernels return the **same candidate set** (asserted by the
+//! `filter_kernel` experiment and a kernel-equivalence proptest); only the
+//! [`FilterStats::clip_ops`] and [`FilterStats::poly_tests_skipped`]
+//! counters differ.
+//!
+//! [`FilterKernel`]: crate::config::FilterKernel
+//! [`FilterKernel::Scan`]: crate::config::FilterKernel::Scan
+//! [`FilterKernel::Indexed`]: crate::config::FilterKernel::Indexed
 
-use cij_geom::{ConvexPolygon, Point, Rect};
+use crate::config::FilterKernel;
+use cij_geom::{ConvexPolygon, Point, PointGrid, Rect, RectGrid};
 use cij_pagestore::PageId;
 use cij_rtree::{MinDistHeap, MinHeapItem, NodeReader, PointObject};
+use cij_voronoi::{bisector_cuts, cell_reach_sq};
 
 enum HeapEntry {
     Node { page: PageId, mbr: Rect },
     Point(PointObject),
 }
 
+/// Initial resolution of the adaptive candidate grid; it doubles whenever
+/// the average bucket load exceeds ~3 ([`PointGrid::needs_growth`]).
+const ADAPTIVE_GRID_START: usize = 8;
+
 /// Statistics of one filter invocation (used for the false-hit-ratio
-/// accounting of Figure 10).
+/// accounting of Figure 10 and the kernel comparison of the `filter_kernel`
+/// experiment).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FilterStats {
-    /// Points of `P` examined (popped from the heap).
+    /// Points of `P` examined (popped from the heap). Identical across
+    /// kernels: the traversal itself never depends on the kernel.
     pub points_examined: u64,
-    /// Non-leaf entries pruned by the Φ rule.
+    /// Non-leaf entries pruned by the Φ rule. Identical across kernels.
     pub entries_pruned: u64,
+    /// Bisector clip operations performed while computing approximate
+    /// cells — the quadratic term of the scan kernel, the headline saving
+    /// of the indexed kernel.
+    pub clip_ops: u64,
+    /// Probe-polygon tests the indexed kernel's bbox index avoided relative
+    /// to scanning the whole polygon batch (always 0 for the scan kernel).
+    pub poly_tests_skipped: u64,
 }
 
 impl FilterStats {
     /// Folds another invocation's statistics into this accumulator (used by
-    /// the multiway join, which issues one filter call per probe unit and
-    /// reports totals).
+    /// NM-CIJ and the multiway join, which issue one filter call per leaf or
+    /// probe unit and report totals).
     pub fn absorb(&mut self, other: &FilterStats) {
         self.points_examined += other.points_examined;
         self.entries_pruned += other.entries_pruned;
+        self.clip_ops += other.clip_ops;
+        self.poly_tests_skipped += other.poly_tests_skipped;
     }
 }
 
-/// Runs the (batch) conditional filter: returns every point of `P` whose
-/// Voronoi cell may intersect at least one polygon of `polys`, plus filter
-/// statistics.
+/// Execution options of one (batch) conditional-filter invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterOptions {
+    /// The kernel strategy (see [`FilterKernel`]); indexed by default.
+    pub kernel: FilterKernel,
+    /// Fixed resolution of the indexed kernel's candidate grid; `0` (the
+    /// default) selects the adaptive policy (start at
+    /// 8×8, double when the average bucket load exceeds ~3). Ignored by the
+    /// scan kernel.
+    pub grid_resolution: usize,
+    /// Seed every examined point's approximate cell from the probe
+    /// polygons' (padded) union bounding box instead of the whole domain —
+    /// the multiway join's running-intersection pruning. Decision
+    /// preserving: for every probe polygon `T ⊆ B`, `(cell ∩ B) ∩ T =
+    /// cell ∩ T`, so the same candidates are returned while cells start
+    /// small (small reach ⇒ early clip cutoff) and far points' cells empty
+    /// out immediately. Off by default.
+    pub bound_cells: bool,
+}
+
+impl FilterOptions {
+    /// Options running the given kernel with the default grid policy and no
+    /// cell bounding.
+    pub fn for_kernel(kernel: FilterKernel) -> Self {
+        FilterOptions {
+            kernel,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the options with [`FilterOptions::bound_cells`] set.
+    pub fn with_bound_cells(mut self, bound: bool) -> Self {
+        self.bound_cells = bound;
+        self
+    }
+}
+
+/// The per-kernel state of one filter invocation. The indexed payload is
+/// boxed-by-construction in its two growable indexes, so the bare `Scan`
+/// variant costing nothing extra is fine.
+#[allow(clippy::large_enum_variant)]
+enum KernelState {
+    Scan,
+    Indexed {
+        /// Accepted candidates, bucketed by position for ring queries.
+        grid: PointGrid,
+        /// Probe-polygon bboxes, bucketed for overlap queries.
+        polyidx: RectGrid,
+        /// Whether the candidate grid doubles its resolution under load.
+        adaptive: bool,
+    },
+}
+
+/// Runs the (batch) conditional filter under default options: returns every
+/// point of `P` whose Voronoi cell may intersect at least one polygon of
+/// `polys`, plus filter statistics.
 ///
 /// With a single polygon this is exactly Algorithm 5; with several it is the
-/// BatchConditionalFilter of Section IV-A.
-///
-/// Generic over [`NodeReader`], so the same traversal runs in counted mode
-/// (`&mut RTree`) and in the traced snapshot mode used by parallel NM-CIJ
-/// workers ([`cij_rtree::TracedReader`]).
+/// BatchConditionalFilter of Section IV-A. See
+/// [`batch_conditional_filter_with`] for kernel selection.
 pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
     rp: &mut T,
     polys: &[ConvexPolygon],
     domain: &Rect,
+) -> (Vec<PointObject>, FilterStats) {
+    batch_conditional_filter_with(rp, polys, domain, &FilterOptions::default())
+}
+
+/// [`batch_conditional_filter`] with explicit [`FilterOptions`] (kernel
+/// choice, candidate-grid resolution, probe-bbox cell bounding).
+///
+/// The candidate set is independent of the options — they trade CPU
+/// strategies, never results. Generic over [`NodeReader`], so the same
+/// traversal runs in counted mode (`&mut RTree`) and in the traced snapshot
+/// mode used by parallel workers ([`cij_rtree::TracedReader`]).
+pub fn batch_conditional_filter_with<T: NodeReader<PointObject>>(
+    rp: &mut T,
+    polys: &[ConvexPolygon],
+    domain: &Rect,
+    options: &FilterOptions,
 ) -> (Vec<PointObject>, FilterStats) {
     let mut stats = FilterStats::default();
     let mut candidates: Vec<PointObject> = Vec::new();
@@ -79,6 +200,45 @@ pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
     // Bounding boxes of the polygons, for the cheap "does e intersect some T"
     // test that forbids pruning.
     let poly_bboxes: Vec<Rect> = usable.iter().map(|t| t.bbox()).collect();
+
+    // Seed polygon of every approximate cell: the whole domain, or — with
+    // `bound_cells` — the padded union bbox of the probe polygons (every
+    // polygon is inside it, so intersect decisions are unchanged while the
+    // cells start with a small reach).
+    let seed = if options.bound_cells {
+        let union = poly_bboxes
+            .iter()
+            .fold(Rect::empty(), |acc, bb| acc.union(bb));
+        let pad = cij_geom::EPS * (1.0 + union.width() + union.height());
+        let padded = Rect::from_coords(
+            union.lo.x - pad,
+            union.lo.y - pad,
+            union.hi.x + pad,
+            union.hi.y + pad,
+        );
+        match domain.intersection(&padded) {
+            Some(bound) => ConvexPolygon::from_rect(&bound),
+            None => ConvexPolygon::from_rect(domain),
+        }
+    } else {
+        ConvexPolygon::from_rect(domain)
+    };
+
+    let mut kernel = match options.kernel {
+        FilterKernel::Scan => KernelState::Scan,
+        FilterKernel::Indexed => KernelState::Indexed {
+            grid: PointGrid::new(
+                domain,
+                if options.grid_resolution == 0 {
+                    ADAPTIVE_GRID_START
+                } else {
+                    options.grid_resolution
+                },
+            ),
+            polyidx: RectGrid::build(&poly_bboxes),
+            adaptive: options.grid_resolution == 0,
+        },
+    };
 
     let mut heap: MinDistHeap<HeapEntry> = MinDistHeap::new();
     // The root is read up front (Algorithm 5, line 4) and its entries seeded.
@@ -108,32 +268,50 @@ pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
             HeapEntry::Point(p) => {
                 stats.points_examined += 1;
                 // Approximate cell of p from the current candidates only; a
-                // superset of V(p, P), so discarding is safe.
-                let mut cell = ConvexPolygon::from_rect(domain);
-                for c in &candidates {
-                    if c.id == p.id {
-                        continue;
+                // superset of V(p, P) (within the seed), so discarding is
+                // safe.
+                let cell = match &mut kernel {
+                    KernelState::Scan => approx_cell_scan(&seed, &p, &candidates, &mut stats),
+                    KernelState::Indexed { grid, .. } => {
+                        approx_cell_indexed(&seed, &p, &candidates, grid, &mut stats)
                     }
-                    cell = cell.clip_bisector(&p.point, &c.point);
-                    if cell.is_empty() {
-                        break;
+                };
+                let joins = match &mut kernel {
+                    KernelState::Scan => usable
+                        .iter()
+                        .zip(&poly_bboxes)
+                        .any(|(t, bb)| cell.bbox().intersects(bb) && cell.intersects(t)),
+                    KernelState::Indexed { polyidx, .. } => {
+                        let cbb = cell.bbox();
+                        any_indexed(polyidx, &cbb, &mut stats, |i| {
+                            cbb.intersects(&poly_bboxes[i]) && cell.intersects(usable[i])
+                        })
                     }
-                }
-                if usable
-                    .iter()
-                    .zip(&poly_bboxes)
-                    .any(|(t, bb)| cell.bbox().intersects(bb) && cell.intersects(t))
-                {
+                };
+                if joins {
                     candidates.push(p);
+                    if let KernelState::Indexed { grid, adaptive, .. } = &mut kernel {
+                        grid.insert(&p.point, candidates.len() as u32 - 1);
+                        if *adaptive && grid.needs_growth() {
+                            *grid = grid.grown(|i| candidates[i as usize].point);
+                        }
+                    }
                 }
             }
             HeapEntry::Node { page, mbr } => {
                 // A node whose MBR intersects some polygon may contain points
                 // inside it; it can never be pruned.
-                let touches_some_poly = usable
-                    .iter()
-                    .zip(&poly_bboxes)
-                    .any(|(t, bb)| mbr.intersects(bb) && t.intersects_rect(&mbr));
+                let touches_some_poly = match &mut kernel {
+                    KernelState::Scan => usable
+                        .iter()
+                        .zip(&poly_bboxes)
+                        .any(|(t, bb)| mbr.intersects(bb) && t.intersects_rect(&mbr)),
+                    KernelState::Indexed { polyidx, .. } => {
+                        any_indexed(polyidx, &mbr, &mut stats, |i| {
+                            mbr.intersects(&poly_bboxes[i]) && usable[i].intersects_rect(&mbr)
+                        })
+                    }
+                };
                 if !touches_some_poly && is_shielded(&mbr, &usable, &candidates) {
                     stats.entries_pruned += 1;
                     continue;
@@ -161,6 +339,112 @@ pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
         }
     }
     (candidates, stats)
+}
+
+/// The scan kernel's approximate cell: clip against every candidate found
+/// so far, in candidate order — the historical quadratic inner loop.
+fn approx_cell_scan(
+    seed: &ConvexPolygon,
+    p: &PointObject,
+    candidates: &[PointObject],
+    stats: &mut FilterStats,
+) -> ConvexPolygon {
+    let mut cell = seed.clone();
+    for c in candidates {
+        if c.id == p.id {
+            continue;
+        }
+        cell = cell.clip_bisector(&p.point, &c.point);
+        stats.clip_ops += 1;
+        if cell.is_empty() {
+            break;
+        }
+    }
+    cell
+}
+
+/// The indexed kernel's approximate cell: visit candidates nearest-first by
+/// expanding grid rings, clip only bisectors that actually cut, and stop as
+/// soon as the remaining rings are provably beyond twice the cell's reach
+/// (see the module docs for the sufficiency argument).
+fn approx_cell_indexed(
+    seed: &ConvexPolygon,
+    p: &PointObject,
+    candidates: &[PointObject],
+    grid: &PointGrid,
+    stats: &mut FilterStats,
+) -> ConvexPolygon {
+    let mut cell = seed.clone();
+    if cell.is_empty() || grid.is_empty() {
+        return cell;
+    }
+    let mut reach_sq = cell_reach_sq(&p.point, &cell);
+    let center = grid.frame().bucket_of(&p.point);
+    let mut emptied = false;
+    let mut ring = 0usize;
+    loop {
+        let lb = grid.ring_mindist(ring);
+        // No candidate at distance > 2·reach can shrink the cell; rings only
+        // get farther, so the whole enumeration can stop here.
+        if lb * lb > 4.0 * reach_sq {
+            break;
+        }
+        let in_range = grid.for_each_ring_bucket(center, ring, |bucket, items| {
+            if emptied || items.is_empty() {
+                return;
+            }
+            if bucket.mindist_point_sq(&p.point) > 4.0 * reach_sq {
+                return;
+            }
+            for &idx in items {
+                let c = &candidates[idx as usize];
+                if c.id == p.id {
+                    continue;
+                }
+                if c.point.dist_sq(&p.point) > 4.0 * reach_sq {
+                    continue;
+                }
+                if !bisector_cuts(cell.vertices(), &p.point, &c.point) {
+                    continue;
+                }
+                cell = cell.clip_bisector(&p.point, &c.point);
+                stats.clip_ops += 1;
+                if cell.is_empty() {
+                    emptied = true;
+                    return;
+                }
+                reach_sq = cell_reach_sq(&p.point, &cell);
+            }
+        });
+        if emptied || !in_range {
+            break;
+        }
+        ring += 1;
+    }
+    cell
+}
+
+/// Indexed "any polygon satisfies `check`" test: only polygons whose bbox
+/// bucket range overlaps `query` are examined (each at most once, with
+/// short-circuit on the first hit); the rest count as skipped tests.
+fn any_indexed(
+    polyidx: &mut RectGrid,
+    query: &Rect,
+    stats: &mut FilterStats,
+    mut check: impl FnMut(usize) -> bool,
+) -> bool {
+    let mut examined = 0u64;
+    let mut hit = false;
+    polyidx.for_each_overlapping(query, |i| {
+        examined += 1;
+        if check(i as usize) {
+            hit = true;
+            return false;
+        }
+        true
+    });
+    stats.poly_tests_skipped += polyidx.len() as u64 - examined;
+    hit
 }
 
 /// Whether every polygon is shielded from the entry `mbr` by some candidate:
@@ -310,18 +594,24 @@ mod tests {
     }
 
     #[test]
-    fn filter_stats_absorb_accumulates() {
+    fn filter_stats_absorb_accumulates_every_counter() {
         let mut total = FilterStats::default();
         total.absorb(&FilterStats {
             points_examined: 3,
             entries_pruned: 1,
+            clip_ops: 10,
+            poly_tests_skipped: 7,
         });
         total.absorb(&FilterStats {
             points_examined: 5,
             entries_pruned: 2,
+            clip_ops: 4,
+            poly_tests_skipped: 1,
         });
         assert_eq!(total.points_examined, 8);
         assert_eq!(total.entries_pruned, 3);
+        assert_eq!(total.clip_ops, 14);
+        assert_eq!(total.poly_tests_skipped, 8);
     }
 
     #[test]
@@ -360,6 +650,87 @@ mod tests {
         let ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
         for joiner in oracle_joiners(&p, &[t]) {
             assert!(ids.contains(&joiner));
+        }
+    }
+
+    /// Runs both kernels over the same probe and returns the two outcomes.
+    fn both_kernels(
+        p: &[Point],
+        polys: &[ConvexPolygon],
+        bound_cells: bool,
+    ) -> [(Vec<PointObject>, FilterStats); 2] {
+        [FilterKernel::Indexed, FilterKernel::Scan].map(|kernel| {
+            let mut rp = RTree::bulk_load(config(), PointObject::from_points(p));
+            batch_conditional_filter_with(
+                &mut rp,
+                polys,
+                &Rect::DOMAIN,
+                &FilterOptions::for_kernel(kernel).with_bound_cells(bound_cells),
+            )
+        })
+    }
+
+    #[test]
+    fn kernels_agree_and_indexed_clips_less() {
+        let p = random_points(1_500, 95);
+        let q = random_points(1_500, 96);
+        let q_cells = brute_force_diagram(&q[..200], &Rect::DOMAIN);
+        let group: Vec<ConvexPolygon> = q_cells[50..70].to_vec();
+        let [(ind_cands, ind_stats), (scan_cands, scan_stats)] = both_kernels(&p, &group, false);
+        assert_eq!(ind_cands, scan_cands, "kernels must agree on candidates");
+        assert_eq!(ind_stats.points_examined, scan_stats.points_examined);
+        assert_eq!(ind_stats.entries_pruned, scan_stats.entries_pruned);
+        assert!(
+            ind_stats.clip_ops < scan_stats.clip_ops,
+            "indexed kernel must clip less ({} vs {})",
+            ind_stats.clip_ops,
+            scan_stats.clip_ops
+        );
+        assert!(ind_stats.poly_tests_skipped > 0);
+        assert_eq!(scan_stats.poly_tests_skipped, 0);
+    }
+
+    #[test]
+    fn bound_cells_preserves_candidates_in_both_kernels() {
+        let p = random_points(800, 97);
+        let q = random_points(800, 98);
+        let q_cells = brute_force_diagram(&q[..150], &Rect::DOMAIN);
+        let group: Vec<ConvexPolygon> = q_cells[10..26].to_vec();
+        let [(ind_b, ind_b_stats), (scan_b, scan_b_stats)] = both_kernels(&p, &group, true);
+        let [(ind, ind_stats), (scan, scan_stats)] = both_kernels(&p, &group, false);
+        assert_eq!(ind, scan);
+        assert_eq!(ind_b, ind, "bound_cells must not change the candidate set");
+        assert_eq!(scan_b, scan);
+        // Bounded seeds can only reduce clip work.
+        assert!(ind_b_stats.clip_ops <= ind_stats.clip_ops);
+        assert!(scan_b_stats.clip_ops <= scan_stats.clip_ops);
+    }
+
+    #[test]
+    fn fixed_grid_resolutions_agree_with_the_scan_kernel() {
+        let p = random_points(600, 99);
+        let q = random_points(600, 100);
+        let q_cells = brute_force_diagram(&q[..120], &Rect::DOMAIN);
+        let group: Vec<ConvexPolygon> = q_cells[30..42].to_vec();
+        let scan = {
+            let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+            batch_conditional_filter_with(
+                &mut rp,
+                &group,
+                &Rect::DOMAIN,
+                &FilterOptions::for_kernel(FilterKernel::Scan),
+            )
+            .0
+        };
+        for resolution in [1usize, 2, 7, 32, 100] {
+            let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+            let opts = FilterOptions {
+                kernel: FilterKernel::Indexed,
+                grid_resolution: resolution,
+                bound_cells: false,
+            };
+            let (cands, _) = batch_conditional_filter_with(&mut rp, &group, &Rect::DOMAIN, &opts);
+            assert_eq!(cands, scan, "resolution {resolution} diverged");
         }
     }
 }

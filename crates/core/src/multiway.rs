@@ -11,17 +11,23 @@
 //! share no common point, so the join must track the running intersection
 //! region explicitly.
 //!
-//! # Leaf-batched evaluation
+//! # Leaf-batched, cost-planned evaluation
 //!
-//! Evaluation is driven by the leaves of the **first** set's R-tree, walked
-//! in Hilbert order exactly like the outer loop of binary NM-CIJ. One leaf
-//! unit flows through `k` rounds:
+//! Evaluation is driven by the leaves of the **driver** set's R-tree,
+//! walked in Hilbert order exactly like the outer loop of binary NM-CIJ.
+//! The driver is picked by a cost model over tree metadata —
+//! [`MultiwayWorkload::estimated_driver_cost`], estimated leaves of the
+//! driver × summed fan-out of the extension sets — under
+//! [`CijConfig::multiway_driver`] (`CostBased` by default; `Fixed(i)` pins
+//! the historical hard-coded choice, which cost ties also fall back to).
+//! The remaining sets are probed in input order. One leaf unit flows
+//! through `k` rounds:
 //!
 //! * **Seed (round 0)**: the Voronoi cells of the leaf's points are computed
-//!   with BatchVoronoi *through the set's [`CellCache`]* — the seeding phase
-//!   uses the same reuse buffer as every extension round, so
-//!   `cells_computed[0]` has the same meaning ("exact cells computed",
-//!   i.e. cache misses) as every other slot and duplicate seed work would be
+//!   with BatchVoronoi *through the driver set's [`CellCache`]* — the
+//!   seeding phase uses the same reuse buffer as every extension round, so
+//!   `cells_computed[i]` has the same meaning ("exact cells computed",
+//!   i.e. cache misses) for every slot and duplicate seed work would be
 //!   served from the buffer.
 //! * **Extend (rounds 1 … k−1)**: the unit's live partial tuples are grouped
 //!   into **probe units** and each probe unit issues *one*
@@ -34,6 +40,15 @@
 //!   tuple). Candidate cells are then resolved through the set's
 //!   [`CellCache`] and each partial region is narrowed by polygon
 //!   intersection; empty intersections drop the candidate tuple.
+//!
+//! With [`CijConfig::multiway_prune`] (on by default) every extension round
+//! is additionally pruned by the **running intersections' bounding box**:
+//! the batch probe seeds each examined point's approximate cell from the
+//! probe regions' union bbox (decision-preserving — see
+//! [`FilterOptions::bound_cells`](crate::filter::FilterOptions::bound_cells)
+//! — and a large cut in bisector clip work, observable as
+//! [`MultiwayCounters::filter_clip_ops`]), and the candidate×partial
+//! narrowing skips bbox-disjoint combinations outright.
 //!
 //! The partial tuples of one leaf stay spatially close through every round
 //! (they are intersections of neighbouring cells), which is what makes the
@@ -77,12 +92,15 @@
 //! [`batch_conditional_filter`]: crate::filter::batch_conditional_filter
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
+//! [`CijConfig::multiway_driver`]: crate::config::CijConfig::multiway_driver
+//! [`CijConfig::multiway_prune`]: crate::config::CijConfig::multiway_prune
 //! [`MultiwayProbe::Batched`]: crate::config::MultiwayProbe::Batched
 //! [`MultiwayProbe::PerTuple`]: crate::config::MultiwayProbe::PerTuple
+//! [`MultiwayWorkload::estimated_driver_cost`]: crate::workload::MultiwayWorkload::estimated_driver_cost
 
 use crate::cell_cache::CellCache;
-use crate::config::{CijConfig, MultiwayProbe};
-use crate::filter::{batch_conditional_filter, FilterStats};
+use crate::config::{CijConfig, MultiwayDriver, MultiwayProbe};
+use crate::filter::{batch_conditional_filter_with, FilterOptions, FilterStats};
 use crate::nm::run_ordered;
 use crate::stats::{LeafWatermark, MultiwayCounters, ProgressSample};
 use crate::workload::MultiwayWorkload;
@@ -123,6 +141,9 @@ pub struct MultiwayOutcome {
     pub watermarks: Vec<LeafWatermark>,
     /// Total physical page accesses of the evaluation.
     pub page_accesses: u64,
+    /// The input-set index whose tree drove the evaluation (see
+    /// [`CijConfig::multiway_driver`]).
+    pub driver: usize,
 }
 
 impl MultiwayOutcome {
@@ -230,7 +251,9 @@ fn resolve_unit(
 ///
 /// Obtained from
 /// [`QueryEngine::multiway_stream`](crate::engine::QueryEngine::multiway_stream).
-/// Leaf units of the first set's tree are processed only as tuples are
+/// The driver set is chosen per [`CijConfig::multiway_driver`] when the
+/// stream is created; [`TupleStream::driver`] exposes the choice.
+/// Leaf units of the driver set's tree are processed only as tuples are
 /// demanded; [`TupleStream::progress_so_far`],
 /// [`TupleStream::counters_so_far`] and [`TupleStream::watermarks_so_far`]
 /// expose the incremental measurements, and [`TupleStream::into_outcome`]
@@ -238,10 +261,14 @@ fn resolve_unit(
 pub struct TupleStream<'a> {
     workload: &'a mut MultiwayWorkload,
     config: CijConfig,
+    /// Evaluation order of the input sets: the driver first, then the
+    /// extension sets in input order. Tuple ids are permuted back to input
+    /// order on emission.
+    eval_order: Vec<usize>,
     leaves: Vec<PageId>,
     next_leaf: usize,
-    /// One reuse buffer per input set (set 0 included: seeding goes through
-    /// the cache like every extension round).
+    /// One reuse buffer per input set (the driver included: seeding goes
+    /// through the cache like every extension round).
     caches: Vec<CellCache>,
     pending: VecDeque<MultiwayTuple>,
     stats: IoStats,
@@ -273,7 +300,20 @@ impl<'a> TupleStream<'a> {
     pub(crate) fn new(workload: &'a mut MultiwayWorkload, config: CijConfig) -> Self {
         let stats = workload.stats.clone();
         let start_io = stats.snapshot();
-        let leaves = workload.trees[0].leaf_pages_hilbert_order(&config.domain);
+        let driver = match config.multiway_driver {
+            MultiwayDriver::CostBased => workload.pick_driver(),
+            MultiwayDriver::Fixed(d) => {
+                assert!(
+                    d < workload.k(),
+                    "fixed multiway driver {d} out of range for {} sets",
+                    workload.k()
+                );
+                d
+            }
+        };
+        let mut eval_order = vec![driver];
+        eval_order.extend((0..workload.k()).filter(|&s| s != driver));
+        let leaves = workload.trees[driver].leaf_pages_hilbert_order(&config.domain);
         let capacity = if config.reuse_cells {
             config.cell_cache_capacity
         } else {
@@ -286,6 +326,7 @@ impl<'a> TupleStream<'a> {
         TupleStream {
             workload,
             config,
+            eval_order,
             leaves,
             next_leaf: 0,
             caches,
@@ -306,6 +347,11 @@ impl<'a> TupleStream<'a> {
     /// Number of tuples this stream has yielded so far.
     pub fn tuples_emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// The input-set index whose tree drives this evaluation.
+    pub fn driver(&self) -> usize {
+        self.eval_order[0]
     }
 
     /// The progressive-output samples recorded so far (one per productive
@@ -340,6 +386,7 @@ impl<'a> TupleStream<'a> {
             progress: self.progress.clone(),
             watermarks: self.watermarks.clone(),
             page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+            driver: self.eval_order[0],
         }
     }
 
@@ -361,6 +408,10 @@ impl<'a> TupleStream<'a> {
         let domain = self.config.domain;
         let k = self.workload.k();
         let n = chunk.len();
+        let driver = self.eval_order[0];
+        let filter_options = FilterOptions::for_kernel(self.config.filter_kernel)
+            .with_bound_cells(self.config.multiway_prune);
+        let prune = self.config.multiway_prune;
 
         // Ordered replay segments per leaf: (tree index, page trace). The
         // coordinator replays them leaf-major at the end of the chunk, so
@@ -379,7 +430,7 @@ impl<'a> TupleStream<'a> {
         // Scan (parallel): read each chunk leaf of the driving tree against
         // the immutable snapshot, recording the page trace.
         let groups: Vec<Vec<PointObject>> = {
-            let tree = &self.workload.trees[0];
+            let tree = &self.workload.trees[driver];
             let scans = run_ordered(workers, n, |i| {
                 let mut reader = TracedReader::new(tree);
                 let group = reader.read(chunk[i]).objects;
@@ -389,30 +440,30 @@ impl<'a> TupleStream<'a> {
                 .into_iter()
                 .zip(&mut replays)
                 .map(|((group, trace), replay)| {
-                    replay.push((0, trace));
+                    replay.push((driver, trace));
                     group
                 })
                 .collect()
         };
 
-        // Seed (round 0): the leaf's own cells through cache 0. One probe
-        // unit per leaf whose candidates are the leaf's points.
+        // Seed (round 0): the leaf's own cells through the driver's cache.
+        // One probe unit per leaf whose candidates are the leaf's points.
         let mut partials: Vec<Vec<MultiwayTuple>> = {
             // Policy (coordinator, leaf order).
             let plans: Vec<ProbePlan> = groups
                 .iter()
                 .enumerate()
                 .map(|(i, group)| {
-                    let plan = policy_pass(&mut self.caches[0], group);
-                    reused[i][0] += plan.reused;
-                    computed[i][0] += plan.computed;
-                    evictions_after[i][0] = self.caches[0].evictions();
+                    let plan = policy_pass(&mut self.caches[driver], group);
+                    reused[i][driver] += plan.reused;
+                    computed[i][driver] += plan.computed;
+                    evictions_after[i][driver] = self.caches[driver].evictions();
                     plan
                 })
                 .collect();
             // Refine (parallel): exact cells of each leaf's missing points.
             let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
-                let tree = &self.workload.trees[0];
+                let tree = &self.workload.trees[driver];
                 run_ordered(workers, n, |i| {
                     let missing = &plans[i].missing;
                     if missing.is_empty() {
@@ -431,8 +482,8 @@ impl<'a> TupleStream<'a> {
                 .zip(refined)
                 .zip(&mut replays)
                 .map(|(((group, plan), (cells, trace)), replay)| {
-                    replay.push((0, trace));
-                    let aligned = resolve_unit(&mut self.caches[0], group, &plan, cells);
+                    replay.push((driver, trace));
+                    let aligned = resolve_unit(&mut self.caches[driver], group, &plan, cells);
                     group
                         .iter()
                         .zip(aligned)
@@ -445,8 +496,9 @@ impl<'a> TupleStream<'a> {
                 .collect()
         };
 
-        // Extension rounds: one per remaining set.
-        for set_idx in 1..k {
+        // Extension rounds: one per remaining set, in evaluation order.
+        for round in 1..k {
+            let set_idx = self.eval_order[round];
             // Probe units: `(leaf, range of partial indices)`, leaf-major.
             // Batched probing forms one unit per leaf; the per-tuple
             // baseline forms one per live partial.
@@ -476,8 +528,12 @@ impl<'a> TupleStream<'a> {
                         .map(|t| t.region.clone())
                         .collect();
                     let mut reader = TracedReader::new(tree);
-                    let (candidates, stats) =
-                        batch_conditional_filter(&mut reader, &regions, &domain);
+                    let (candidates, stats) = batch_conditional_filter_with(
+                        &mut reader,
+                        &regions,
+                        &domain,
+                        &filter_options,
+                    );
                     (candidates, stats, reader.into_trace())
                 })
             };
@@ -533,14 +589,30 @@ impl<'a> TupleStream<'a> {
             }
 
             // Extend (parallel, per unit): narrow each partial region by
-            // every candidate cell, dropping empty intersections.
+            // every candidate cell, dropping empty intersections. With
+            // pruning on, bbox-disjoint combinations are skipped outright —
+            // their polygon intersection would be empty anyway (touching
+            // bboxes still intersect, so degenerate contacts take the exact
+            // path).
             let extensions: Vec<Vec<MultiwayTuple>> = {
                 let partials = &partials;
+                let cell_bboxes: Vec<Vec<Rect>> = aligned_cells
+                    .iter()
+                    .map(|cells| cells.iter().map(|c| c.bbox()).collect())
+                    .collect();
                 run_ordered(workers, units.len(), |u| {
                     let (leaf, range) = &units[u];
                     let mut out = Vec::new();
                     for partial in &partials[*leaf][range.clone()] {
-                        for (cand, cell) in candidates[u].iter().zip(&aligned_cells[u]) {
+                        let partial_bbox = partial.region.bbox();
+                        for ((cand, cell), cell_bbox) in candidates[u]
+                            .iter()
+                            .zip(&aligned_cells[u])
+                            .zip(&cell_bboxes[u])
+                        {
+                            if prune && !partial_bbox.intersects(cell_bbox) {
+                                continue;
+                            }
                             let region = partial.region.intersection(cell);
                             if !region.is_empty() {
                                 let mut ids = partial.ids.clone();
@@ -563,7 +635,9 @@ impl<'a> TupleStream<'a> {
 
         // Emit (coordinator, leaf order): replay every leaf's page traces
         // through the real buffers, fold in the leaf's counter deltas,
-        // record progress + watermark, and enqueue the tuples.
+        // record progress + watermark, permute the tuple ids back to
+        // input-set order and enqueue the tuples.
+        let identity_order = self.eval_order.iter().enumerate().all(|(r, &set)| r == set);
         for (i, leaf_tuples) in partials.into_iter().enumerate() {
             for (tree_idx, trace) in &replays[i] {
                 for &page in trace {
@@ -578,6 +652,25 @@ impl<'a> TupleStream<'a> {
             self.counters.filter_probes += probes[i];
             self.counters.filter_points_examined += fstats[i].points_examined;
             self.counters.filter_entries_pruned += fstats[i].entries_pruned;
+            self.counters.filter_clip_ops += fstats[i].clip_ops;
+            self.counters.filter_poly_tests_skipped += fstats[i].poly_tests_skipped;
+            let leaf_tuples: Vec<MultiwayTuple> = if identity_order {
+                leaf_tuples
+            } else {
+                leaf_tuples
+                    .into_iter()
+                    .map(|t| {
+                        let mut ids = vec![0u64; k];
+                        for (r, &set) in self.eval_order.iter().enumerate() {
+                            ids[set] = t.ids[r];
+                        }
+                        MultiwayTuple {
+                            ids,
+                            region: t.region,
+                        }
+                    })
+                    .collect()
+            };
             self.produced += leaf_tuples.len() as u64;
             self.counters.tuples_produced = self.produced;
             let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
@@ -589,7 +682,7 @@ impl<'a> TupleStream<'a> {
             }
             self.watermarks.push(LeafWatermark {
                 leaf_index: first_leaf_index + i,
-                tuples: self.produced,
+                rows: self.produced,
                 page_accesses,
             });
             #[cfg(debug_assertions)]
@@ -747,9 +840,13 @@ mod tests {
 
     #[test]
     fn seeding_counts_cells_through_the_cache() {
-        let config = small_config();
+        // Pin the driver: the assertion below is about *set 0's* seeding
+        // semantics, and the cost model may legitimately drive with another
+        // set on this asymmetric workload.
+        let config = small_config().with_multiway_driver(MultiwayDriver::Fixed(0));
         let sets = vec![random_points(40, 217), random_points(45, 218)];
         let outcome = multiway_cij(&sets, &config);
+        assert_eq!(outcome.driver, 0);
         // Every first-set point lives in exactly one leaf, so with a roomy
         // cache each seed cell is computed exactly once and never re-served:
         // the uniform "exact cells computed = cache misses" semantics.
@@ -775,11 +872,11 @@ mod tests {
             assert_eq!(w.leaf_index, i, "watermarks are dense and ordered");
         }
         for pair in outcome.watermarks.windows(2) {
-            assert!(pair[0].tuples <= pair[1].tuples);
+            assert!(pair[0].rows <= pair[1].rows);
             assert!(pair[0].page_accesses <= pair[1].page_accesses);
         }
         let last = outcome.watermarks.last().unwrap();
-        assert_eq!(last.tuples, outcome.tuples.len() as u64);
+        assert_eq!(last.rows, outcome.tuples.len() as u64);
         assert_eq!(last.page_accesses, outcome.page_accesses);
     }
 
@@ -878,6 +975,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn every_driver_choice_produces_the_oracle_result() {
+        // Asymmetric sizes so the drivers genuinely differ in leaf counts.
+        let config = small_config();
+        let sets = vec![
+            random_points(60, 251),
+            random_points(35, 252),
+            random_points(20, 253),
+        ];
+        let oracle = brute_force_multiway_cij(&sets, &config.domain);
+        for d in 0..sets.len() {
+            let outcome = multiway_cij(
+                &sets,
+                &config.with_multiway_driver(MultiwayDriver::Fixed(d)),
+            );
+            assert_eq!(outcome.driver, d);
+            assert_eq!(outcome.sorted_ids(), oracle, "driver {d} diverged");
+        }
+        let cost_based = multiway_cij(&sets, &config);
+        assert_eq!(cost_based.sorted_ids(), oracle);
+        // The cost-based choice matches the workload's own ranking.
+        let w = MultiwayWorkload::build(&sets, &config);
+        assert_eq!(cost_based.driver, w.pick_driver());
+    }
+
+    #[test]
+    fn pruning_changes_no_results_but_cuts_clip_work() {
+        let config = small_config();
+        let sets = vec![
+            random_points(120, 261),
+            random_points(120, 262),
+            random_points(120, 263),
+        ];
+        let pruned = multiway_cij(&sets, &config);
+        let unpruned = multiway_cij(&sets, &config.with_multiway_prune(false));
+        assert_eq!(pruned.sorted_ids(), unpruned.sorted_ids());
+        assert_eq!(
+            pruned.counters.filter_points_examined, unpruned.counters.filter_points_examined,
+            "bbox bounding must not change the filter traversal"
+        );
+        assert_eq!(pruned.page_accesses, unpruned.page_accesses);
+        assert!(
+            pruned.counters.filter_clip_ops < unpruned.counters.filter_clip_ops,
+            "running-intersection bounding must cut clip work ({} vs {})",
+            pruned.counters.filter_clip_ops,
+            unpruned.counters.filter_clip_ops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_driver_out_of_range_panics() {
+        let sets = vec![random_points(10, 271), random_points(10, 272)];
+        let _ = multiway_cij(
+            &sets,
+            &small_config().with_multiway_driver(MultiwayDriver::Fixed(2)),
+        );
     }
 
     #[test]

@@ -69,9 +69,9 @@
 use crate::cell_cache::CellCache;
 use crate::config::CijConfig;
 use crate::engine::{CijExecutor, NmExecutor, SharedStreamState};
-use crate::filter::batch_conditional_filter;
+use crate::filter::{batch_conditional_filter_with, FilterOptions, FilterStats};
 use crate::stats::CijOutcome;
-use crate::stats::ProgressSample;
+use crate::stats::{LeafWatermark, ProgressSample};
 use crate::workload::Workload;
 use cij_geom::{ConvexPolygon, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
@@ -138,6 +138,7 @@ struct LeafScan {
     group: Vec<PointObject>,
     cells_q: Vec<ConvexPolygon>,
     candidates: Vec<PointObject>,
+    fstats: FilterStats,
     trace_rq: Vec<PageId>,
     trace_rp: Vec<PageId>,
 }
@@ -174,6 +175,8 @@ struct LeafPlan {
 pub(crate) struct NmPairIter<'a> {
     workload: &'a mut Workload,
     config: CijConfig,
+    /// Filter execution options derived from the config (kernel choice).
+    filter_options: FilterOptions,
     leaves: Vec<PageId>,
     next_leaf: usize,
     cache: CellCache,
@@ -206,9 +209,11 @@ impl<'a> NmPairIter<'a> {
             0
         };
         let cache = CellCache::with_stats(cache_capacity, stats.clone());
+        let filter_options = FilterOptions::for_kernel(config.filter_kernel);
         NmPairIter {
             workload,
             config,
+            filter_options,
             leaves,
             next_leaf: 0,
             cache,
@@ -247,12 +252,26 @@ impl<'a> NmPairIter<'a> {
     // Sequential path (worker_threads <= 1) — the classic leaf loop.
     // ------------------------------------------------------------------
 
+    /// Records the per-leaf checkpoint: everything emitted up to here is
+    /// final (the watermark API ported back from the multiway
+    /// [`TupleStream`](crate::multiway::TupleStream)). One watermark per
+    /// leaf of `RQ`, empty leaves included, so `leaf_index` is dense.
+    fn record_watermark(&mut self, leaf_index: usize) {
+        let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+        self.state.lock().unwrap().watermarks.push(LeafWatermark {
+            leaf_index,
+            rows: self.pairs_produced,
+            page_accesses,
+        });
+    }
+
     /// Processes one leaf of `RQ`, pushing its result pairs into `pending`
-    /// and updating counters, progress and cost attribution.
-    fn process_leaf(&mut self, leaf: PageId) {
+    /// and updating counters, progress, watermark and cost attribution.
+    fn process_leaf(&mut self, leaf: PageId, leaf_index: usize) {
         let start = Instant::now();
         let group = self.workload.rq.read_node(leaf).objects;
         if group.is_empty() {
+            self.record_watermark(leaf_index);
             self.account(start);
             return;
         }
@@ -262,8 +281,12 @@ impl<'a> NmPairIter<'a> {
         let cells_q = batch_voronoi(&mut self.workload.rq, &group, &domain);
 
         // (2) Filter phase on RP.
-        let (candidates, _fstats) =
-            batch_conditional_filter(&mut self.workload.rp, &cells_q, &domain);
+        let (candidates, fstats) = batch_conditional_filter_with(
+            &mut self.workload.rp,
+            &cells_q,
+            &domain,
+            &self.filter_options,
+        );
 
         // (3) Refinement phase: exact cells of the candidates through the
         // bounded reuse buffer. With REUSE disabled the cache was built
@@ -293,6 +316,7 @@ impl<'a> NmPairIter<'a> {
         );
 
         {
+            let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
             let mut state = self.state.lock().unwrap();
             state.nm.q_cells_computed += group.len() as u64;
             state.nm.filter_candidates += candidates.len() as u64;
@@ -300,9 +324,18 @@ impl<'a> NmPairIter<'a> {
             state.nm.p_cells_reused += self.cache.hits() - hits_before;
             state.nm.p_cells_computed += self.cache.misses() - misses_before;
             state.nm.cell_cache_evictions = self.cache.evictions();
+            state.nm.filter_points_examined += fstats.points_examined;
+            state.nm.filter_entries_pruned += fstats.entries_pruned;
+            state.nm.filter_clip_ops += fstats.clip_ops;
+            state.nm.filter_poly_tests_skipped += fstats.poly_tests_skipped;
             state.progress.push(ProgressSample {
-                page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+                page_accesses,
                 pairs: self.pairs_produced,
+            });
+            state.watermarks.push(LeafWatermark {
+                leaf_index,
+                rows: self.pairs_produced,
+                page_accesses,
             });
         }
         self.true_hits = true_hits;
@@ -335,9 +368,11 @@ impl<'a> NmPairIter<'a> {
         };
         let upto = (self.next_leaf + width).min(self.leaves.len());
         let chunk: Vec<PageId> = self.leaves[self.next_leaf..upto].to_vec();
+        let first_leaf_index = self.next_leaf;
         self.next_leaf = upto;
         self.chunks_done += 1;
         let domain = self.config.domain;
+        let filter_options = self.filter_options;
 
         // Phase 1 (parallel): scan — leaf read, Q cells, conditional filter,
         // all against immutable tree snapshots with traced page accesses.
@@ -345,7 +380,7 @@ impl<'a> NmPairIter<'a> {
             let rp = &self.workload.rp;
             let rq = &self.workload.rq;
             run_ordered(workers, chunk.len(), |i| {
-                scan_leaf(rp, rq, chunk[i], &domain)
+                scan_leaf(rp, rq, chunk[i], &domain, &filter_options)
             })
         };
 
@@ -468,11 +503,13 @@ impl<'a> NmPairIter<'a> {
                 self.workload.rp.replay_read(page);
             }
             if scan.group.is_empty() {
+                self.record_watermark(first_leaf_index + i);
                 continue;
             }
             let (pairs, true_hit_count) = &reported[i];
             self.pairs_produced += pairs.len() as u64;
             {
+                let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
                 let mut state = self.state.lock().unwrap();
                 state.nm.q_cells_computed += scan.group.len() as u64;
                 state.nm.filter_candidates += scan.candidates.len() as u64;
@@ -480,9 +517,18 @@ impl<'a> NmPairIter<'a> {
                 state.nm.p_cells_reused += plans[i].reused;
                 state.nm.p_cells_computed += plans[i].computed;
                 state.nm.cell_cache_evictions = plans[i].evictions_after;
+                state.nm.filter_points_examined += scan.fstats.points_examined;
+                state.nm.filter_entries_pruned += scan.fstats.entries_pruned;
+                state.nm.filter_clip_ops += scan.fstats.clip_ops;
+                state.nm.filter_poly_tests_skipped += scan.fstats.poly_tests_skipped;
                 state.progress.push(ProgressSample {
-                    page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+                    page_accesses,
                     pairs: self.pairs_produced,
+                });
+                state.watermarks.push(LeafWatermark {
+                    leaf_index: first_leaf_index + i,
+                    rows: self.pairs_produced,
+                    page_accesses,
                 });
             }
             self.pending.extend(pairs.iter().copied());
@@ -525,6 +571,7 @@ fn scan_leaf(
     rq: &RTree<PointObject>,
     leaf: PageId,
     domain: &Rect,
+    filter_options: &FilterOptions,
 ) -> LeafScan {
     let mut rq_reader = TracedReader::new(rq);
     let group = rq_reader.read(leaf).objects;
@@ -533,17 +580,20 @@ fn scan_leaf(
             group,
             cells_q: Vec::new(),
             candidates: Vec::new(),
+            fstats: FilterStats::default(),
             trace_rq: rq_reader.into_trace(),
             trace_rp: Vec::new(),
         };
     }
     let cells_q = batch_voronoi(&mut rq_reader, &group, domain);
     let mut rp_reader = TracedReader::new(rp);
-    let (candidates, _fstats) = batch_conditional_filter(&mut rp_reader, &cells_q, domain);
+    let (candidates, fstats) =
+        batch_conditional_filter_with(&mut rp_reader, &cells_q, domain, filter_options);
     LeafScan {
         group,
         cells_q,
         candidates,
+        fstats,
         trace_rq: rq_reader.into_trace(),
         trace_rp: rp_reader.into_trace(),
     }
@@ -615,8 +665,9 @@ impl Iterator for NmPairIter<'_> {
                 self.process_chunk();
             } else {
                 let leaf = self.leaves[self.next_leaf];
+                let leaf_index = self.next_leaf;
                 self.next_leaf += 1;
-                self.process_leaf(leaf);
+                self.process_leaf(leaf, leaf_index);
             }
         }
     }

@@ -92,6 +92,10 @@ pub(crate) fn pm_cij_eager(workload: &mut Workload, config: &CijConfig) -> CijOu
         },
         progress,
         nm: Default::default(),
+        // Blocking algorithms checkpoint nothing mid-run: the stream
+        // replays an eager result, so no leaf-granular watermark is ever
+        // meaningful (see `LeafWatermark`).
+        watermarks: Vec::new(),
     }
 }
 

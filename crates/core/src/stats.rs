@@ -64,6 +64,20 @@ pub struct NmCounters {
     /// evaluation (zero when the working set fits in
     /// [`cell_cache_capacity`](crate::config::CijConfig::cell_cache_capacity)).
     pub cell_cache_evictions: u64,
+    /// Points examined (heap pops) across all conditional-filter
+    /// invocations — the [`FilterStats::points_examined`] total.
+    ///
+    /// [`FilterStats::points_examined`]: crate::filter::FilterStats::points_examined
+    pub filter_points_examined: u64,
+    /// Non-leaf entries pruned by the Φ rule across all filter invocations.
+    pub filter_entries_pruned: u64,
+    /// Bisector clip operations across all filter invocations — the CPU
+    /// term the indexed filter kernel shrinks (see
+    /// [`FilterKernel`](crate::config::FilterKernel)).
+    pub filter_clip_ops: u64,
+    /// Probe-polygon tests the indexed kernel's bbox index avoided across
+    /// all filter invocations (0 under the scan kernel).
+    pub filter_poly_tests_skipped: u64,
 }
 
 impl NmCounters {
@@ -89,23 +103,27 @@ impl NmCounters {
     }
 }
 
-/// Per-leaf checkpoint of a multiway [`TupleStream`]: everything emitted up
-/// to a watermark is final, so downstream operators can checkpoint at leaf
+/// Per-leaf checkpoint of a streaming join: everything emitted up to a
+/// watermark is final, so downstream operators can checkpoint at leaf
 /// granularity instead of waiting for the stream to drain (the
-/// "incremental / watermarked streams" item of the roadmap, realised for
-/// the multiway join).
+/// "incremental / watermarked streams" item of the roadmap — realised for
+/// the multiway [`TupleStream`] and the binary NM-CIJ [`PairStream`]).
 ///
-/// One watermark is recorded per leaf of the driving tree — including empty
-/// leaves, so `leaf_index` is dense.
+/// One watermark is recorded per leaf of the driving tree (`RQ` for the
+/// binary join, the cost-selected driver tree for the multiway join) —
+/// including empty leaves, so `leaf_index` is dense. Blocking algorithms
+/// (FM/PM) record no watermarks: their streams replay an eager result.
 ///
 /// [`TupleStream`]: crate::multiway::TupleStream
+/// [`PairStream`]: crate::engine::PairStream
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeafWatermark {
-    /// Index of the completed leaf in the Hilbert leaf order of the first
-    /// set's tree.
+    /// Index of the completed leaf in the Hilbert leaf order of the driving
+    /// tree.
     pub leaf_index: usize,
-    /// Cumulative result tuples produced up to and including this leaf.
-    pub tuples: u64,
+    /// Cumulative result rows — pairs for the binary join, k-tuples for the
+    /// multiway join — produced up to and including this leaf.
+    pub rows: u64,
     /// Cumulative physical page accesses when this leaf completed.
     pub page_accesses: u64,
 }
@@ -137,6 +155,12 @@ pub struct MultiwayCounters {
     pub filter_points_examined: u64,
     /// Non-leaf entries pruned by the Φ rule across all filter invocations.
     pub filter_entries_pruned: u64,
+    /// Bisector clip operations across all filter invocations (see
+    /// [`FilterStats::clip_ops`](crate::filter::FilterStats::clip_ops)).
+    pub filter_clip_ops: u64,
+    /// Probe-polygon tests the indexed filter kernel's bbox index avoided
+    /// across all filter invocations (0 under the scan kernel).
+    pub filter_poly_tests_skipped: u64,
     /// Result tuples produced so far (equals the final tuple count once the
     /// stream is drained; mid-stream it runs ahead of what the consumer has
     /// pulled by the buffered tuples).
@@ -183,6 +207,9 @@ pub struct CijOutcome {
     pub progress: Vec<ProgressSample>,
     /// NM-CIJ specific counters (zeroed for FM/PM).
     pub nm: NmCounters,
+    /// Per-leaf watermarks of the streaming NM-CIJ evaluation (empty for
+    /// the blocking FM/PM algorithms; see [`LeafWatermark`]).
+    pub watermarks: Vec<LeafWatermark>,
 }
 
 impl CijOutcome {

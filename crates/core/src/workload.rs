@@ -96,8 +96,10 @@ fn build_input_tree(points: &[Point], config: &CijConfig, stats: &IoStats) -> RT
 /// observably identical, exactly like the binary algorithms.
 #[derive(Debug)]
 pub struct MultiwayWorkload {
-    /// One R-tree per input pointset, in input order. The first tree drives
-    /// the leaf units of the multiway evaluation.
+    /// One R-tree per input pointset, in input order. The driver tree —
+    /// picked by [`MultiwayWorkload::pick_driver`] or pinned by
+    /// [`MultiwayDriver::Fixed`](crate::config::MultiwayDriver::Fixed) —
+    /// drives the leaf units of the multiway evaluation.
     pub trees: Vec<RTree<PointObject>>,
     /// Shared I/O counters of all trees.
     pub stats: IoStats,
@@ -126,6 +128,47 @@ impl MultiwayWorkload {
     /// Number of input sets (= number of trees).
     pub fn k(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Estimated evaluation cost of driving the multiway join with set
+    /// `driver`: the driver contributes one leaf unit per leaf of its tree,
+    /// and every unit pays one probe round per extension set whose work
+    /// scales with that set's fan-out (average entries per page — the
+    /// candidate volume a localised batch probe returns).
+    ///
+    /// `cost(d) = leaves(d) × (1 + Σ_{i≠d} fanout(i))` — the `1` is the
+    /// unit's own seed round — using `num_pages` as the leaf-count estimate
+    /// (leaves dominate a bulk-loaded tree): pure O(1) tree metadata, no
+    /// page accesses. The model only needs to *rank* drivers: what matters
+    /// is that a tree with fewer leaves seeds fewer units and that large
+    /// sets are cheaper to drive than to probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `driver >= k`.
+    pub fn estimated_driver_cost(&self, driver: usize) -> f64 {
+        assert!(driver < self.k(), "driver index {driver} out of range");
+        let leaves = self.trees[driver].num_pages() as f64;
+        let extension_fanout: f64 = self
+            .trees
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != driver)
+            .map(|(_, t)| t.len() as f64 / t.num_pages().max(1) as f64)
+            .sum();
+        leaves * (1.0 + extension_fanout)
+    }
+
+    /// The cheapest driver under [`MultiwayWorkload::estimated_driver_cost`];
+    /// ties resolve to the lowest set index, so symmetric workloads pick
+    /// set 0 — the historical hard-coded choice.
+    pub fn pick_driver(&self) -> usize {
+        (0..self.k())
+            .min_by(|&a, &b| {
+                self.estimated_driver_cost(a)
+                    .total_cmp(&self.estimated_driver_cost(b))
+            })
+            .expect("a workload has at least one set")
     }
 
     /// The traversal lower bound for the multiway CIJ on this workload:
@@ -257,6 +300,43 @@ mod tests {
     #[should_panic(expected = "at least one pointset")]
     fn multiway_workload_rejects_empty_input() {
         let _ = MultiwayWorkload::build(&[], &CijConfig::default());
+    }
+
+    #[test]
+    fn driver_cost_model_prefers_the_smallest_tree() {
+        let config = CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        });
+        let sets = vec![
+            random_points(1_600, 21),
+            random_points(800, 22),
+            random_points(200, 23),
+        ];
+        let w = MultiwayWorkload::build(&sets, &config);
+        assert_eq!(
+            w.pick_driver(),
+            2,
+            "the set with the fewest leaves is the cheapest driver"
+        );
+        assert!(w.estimated_driver_cost(2) < w.estimated_driver_cost(0));
+        // The choice costs no page accesses: pure metadata.
+        assert_eq!(w.stats.snapshot().page_accesses(), 0);
+    }
+
+    #[test]
+    fn driver_cost_ties_resolve_to_set_zero() {
+        let config = CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 256,
+            min_fill: 0.4,
+            max_entries: 64,
+        });
+        // Identical sets → identical costs → lowest index wins (the
+        // historical hard-coded driver).
+        let points = random_points(400, 24);
+        let w = MultiwayWorkload::build(&[points.clone(), points.clone(), points], &config);
+        assert_eq!(w.pick_driver(), 0);
     }
 
     #[test]

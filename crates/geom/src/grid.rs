@@ -1,0 +1,464 @@
+//! Uniform-grid spatial bucketing: the index structures behind the
+//! sub-quadratic conditional-filter kernel.
+//!
+//! Two flavours over one shared [`GridFrame`] (a bounds rectangle divided
+//! into `res × res` equal buckets):
+//!
+//! * [`PointGrid`] — a *dynamic* index of point items. Items are inserted as
+//!   they are discovered and queried by expanding Chebyshev **rings** around
+//!   a query point, so a caller can visit items roughly nearest-first and
+//!   stop as soon as a distance bound proves the remaining rings irrelevant
+//!   ([`PointGrid::ring_mindist`] is the per-ring lower bound that makes the
+//!   early exit sound).
+//! * [`RectGrid`] — a *static* index of rectangle items (bounding boxes).
+//!   Each rectangle is registered in every bucket it overlaps; a query
+//!   gathers the items whose buckets overlap a query rectangle, visiting
+//!   each item at most once (stamp-based deduplication).
+//!
+//! Both indexes are conservative: they only narrow *where to look*, never
+//! answer a geometric predicate themselves — callers re-check exact
+//! conditions on the returned item indices, so replacing a linear scan with
+//! a grid query can never change a decision.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Hard ceiling on grid resolutions: beyond this, bucket administration
+/// costs more than the scan it saves.
+pub const MAX_GRID_RESOLUTION: usize = 512;
+
+/// A bounds rectangle divided into `res × res` equal buckets, with the
+/// coordinate mapping shared by [`PointGrid`] and [`RectGrid`].
+#[derive(Debug, Clone)]
+pub struct GridFrame {
+    bounds: Rect,
+    res: usize,
+    bucket_w: f64,
+    bucket_h: f64,
+}
+
+impl GridFrame {
+    /// Creates a frame over `bounds` with `res × res` buckets (`res` is
+    /// clamped to `1..=`[`MAX_GRID_RESOLUTION`]). Degenerate bounds (zero
+    /// width or height) are handled: every coordinate maps into the single
+    /// row/column that exists.
+    pub fn new(bounds: &Rect, res: usize) -> GridFrame {
+        let res = res.clamp(1, MAX_GRID_RESOLUTION);
+        GridFrame {
+            bounds: *bounds,
+            res,
+            bucket_w: (bounds.width() / res as f64).max(0.0),
+            bucket_h: (bounds.height() / res as f64).max(0.0),
+        }
+    }
+
+    /// Buckets per axis.
+    pub fn res(&self) -> usize {
+        self.res
+    }
+
+    /// The indexed bounds.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// The smaller bucket extent — the per-ring distance step used by
+    /// [`PointGrid::ring_mindist`].
+    pub fn min_bucket_extent(&self) -> f64 {
+        self.bucket_w.min(self.bucket_h)
+    }
+
+    fn axis_bucket(&self, coord: f64, lo: f64, extent: f64) -> usize {
+        if extent <= 0.0 {
+            return 0;
+        }
+        (((coord - lo) / extent).floor() as isize).clamp(0, self.res as isize - 1) as usize
+    }
+
+    /// The bucket containing `p` (coordinates outside the bounds clamp to
+    /// the border buckets).
+    pub fn bucket_of(&self, p: &Point) -> (usize, usize) {
+        (
+            self.axis_bucket(p.x, self.bounds.lo.x, self.bucket_w),
+            self.axis_bucket(p.y, self.bounds.lo.y, self.bucket_h),
+        )
+    }
+
+    /// The inclusive bucket-index range `(i0, j0, i1, j1)` overlapped by
+    /// `r`, or `None` when `r` misses the bounds entirely.
+    pub fn bucket_range(&self, r: &Rect) -> Option<(usize, usize, usize, usize)> {
+        if !self.bounds.intersects(r) {
+            return None;
+        }
+        let (i0, j0) = self.bucket_of(&r.lo);
+        let (i1, j1) = self.bucket_of(&r.hi);
+        Some((i0, j0, i1, j1))
+    }
+
+    /// The spatial extent of bucket `(i, j)`.
+    pub fn bucket_rect(&self, i: usize, j: usize) -> Rect {
+        let lo = Point::new(
+            self.bounds.lo.x + i as f64 * self.bucket_w,
+            self.bounds.lo.y + j as f64 * self.bucket_h,
+        );
+        Rect::from_coords(lo.x, lo.y, lo.x + self.bucket_w, lo.y + self.bucket_h)
+    }
+
+    fn bucket_index(&self, i: usize, j: usize) -> usize {
+        j * self.res + i
+    }
+}
+
+/// A dynamic uniform-grid index of points, queried by expanding rings.
+///
+/// Items are external: the grid stores only `u32` indices (plus the point
+/// used for bucketing), so the caller keeps the authoritative item storage.
+#[derive(Debug, Clone)]
+pub struct PointGrid {
+    frame: GridFrame,
+    buckets: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl PointGrid {
+    /// An empty grid over `bounds` with `res × res` buckets.
+    pub fn new(bounds: &Rect, res: usize) -> PointGrid {
+        let frame = GridFrame::new(bounds, res);
+        let n = frame.res() * frame.res();
+        PointGrid {
+            frame,
+            buckets: vec![Vec::new(); n],
+            len: 0,
+        }
+    }
+
+    /// The coordinate frame (for [`GridFrame::bucket_of`] etc.).
+    pub fn frame(&self) -> &GridFrame {
+        &self.frame
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no item has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers item `idx` at position `p`.
+    pub fn insert(&mut self, p: &Point, idx: u32) {
+        let (i, j) = self.frame.bucket_of(p);
+        let slot = self.frame.bucket_index(i, j);
+        self.buckets[slot].push(idx);
+        self.len += 1;
+    }
+
+    /// Whether the grid has outgrown its resolution (average bucket load
+    /// above ~3) and a [`PointGrid::grown`] rebuild would pay off.
+    pub fn needs_growth(&self) -> bool {
+        let res = self.frame.res();
+        res < MAX_GRID_RESOLUTION && self.len > 3 * res * res
+    }
+
+    /// Rebuilds the grid at twice the resolution; `position_of` resolves an
+    /// item index back to its point (the grid does not store positions).
+    pub fn grown(&self, position_of: impl Fn(u32) -> Point) -> PointGrid {
+        let mut next = PointGrid::new(self.frame.bounds(), self.frame.res() * 2);
+        for bucket in &self.buckets {
+            for &idx in bucket {
+                next.insert(&position_of(idx), idx);
+            }
+        }
+        next
+    }
+
+    /// Lower bound on the distance from a point in the center bucket to any
+    /// point of a bucket on Chebyshev ring `ring`: a bucket `ring` steps
+    /// away is separated from the query point by at least `ring − 1` full
+    /// bucket extents. Rings 0 and 1 may touch the query point itself.
+    pub fn ring_mindist(&self, ring: usize) -> f64 {
+        ring.saturating_sub(1) as f64 * self.frame.min_bucket_extent()
+    }
+
+    /// Visits every in-bounds bucket of Chebyshev ring `ring` around
+    /// `center` with its spatial extent and item slice. Returns `false` when
+    /// the whole ring lies outside the grid — no larger ring can contain
+    /// anything either, so callers stop expanding.
+    pub fn for_each_ring_bucket(
+        &self,
+        center: (usize, usize),
+        ring: usize,
+        mut f: impl FnMut(&Rect, &[u32]),
+    ) -> bool {
+        let res = self.frame.res() as isize;
+        let (ci, cj) = (center.0 as isize, center.1 as isize);
+        let r = ring as isize;
+        if ring == 0 {
+            let rect = self.frame.bucket_rect(ci as usize, cj as usize);
+            f(
+                &rect,
+                &self.buckets[self.frame.bucket_index(ci as usize, cj as usize)],
+            );
+            return true;
+        }
+        let mut any = false;
+        let mut visit = |i: isize, j: isize, f: &mut dyn FnMut(&Rect, &[u32])| {
+            if i < 0 || j < 0 || i >= res || j >= res {
+                return;
+            }
+            any = true;
+            let (i, j) = (i as usize, j as usize);
+            let rect = self.frame.bucket_rect(i, j);
+            f(&rect, &self.buckets[self.frame.bucket_index(i, j)]);
+        };
+        for i in (ci - r)..=(ci + r) {
+            visit(i, cj - r, &mut f);
+            visit(i, cj + r, &mut f);
+        }
+        for j in (cj - r + 1)..=(cj + r - 1) {
+            visit(ci - r, j, &mut f);
+            visit(ci + r, j, &mut f);
+        }
+        any
+    }
+}
+
+/// A static uniform-grid index of rectangles with stamp-deduplicated
+/// queries.
+#[derive(Debug, Clone)]
+pub struct RectGrid {
+    frame: GridFrame,
+    buckets: Vec<Vec<u32>>,
+    /// Per-item stamp of the last query round that reported the item, so a
+    /// rectangle spanning several queried buckets is visited once.
+    stamps: Vec<u32>,
+    round: u32,
+    n_items: usize,
+}
+
+impl RectGrid {
+    /// Builds the index over `rects` (bounds = union of the rectangles,
+    /// resolution ≈ `√n` so the average bucket holds O(1) item *origins*).
+    pub fn build(rects: &[Rect]) -> RectGrid {
+        let bounds = rects
+            .iter()
+            .filter(|r| !r.is_empty())
+            .fold(Rect::empty(), |acc, r| acc.union(r));
+        let bounds = if bounds.is_empty() {
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+        } else {
+            bounds
+        };
+        let res = ((rects.len() as f64).sqrt().ceil() as usize).clamp(1, 64);
+        let frame = GridFrame::new(&bounds, res);
+        let mut buckets = vec![Vec::new(); frame.res() * frame.res()];
+        for (idx, r) in rects.iter().enumerate() {
+            if let Some((i0, j0, i1, j1)) = frame.bucket_range(r) {
+                for j in j0..=j1 {
+                    for i in i0..=i1 {
+                        buckets[frame.bucket_index(i, j)].push(idx as u32);
+                    }
+                }
+            }
+        }
+        RectGrid {
+            frame,
+            buckets,
+            stamps: vec![0; rects.len()],
+            round: 0,
+            n_items: rects.len(),
+        }
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.n_items
+    }
+
+    /// Whether the index holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.n_items == 0
+    }
+
+    /// Calls `f` with the index of every rectangle whose bucket range
+    /// overlaps `query` — a superset of the rectangles intersecting it
+    /// (callers re-check exactly) — each at most once. `f` returns whether
+    /// to continue; returning `false` short-circuits the query.
+    pub fn for_each_overlapping(&mut self, query: &Rect, mut f: impl FnMut(u32) -> bool) {
+        let Some((i0, j0, i1, j1)) = self.frame.bucket_range(query) else {
+            return;
+        };
+        self.round += 1;
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                for &idx in &self.buckets[self.frame.bucket_index(i, j)] {
+                    if self.stamps[idx as usize] == self.round {
+                        continue;
+                    }
+                    self.stamps[idx as usize] = self.round;
+                    if !f(idx) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_maps_points_and_rects_to_buckets() {
+        let frame = GridFrame::new(&Rect::from_coords(0.0, 0.0, 100.0, 100.0), 10);
+        assert_eq!(frame.res(), 10);
+        assert_eq!(frame.bucket_of(&Point::new(5.0, 5.0)), (0, 0));
+        assert_eq!(frame.bucket_of(&Point::new(95.0, 15.0)), (9, 1));
+        // Out-of-bounds coordinates clamp to border buckets.
+        assert_eq!(frame.bucket_of(&Point::new(-5.0, 500.0)), (0, 9));
+        let range = frame
+            .bucket_range(&Rect::from_coords(12.0, 12.0, 38.0, 22.0))
+            .unwrap();
+        assert_eq!(range, (1, 1, 3, 2));
+        assert!(frame
+            .bucket_range(&Rect::from_coords(200.0, 200.0, 300.0, 300.0))
+            .is_none());
+        let b = frame.bucket_rect(1, 1);
+        assert_eq!(b, Rect::from_coords(10.0, 10.0, 20.0, 20.0));
+    }
+
+    #[test]
+    fn degenerate_bounds_map_everything_to_one_bucket() {
+        let frame = GridFrame::new(&Rect::from_coords(5.0, 0.0, 5.0, 10.0), 4);
+        assert_eq!(frame.bucket_of(&Point::new(5.0, 5.0)).0, 0);
+        assert_eq!(frame.min_bucket_extent(), 0.0);
+    }
+
+    #[test]
+    fn point_grid_ring_visits_cover_everything_once() {
+        let bounds = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let mut grid = PointGrid::new(&bounds, 8);
+        let points: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 13 % 100) as f64, (i * 31 % 100) as f64))
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            grid.insert(p, i as u32);
+        }
+        assert_eq!(grid.len(), 50);
+        let center = grid.frame().bucket_of(&Point::new(50.0, 50.0));
+        let mut seen = Vec::new();
+        let mut ring = 0;
+        while grid.for_each_ring_bucket(center, ring, |_, items| seen.extend_from_slice(items)) {
+            ring += 1;
+        }
+        seen.sort_unstable();
+        let expected: Vec<u32> = (0..50).collect();
+        assert_eq!(seen, expected, "rings must partition the grid");
+    }
+
+    #[test]
+    fn ring_mindist_is_a_valid_lower_bound() {
+        let bounds = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let mut grid = PointGrid::new(&bounds, 10);
+        let points: Vec<Point> = (0..80)
+            .map(|i| Point::new((i * 7 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            grid.insert(p, i as u32);
+        }
+        for from in [Point::new(3.0, 97.0), Point::new(55.0, 42.0)] {
+            let center = grid.frame().bucket_of(&from);
+            let mut ring = 0;
+            loop {
+                let lb = grid.ring_mindist(ring);
+                let mut ok = true;
+                let in_range = grid.for_each_ring_bucket(center, ring, |_, items| {
+                    for &idx in items {
+                        if points[idx as usize].dist(&from) < lb {
+                            ok = false;
+                        }
+                    }
+                });
+                assert!(ok, "ring {ring} contains a point closer than its bound");
+                if !in_range {
+                    break;
+                }
+                ring += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn point_grid_growth_preserves_items() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut grid = PointGrid::new(&bounds, 2);
+        let points: Vec<Point> = (0..40)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            grid.insert(p, i as u32);
+        }
+        assert!(grid.needs_growth());
+        let grown = grid.grown(|i| points[i as usize]);
+        assert_eq!(grown.frame().res(), 4);
+        assert_eq!(grown.len(), grid.len());
+        let mut seen = 0usize;
+        let mut ring = 0;
+        while grown.for_each_ring_bucket((0, 0), ring, |_, items| seen += items.len()) {
+            ring += 1;
+        }
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn rect_grid_reports_a_superset_of_intersections_without_duplicates() {
+        let rects: Vec<Rect> = (0..30)
+            .map(|i| {
+                let x = (i * 17 % 90) as f64;
+                let y = (i * 29 % 90) as f64;
+                Rect::from_coords(x, y, x + 12.0, y + 7.0)
+            })
+            .collect();
+        let mut grid = RectGrid::build(&rects);
+        assert_eq!(grid.len(), rects.len());
+        for query in [
+            Rect::from_coords(10.0, 10.0, 30.0, 30.0),
+            Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+            Rect::from_coords(80.0, 80.0, 99.0, 99.0),
+            Rect::from_coords(500.0, 500.0, 600.0, 600.0),
+        ] {
+            let mut reported = Vec::new();
+            grid.for_each_overlapping(&query, |idx| {
+                reported.push(idx);
+                true
+            });
+            let mut dedup = reported.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), reported.len(), "duplicate item reported");
+            for (i, r) in rects.iter().enumerate() {
+                if r.intersects(&query) {
+                    assert!(
+                        reported.contains(&(i as u32)),
+                        "rect {i} intersects the query but was not reported"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_grid_query_short_circuits() {
+        let rects = vec![Rect::from_coords(0.0, 0.0, 10.0, 10.0); 5];
+        let mut grid = RectGrid::build(&rects);
+        let mut calls = 0;
+        grid.for_each_overlapping(&Rect::from_coords(1.0, 1.0, 2.0, 2.0), |_| {
+            calls += 1;
+            false
+        });
+        assert_eq!(calls, 1);
+    }
+}

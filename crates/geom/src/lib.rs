@@ -17,7 +17,10 @@
 //!   representation of Voronoi cells (Eq. 2),
 //! * the Φ(L, p) region predicate of Section IV-A (Lemma 3),
 //! * a [`hilbert`] space-filling curve used for bulk-loading and for the
-//!   Hilbert-ordered traversals of Section III-C.
+//!   Hilbert-ordered traversals of Section III-C,
+//! * uniform-[`grid`] spatial bucketing ([`PointGrid`] ring queries,
+//!   [`RectGrid`] overlap queries) — the index structures behind the
+//!   sub-quadratic conditional-filter kernel.
 //!
 //! All coordinates are `f64`. The paper normalises datasets to the square
 //! `[0, 10000]²`; [`Rect::DOMAIN`] is that default universe.
@@ -25,6 +28,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod grid;
 pub mod halfplane;
 pub mod hilbert;
 pub mod phi;
@@ -33,6 +37,7 @@ pub mod polygon;
 pub mod rect;
 pub mod segment;
 
+pub use grid::{GridFrame, PointGrid, RectGrid};
 pub use halfplane::HalfPlane;
 pub use phi::{phi_contains_point, polygon_within_phi, rect_within_phi_all_sides};
 pub use point::Point;

@@ -18,6 +18,37 @@ enum HeapEntry {
     Point(PointObject),
 }
 
+/// Whether the bisector `⊥(site, other)` actually cuts the cell whose
+/// vertex set is `cell_vertices`: some vertex must lie strictly closer to
+/// `other` than to `site`. This is Lemma 1 specialised to a point entry —
+/// clipping when it returns `false` is a no-op, so callers skip the clip.
+///
+/// Shared by [`batch_voronoi`]'s refinement step and the conditional-filter
+/// kernels of `cij-core`, which both maintain a conservative cell and must
+/// agree on when a discovered point can shrink it.
+#[inline]
+pub fn bisector_cuts(cell_vertices: &[Point], site: &Point, other: &Point) -> bool {
+    cell_vertices
+        .iter()
+        .any(|g| g.dist_sq(other) < g.dist_sq(site))
+}
+
+/// Squared radius of the smallest circle centred at `site` that contains
+/// every vertex of `cell` — the cell's *reach* from its site.
+///
+/// The bound behind nearest-first bounded clipping: every location the
+/// bisector `⊥(site, other)` removes lies at least `dist(site, other) / 2`
+/// from `site` (triangle inequality), and a convex cell is contained in the
+/// vertex circle, so once `dist(site, other)² > 4 × reach²` the bisector
+/// provably cannot shrink the cell and all farther points can be skipped.
+#[inline]
+pub fn cell_reach_sq(site: &Point, cell: &ConvexPolygon) -> f64 {
+    cell.vertices()
+        .iter()
+        .map(|v| v.dist_sq(site))
+        .fold(0.0, f64::max)
+}
+
 /// A store of previously computed exact Voronoi cells, keyed by point id.
 ///
 /// [`batch_voronoi_cached`] consults the store before computing a cell and
@@ -123,7 +154,7 @@ pub fn batch_voronoi<T: NodeReader<PointObject>>(
             if member.id == pj.id {
                 continue;
             }
-            if can_refine(&pj.mbr(), cells[i].vertices(), &member.point) {
+            if bisector_cuts(cells[i].vertices(), &member.point, &pj.point) {
                 cells[i] = cells[i].clip_bisector(&member.point, &pj.point);
             }
         }

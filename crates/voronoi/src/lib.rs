@@ -23,7 +23,9 @@ pub mod diagram;
 pub mod single;
 pub mod tpvor;
 
-pub use batch::{batch_voronoi, batch_voronoi_cached, CellStore, NoCache};
+pub use batch::{
+    batch_voronoi, batch_voronoi_cached, bisector_cuts, cell_reach_sq, CellStore, NoCache,
+};
 pub use brute::{brute_force_cell, brute_force_diagram, nearest_index};
 pub use diagram::{compute_diagram, lower_bound_io, DiagramMethod, DiagramResult};
 pub use single::{can_refine, single_voronoi};

@@ -77,10 +77,12 @@ pub use cij_core::{
 /// Commonly used items, for `use cij::prelude::*`.
 pub mod prelude {
     pub use cij_core::{
-        brute_force_cij, brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm,
-        CellCache, CijConfig, CijExecutor, CijOutcome, LeafWatermark, MultiwayCounters,
-        MultiwayOutcome, MultiwayProbe, MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine,
-        StorageBackend, TupleStream, Workload,
+        batch_conditional_filter, batch_conditional_filter_with, brute_force_cij,
+        brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm, CellCache,
+        CijConfig, CijExecutor, CijOutcome, FilterKernel, FilterOptions, FilterStats,
+        LeafWatermark, MultiwayCounters, MultiwayDriver, MultiwayOutcome, MultiwayProbe,
+        MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, StorageBackend, TupleStream,
+        Workload,
     };
     pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
     pub use cij_geom::{ConvexPolygon, Point, Rect};

@@ -1,0 +1,182 @@
+//! Integration tests for the conditional-filter kernels: the sub-quadratic
+//! `Indexed` kernel must return exactly the scan kernel's candidate set —
+//! across random point sets, polygon batches, domains, grid resolutions and
+//! cell bounding — and the engine-level algorithms must be observably
+//! identical under either kernel.
+
+use cij::prelude::*;
+use cij::rtree::RTreeConfig;
+use proptest::prelude::*;
+
+fn tree_config() -> RTreeConfig {
+    RTreeConfig {
+        page_size: 512,
+        min_fill: 0.4,
+        max_entries: 64,
+    }
+}
+
+fn engine_config() -> CijConfig {
+    CijConfig::default()
+        .with_rtree(tree_config())
+        .with_env_overrides()
+}
+
+/// Sorted candidate ids of one filter invocation under the given options.
+fn run_filter(
+    p: &[Point],
+    polys: &[ConvexPolygon],
+    domain: &Rect,
+    options: &FilterOptions,
+) -> (Vec<u64>, FilterStats) {
+    let mut rp = RTree::bulk_load(tree_config(), PointObject::from_points(p));
+    let (candidates, stats) = batch_conditional_filter_with(&mut rp, polys, domain, options);
+    let mut ids: Vec<u64> = candidates.iter().map(|c| c.id.0).collect();
+    ids.sort_unstable();
+    (ids, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Indexed and scan kernels return the same candidate set for random
+    /// point sets, polygon batches, domains, grid resolutions and cell
+    /// bounding — and their traversals (points examined, entries pruned)
+    /// are identical.
+    #[test]
+    fn kernels_return_the_same_candidate_set(
+        seed in 0u64..10_000,
+        n_p in 40usize..220,
+        n_q in 30usize..120,
+        batch in 1usize..14,
+        resolution_pick in 0usize..5,
+        bound_pick in 0usize..2,
+        domain_pick in 0usize..3,
+    ) {
+        let domain = match domain_pick {
+            0 => Rect::DOMAIN,
+            1 => Rect::from_coords(-500.0, -250.0, 700.0, 450.0),
+            _ => Rect::from_coords(2_000.0, 8_000.0, 2_400.0, 11_000.0),
+        };
+        let bound_cells = bound_pick == 1;
+        let p = uniform_points(n_p, &domain, 18_000 + seed);
+        let q = uniform_points(n_q, &domain, 19_000 + seed);
+        // Probe batch: exact Voronoi cells of a slice of Q — the polygon
+        // shape every caller actually probes with.
+        let cells = cij::voronoi::brute_force_diagram(&q, &domain);
+        let start = (seed as usize) % (n_q - batch.min(n_q - 1));
+        let polys: Vec<ConvexPolygon> = cells[start..start + batch.min(n_q - start)].to_vec();
+
+        let grid_resolution = [0usize, 1, 2, 9, 40][resolution_pick];
+        let indexed = FilterOptions {
+            kernel: FilterKernel::Indexed,
+            grid_resolution,
+            bound_cells,
+        };
+        let scan = FilterOptions {
+            kernel: FilterKernel::Scan,
+            grid_resolution: 0,
+            bound_cells,
+        };
+        let (ids_indexed, stats_indexed) = run_filter(&p, &polys, &domain, &indexed);
+        let (ids_scan, stats_scan) = run_filter(&p, &polys, &domain, &scan);
+        prop_assert_eq!(ids_indexed, ids_scan);
+        prop_assert_eq!(stats_indexed.points_examined, stats_scan.points_examined);
+        prop_assert_eq!(stats_indexed.entries_pruned, stats_scan.entries_pruned);
+        prop_assert_eq!(stats_scan.poly_tests_skipped, 0);
+    }
+}
+
+#[test]
+fn nm_cij_is_observably_identical_under_either_kernel() {
+    let p = uniform_points(700, &Rect::DOMAIN, 18_101);
+    let q = clustered_points(
+        &ClusterSpec {
+            n: 700,
+            clusters: 6,
+            sigma_fraction: 0.04,
+            background_fraction: 0.1,
+            size_skew: 0.7,
+        },
+        &Rect::DOMAIN,
+        18_102,
+    );
+    let run = |kernel: FilterKernel| {
+        let engine = QueryEngine::new(engine_config().with_filter_kernel(kernel));
+        engine.join(&p, &q, Algorithm::NmCij)
+    };
+    let indexed = run(FilterKernel::Indexed);
+    let scan = run(FilterKernel::Scan);
+    // Everything the filter feeds downstream is identical: the pair stream
+    // (set and order), the traversal, the refinement work, the I/O.
+    assert_eq!(indexed.pairs, scan.pairs);
+    assert_eq!(indexed.page_accesses(), scan.page_accesses());
+    assert_eq!(
+        indexed.nm.filter_points_examined,
+        scan.nm.filter_points_examined
+    );
+    assert_eq!(
+        indexed.nm.filter_entries_pruned,
+        scan.nm.filter_entries_pruned
+    );
+    assert_eq!(indexed.nm.filter_candidates, scan.nm.filter_candidates);
+    assert_eq!(indexed.nm.p_cells_computed, scan.nm.p_cells_computed);
+    assert_eq!(indexed.progress, scan.progress);
+    assert_eq!(indexed.watermarks, scan.watermarks);
+    // The point of the indexed kernel: strictly fewer clip operations.
+    assert!(
+        indexed.nm.filter_clip_ops < scan.nm.filter_clip_ops,
+        "indexed kernel must clip less ({} vs {})",
+        indexed.nm.filter_clip_ops,
+        scan.nm.filter_clip_ops
+    );
+    assert!(indexed.nm.filter_poly_tests_skipped > 0);
+    assert_eq!(scan.nm.filter_poly_tests_skipped, 0);
+}
+
+#[test]
+fn multiway_is_observably_identical_under_either_kernel() {
+    let sets = vec![
+        uniform_points(150, &Rect::DOMAIN, 18_201),
+        uniform_points(100, &Rect::DOMAIN, 18_202),
+        uniform_points(70, &Rect::DOMAIN, 18_203),
+    ];
+    let run = |kernel: FilterKernel| {
+        QueryEngine::new(engine_config().with_filter_kernel(kernel)).multiway(&sets)
+    };
+    let indexed = run(FilterKernel::Indexed);
+    let scan = run(FilterKernel::Scan);
+    let indexed_ids: Vec<&Vec<u64>> = indexed.tuples.iter().map(|t| &t.ids).collect();
+    let scan_ids: Vec<&Vec<u64>> = scan.tuples.iter().map(|t| &t.ids).collect();
+    assert_eq!(indexed_ids, scan_ids);
+    assert_eq!(indexed.driver, scan.driver);
+    assert_eq!(indexed.page_accesses, scan.page_accesses);
+    assert_eq!(
+        indexed.counters.filter_points_examined,
+        scan.counters.filter_points_examined
+    );
+    assert!(indexed.counters.filter_clip_ops < scan.counters.filter_clip_ops);
+}
+
+#[test]
+fn parallel_nm_parity_holds_under_the_scan_kernel_too() {
+    // The kernel threads through the traced parallel path as well: T=4
+    // must stay bit-identical to T=1 under either kernel.
+    let p = uniform_points(400, &Rect::DOMAIN, 18_301);
+    let q = uniform_points(400, &Rect::DOMAIN, 18_302);
+    for kernel in [FilterKernel::Indexed, FilterKernel::Scan] {
+        let base = engine_config().with_filter_kernel(kernel);
+        let sequential =
+            QueryEngine::new(base.with_worker_threads(1)).join(&p, &q, Algorithm::NmCij);
+        let parallel = QueryEngine::new(base.with_worker_threads(4)).join(&p, &q, Algorithm::NmCij);
+        assert_eq!(parallel.pairs, sequential.pairs, "{:?}", kernel);
+        assert_eq!(parallel.nm, sequential.nm, "{:?}", kernel);
+        assert_eq!(
+            parallel.page_accesses(),
+            sequential.page_accesses(),
+            "{:?}",
+            kernel
+        );
+        assert_eq!(parallel.watermarks, sequential.watermarks, "{:?}", kernel);
+    }
+}

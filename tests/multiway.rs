@@ -1,8 +1,8 @@
 //! Integration tests for the leaf-batched, streaming, parallel multiway
 //! CIJ: oracle parity on uniform and clustered data, batched-vs-per-tuple
-//! probe equality, exact thread parity at `worker_threads` ∈ {1, 4},
-//! heap-vs-file storage parity, streaming laziness/watermarks, and a
-//! proptest over random workloads.
+//! probe equality, cost-driven vs fixed driver-tree selection, exact thread
+//! parity at `worker_threads` ∈ {1, 4}, heap-vs-file storage parity,
+//! streaming laziness/watermarks, and a proptest over random workloads.
 
 use cij::prelude::*;
 use cij::rtree::RTreeConfig;
@@ -179,6 +179,74 @@ fn storage_backends_are_observably_identical() {
 }
 
 #[test]
+fn driver_choices_agree_with_the_oracle_and_each_other() {
+    // Asymmetric sizes: the cost model genuinely has a choice to make.
+    let config = test_config();
+    let sets = vec![
+        clustered(80, 15_030),
+        clustered(45, 15_031),
+        clustered(25, 15_032),
+    ];
+    let oracle = brute_force_multiway_cij(&sets, &config.domain);
+    let cost_based = run_multiway(&sets, &config);
+    assert_eq!(cost_based.sorted_ids(), oracle);
+    for d in 0..sets.len() {
+        let fixed = run_multiway(
+            &sets,
+            &config.with_multiway_driver(MultiwayDriver::Fixed(d)),
+        );
+        assert_eq!(fixed.driver, d);
+        // Tuples may be *ordered* differently across drivers (the leaf
+        // order of a different tree drives emission) — the sets must match
+        // the brute oracle exactly.
+        assert_eq!(
+            fixed.sorted_ids(),
+            oracle,
+            "driver {d} diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn thread_and_backend_parity_hold_at_a_fixed_nonzero_driver() {
+    // The exact-parity contract is per plan: pin a non-default driver and
+    // the full observable-equality guarantee must hold across thread counts
+    // and storage backends, exactly like the historical driver-0 plan.
+    let base = test_config().with_multiway_driver(MultiwayDriver::Fixed(1));
+    let sets = vec![
+        clustered(180, 15_033),
+        clustered(120, 15_034),
+        clustered(90, 15_035),
+    ];
+    let sequential = run_multiway(&sets, &base.with_worker_threads(1));
+    assert_eq!(sequential.driver, 1);
+    let parallel = run_multiway(&sets, &base.with_worker_threads(4));
+    assert_parity(&parallel, &sequential, "fixed driver 1, T=4 vs T=1");
+    let file = run_multiway(&sets, &base.with_storage_backend(StorageBackend::File));
+    assert_parity(&file, &sequential, "fixed driver 1, file vs heap");
+}
+
+#[test]
+fn cost_driven_plan_parity_holds_across_threads_and_backends() {
+    // The cost model reads only tree metadata, which is identical across
+    // thread counts and backends — so the chosen plan, and with it every
+    // observable, stays exact.
+    let base = test_config();
+    let sets = vec![
+        clustered(200, 15_036),
+        clustered(100, 15_037),
+        clustered(60, 15_038),
+    ];
+    let sequential = run_multiway(&sets, &base.with_worker_threads(1));
+    let parallel = run_multiway(&sets, &base.with_worker_threads(4));
+    assert_eq!(parallel.driver, sequential.driver);
+    assert_parity(&parallel, &sequential, "cost-driven plan, T=4 vs T=1");
+    let file = run_multiway(&sets, &base.with_storage_backend(StorageBackend::File));
+    assert_eq!(file.driver, sequential.driver);
+    assert_parity(&file, &sequential, "cost-driven plan, file vs heap");
+}
+
+#[test]
 fn raw_tuples_are_unique_without_deduplication() {
     let config = test_config();
     let sets = vec![clustered(150, 15_018), clustered(150, 15_019)];
@@ -238,9 +306,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// For random clustered/uniform workloads and random k, probe mode,
-    /// thread count and cache pressure: the engine agrees with the
-    /// brute-force oracle and the parallel run agrees with the sequential
-    /// one on every observable.
+    /// driver choice, thread count and cache pressure: the engine agrees
+    /// with the brute-force oracle and the parallel run agrees with the
+    /// sequential one on every observable.
     #[test]
     fn multiway_parity_and_oracle_hold_for_random_workloads(
         seed in 0u64..1_000,
@@ -248,6 +316,7 @@ proptest! {
         capacity in 4usize..64,
         threads in 2usize..5,
         probe_pick in 0usize..2,
+        driver_pick in 0usize..4,
     ) {
         let sets: Vec<Vec<Point>> = (0..k)
             .map(|i| {
@@ -260,9 +329,15 @@ proptest! {
             })
             .collect();
         let probe = if probe_pick == 1 { MultiwayProbe::PerTuple } else { MultiwayProbe::Batched };
+        let driver = if driver_pick >= k {
+            MultiwayDriver::CostBased
+        } else {
+            MultiwayDriver::Fixed(driver_pick)
+        };
         let config = test_config()
             .with_cell_cache_capacity(capacity)
-            .with_multiway_probe(probe);
+            .with_multiway_probe(probe)
+            .with_multiway_driver(driver);
         let sequential = run_multiway(&sets, &config.with_worker_threads(1));
         prop_assert_eq!(
             sequential.sorted_ids(),

@@ -166,6 +166,72 @@ fn nm_first_pair_stays_cheap_with_parallel_workers() {
 }
 
 #[test]
+fn nm_watermarks_are_dense_final_and_match_the_blocking_run() {
+    // The LeafWatermark API ported back from the multiway TupleStream:
+    // one watermark per RQ leaf, everything at or below a watermark is
+    // final, and the drained stream's watermarks equal the blocking run's.
+    let engine = QueryEngine::new(test_config());
+    let p = uniform_points(900, &Rect::DOMAIN, 9201);
+    let q = uniform_points(900, &Rect::DOMAIN, 9202);
+
+    let blocking = engine.join(&p, &q, Algorithm::NmCij);
+    assert!(!blocking.watermarks.is_empty());
+    for (i, w) in blocking.watermarks.iter().enumerate() {
+        assert_eq!(w.leaf_index, i, "watermarks are dense and ordered");
+    }
+    for pair in blocking.watermarks.windows(2) {
+        assert!(pair[0].rows <= pair[1].rows);
+        assert!(pair[0].page_accesses <= pair[1].page_accesses);
+    }
+    let last = blocking.watermarks.last().unwrap();
+    assert_eq!(last.rows, blocking.pairs.len() as u64);
+    assert_eq!(last.page_accesses, blocking.page_accesses());
+
+    // Mid-stream: watermarks recorded so far are a final prefix — draining
+    // the rest of the stream must never rewrite them (append-only), and the
+    // pairs counted by an early watermark are exactly the pairs the
+    // blocking run emits for those leaves.
+    let mut w = engine.build_workload(&p, &q);
+    let mut stream = engine.stream(&mut w, Algorithm::NmCij);
+    let first = stream.next();
+    assert!(first.is_some());
+    let early = stream.watermarks_so_far();
+    assert!(!early.is_empty(), "a processed leaf records its watermark");
+    let emitted_at_early: Vec<(u64, u64)> = first.into_iter().chain(stream.by_ref()).collect();
+    let full = stream.watermarks_so_far();
+    assert_eq!(
+        &full[..early.len()],
+        &early[..],
+        "watermarks are append-only"
+    );
+    assert_eq!(full, blocking.watermarks);
+    assert_eq!(emitted_at_early, blocking.pairs);
+    // The watermarked prefix is a prefix of the final pair sequence: the
+    // rows counted by the early watermark were all emitted before later
+    // leaves contributed anything.
+    let early_rows = early.last().unwrap().rows as usize;
+    assert_eq!(
+        &blocking.pairs[..early_rows],
+        &emitted_at_early[..early_rows]
+    );
+}
+
+#[test]
+fn blocking_algorithms_record_no_watermarks() {
+    let engine = QueryEngine::new(test_config());
+    let p = uniform_points(200, &Rect::DOMAIN, 9203);
+    let q = uniform_points(200, &Rect::DOMAIN, 9204);
+    for alg in [Algorithm::FmCij, Algorithm::PmCij] {
+        let outcome = engine.join(&p, &q, alg);
+        assert!(
+            outcome.watermarks.is_empty(),
+            "{} is blocking: leaf-granular checkpoints are meaningless",
+            alg.name()
+        );
+    }
+}
+
+#[test]
 fn fm_stream_is_blocking_by_construction_nm_is_not() {
     // Sanity contrast for the non-blocking guard: FM's first pair arrives
     // only after materialisation, NM's long before.
