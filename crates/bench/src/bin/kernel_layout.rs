@@ -1,0 +1,11 @@
+//! Standalone runner for the leaf-layout experiment (SoA arena/scratch
+//! kernels vs the AoS baseline: byte-identical results across layouts,
+//! threads and backends, strictly fewer allocations for SoA; see
+//! [`cij_bench::experiments::kernel_layout`]).
+
+use cij_bench::experiments::kernel_layout;
+use cij_bench::Args;
+
+fn main() {
+    kernel_layout::run(&Args::capture());
+}

@@ -1,0 +1,233 @@
+//! Leaf-layout experiment: the SoA arena/scratch kernel path
+//! ([`LeafLayout::Soa`], the engine default) vs the historical AoS
+//! owned-node/allocating baseline ([`LeafLayout::Aos`]).
+//!
+//! Three measurements, all on clustered data — the layout analogue of the
+//! `filter_kernel` experiment, with the same contract structure:
+//!
+//! 1. **NM-CIJ byte-parity across execution modes** — the full join under
+//!    each layout at `worker_threads` 1 and 4 on the heap backend and at 1
+//!    on the file backend. Pairs (set *and* order), every NM counter and
+//!    the page-access totals must be identical across layouts in every
+//!    mode: the layouts are memory strategies, never result strategies.
+//! 2. **Allocation gate** — around the single-threaded heap-backend runs
+//!    the process-global [`allocations`](crate::allocations) counter is
+//!    sampled; the SoA run must allocate **strictly less** than the AoS
+//!    run, and the AoS/SoA ratio must be at least `--min-alloc-ratio`
+//!    (default 4) — the hard "measurably less work" gate, mirroring the
+//!    `filter_kernel` experiment's ≥ 3× clip gate. Wall-clock is printed
+//!    for the trajectory but not asserted (too noisy for CI).
+//! 3. **Multiway k = 3** — the leaf-batched k-way join under each layout:
+//!    identical tuple streams and counters.
+//!
+//! Any violated check panics, so the CI smoke run fails if the SoA path
+//! ever stops being cheaper or drifts from the AoS results.
+
+use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
+use cij_core::{Algorithm, CijOutcome, LeafLayout, QueryEngine, StorageBackend};
+use cij_datagen::{clustered_points, ClusterSpec};
+use cij_geom::{Point, Rect};
+use std::time::Instant;
+
+fn clustered(n: usize, seed: u64) -> Vec<Point> {
+    clustered_points(
+        &ClusterSpec {
+            n,
+            clusters: 8,
+            sigma_fraction: 0.04,
+            background_fraction: 0.1,
+            size_skew: 0.7,
+        },
+        &Rect::DOMAIN,
+        seed,
+    )
+}
+
+/// One measured NM-CIJ run: outcome, wall seconds, allocation delta.
+struct Measured {
+    outcome: CijOutcome,
+    wall: f64,
+    allocs: u64,
+}
+
+/// Compares two NM outcomes that must be byte-identical across layouts.
+fn check_nm_parity(mode: &str, soa: &CijOutcome, aos: &CijOutcome, violations: &mut Vec<String>) {
+    if soa.pairs != aos.pairs {
+        violations.push(format!("{mode}: NM pair streams differ across layouts"));
+    }
+    if soa.nm != aos.nm {
+        violations.push(format!(
+            "{mode}: NM counters differ across layouts ({:?} vs {:?})",
+            soa.nm, aos.nm
+        ));
+    }
+    if soa.page_accesses() != aos.page_accesses() {
+        violations.push(format!(
+            "{mode}: NM page accesses differ across layouts ({} vs {})",
+            soa.page_accesses(),
+            aos.page_accesses()
+        ));
+    }
+    if soa.progress != aos.progress {
+        violations.push(format!("{mode}: NM progress samples differ across layouts"));
+    }
+}
+
+/// Runs the kernel-layout experiment. `--scale` scales the 100 K default
+/// cardinalities; `--min-alloc-ratio` sets the required AoS/SoA allocation
+/// ratio of the single-threaded NM run (default 4).
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.02);
+    let min_alloc_ratio: f64 = args.get("min-alloc-ratio", 4.0);
+    let n = scaled(100_000, scale);
+    let p = clustered(n, 23_001);
+    let q = clustered(n, 23_002);
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- 1 + 2. NM-CIJ under each layout and execution mode. ----
+    // Allocation deltas are process-global, so they are meaningful as a
+    // per-run measure only in the single-threaded runs (nothing else
+    // allocates concurrently); the gate uses exactly those.
+    let run_nm = |layout: LeafLayout, threads: usize, backend: StorageBackend| {
+        let engine = QueryEngine::new(
+            paper_config()
+                .with_leaf_layout(layout)
+                .with_worker_threads(threads)
+                .with_storage_backend(backend),
+        );
+        let mut w = engine.build_workload(&p, &q);
+        let allocs_before = crate::allocations();
+        let start = Instant::now();
+        let outcome = engine.run(&mut w, Algorithm::NmCij);
+        let wall = secs(start.elapsed());
+        let allocs = crate::allocations() - allocs_before;
+        Measured {
+            outcome,
+            wall,
+            allocs,
+        }
+    };
+
+    print_header(
+        &format!("NM-CIJ leaf layouts, clustered |P| = |Q| = {n}"),
+        &[
+            "layout",
+            "threads",
+            "backend",
+            "wall (s)",
+            "allocations",
+            "page accesses",
+            "clip ops",
+            "pairs",
+        ],
+    );
+    let modes: [(usize, StorageBackend, &str); 3] = [
+        (1, StorageBackend::Heap, "T=1 heap"),
+        (4, StorageBackend::Heap, "T=4 heap"),
+        (1, StorageBackend::File, "T=1 file"),
+    ];
+    let mut gate: Option<(u64, u64)> = None;
+    for (threads, backend, mode) in modes {
+        let soa = run_nm(LeafLayout::Soa, threads, backend);
+        let aos = run_nm(LeafLayout::Aos, threads, backend);
+        for (layout, m) in [(LeafLayout::Soa, &soa), (LeafLayout::Aos, &aos)] {
+            print_row(&[
+                layout.name().to_string(),
+                threads.to_string(),
+                backend.name().to_string(),
+                format!("{:.3}", m.wall),
+                m.allocs.to_string(),
+                m.outcome.page_accesses().to_string(),
+                m.outcome.nm.filter_clip_ops.to_string(),
+                m.outcome.len().to_string(),
+            ]);
+        }
+        check_nm_parity(mode, &soa.outcome, &aos.outcome, &mut violations);
+        if threads == 1 && backend == StorageBackend::Heap {
+            gate = Some((soa.allocs, aos.allocs));
+        }
+    }
+
+    let (soa_allocs, aos_allocs) = gate.expect("the T=1 heap mode always runs");
+    let ratio = aos_allocs as f64 / soa_allocs.max(1) as f64;
+    println!("allocation ratio (aos / soa): {ratio:.2}");
+    if soa_allocs >= aos_allocs {
+        violations.push(format!(
+            "SoA layout did not reduce allocations ({soa_allocs} vs {aos_allocs})"
+        ));
+    }
+    if ratio < min_alloc_ratio {
+        violations.push(format!(
+            "allocation ratio {ratio:.2} below the required {min_alloc_ratio}"
+        ));
+    }
+
+    // ---- 3. Multiway k = 3 under each layout. ----
+    let msets: Vec<Vec<Point>> = (0..3)
+        .map(|i| clustered(n / (i + 1), 23_010 + i as u64))
+        .collect();
+    print_header(
+        "Multiway CIJ (k = 3, clustered) leaf layouts",
+        &[
+            "layout",
+            "wall (s)",
+            "allocations",
+            "page accesses",
+            "clip ops",
+            "tuples",
+        ],
+    );
+    let run_multiway = |layout: LeafLayout| {
+        let engine = QueryEngine::new(paper_config().with_leaf_layout(layout));
+        let allocs_before = crate::allocations();
+        let start = Instant::now();
+        let outcome = engine.multiway(&msets);
+        (
+            outcome,
+            secs(start.elapsed()),
+            crate::allocations() - allocs_before,
+        )
+    };
+    let (m_soa, soa_wall, m_soa_allocs) = run_multiway(LeafLayout::Soa);
+    let (m_aos, aos_wall, m_aos_allocs) = run_multiway(LeafLayout::Aos);
+    for (layout, outcome, wall, allocs) in [
+        (LeafLayout::Soa, &m_soa, soa_wall, m_soa_allocs),
+        (LeafLayout::Aos, &m_aos, aos_wall, m_aos_allocs),
+    ] {
+        print_row(&[
+            layout.name().to_string(),
+            format!("{wall:.3}"),
+            allocs.to_string(),
+            outcome.page_accesses.to_string(),
+            outcome.counters.filter_clip_ops.to_string(),
+            outcome.tuples.len().to_string(),
+        ]);
+    }
+    let soa_ids: Vec<&Vec<u64>> = m_soa.tuples.iter().map(|t| &t.ids).collect();
+    let aos_ids: Vec<&Vec<u64>> = m_aos.tuples.iter().map(|t| &t.ids).collect();
+    if soa_ids != aos_ids {
+        violations.push("multiway tuple streams differ across layouts".to_string());
+    }
+    if m_soa.counters != m_aos.counters {
+        violations.push(format!(
+            "multiway counters differ across layouts ({:?} vs {:?})",
+            m_soa.counters, m_aos.counters
+        ));
+    }
+    if m_soa.page_accesses != m_aos.page_accesses {
+        violations.push(format!(
+            "multiway page accesses differ across layouts ({} vs {})",
+            m_soa.page_accesses, m_aos.page_accesses
+        ));
+    }
+
+    println!(
+        "shape check: byte-identical pairs/tuples, counters and page accesses across layouts \
+         (threads 1 and 4, heap and file backends), and >= {min_alloc_ratio}x fewer \
+         allocations for the SoA layout"
+    );
+    assert!(
+        violations.is_empty(),
+        "kernel-layout contract violated: {violations:?}"
+    );
+}

@@ -22,6 +22,7 @@
 //! | [`io_validation`] | Heap vs file `StorageBackend`: counted page accesses vs actual bytes read, cold and warm buffer, plus backend parity |
 //! | [`multiway_scale`] | Multiway CIJ over k ∈ {2, 3, 4} sets: leaf-batched vs per-tuple probing, cost-driven planning vs the fixed-driver baseline, thread-parity check |
 //! | [`filter_kernel`] | Conditional-filter kernels: sub-quadratic `Indexed` vs quadratic `Scan` — byte-identical candidates, identical traversal, ≥ 3× fewer clip operations |
+//! | [`kernel_layout`] | Leaf layouts: SoA arena/scratch kernels vs the AoS baseline — byte-identical pairs/tuples/counters/page accesses at any thread count and backend, strictly fewer allocations |
 
 pub mod cache_sweep;
 pub mod fig10;
@@ -33,6 +34,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod filter_kernel;
 pub mod io_validation;
+pub mod kernel_layout;
 pub mod multiway_scale;
 pub mod scaling;
 pub mod table2;

@@ -1,0 +1,227 @@
+//! The machine-readable mirror of the harness's table output — the
+//! `BENCH_<n>.json` trajectory writer.
+//!
+//! Every experiment prints its results through
+//! [`print_header`](crate::util::print_header) /
+//! [`print_row`](crate::util::print_row); those two functions also record
+//! into the process-global sink defined here whenever it is enabled. There
+//! is deliberately **no** per-experiment JSON fork: what lands in the
+//! snapshot is exactly what the table printer saw, for every experiment,
+//! including ones added later.
+//!
+//! # Usage
+//!
+//! `run_all --json` calls [`enable`] before the first experiment and
+//! [`take`] after the last, then serialises the captured [`Report`] with
+//! [`Report::to_json`] into `BENCH_<n>.json` (see the crate docs for the
+//! schema and the trajectory convention).
+
+use std::sync::Mutex;
+
+/// One experiment table: the title line, the column names and the rows as
+/// printed (cells are the formatted strings of the table printer).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The `=== title ===` line of the printed table.
+    pub title: String,
+    /// Column names, in print order.
+    pub columns: Vec<String>,
+    /// Rows; each row is aligned with `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Everything the sink captured between [`enable`] and [`take`].
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The captured tables, in emission order.
+    pub tables: Vec<Table>,
+}
+
+/// The process-global sink. `None` (the default) means recording is off and
+/// the table printer costs one mutex lock extra, nothing else.
+static SINK: Mutex<Option<Report>> = Mutex::new(None);
+
+/// Turns recording on (idempotent; an existing capture is kept).
+pub fn enable() {
+    let mut sink = SINK.lock().unwrap();
+    if sink.is_none() {
+        *sink = Some(Report::default());
+    }
+}
+
+/// Turns recording off and returns everything captured since [`enable`],
+/// or `None` when recording was never enabled.
+pub fn take() -> Option<Report> {
+    SINK.lock().unwrap().take()
+}
+
+/// Records a table header (called by `print_header`; no-op when disabled).
+pub(crate) fn record_header(title: &str, columns: &[&str]) {
+    if let Some(report) = SINK.lock().unwrap().as_mut() {
+        report.tables.push(Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        });
+    }
+}
+
+/// Records a table row under the most recent header (called by `print_row`;
+/// no-op when disabled or before any header).
+pub(crate) fn record_row(cells: &[String]) {
+    if let Some(report) = SINK.lock().unwrap().as_mut() {
+        if let Some(table) = report.tables.last_mut() {
+            table.rows.push(cells.to_vec());
+        }
+    }
+}
+
+impl Report {
+    /// Serialises the report into the `BENCH_<n>.json` document described in
+    /// the crate docs: `{"bench_id": n, "experiments": [{"experiment",
+    /// "columns", "rows": [{column: value}, ...]}]}`. Cells that parse as
+    /// finite numbers are emitted as JSON numbers, everything else as
+    /// strings. Hand-rolled — the workspace takes no serialisation
+    /// dependency for one writer.
+    pub fn to_json(&self, bench_id: u64) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench_id\": {bench_id},\n"));
+        out.push_str("  \"experiments\": [");
+        for (t, table) in self.tables.iter().enumerate() {
+            if t > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"experiment\": {},\n",
+                json_string(&table.title)
+            ));
+            out.push_str("      \"columns\": [");
+            for (c, col) in table.columns.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(col));
+            }
+            out.push_str("],\n");
+            out.push_str("      \"rows\": [");
+            for (r, row) in table.rows.iter().enumerate() {
+                if r > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {");
+                for (c, cell) in row.iter().enumerate() {
+                    if c > 0 {
+                        out.push_str(", ");
+                    }
+                    let name = table.columns.get(c).map(String::as_str).unwrap_or("extra");
+                    out.push_str(&format!("{}: {}", json_string(name), json_value(cell)));
+                }
+                out.push('}');
+            }
+            if !table.rows.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits a table cell: a JSON number when it round-trips as one, otherwise
+/// a JSON string.
+fn json_value(cell: &str) -> String {
+    if let Ok(i) = cell.parse::<i64>() {
+        return i.to_string();
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        if f.is_finite() {
+            // Normalised through Rust's float formatting, which is valid
+            // JSON (no leading '+', no bare '.5', no 'inf').
+            return format!("{f}");
+        }
+    }
+    json_string(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sink is process-global, so tests that enable it must not
+    /// interleave with each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn sink_captures_headers_and_rows_in_order() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        enable();
+        record_header("alpha", &["a", "b"]);
+        record_row(&["1".into(), "x".into()]);
+        record_row(&["2".into(), "y".into()]);
+        record_header("beta", &["c"]);
+        record_row(&["3.5".into()]);
+        let report = take().expect("recording was enabled");
+        assert!(take().is_none(), "take() disables the sink");
+        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.tables[0].title, "alpha");
+        assert_eq!(report.tables[0].rows.len(), 2);
+        assert_eq!(report.tables[1].columns, vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn rows_without_a_header_are_dropped_not_panicking() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        enable();
+        record_row(&["orphan".into()]);
+        let report = take().unwrap();
+        assert!(report.tables.is_empty());
+    }
+
+    #[test]
+    fn json_emits_numbers_and_escapes_strings() {
+        let report = Report {
+            tables: vec![Table {
+                title: "t \"quoted\"".into(),
+                columns: vec!["n".into(), "label".into(), "wall (s)".into()],
+                rows: vec![vec!["42".into(), "a\\b".into(), "0.125".into()]],
+            }],
+        };
+        let json = report.to_json(6);
+        assert!(json.contains("\"bench_id\": 6"));
+        assert!(json.contains("\"t \\\"quoted\\\"\""));
+        assert!(json.contains("\"n\": 42"));
+        assert!(json.contains("\"label\": \"a\\\\b\""));
+        assert!(json.contains("\"wall (s)\": 0.125"));
+    }
+
+    #[test]
+    fn json_of_an_empty_report_is_well_formed() {
+        let json = Report::default().to_json(1);
+        assert_eq!(json, "{\n  \"bench_id\": 1,\n  \"experiments\": []\n}\n");
+    }
+}

@@ -63,15 +63,20 @@ pub fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
-/// Prints a table header followed by a separator line.
+/// Prints a table header followed by a separator line, and records the
+/// table into the [`report`](crate::report) sink when `run_all --json`
+/// enabled it. Every experiment's tabular output goes through this pair —
+/// there is no per-experiment JSON path.
 pub fn print_header(title: &str, columns: &[&str]) {
+    crate::report::record_header(title, columns);
     println!("\n=== {title} ===");
     println!("{}", columns.join("\t"));
     println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 8).sum()));
 }
 
-/// Prints one table row.
+/// Prints one table row (and records it, see [`print_header`]).
 pub fn print_row(cells: &[String]) {
+    crate::report::record_row(cells);
     println!("{}", cells.join("\t"));
 }
 

@@ -2,7 +2,7 @@
 
 use cij_geom::Rect;
 use cij_pagestore::StorageBackend;
-use cij_rtree::RTreeConfig;
+use cij_rtree::{LeafLayout, RTreeConfig};
 
 /// How the multiway CIJ probes the next set's tree with the regions of its
 /// live partial tuples (the filter phase of every extension round).
@@ -185,6 +185,18 @@ pub struct CijConfig {
     /// Driver-tree selection of the multiway CIJ (see [`MultiwayDriver`]);
     /// cost-based by default.
     pub multiway_driver: MultiwayDriver,
+    /// Memory layout of the decoded-node hot paths (see
+    /// [`LeafLayout`](cij_rtree::LeafLayout)): [`LeafLayout::Soa`] (the
+    /// default) decodes nodes into reusable per-worker SoA arenas and clips
+    /// cells in place through scratch buffers; [`LeafLayout::Aos`] is the
+    /// historical owned-`Node`/allocating-clip baseline. Both layouts
+    /// produce byte-identical pairs, tuples, counters and page accesses —
+    /// the knob trades memory shape, never results (asserted by the
+    /// `kernel_layout` bench experiment and `tests/layout.rs`).
+    ///
+    /// [`LeafLayout::Soa`]: cij_rtree::LeafLayout::Soa
+    /// [`LeafLayout::Aos`]: cij_rtree::LeafLayout::Aos
+    pub leaf_layout: LeafLayout,
     /// Whether the multiway CIJ prunes each extension round with the
     /// running intersections' bounding box: batch probes seed every
     /// examined point's approximate cell from the probe regions' union bbox
@@ -209,6 +221,7 @@ impl Default for CijConfig {
             multiway_probe: MultiwayProbe::Batched,
             filter_kernel: FilterKernel::Indexed,
             multiway_driver: MultiwayDriver::CostBased,
+            leaf_layout: LeafLayout::Soa,
             multiway_prune: true,
         }
     }
@@ -289,6 +302,12 @@ impl CijConfig {
         self
     }
 
+    /// Sets the decoded-node memory layout (see [`CijConfig::leaf_layout`]).
+    pub fn with_leaf_layout(mut self, layout: LeafLayout) -> Self {
+        self.leaf_layout = layout;
+        self
+    }
+
     /// Enables or disables the multiway running-intersection bbox pruning
     /// (see [`CijConfig::multiway_prune`]).
     pub fn with_multiway_prune(mut self, prune: bool) -> Self {
@@ -332,6 +351,12 @@ impl CijConfig {
             match value.parse() {
                 Ok(kernel) => self.filter_kernel = kernel,
                 Err(err) => panic!("CIJ_FILTER_KERNEL: {err}"),
+            }
+        }
+        if let Ok(value) = std::env::var("CIJ_LEAF_LAYOUT") {
+            match value.parse() {
+                Ok(layout) => self.leaf_layout = layout,
+                Err(err) => panic!("CIJ_LEAF_LAYOUT: {err}"),
             }
         }
         self
@@ -423,6 +448,19 @@ mod tests {
         assert_eq!("indexed".parse::<FilterKernel>(), Ok(FilterKernel::Indexed));
         assert_eq!("Scan".parse::<FilterKernel>(), Ok(FilterKernel::Scan));
         assert!("grid".parse::<FilterKernel>().is_err());
+    }
+
+    #[test]
+    fn leaf_layout_default_builder_and_parsing() {
+        let c = CijConfig::default();
+        assert_eq!(c.leaf_layout, LeafLayout::Soa, "SoA is the new default");
+        assert_eq!(c.leaf_layout.name(), "soa");
+        let c = c.with_leaf_layout(LeafLayout::Aos);
+        assert_eq!(c.leaf_layout, LeafLayout::Aos);
+        assert_eq!(c.leaf_layout.name(), "aos");
+        assert_eq!("soa".parse::<LeafLayout>(), Ok(LeafLayout::Soa));
+        assert_eq!("AoS".parse::<LeafLayout>(), Ok(LeafLayout::Aos));
+        assert!("columnar".parse::<LeafLayout>().is_err());
     }
 
     #[test]

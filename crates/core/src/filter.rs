@@ -59,9 +59,9 @@
 //! [`FilterKernel::Indexed`]: crate::config::FilterKernel::Indexed
 
 use crate::config::FilterKernel;
-use cij_geom::{ConvexPolygon, Point, PointGrid, Rect, RectGrid};
+use cij_geom::{ClipScratch, ConvexPolygon, Point, PointGrid, Rect, RectGrid};
 use cij_pagestore::PageId;
-use cij_rtree::{MinDistHeap, MinHeapItem, NodeReader, PointObject};
+use cij_rtree::{LeafLayout, MinDistHeap, MinHeapItem, Node, NodeArena, NodeReader, PointObject};
 use cij_voronoi::{bisector_cuts, cell_reach_sq};
 
 enum HeapEntry {
@@ -122,6 +122,12 @@ pub struct FilterOptions {
     /// small (small reach ⇒ early clip cutoff) and far points' cells empty
     /// out immediately. Off by default.
     pub bound_cells: bool,
+    /// Memory layout of the node reads and approximate-cell clipping (see
+    /// [`LeafLayout`]): SoA (the default) decodes nodes into the caller's
+    /// [`FilterScratch`] arena and clips cells in place; AoS is the
+    /// historical owned-node/allocating baseline. The candidate set,
+    /// statistics and page accesses are identical across layouts.
+    pub layout: LeafLayout,
 }
 
 impl FilterOptions {
@@ -138,6 +144,38 @@ impl FilterOptions {
     pub fn with_bound_cells(mut self, bound: bool) -> Self {
         self.bound_cells = bound;
         self
+    }
+
+    /// Returns the options with the given [`FilterOptions::layout`].
+    pub fn with_layout(mut self, layout: LeafLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+}
+
+/// Reusable per-worker scratch of the SoA filter path: the node decode
+/// arena, the polygon clipping ping-pong buffers and the approximate-cell
+/// working polygon. Allocate one per worker, reuse it across every filter
+/// invocation the worker issues; contents between calls are unspecified.
+#[derive(Debug, Default)]
+pub struct FilterScratch {
+    /// SoA node decode target.
+    pub arena: NodeArena,
+    /// Polygon clipping ping-pong buffers.
+    pub clip: ClipScratch,
+    /// The working approximate cell of the currently examined point.
+    pub cell: ConvexPolygon,
+}
+
+impl FilterScratch {
+    /// Creates a scratch whose arena is pre-sized for nodes of the given
+    /// byte budget
+    /// ([`RTreeConfig::node_byte_budget`](cij_rtree::RTreeConfig::node_byte_budget)).
+    pub fn for_budget(node_byte_budget: usize) -> Self {
+        FilterScratch {
+            arena: NodeArena::for_budget(node_byte_budget),
+            ..FilterScratch::default()
+        }
     }
 }
 
@@ -173,7 +211,9 @@ pub fn batch_conditional_filter<T: NodeReader<PointObject>>(
 }
 
 /// [`batch_conditional_filter`] with explicit [`FilterOptions`] (kernel
-/// choice, candidate-grid resolution, probe-bbox cell bounding).
+/// choice, candidate-grid resolution, probe-bbox cell bounding, leaf
+/// layout). Allocates a fresh [`FilterScratch`] per call; hot callers use
+/// [`batch_conditional_filter_scratch`] to reuse one across invocations.
 ///
 /// The candidate set is independent of the options — they trade CPU
 /// strategies, never results. Generic over [`NodeReader`], so the same
@@ -184,6 +224,23 @@ pub fn batch_conditional_filter_with<T: NodeReader<PointObject>>(
     polys: &[ConvexPolygon],
     domain: &Rect,
     options: &FilterOptions,
+) -> (Vec<PointObject>, FilterStats) {
+    batch_conditional_filter_scratch(rp, polys, domain, options, &mut FilterScratch::default())
+}
+
+/// [`batch_conditional_filter_with`] writing through a caller-owned
+/// [`FilterScratch`]: the SoA layout decodes nodes into `scratch.arena` and
+/// computes approximate cells in `scratch.cell` via the in-place clipping
+/// kernels, so a worker that keeps one scratch alive performs no per-unit
+/// allocation in this function's hot loop. The AoS layout ignores the
+/// scratch and runs the historical owned-node/allocating path; results and
+/// page accesses are byte-identical either way.
+pub fn batch_conditional_filter_scratch<T: NodeReader<PointObject>>(
+    rp: &mut T,
+    polys: &[ConvexPolygon],
+    domain: &Rect,
+    options: &FilterOptions,
+    scratch: &mut FilterScratch,
 ) -> (Vec<PointObject>, FilterStats) {
     let mut stats = FilterStats::default();
     let mut candidates: Vec<PointObject> = Vec::new();
@@ -243,23 +300,11 @@ pub fn batch_conditional_filter_with<T: NodeReader<PointObject>>(
     let mut heap: MinDistHeap<HeapEntry> = MinDistHeap::new();
     // The root is read up front (Algorithm 5, line 4) and its entries seeded.
     let root = rp.root_page();
-    let root_node = rp.read(root);
-    if root_node.is_leaf() {
-        for o in root_node.objects {
-            heap.push(MinHeapItem::new(
-                o.point.dist(&centroid),
-                HeapEntry::Point(o),
-            ));
-        }
-    } else {
-        for c in root_node.children {
-            heap.push(MinHeapItem::new(
-                c.mbr.mindist_point(&centroid),
-                HeapEntry::Node {
-                    page: c.page,
-                    mbr: c.mbr,
-                },
-            ));
+    match options.layout {
+        LeafLayout::Aos => enqueue_node(&mut heap, &centroid, rp.read(root)),
+        LeafLayout::Soa => {
+            scratch.arena.load(&mut *rp, root);
+            enqueue_arena(&mut heap, &centroid, &scratch.arena);
         }
     }
 
@@ -269,11 +314,42 @@ pub fn batch_conditional_filter_with<T: NodeReader<PointObject>>(
                 stats.points_examined += 1;
                 // Approximate cell of p from the current candidates only; a
                 // superset of V(p, P) (within the seed), so discarding is
-                // safe.
-                let cell = match &mut kernel {
-                    KernelState::Scan => approx_cell_scan(&seed, &p, &candidates, &mut stats),
-                    KernelState::Indexed { grid, .. } => {
-                        approx_cell_indexed(&seed, &p, &candidates, grid, &mut stats)
+                // safe. SoA computes it in place in the scratch cell; AoS
+                // allocates one, as it always did.
+                let cell_owned;
+                let cell: &ConvexPolygon = match options.layout {
+                    LeafLayout::Aos => {
+                        cell_owned = match &mut kernel {
+                            KernelState::Scan => {
+                                approx_cell_scan(&seed, &p, &candidates, &mut stats)
+                            }
+                            KernelState::Indexed { grid, .. } => {
+                                approx_cell_indexed(&seed, &p, &candidates, grid, &mut stats)
+                            }
+                        };
+                        &cell_owned
+                    }
+                    LeafLayout::Soa => {
+                        match &mut kernel {
+                            KernelState::Scan => approx_cell_scan_into(
+                                &seed,
+                                &p,
+                                &candidates,
+                                &mut stats,
+                                &mut scratch.cell,
+                                &mut scratch.clip,
+                            ),
+                            KernelState::Indexed { grid, .. } => approx_cell_indexed_into(
+                                &seed,
+                                &p,
+                                &candidates,
+                                grid,
+                                &mut stats,
+                                &mut scratch.cell,
+                                &mut scratch.clip,
+                            ),
+                        }
+                        &scratch.cell
                     }
                 };
                 let joins = match &mut kernel {
@@ -316,29 +392,66 @@ pub fn batch_conditional_filter_with<T: NodeReader<PointObject>>(
                     stats.entries_pruned += 1;
                     continue;
                 }
-                let node = rp.read(page);
-                if node.is_leaf() {
-                    for o in node.objects {
-                        heap.push(MinHeapItem::new(
-                            o.point.dist(&centroid),
-                            HeapEntry::Point(o),
-                        ));
-                    }
-                } else {
-                    for c in node.children {
-                        heap.push(MinHeapItem::new(
-                            c.mbr.mindist_point(&centroid),
-                            HeapEntry::Node {
-                                page: c.page,
-                                mbr: c.mbr,
-                            },
-                        ));
+                match options.layout {
+                    LeafLayout::Aos => enqueue_node(&mut heap, &centroid, rp.read(page)),
+                    LeafLayout::Soa => {
+                        scratch.arena.load(&mut *rp, page);
+                        enqueue_arena(&mut heap, &centroid, &scratch.arena);
                     }
                 }
             }
         }
     }
     (candidates, stats)
+}
+
+/// Pushes every entry of an owned (AoS) node onto the traversal heap, keyed
+/// by distance from the traversal centroid.
+fn enqueue_node(heap: &mut MinDistHeap<HeapEntry>, centroid: &Point, node: Node<PointObject>) {
+    if node.is_leaf() {
+        for o in node.objects {
+            heap.push(MinHeapItem::new(
+                o.point.dist(centroid),
+                HeapEntry::Point(o),
+            ));
+        }
+    } else {
+        for c in node.children {
+            heap.push(MinHeapItem::new(
+                c.mbr.mindist_point(centroid),
+                HeapEntry::Node {
+                    page: c.page,
+                    mbr: c.mbr,
+                },
+            ));
+        }
+    }
+}
+
+/// [`enqueue_node`] over the SoA decode arena. The distance expressions are
+/// the same as the AoS path's, in the same operand order, so the heap keys —
+/// and therefore the pop order and the candidate set — are bitwise identical
+/// across layouts.
+fn enqueue_arena(heap: &mut MinDistHeap<HeapEntry>, centroid: &Point, arena: &NodeArena) {
+    if arena.is_leaf() {
+        for i in 0..arena.len() {
+            let o = arena.object(i);
+            heap.push(MinHeapItem::new(
+                o.point.dist(centroid),
+                HeapEntry::Point(o),
+            ));
+        }
+    } else {
+        for c in arena.children() {
+            heap.push(MinHeapItem::new(
+                c.mbr.mindist_point(centroid),
+                HeapEntry::Node {
+                    page: c.page,
+                    mbr: c.mbr,
+                },
+            ));
+        }
+    }
 }
 
 /// The scan kernel's approximate cell: clip against every candidate found
@@ -361,6 +474,31 @@ fn approx_cell_scan(
         }
     }
     cell
+}
+
+/// [`approx_cell_scan`] writing into a caller-owned cell through the
+/// in-place clipping kernel — no allocation once the scratch buffers reach
+/// their high-water mark. Clip order and accounting are identical, so the
+/// resulting cell is bitwise equal to the allocating variant's.
+fn approx_cell_scan_into(
+    seed: &ConvexPolygon,
+    p: &PointObject,
+    candidates: &[PointObject],
+    stats: &mut FilterStats,
+    cell: &mut ConvexPolygon,
+    scratch: &mut ClipScratch,
+) {
+    cell.clone_from(seed);
+    for c in candidates {
+        if c.id == p.id {
+            continue;
+        }
+        cell.clip_bisector_in_place(&p.point, &c.point, scratch);
+        stats.clip_ops += 1;
+        if cell.is_empty() {
+            break;
+        }
+    }
 }
 
 /// The indexed kernel's approximate cell: visit candidates nearest-first by
@@ -422,6 +560,65 @@ fn approx_cell_indexed(
         ring += 1;
     }
     cell
+}
+
+/// [`approx_cell_indexed`] writing into a caller-owned cell through the
+/// in-place clipping kernel. Same ring enumeration, same cutoffs, same
+/// accounting — only the destination and the allocation behaviour differ.
+fn approx_cell_indexed_into(
+    seed: &ConvexPolygon,
+    p: &PointObject,
+    candidates: &[PointObject],
+    grid: &PointGrid,
+    stats: &mut FilterStats,
+    cell: &mut ConvexPolygon,
+    scratch: &mut ClipScratch,
+) {
+    cell.clone_from(seed);
+    if cell.is_empty() || grid.is_empty() {
+        return;
+    }
+    let mut reach_sq = cell_reach_sq(&p.point, cell);
+    let center = grid.frame().bucket_of(&p.point);
+    let mut emptied = false;
+    let mut ring = 0usize;
+    loop {
+        let lb = grid.ring_mindist(ring);
+        if lb * lb > 4.0 * reach_sq {
+            break;
+        }
+        let in_range = grid.for_each_ring_bucket(center, ring, |bucket, items| {
+            if emptied || items.is_empty() {
+                return;
+            }
+            if bucket.mindist_point_sq(&p.point) > 4.0 * reach_sq {
+                return;
+            }
+            for &idx in items {
+                let c = &candidates[idx as usize];
+                if c.id == p.id {
+                    continue;
+                }
+                if c.point.dist_sq(&p.point) > 4.0 * reach_sq {
+                    continue;
+                }
+                if !bisector_cuts(cell.vertices(), &p.point, &c.point) {
+                    continue;
+                }
+                cell.clip_bisector_in_place(&p.point, &c.point, scratch);
+                stats.clip_ops += 1;
+                if cell.is_empty() {
+                    emptied = true;
+                    return;
+                }
+                reach_sq = cell_reach_sq(&p.point, cell);
+            }
+        });
+        if emptied || !in_range {
+            break;
+        }
+        ring += 1;
+    }
 }
 
 /// Indexed "any polygon satisfies `check`" test: only polygons whose bbox
@@ -707,6 +904,37 @@ mod tests {
     }
 
     #[test]
+    fn layouts_agree_bitwise_in_both_kernels() {
+        let p = random_points(900, 101);
+        let q = random_points(900, 102);
+        let q_cells = brute_force_diagram(&q[..150], &Rect::DOMAIN);
+        let group: Vec<ConvexPolygon> = q_cells[20..36].to_vec();
+        for kernel in [FilterKernel::Indexed, FilterKernel::Scan] {
+            let run = |layout: LeafLayout| {
+                let mut rp = RTree::bulk_load(config(), PointObject::from_points(&p));
+                rp.set_buffer_pages(4);
+                rp.drop_buffer();
+                rp.stats().reset();
+                let mut scratch = FilterScratch::for_budget(rp.config().node_byte_budget());
+                let out = batch_conditional_filter_scratch(
+                    &mut rp,
+                    &group,
+                    &Rect::DOMAIN,
+                    &FilterOptions::for_kernel(kernel).with_layout(layout),
+                    &mut scratch,
+                );
+                (out, rp.stats().snapshot(), rp.backend_io())
+            };
+            let ((soa_cands, soa_fstats), soa_stats, soa_io) = run(LeafLayout::Soa);
+            let ((aos_cands, aos_fstats), aos_stats, aos_io) = run(LeafLayout::Aos);
+            assert_eq!(soa_cands, aos_cands, "candidates diverged ({kernel:?})");
+            assert_eq!(soa_fstats, aos_fstats, "filter stats diverged ({kernel:?})");
+            assert_eq!(soa_stats, aos_stats, "page accesses diverged ({kernel:?})");
+            assert_eq!(soa_io, aos_io, "backend IO diverged ({kernel:?})");
+        }
+    }
+
+    #[test]
     fn fixed_grid_resolutions_agree_with_the_scan_kernel() {
         let p = random_points(600, 99);
         let q = random_points(600, 100);
@@ -727,7 +955,7 @@ mod tests {
             let opts = FilterOptions {
                 kernel: FilterKernel::Indexed,
                 grid_resolution: resolution,
-                bound_cells: false,
+                ..FilterOptions::default()
             };
             let (cands, _) = batch_conditional_filter_with(&mut rp, &group, &Rect::DOMAIN, &opts);
             assert_eq!(cands, scan, "resolution {resolution} diverged");

@@ -94,10 +94,12 @@ pub mod workload;
 pub use brute::brute_force_cij;
 pub use cell_cache::CellCache;
 pub use cij_pagestore::StorageBackend;
+pub use cij_rtree::LeafLayout;
 pub use config::{CijConfig, FilterKernel, MultiwayDriver, MultiwayProbe};
 pub use engine::{CijExecutor, FmExecutor, NmExecutor, PairStream, PmExecutor, QueryEngine};
 pub use filter::{
-    batch_conditional_filter, batch_conditional_filter_with, FilterOptions, FilterStats,
+    batch_conditional_filter, batch_conditional_filter_scratch, batch_conditional_filter_with,
+    FilterOptions, FilterScratch, FilterStats,
 };
 pub use fm::fm_cij;
 pub use grouped::{grouped_nn_via_all_nn, grouped_nn_via_cij, GroupCounts};

@@ -100,14 +100,14 @@
 
 use crate::cell_cache::CellCache;
 use crate::config::{CijConfig, MultiwayDriver, MultiwayProbe};
-use crate::filter::{batch_conditional_filter_with, FilterOptions, FilterStats};
-use crate::nm::run_ordered;
+use crate::filter::{batch_conditional_filter_scratch, FilterOptions, FilterStats};
+use crate::nm::{run_ordered, run_ordered_scratch, UnitScratch};
 use crate::stats::{LeafWatermark, MultiwayCounters, ProgressSample};
 use crate::workload::MultiwayWorkload;
 use cij_geom::{ConvexPolygon, Point, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
 use cij_rtree::{NodeReader, PointObject, TracedReader};
-use cij_voronoi::{batch_voronoi, brute_force_diagram};
+use cij_voronoi::{batch_voronoi_with, brute_force_diagram, VorScratch};
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -409,9 +409,12 @@ impl<'a> TupleStream<'a> {
         let k = self.workload.k();
         let n = chunk.len();
         let driver = self.eval_order[0];
+        let layout = self.config.leaf_layout;
         let filter_options = FilterOptions::for_kernel(self.config.filter_kernel)
-            .with_bound_cells(self.config.multiway_prune);
+            .with_bound_cells(self.config.multiway_prune)
+            .with_layout(layout);
         let prune = self.config.multiway_prune;
+        let budget = self.workload.trees[driver].config().node_byte_budget();
 
         // Ordered replay segments per leaf: (tree index, page trace). The
         // coordinator replays them leaf-major at the end of the chunk, so
@@ -461,19 +464,26 @@ impl<'a> TupleStream<'a> {
                     plan
                 })
                 .collect();
-            // Refine (parallel): exact cells of each leaf's missing points.
+            // Refine (parallel): exact cells of each leaf's missing points,
+            // each worker reusing one Voronoi scratch across its leaves.
             let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
                 let tree = &self.workload.trees[driver];
-                run_ordered(workers, n, |i| {
-                    let missing = &plans[i].missing;
-                    if missing.is_empty() {
-                        (Vec::new(), Vec::new())
-                    } else {
-                        let mut reader = TracedReader::new(tree);
-                        let cells = batch_voronoi(&mut reader, missing, &domain);
-                        (cells, reader.into_trace())
-                    }
-                })
+                run_ordered_scratch(
+                    workers,
+                    n,
+                    || VorScratch::for_budget(budget),
+                    |i, vor| {
+                        let missing = &plans[i].missing;
+                        if missing.is_empty() {
+                            (Vec::new(), Vec::new())
+                        } else {
+                            let mut reader = TracedReader::new(tree);
+                            let cells =
+                                batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
+                            (cells, reader.into_trace())
+                        }
+                    },
+                )
             };
             // Resolve (coordinator, leaf order) and seed the partials.
             groups
@@ -517,25 +527,32 @@ impl<'a> TupleStream<'a> {
                 .collect();
 
             // Filter (parallel, per unit): ONE batch_conditional_filter
-            // call carrying every region of the unit.
+            // call carrying every region of the unit, each worker reusing
+            // one filter scratch across its units.
             let filtered: Vec<(Vec<PointObject>, FilterStats, Vec<PageId>)> = {
                 let tree = &self.workload.trees[set_idx];
                 let partials = &partials;
-                run_ordered(workers, units.len(), |u| {
-                    let (leaf, range) = &units[u];
-                    let regions: Vec<ConvexPolygon> = partials[*leaf][range.clone()]
-                        .iter()
-                        .map(|t| t.region.clone())
-                        .collect();
-                    let mut reader = TracedReader::new(tree);
-                    let (candidates, stats) = batch_conditional_filter_with(
-                        &mut reader,
-                        &regions,
-                        &domain,
-                        &filter_options,
-                    );
-                    (candidates, stats, reader.into_trace())
-                })
+                run_ordered_scratch(
+                    workers,
+                    units.len(),
+                    || UnitScratch::for_budget(budget),
+                    |u, scratch| {
+                        let (leaf, range) = &units[u];
+                        let regions: Vec<ConvexPolygon> = partials[*leaf][range.clone()]
+                            .iter()
+                            .map(|t| t.region.clone())
+                            .collect();
+                        let mut reader = TracedReader::new(tree);
+                        let (candidates, stats) = batch_conditional_filter_scratch(
+                            &mut reader,
+                            &regions,
+                            &domain,
+                            &filter_options,
+                            &mut scratch.filter,
+                        );
+                        (candidates, stats, reader.into_trace())
+                    },
+                )
             };
 
             // Policy (coordinator, unit order). Walk leaves and units
@@ -559,19 +576,25 @@ impl<'a> TupleStream<'a> {
             }
 
             // Refine (parallel, per unit): exact cells of the unit's
-            // missing candidates.
+            // missing candidates, again with per-worker Voronoi scratches.
             let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
                 let tree = &self.workload.trees[set_idx];
-                run_ordered(workers, units.len(), |u| {
-                    let missing = &plans[u].missing;
-                    if missing.is_empty() {
-                        (Vec::new(), Vec::new())
-                    } else {
-                        let mut reader = TracedReader::new(tree);
-                        let cells = batch_voronoi(&mut reader, missing, &domain);
-                        (cells, reader.into_trace())
-                    }
-                })
+                run_ordered_scratch(
+                    workers,
+                    units.len(),
+                    || VorScratch::for_budget(budget),
+                    |u, vor| {
+                        let missing = &plans[u].missing;
+                        if missing.is_empty() {
+                            (Vec::new(), Vec::new())
+                        } else {
+                            let mut reader = TracedReader::new(tree);
+                            let cells =
+                                batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
+                            (cells, reader.into_trace())
+                        }
+                    },
+                )
             };
 
             // Resolve (coordinator, unit order) + record each unit's replay

@@ -69,14 +69,14 @@
 use crate::cell_cache::CellCache;
 use crate::config::CijConfig;
 use crate::engine::{CijExecutor, NmExecutor, SharedStreamState};
-use crate::filter::{batch_conditional_filter_with, FilterOptions, FilterStats};
+use crate::filter::{batch_conditional_filter_scratch, FilterOptions, FilterScratch, FilterStats};
 use crate::stats::CijOutcome;
 use crate::stats::{LeafWatermark, ProgressSample};
 use crate::workload::Workload;
 use cij_geom::{ConvexPolygon, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
-use cij_rtree::{NodeReader, PointObject, RTree, TracedReader};
-use cij_voronoi::{batch_voronoi, batch_voronoi_cached};
+use cij_rtree::{LeafLayout, NodeReader, PointObject, RTree, TracedReader};
+use cij_voronoi::{batch_voronoi_cached_with, batch_voronoi_with, VorScratch};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -129,6 +129,28 @@ pub(crate) fn nm_cij_keep_cache(
         .take()
         .expect("a drained NM-CIJ stream deposits its reuse buffer");
     (outcome, cache)
+}
+
+/// The per-worker scratch of one join unit: the Voronoi traversal's decode
+/// arena + clip buffers and the conditional filter's. Allocated **once per
+/// worker** (or once per stream on the sequential path) and reused across
+/// every leaf/probe unit the worker processes, so the SoA hot loops run
+/// allocation-free at steady state. Shared with the multiway
+/// [`TupleStream`](crate::multiway::TupleStream).
+#[derive(Debug, Default)]
+pub(crate) struct UnitScratch {
+    pub(crate) vor: VorScratch,
+    pub(crate) filter: FilterScratch,
+}
+
+impl UnitScratch {
+    /// Scratch pre-sized for nodes of the given byte budget.
+    pub(crate) fn for_budget(node_byte_budget: usize) -> Self {
+        UnitScratch {
+            vor: VorScratch::for_budget(node_byte_budget),
+            filter: FilterScratch::for_budget(node_byte_budget),
+        }
+    }
 }
 
 /// Everything a parallel scan of one `RQ` leaf produces: the leaf's points,
@@ -191,6 +213,9 @@ pub(crate) struct NmPairIter<'a> {
     /// the hot loop never reallocates (the pending `VecDeque` is likewise
     /// reused for the whole stream).
     true_hits: HashSet<u64>,
+    /// Sequential-path unit scratch (arena + clip buffers), reused across
+    /// leaves. Parallel workers build their own per-thread copies.
+    scratch: UnitScratch,
     cache_slot: Option<CacheSlot>,
 }
 
@@ -209,7 +234,9 @@ impl<'a> NmPairIter<'a> {
             0
         };
         let cache = CellCache::with_stats(cache_capacity, stats.clone());
-        let filter_options = FilterOptions::for_kernel(config.filter_kernel);
+        let filter_options =
+            FilterOptions::for_kernel(config.filter_kernel).with_layout(config.leaf_layout);
+        let scratch = UnitScratch::for_budget(workload.rp.config().node_byte_budget());
         NmPairIter {
             workload,
             config,
@@ -225,6 +252,7 @@ impl<'a> NmPairIter<'a> {
             chunks_done: 0,
             finished: false,
             true_hits: HashSet::new(),
+            scratch,
             cache_slot: None,
         }
     }
@@ -276,16 +304,24 @@ impl<'a> NmPairIter<'a> {
             return;
         }
         let domain = self.config.domain;
+        let layout = self.config.leaf_layout;
 
         // (1) Voronoi cells of the leaf's Q points.
-        let cells_q = batch_voronoi(&mut self.workload.rq, &group, &domain);
+        let cells_q = batch_voronoi_with(
+            &mut self.workload.rq,
+            &group,
+            &domain,
+            layout,
+            &mut self.scratch.vor,
+        );
 
         // (2) Filter phase on RP.
-        let (candidates, fstats) = batch_conditional_filter_with(
+        let (candidates, fstats) = batch_conditional_filter_scratch(
             &mut self.workload.rp,
             &cells_q,
             &domain,
             &self.filter_options,
+            &mut self.scratch.filter,
         );
 
         // (3) Refinement phase: exact cells of the candidates through the
@@ -294,8 +330,14 @@ impl<'a> NmPairIter<'a> {
         // and this degrades to one plain batch computation per leaf.
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
-        let cells_p: Vec<ConvexPolygon> =
-            batch_voronoi_cached(&mut self.workload.rp, &candidates, &domain, &mut self.cache);
+        let cells_p: Vec<ConvexPolygon> = batch_voronoi_cached_with(
+            &mut self.workload.rp,
+            &candidates,
+            &domain,
+            &mut self.cache,
+            layout,
+            &mut self.scratch.vor,
+        );
 
         // (4) Report intersecting pairs; track which candidates were true
         // hits for the false-hit-ratio of Figure 10. (The set is a reused
@@ -372,16 +414,23 @@ impl<'a> NmPairIter<'a> {
         self.next_leaf = upto;
         self.chunks_done += 1;
         let domain = self.config.domain;
+        let layout = self.config.leaf_layout;
         let filter_options = self.filter_options;
+        let budget = self.workload.rp.config().node_byte_budget();
 
         // Phase 1 (parallel): scan — leaf read, Q cells, conditional filter,
         // all against immutable tree snapshots with traced page accesses.
+        // Each worker allocates its unit scratch once and reuses it across
+        // every leaf it picks up.
         let scans: Vec<LeafScan> = {
             let rp = &self.workload.rp;
             let rq = &self.workload.rq;
-            run_ordered(workers, chunk.len(), |i| {
-                scan_leaf(rp, rq, chunk[i], &domain, &filter_options)
-            })
+            run_ordered_scratch(
+                workers,
+                chunk.len(),
+                || UnitScratch::for_budget(budget),
+                |i, scratch| scan_leaf(rp, rq, chunk[i], &domain, layout, &filter_options, scratch),
+            )
         };
 
         // Phase 2 (coordinator, leaf order): replacement-policy decisions on
@@ -414,16 +463,21 @@ impl<'a> NmPairIter<'a> {
         // candidates, again traced against the snapshot.
         let (cells_refined, traces_refined): (Vec<Vec<ConvexPolygon>>, Vec<Vec<PageId>>) = {
             let rp = &self.workload.rp;
-            run_ordered(workers, plans.len(), |i| {
-                let missing = &plans[i].missing;
-                if missing.is_empty() {
-                    (Vec::new(), Vec::new())
-                } else {
-                    let mut reader = TracedReader::new(rp);
-                    let cells = batch_voronoi(&mut reader, missing, &domain);
-                    (cells, reader.into_trace())
-                }
-            })
+            run_ordered_scratch(
+                workers,
+                plans.len(),
+                || VorScratch::for_budget(budget),
+                |i, vor| {
+                    let missing = &plans[i].missing;
+                    if missing.is_empty() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        let mut reader = TracedReader::new(rp);
+                        let cells = batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
+                        (cells, reader.into_trace())
+                    }
+                },
+            )
             .into_iter()
             .unzip()
         };
@@ -571,7 +625,9 @@ fn scan_leaf(
     rq: &RTree<PointObject>,
     leaf: PageId,
     domain: &Rect,
+    layout: LeafLayout,
     filter_options: &FilterOptions,
+    scratch: &mut UnitScratch,
 ) -> LeafScan {
     let mut rq_reader = TracedReader::new(rq);
     let group = rq_reader.read(leaf).objects;
@@ -585,10 +641,15 @@ fn scan_leaf(
             trace_rp: Vec::new(),
         };
     }
-    let cells_q = batch_voronoi(&mut rq_reader, &group, domain);
+    let cells_q = batch_voronoi_with(&mut rq_reader, &group, domain, layout, &mut scratch.vor);
     let mut rp_reader = TracedReader::new(rp);
-    let (candidates, fstats) =
-        batch_conditional_filter_with(&mut rp_reader, &cells_q, domain, filter_options);
+    let (candidates, fstats) = batch_conditional_filter_scratch(
+        &mut rp_reader,
+        &cells_q,
+        domain,
+        filter_options,
+        &mut scratch.filter,
+    );
     LeafScan {
         group,
         cells_q,
@@ -611,12 +672,27 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_ordered_scratch(workers, n, || (), |i, ()| f(i))
+}
+
+/// [`run_ordered`] with a per-worker scratch value: `mk` runs **once per
+/// worker thread** (not per unit) and the resulting scratch is handed to
+/// every `f(i, scratch)` call that thread executes — the per-unit arena
+/// reuse that keeps the SoA hot loops allocation-free. Scheduling, ordering
+/// and panic behaviour are exactly those of [`run_ordered`].
+pub(crate) fn run_ordered_scratch<T, S, M, F>(workers: usize, n: usize, mk: M, f: F) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
     let threads = workers.min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = mk();
+        return (0..n).map(|i| f(i, &mut scratch)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
@@ -625,13 +701,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = mk();
                     let mut produced: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        produced.push((i, f(i)));
+                        produced.push((i, f(i, &mut scratch)));
                     }
                     produced
                 })

@@ -41,7 +41,7 @@ pub use grid::{GridFrame, PointGrid, RectGrid};
 pub use halfplane::HalfPlane;
 pub use phi::{phi_contains_point, polygon_within_phi, rect_within_phi_all_sides};
 pub use point::Point;
-pub use polygon::ConvexPolygon;
+pub use polygon::{ClipScratch, ConvexPolygon};
 pub use rect::Rect;
 pub use segment::Segment;
 

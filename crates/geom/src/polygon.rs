@@ -6,6 +6,28 @@
 //! and supports the operations the CIJ algorithms need: clipping by a
 //! halfplane, intersection tests against other convex polygons and MBRs,
 //! point containment, bounding boxes, areas and centroids.
+//!
+//! ## Clipping APIs and the scratch-buffer ownership contract
+//!
+//! Halfplane clipping comes in two forms that produce bit-for-bit identical
+//! vertex sets:
+//!
+//! * [`ConvexPolygon::clip`] / [`ConvexPolygon::clip_bisector`] — the
+//!   allocating form: returns a fresh polygon (with a fast path that skips
+//!   the rebuild entirely when no vertex is clipped).
+//! * [`ConvexPolygon::clip_in_place`] / [`ConvexPolygon::clip_into`] /
+//!   [`ConvexPolygon::clip_bisector_in_place`] — the batch form used by the
+//!   hot loops: vertex slacks are computed branch-free over split `[f64]`
+//!   coordinate arrays ([`HalfPlane::signed_distances`]) and the surviving
+//!   vertices are written through a caller-owned [`ClipScratch`], so a
+//!   steady-state clip performs **zero** heap allocation.
+//!
+//! The scratch contract: a [`ClipScratch`] is owned by the *caller* (one per
+//! worker thread, allocated once and reused across every clip of every
+//! unit), its contents are meaningless between calls, and no polygon ever
+//! borrows from it — after `clip_in_place` returns, the polygon owns its
+//! vertices exactly as if `clip` had been called. Scratch buffers only grow
+//! to the high-water vertex count, then stabilise (ping-pong reuse).
 
 use crate::halfplane::HalfPlane;
 use crate::point::Point;
@@ -17,9 +39,45 @@ use crate::EPS;
 /// The polygon may be *empty* (no vertices) — e.g. after clipping with a
 /// halfplane that excludes it entirely — or degenerate (fewer than three
 /// distinct vertices). Empty polygons intersect nothing and contain nothing.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct ConvexPolygon {
     vertices: Vec<Point>,
+}
+
+impl Clone for ConvexPolygon {
+    fn clone(&self) -> Self {
+        ConvexPolygon {
+            vertices: self.vertices.clone(),
+        }
+    }
+
+    /// Reuses the existing vertex allocation (`Vec::clone_from`), so cloning
+    /// into a warm polygon buffer is allocation-free once it has grown.
+    fn clone_from(&mut self, source: &Self) {
+        self.vertices.clone_from(&source.vertices);
+    }
+}
+
+/// Caller-owned scratch buffers for the in-place clipping APIs
+/// ([`ConvexPolygon::clip_in_place`], [`ConvexPolygon::clip_into`]).
+///
+/// Holds the split x/y coordinate arrays and the slack array fed to
+/// [`HalfPlane::signed_distances`], plus the ping-pong vertex buffer the
+/// clipped outline is built in. Allocate one per worker, reuse it across
+/// units; contents between calls are unspecified.
+#[derive(Debug, Default)]
+pub struct ClipScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    slacks: Vec<f64>,
+    out: Vec<Point>,
+}
+
+impl ClipScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stabilise).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl ConvexPolygon {
@@ -76,17 +134,23 @@ impl ConvexPolygon {
         if self.vertices.len() < 2 {
             return;
         }
-        let mut out: Vec<Point> = Vec::with_capacity(self.vertices.len());
-        for &v in &self.vertices {
-            if out.last().is_none_or(|last| last.dist_sq(&v) > EPS * EPS) {
-                out.push(v);
+        // In-place compaction keeping the first of each run of near-equal
+        // vertices — same comparisons as a copy-based pass, zero allocation.
+        let mut w = 1;
+        for r in 1..self.vertices.len() {
+            let v = self.vertices[r];
+            if self.vertices[w - 1].dist_sq(&v) > EPS * EPS {
+                self.vertices[w] = v;
+                w += 1;
             }
         }
+        self.vertices.truncate(w);
         // The polygon is cyclic: the last vertex may duplicate the first.
-        while out.len() > 1 && out[0].dist_sq(out.last().unwrap()) <= EPS * EPS {
-            out.pop();
+        while self.vertices.len() > 1
+            && self.vertices[0].dist_sq(self.vertices.last().unwrap()) <= EPS * EPS
+        {
+            self.vertices.pop();
         }
-        self.vertices = out;
     }
 
     /// Clips the polygon with a halfplane (Sutherland–Hodgman against a
@@ -107,6 +171,14 @@ impl ConvexPolygon {
                 ConvexPolygon::empty()
             };
         }
+        // Fast path: no vertex is clipped, so the rebuilt outline would be
+        // exactly the current vertex list — clone it and only normalize
+        // (one allocation instead of the rebuild-plus-dedup pair).
+        if self.vertices.iter().all(|v| hp.contains(v)) {
+            let mut poly = self.clone();
+            poly.dedup();
+            return poly;
+        }
         let mut out: Vec<Point> = Vec::with_capacity(n + 2);
         for i in 0..n {
             let cur = self.vertices[i];
@@ -123,7 +195,80 @@ impl ConvexPolygon {
                 }
             }
         }
-        ConvexPolygon::new(out)
+        let mut poly = ConvexPolygon { vertices: out };
+        poly.dedup();
+        poly
+    }
+
+    /// In-place variant of [`ConvexPolygon::clip`]: leaves the surviving
+    /// outline in `self`, building it through the caller-owned scratch.
+    ///
+    /// Vertex slacks are computed in one branch-free batch over split
+    /// coordinate arrays ([`HalfPlane::signed_distances`]); the containment
+    /// threshold, the crossing parameter and the emitted crossing point are
+    /// the exact expressions of the allocating path, so the resulting vertex
+    /// set is bit-for-bit identical to `*self = self.clip(hp)`. In steady
+    /// state (warm scratch) the call performs no heap allocation.
+    pub fn clip_in_place(&mut self, hp: &HalfPlane, scratch: &mut ClipScratch) {
+        if hp.is_degenerate() || self.is_empty() {
+            return;
+        }
+        let n = self.vertices.len();
+        if n == 1 {
+            if !hp.contains(&self.vertices[0]) {
+                self.vertices.clear();
+            }
+            return;
+        }
+        // Split the outline into SoA coordinate arrays and compute every
+        // vertex slack in one pass.
+        scratch.xs.clear();
+        scratch.ys.clear();
+        scratch.xs.extend(self.vertices.iter().map(|v| v.x));
+        scratch.ys.extend(self.vertices.iter().map(|v| v.y));
+        scratch.slacks.clear();
+        scratch.slacks.resize(n, 0.0);
+        hp.signed_distances(&scratch.xs, &scratch.ys, &mut scratch.slacks);
+        // The tolerance `HalfPlane::contains` applies, hoisted out of the
+        // loop (the expression is deterministic, so the comparison below is
+        // the same comparison `contains` performs).
+        let tol = -EPS * (1.0 + hp.normal.norm());
+        if scratch.slacks.iter().all(|&s| s >= tol) {
+            // Untouched fast path, mirroring `clip`: only normalize.
+            self.dedup();
+            return;
+        }
+        scratch.out.clear();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let cur = self.vertices[i];
+            let next = self.vertices[j];
+            let (sa, sb) = (scratch.slacks[i], scratch.slacks[j]);
+            let cur_in = sa >= tol;
+            let next_in = sb >= tol;
+            if cur_in {
+                scratch.out.push(cur);
+            }
+            if cur_in != next_in {
+                // `HalfPlane::boundary_param` on the precomputed slacks.
+                let denom = sa - sb;
+                if denom.abs() > f64::EPSILON {
+                    let t = (sa / denom).clamp(0.0, 1.0);
+                    scratch.out.push(cur + (next - cur) * t);
+                }
+            }
+        }
+        // Ping-pong: the old outline becomes the next call's build buffer.
+        std::mem::swap(&mut self.vertices, &mut scratch.out);
+        self.dedup();
+    }
+
+    /// Clips `self` by `hp` into `out` (reusing `out`'s vertex allocation),
+    /// leaving `self` untouched. Equivalent to `*out = self.clip(hp)`
+    /// without the allocation.
+    pub fn clip_into(&self, hp: &HalfPlane, scratch: &mut ClipScratch, out: &mut ConvexPolygon) {
+        out.clone_from(self);
+        out.clip_in_place(hp, scratch);
     }
 
     /// Clips the polygon with the perpendicular bisector `⊥p(p, q)`, keeping
@@ -131,6 +276,13 @@ impl ConvexPolygon {
     #[inline]
     pub fn clip_bisector(&self, p: &Point, q: &Point) -> ConvexPolygon {
         self.clip(&HalfPlane::bisector(p, q))
+    }
+
+    /// In-place variant of [`ConvexPolygon::clip_bisector`] through a
+    /// caller-owned [`ClipScratch`].
+    #[inline]
+    pub fn clip_bisector_in_place(&mut self, p: &Point, q: &Point, scratch: &mut ClipScratch) {
+        self.clip_in_place(&HalfPlane::bisector(p, q), scratch);
     }
 
     /// Whether the polygon contains the point (boundary inclusive).
@@ -598,6 +750,70 @@ mod tests {
             assert_eq!(a.intersects(&b), expect_overlap);
             assert_eq!(inter.area() > 1e-9, expect_overlap);
         }
+    }
+
+    #[test]
+    fn clip_in_place_is_bitwise_identical_to_clip() {
+        // Drive both clip forms through an identical random-ish clip
+        // sequence and require *exact* vertex equality at every step —
+        // including empty results, untouched fast paths and degenerate
+        // halfplanes.
+        let domain = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+        let me = Point::new(4_321.0, 5_678.0);
+        let others = [
+            Point::new(9_000.0, 5_000.0),   // cuts
+            Point::new(4_321.0, 5_678.0),   // degenerate (self)
+            Point::new(0.0, 0.0),           // cuts
+            Point::new(8_500.0, 9_500.0),   // cuts
+            Point::new(9_999.0, 9_999.0),   // untouched fast path
+            Point::new(4_400.0, 5_700.0),   // nearby: aggressive cut
+            Point::new(4_322.0, 5_679.0),   // even closer
+            Point::new(-5_000.0, -5_000.0), // untouched
+        ];
+        let mut scratch = ClipScratch::new();
+        let mut in_place = ConvexPolygon::from_rect(&domain);
+        let mut allocating = ConvexPolygon::from_rect(&domain);
+        for other in others {
+            allocating = allocating.clip_bisector(&me, &other);
+            in_place.clip_bisector_in_place(&me, &other, &mut scratch);
+            assert_eq!(in_place, allocating, "diverged after clipping vs {other}");
+        }
+        // Clip to empty and keep going: both stay empty.
+        let far = Point::new(4_321.0, 5_678.5);
+        for _ in 0..3 {
+            allocating = allocating.clip_bisector(&far, &me);
+            in_place.clip_bisector_in_place(&far, &me, &mut scratch);
+            assert_eq!(in_place, allocating);
+        }
+    }
+
+    #[test]
+    fn clip_into_leaves_source_untouched() {
+        let sq = ConvexPolygon::from_rect(&Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let hp = HalfPlane::bisector(&Point::new(2.0, 5.0), &Point::new(8.0, 5.0));
+        let mut scratch = ClipScratch::new();
+        let mut out = ConvexPolygon::empty();
+        sq.clip_into(&hp, &mut scratch, &mut out);
+        assert_eq!(out, sq.clip(&hp));
+        assert_eq!(sq.len(), 4, "source polygon must not change");
+        // A second clip into the same buffer reuses it.
+        sq.clip_into(&hp, &mut scratch, &mut out);
+        assert_eq!(out, sq.clip(&hp));
+    }
+
+    #[test]
+    fn untouched_clip_still_normalizes_duplicate_vertices() {
+        // `from_rect` of a degenerate rectangle carries duplicate corners;
+        // the historical clip deduped them through `ConvexPolygon::new`, so
+        // the fast path (and the in-place form) must too.
+        let degenerate = ConvexPolygon::from_rect(&Rect::from_point(Point::new(5.0, 5.0)));
+        assert_eq!(degenerate.len(), 4);
+        let hp = HalfPlane::bisector(&Point::new(5.0, 5.0), &Point::new(9.0, 9.0));
+        let clipped = degenerate.clip(&hp);
+        assert_eq!(clipped.len(), 1);
+        let mut in_place = ConvexPolygon::from_rect(&Rect::from_point(Point::new(5.0, 5.0)));
+        in_place.clip_in_place(&hp, &mut ClipScratch::new());
+        assert_eq!(in_place, clipped);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
 pub mod bulk;
 pub mod closest_pairs;
 pub mod codec;
@@ -39,6 +40,7 @@ pub mod object;
 pub mod reader;
 pub mod tree;
 
+pub use arena::{LeafLayout, NodeArena};
 pub use closest_pairs::k_closest_pairs;
 pub use codec::NODE_HEADER_BYTES;
 pub use join::{distance_join, intersection_join, intersection_join_pairs, IdPair};

@@ -1,4 +1,25 @@
-//! R-tree nodes.
+//! R-tree nodes: the owned AoS representation, and how it relates to the
+//! SoA decode arena.
+//!
+//! A [`Node`] is the *construction and storage* representation of one disk
+//! page: an array-of-structures `Vec` of [`ChildEntry`]s (non-leaf) or data
+//! objects (leaf). Insertion, splitting, bulk loading and the page codec all
+//! operate on this form, because those paths need owned, growable entry
+//! lists.
+//!
+//! The join hot loops do **not** scan this form by default. Leaf scans in
+//! `cij-core` and `cij-voronoi` go through the structure-of-arrays
+//! [`NodeArena`](crate::arena::NodeArena) instead: the decoded node is
+//! visited by reference
+//! ([`NodeReader::visit`](crate::reader::NodeReader::visit) →
+//! `PageStore::read_with`) and its entries are transposed into contiguous
+//! x/y coordinate arrays with a fixed stride derived from
+//! [`node_byte_budget`](crate::tree::RTreeConfig::node_byte_budget). That
+//! keeps per-node work allocation-free after warm-up and lets batch geometry
+//! kernels run over plain `[f64]` slices. The AoS scan survives behind the
+//! [`LeafLayout::Aos`](crate::arena::LeafLayout) knob as the parity and
+//! benchmark baseline; both layouts decode from the same page bytes and
+//! produce byte-identical results.
 
 use crate::object::RTreeObject;
 use cij_geom::Rect;

@@ -33,6 +33,19 @@ pub trait NodeReader<D: RTreeObject> {
 
     /// Reads one node.
     fn read(&mut self, page: PageId) -> Node<D>;
+
+    /// Visits one node **by reference**, with the same accounting as
+    /// [`NodeReader::read`].
+    ///
+    /// This is the zero-copy entry point behind the SoA
+    /// [`NodeArena`](crate::arena::NodeArena): both implementations serve the
+    /// callback from a decoded in-memory image (the page store's, or the
+    /// snapshot's), so visiting clones nothing and allocates nothing. The
+    /// default implementation falls back to an owned read.
+    fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        let node = self.read(page);
+        f(&node);
+    }
 }
 
 impl<D: RTreeObject> NodeReader<D> for RTree<D> {
@@ -46,6 +59,10 @@ impl<D: RTreeObject> NodeReader<D> for RTree<D> {
 
     fn read(&mut self, page: PageId) -> Node<D> {
         self.read_node(page)
+    }
+
+    fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        self.visit_node(page, f);
     }
 }
 
@@ -94,6 +111,11 @@ impl<D: RTreeObject> NodeReader<D> for TracedReader<'_, D> {
     fn read(&mut self, page: PageId) -> Node<D> {
         self.trace.push(page);
         self.tree.peek_node(page).clone()
+    }
+
+    fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        self.trace.push(page);
+        f(self.tree.peek_node(page));
     }
 }
 

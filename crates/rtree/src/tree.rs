@@ -148,6 +148,16 @@ impl<D: RTreeObject> RTree<D> {
         self.store.read(page)
     }
 
+    /// Visits a node by reference with full read accounting, without cloning
+    /// the payload: thin wrapper over
+    /// [`PageStore::read_with`](cij_pagestore::PageStore::read_with). Buffer
+    /// state, hit/miss counters and backend byte transfers are identical to
+    /// [`RTree::read_node`]; this is the decode path of the SoA
+    /// [`NodeArena`](crate::arena::NodeArena).
+    pub fn visit_node(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        self.store.read_with(page, |node| f(node));
+    }
+
     /// Reads a node without counting the access (oracles/tests only, and
     /// the snapshot reads of [`TracedReader`](crate::reader::TracedReader)
     /// whose accounting is deferred to [`RTree::replay_read`]).

@@ -9,9 +9,42 @@
 //! discovered point refines only the cells it can actually refine.
 
 use crate::single::can_refine;
-use cij_geom::{ConvexPolygon, Point, Rect};
+use cij_geom::{ClipScratch, ConvexPolygon, Point, Rect};
 use cij_pagestore::PageId;
-use cij_rtree::{MinDistHeap, MinHeapItem, NodeReader, PointObject, RTreeObject};
+use cij_rtree::{
+    LeafLayout, MinDistHeap, MinHeapItem, NodeArena, NodeReader, PointObject, RTreeObject,
+};
+
+/// Reusable per-worker scratch for batch-Voronoi traversals.
+///
+/// The SoA ([`LeafLayout::Soa`]) path of [`batch_voronoi_with`] performs all
+/// its transient work inside this struct: nodes decode into the
+/// [`NodeArena`], cell refinement ping-pongs through the [`ClipScratch`],
+/// and per-leaf centroid distances land in `dists`. Allocate one per worker
+/// thread, reuse it across every group the worker processes; after the
+/// buffers reach their high-water size the traversal allocates only for the
+/// returned cells themselves.
+#[derive(Debug, Default)]
+pub struct VorScratch {
+    /// SoA node decode target.
+    pub arena: NodeArena,
+    /// Polygon clipping ping-pong buffers.
+    pub clip: ClipScratch,
+    /// Batched point-to-centroid distances of one leaf.
+    pub dists: Vec<f64>,
+}
+
+impl VorScratch {
+    /// Creates a scratch whose arena is pre-sized for nodes of the given
+    /// byte budget
+    /// ([`RTreeConfig::node_byte_budget`](cij_rtree::RTreeConfig::node_byte_budget)).
+    pub fn for_budget(node_byte_budget: usize) -> Self {
+        VorScratch {
+            arena: NodeArena::for_budget(node_byte_budget),
+            ..VorScratch::default()
+        }
+    }
+}
 
 enum HeapEntry {
     Node { page: PageId, mbr: Rect },
@@ -88,6 +121,26 @@ pub fn batch_voronoi_cached<T: NodeReader<PointObject>, C: CellStore>(
     domain: &Rect,
     cache: &mut C,
 ) -> Vec<ConvexPolygon> {
+    batch_voronoi_cached_with(
+        tree,
+        group,
+        domain,
+        cache,
+        LeafLayout::Aos,
+        &mut VorScratch::default(),
+    )
+}
+
+/// [`batch_voronoi_cached`] parameterized over the leaf [`LeafLayout`] and a
+/// caller-owned [`VorScratch`]; cells are identical across layouts.
+pub fn batch_voronoi_cached_with<T: NodeReader<PointObject>, C: CellStore>(
+    tree: &mut T,
+    group: &[PointObject],
+    domain: &Rect,
+    cache: &mut C,
+    layout: LeafLayout,
+    scratch: &mut VorScratch,
+) -> Vec<ConvexPolygon> {
     // Fast path: nothing to look up.
     if group.is_empty() {
         return Vec::new();
@@ -104,7 +157,7 @@ pub fn batch_voronoi_cached<T: NodeReader<PointObject>, C: CellStore>(
         }
     }
     if !missing.is_empty() {
-        let computed = batch_voronoi(tree, &missing, domain);
+        let computed = batch_voronoi_with(tree, &missing, domain, layout, scratch);
         let mut fresh = missing.iter().zip(computed);
         for slot in cells.iter_mut() {
             if slot.is_none() {
@@ -136,6 +189,37 @@ pub fn batch_voronoi<T: NodeReader<PointObject>>(
     group: &[PointObject],
     domain: &Rect,
 ) -> Vec<ConvexPolygon> {
+    batch_voronoi_with(
+        tree,
+        group,
+        domain,
+        LeafLayout::Aos,
+        &mut VorScratch::default(),
+    )
+}
+
+/// [`batch_voronoi`] parameterized over the leaf [`LeafLayout`] and a
+/// caller-owned [`VorScratch`].
+///
+/// Both layouts run the *same* traversal — same heap keys in the same push
+/// order, same Lemma-1/Lemma-2 tests on the same `f64` values — so the
+/// computed cells and page-access sequences are byte-identical. They differ
+/// only in memory shape:
+///
+/// * [`LeafLayout::Aos`] reads owned [`Node`](cij_rtree::Node)s and clips
+///   via the allocating [`ConvexPolygon::clip_bisector`] — the historical
+///   baseline.
+/// * [`LeafLayout::Soa`] decodes nodes into `scratch.arena` by reference,
+///   computes leaf centroid distances as one batched loop over the
+///   coordinate slices, and refines cells in place through `scratch.clip` —
+///   no per-node or per-clip allocation after warm-up.
+pub fn batch_voronoi_with<T: NodeReader<PointObject>>(
+    tree: &mut T,
+    group: &[PointObject],
+    domain: &Rect,
+    layout: LeafLayout,
+    scratch: &mut VorScratch,
+) -> Vec<ConvexPolygon> {
     let mut cells: Vec<ConvexPolygon> = group
         .iter()
         .map(|_| ConvexPolygon::from_rect(domain))
@@ -143,19 +227,29 @@ pub fn batch_voronoi<T: NodeReader<PointObject>>(
     if group.is_empty() || tree.is_empty() {
         return cells;
     }
+    let VorScratch { arena, clip, dists } = scratch;
     let sites: Vec<Point> = group.iter().map(|o| o.point).collect();
     let centroid = Point::centroid(&sites).expect("non-empty group");
 
     // A point pj discovered by the traversal refines member i's cell exactly
     // under the Lemma-1 test; group members refine each other here as well,
-    // because they are data points of P like any other.
-    let refine_with = |cells: &mut [ConvexPolygon], pj: &PointObject| {
+    // because they are data points of P like any other. The two layout arms
+    // compute the same clip; SoA reuses the scratch buffers instead of
+    // allocating a fresh polygon per bisector.
+    let mut refine_with = |cells: &mut [ConvexPolygon], pj: &PointObject| {
         for (i, member) in group.iter().enumerate() {
             if member.id == pj.id {
                 continue;
             }
             if bisector_cuts(cells[i].vertices(), &member.point, &pj.point) {
-                cells[i] = cells[i].clip_bisector(&member.point, &pj.point);
+                match layout {
+                    LeafLayout::Aos => {
+                        cells[i] = cells[i].clip_bisector(&member.point, &pj.point);
+                    }
+                    LeafLayout::Soa => {
+                        cells[i].clip_bisector_in_place(&member.point, &pj.point, clip);
+                    }
+                }
             }
         }
     };
@@ -163,8 +257,7 @@ pub fn batch_voronoi<T: NodeReader<PointObject>>(
     // Group members are known up front; refine with them immediately so the
     // traversal starts from tight cells (pure optimisation — the traversal
     // would rediscover them anyway).
-    let group_objects: Vec<PointObject> = group.to_vec();
-    for pj in &group_objects {
+    for pj in group {
         refine_with(&mut cells, pj);
     }
 
@@ -200,25 +293,66 @@ pub fn batch_voronoi<T: NodeReader<PointObject>>(
                 if !any_can_refine(&mbr, &cells) {
                     continue;
                 }
-                let node = tree.read(page);
-                if node.is_leaf() {
-                    for o in node.objects {
-                        if any_can_refine(&o.mbr(), &cells) {
-                            let d = o.point.dist(&centroid);
-                            heap.push(MinHeapItem::new(d, HeapEntry::Point(o)));
+                match layout {
+                    LeafLayout::Aos => {
+                        let node = tree.read(page);
+                        if node.is_leaf() {
+                            for o in node.objects {
+                                if any_can_refine(&o.mbr(), &cells) {
+                                    let d = o.point.dist(&centroid);
+                                    heap.push(MinHeapItem::new(d, HeapEntry::Point(o)));
+                                }
+                            }
+                        } else {
+                            for c in node.children {
+                                if any_can_refine(&c.mbr, &cells) {
+                                    let d = c.mbr.mindist_point(&centroid);
+                                    heap.push(MinHeapItem::new(
+                                        d,
+                                        HeapEntry::Node {
+                                            page: c.page,
+                                            mbr: c.mbr,
+                                        },
+                                    ));
+                                }
+                            }
                         }
                     }
-                } else {
-                    for c in node.children {
-                        if any_can_refine(&c.mbr, &cells) {
-                            let d = c.mbr.mindist_point(&centroid);
-                            heap.push(MinHeapItem::new(
-                                d,
-                                HeapEntry::Node {
-                                    page: c.page,
-                                    mbr: c.mbr,
-                                },
-                            ));
+                    LeafLayout::Soa => {
+                        arena.load(&mut *tree, page);
+                        if arena.is_leaf() {
+                            // Batched centroid distances over the coordinate
+                            // slices: same subtract/multiply/sqrt order as
+                            // `Point::dist`, so the heap keys are bitwise
+                            // equal to the AoS arm's.
+                            let n = arena.len();
+                            dists.clear();
+                            dists.resize(n, 0.0);
+                            let (cx, cy) = (centroid.x, centroid.y);
+                            for ((d, &x), &y) in dists.iter_mut().zip(arena.xs()).zip(arena.ys()) {
+                                let dx = x - cx;
+                                let dy = y - cy;
+                                *d = (dx * dx + dy * dy).sqrt();
+                            }
+                            for (i, &d) in dists.iter().enumerate() {
+                                let o = arena.object(i);
+                                if any_can_refine(&o.mbr(), &cells) {
+                                    heap.push(MinHeapItem::new(d, HeapEntry::Point(o)));
+                                }
+                            }
+                        } else {
+                            for c in arena.children() {
+                                if any_can_refine(&c.mbr, &cells) {
+                                    let d = c.mbr.mindist_point(&centroid);
+                                    heap.push(MinHeapItem::new(
+                                        d,
+                                        HeapEntry::Node {
+                                            page: c.page,
+                                            mbr: c.mbr,
+                                        },
+                                    ));
+                                }
+                            }
                         }
                     }
                 }
@@ -421,6 +555,42 @@ mod tests {
         }
         // The store now holds all members.
         assert_eq!(store.0.len(), group.len());
+    }
+
+    #[test]
+    fn soa_and_aos_layouts_agree_bitwise() {
+        let pts = random_points(600, 47);
+        let objects = PointObject::from_points(&pts);
+        let mut aos_tree = RTree::bulk_load(config(), objects.clone());
+        let mut soa_tree = RTree::bulk_load(config(), objects.clone());
+        for t in [&mut aos_tree, &mut soa_tree] {
+            t.set_buffer_pages(4);
+            t.drop_buffer();
+            t.stats().reset();
+        }
+        let mut scratch = VorScratch::for_budget(config().node_byte_budget());
+        for lo in [0, 77, 200] {
+            let group: Vec<PointObject> = objects[lo..lo + 10].to_vec();
+            let aos = batch_voronoi_with(
+                &mut aos_tree,
+                &group,
+                &Rect::DOMAIN,
+                LeafLayout::Aos,
+                &mut VorScratch::default(),
+            );
+            let soa = batch_voronoi_with(
+                &mut soa_tree,
+                &group,
+                &Rect::DOMAIN,
+                LeafLayout::Soa,
+                &mut scratch,
+            );
+            // Bitwise, not approximate: the layouts execute the same f64
+            // operations in the same order.
+            assert_eq!(aos, soa);
+        }
+        assert_eq!(aos_tree.stats().snapshot(), soa_tree.stats().snapshot());
+        assert_eq!(aos_tree.backend_io(), soa_tree.backend_io());
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod single;
 pub mod tpvor;
 
 pub use batch::{
-    batch_voronoi, batch_voronoi_cached, bisector_cuts, cell_reach_sq, CellStore, NoCache,
+    batch_voronoi, batch_voronoi_cached, batch_voronoi_cached_with, batch_voronoi_with,
+    bisector_cuts, cell_reach_sq, CellStore, NoCache, VorScratch,
 };
 pub use brute::{brute_force_cell, brute_force_diagram, nearest_index};
 pub use diagram::{compute_diagram, lower_bound_io, DiagramMethod, DiagramResult};

@@ -79,7 +79,7 @@ pub mod prelude {
     pub use cij_core::{
         batch_conditional_filter, batch_conditional_filter_with, brute_force_cij,
         brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm, CellCache,
-        CijConfig, CijExecutor, CijOutcome, FilterKernel, FilterOptions, FilterStats,
+        CijConfig, CijExecutor, CijOutcome, FilterKernel, FilterOptions, FilterStats, LeafLayout,
         LeafWatermark, MultiwayCounters, MultiwayDriver, MultiwayOutcome, MultiwayProbe,
         MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, StorageBackend, TupleStream,
         Workload,

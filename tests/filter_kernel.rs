@@ -72,11 +72,13 @@ proptest! {
             kernel: FilterKernel::Indexed,
             grid_resolution,
             bound_cells,
+            ..FilterOptions::default()
         };
         let scan = FilterOptions {
             kernel: FilterKernel::Scan,
             grid_resolution: 0,
             bound_cells,
+            ..FilterOptions::default()
         };
         let (ids_indexed, stats_indexed) = run_filter(&p, &polys, &domain, &indexed);
         let (ids_scan, stats_scan) = run_filter(&p, &polys, &domain, &scan);
