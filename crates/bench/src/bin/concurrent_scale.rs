@@ -1,0 +1,11 @@
+//! Standalone runner for the concurrent-serving experiment (N simultaneous
+//! fast-mode NM-CIJ queries over one shared snapshot: metered-identical
+//! results, zero traces/replays, budget envelope under quota pressure; see
+//! [`cij_bench::experiments::concurrent_scale`]).
+
+use cij_bench::experiments::concurrent_scale;
+use cij_bench::Args;
+
+fn main() {
+    concurrent_scale::run(&Args::capture());
+}

@@ -38,6 +38,7 @@ fn main() {
     experiments::multiway_scale::run(&forward(0.01));
     experiments::filter_kernel::run(&forward(0.02));
     experiments::kernel_layout::run(&forward(0.02));
+    experiments::concurrent_scale::run(&forward(0.02));
     if json {
         let report = report::take().expect("recording was enabled");
         let path = format!("BENCH_{bench_id}.json");

@@ -1,0 +1,166 @@
+//! Concurrent serving experiment for the fast (lock-light) executor.
+//!
+//! Runs N ∈ {1, 4, 16} simultaneous NM-CIJ queries through the
+//! [`cij_core::service`] request server against **one shared snapshot** and
+//! hard-asserts the fast-path contract on every row:
+//!
+//! * **(a) result parity** — each served query's pairs (set *and* emission
+//!   order) are byte-identical to the metered oracle run;
+//! * **(b) lock-light execution** — the fast window records **zero** page
+//!   traces and performs **zero** coordinator replays, verified through the
+//!   process-wide [`cij_rtree::probe`] counters;
+//! * **(c) budget envelope** — under quota pressure (16 queries competing
+//!   for a budget that admits two at a time) the aggregate cell-cache
+//!   residency never exceeds the global budget, verified through
+//!   [`CacheBudget::high_water`](cij_core::CacheBudget::high_water).
+//!
+//! Any violation panics (nonzero exit), so the CI smoke run of this
+//! experiment fails on a fast-path regression.
+
+use crate::util::{paper_config, print_header, print_row, scaled, secs, Args};
+use cij_core::{
+    nm_cij, CijConfig, CijService, ExecMode, QueryEngine, Request, ResponseHandle, ServiceConfig,
+    Workload,
+};
+use cij_datagen::uniform_points;
+use cij_geom::Rect;
+use cij_rtree::probe;
+use std::time::Instant;
+
+/// The swept simultaneous-query counts.
+pub const QUERY_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Runs the concurrent-serving experiment. `--scale` scales the 100 K
+/// default cardinality.
+pub fn run(args: &Args) {
+    let scale: f64 = args.get("scale", 0.02);
+    let n = scaled(100_000, scale);
+    let p = uniform_points(n, &Rect::DOMAIN, 17_001);
+    let q = uniform_points(n, &Rect::DOMAIN, 17_002);
+
+    // The metered oracle: one counted run, exclusive workload.
+    let metered_config: CijConfig = paper_config().with_exec_mode(ExecMode::Metered);
+    let mut w = Workload::build(&p, &q, &metered_config);
+    let oracle = nm_cij(&mut w, &metered_config);
+    drop(w);
+
+    // One snapshot shared by every service below.
+    let engine = QueryEngine::new(paper_config().with_exec_mode(ExecMode::Fast));
+    let snapshot = std::sync::Arc::new(engine.snapshot(&[p, q]));
+
+    print_header(
+        &format!("Concurrent serving: N simultaneous NM-CIJ queries, one shared snapshot, |P| = |Q| = {n}"),
+        &[
+            "N",
+            "wall (s)",
+            "queries/s",
+            "pairs/query",
+            "reads/query",
+            "parity vs metered",
+            "traces",
+            "replays",
+        ],
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    for count in QUERY_COUNTS {
+        let service = CijService::start(
+            std::sync::Arc::clone(&snapshot),
+            ServiceConfig {
+                queue_depth: count.max(4),
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        // Probe baseline straddles only the fast window: the metered oracle
+        // above recorded traces and replays by design; the fast path must
+        // record none.
+        let traces_before = probe::trace_records();
+        let replays_before = probe::replays();
+        let start = Instant::now();
+        let handles: Vec<ResponseHandle> = (0..count)
+            .map(|_| {
+                service
+                    .submit(Request::Join { p: 0, q: 1 })
+                    .expect("queue sized for the batch")
+            })
+            .collect();
+        let mut reads = 0;
+        let mut parity = "exact";
+        for handle in &handles {
+            let pairs = handle.collect_pairs();
+            let done = handle.completion();
+            reads = done.page_accesses;
+            if pairs != oracle.pairs || done.failed {
+                parity = "VIOLATED";
+                violations.push(format!(
+                    "N={count}: pairs diverged (got {}, oracle {}, failed {})",
+                    pairs.len(),
+                    oracle.pairs.len(),
+                    done.failed
+                ));
+            }
+        }
+        let wall = secs(start.elapsed());
+        let traces = probe::trace_records() - traces_before;
+        let replays = probe::replays() - replays_before;
+        if traces != 0 || replays != 0 {
+            violations.push(format!(
+                "N={count}: fast window recorded {traces} traces / {replays} replays (want 0/0)"
+            ));
+        }
+        print_row(&[
+            count.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.1}", count as f64 / wall.max(1e-9)),
+            oracle.pairs.len().to_string(),
+            reads.to_string(),
+            parity.to_string(),
+            traces.to_string(),
+            replays.to_string(),
+        ]);
+        service.shutdown();
+    }
+
+    // Criterion (c): quota pressure. 16 queries, each reserving a 64-cell
+    // quota from a 128-cell budget — at most two run at once, and the
+    // aggregate residency envelope must hold.
+    let pressured = CijService::start(
+        std::sync::Arc::clone(&snapshot),
+        ServiceConfig {
+            queue_depth: 32,
+            workers: 4,
+            cache_budget_cells: 128,
+            query_cache_quota: 64,
+        },
+    );
+    let handles: Vec<ResponseHandle> = (0..16)
+        .map(|_| pressured.submit(Request::Join { p: 0, q: 1 }).unwrap())
+        .collect();
+    for handle in &handles {
+        if handle.collect_pairs() != oracle.pairs {
+            violations.push("quota pressure changed a query's result".to_string());
+        }
+    }
+    let budget = pressured.budget();
+    let (high_water, total) = (budget.high_water(), budget.total());
+    if high_water > total || high_water == 0 {
+        violations.push(format!(
+            "budget envelope violated: high water {high_water} vs total {total}"
+        ));
+    }
+    println!(
+        "quota pressure: 16 queries x 64-cell quota vs 128-cell budget -> \
+         high water {high_water} / {total} cells, all results identical"
+    );
+    pressured.shutdown();
+
+    println!(
+        "shape check: parity must read `exact`, traces and replays must be 0 on every row, \
+         and the quota high water must stay within the budget"
+    );
+    assert!(
+        violations.is_empty(),
+        "fast-path serving contract violated: {violations:?}"
+    );
+}

@@ -23,8 +23,10 @@
 //! | [`multiway_scale`] | Multiway CIJ over k ∈ {2, 3, 4} sets: leaf-batched vs per-tuple probing, cost-driven planning vs the fixed-driver baseline, thread-parity check |
 //! | [`filter_kernel`] | Conditional-filter kernels: sub-quadratic `Indexed` vs quadratic `Scan` — byte-identical candidates, identical traversal, ≥ 3× fewer clip operations |
 //! | [`kernel_layout`] | Leaf layouts: SoA arena/scratch kernels vs the AoS baseline — byte-identical pairs/tuples/counters/page accesses at any thread count and backend, strictly fewer allocations |
+//! | [`concurrent_scale`] | Fast-mode serving: N ∈ {1, 4, 16} simultaneous NM-CIJ queries over one shared snapshot — metered-identical results, zero traces/replays, budget envelope under quota pressure |
 
 pub mod cache_sweep;
+pub mod concurrent_scale;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;

@@ -29,6 +29,148 @@ use cij_geom::ConvexPolygon;
 use cij_pagestore::{Admission, IoStats, LruBuffer};
 use cij_voronoi::CellStore;
 use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A global budget of cell-cache capacity, carved into per-query quotas.
+///
+/// The fast execution mode gives every concurrent query its **own**
+/// [`CellCache`] (so queries can never evict each other's entries), but the
+/// sum of those private caches must stay bounded — a serving process has
+/// one memory envelope, not one per query. `CacheBudget` is that envelope:
+/// a query reserves its quota up front (all-or-nothing), holds it as a
+/// [`CacheLease`] for the life of its cache, and returns it on drop. When
+/// the budget is exhausted, [`CacheBudget::reserve`] blocks — this is the
+/// admission-control point of the [`crate::service`] work queue.
+///
+/// The budget counts *capacity* (the worst-case resident cells of a lease's
+/// cache), not instantaneous occupancy, so the aggregate residency bound
+/// `Σ len(cache_i) ≤ Σ capacity_i ≤ total` holds by construction; the
+/// high-water mark records the tightest value the process ever reached for
+/// harnesses to assert against.
+#[derive(Debug, Clone)]
+pub struct CacheBudget {
+    inner: Arc<BudgetInner>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    total: usize,
+    state: Mutex<BudgetState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BudgetState {
+    reserved: usize,
+    high_water: usize,
+}
+
+impl CacheBudget {
+    /// Creates a budget of `total` cells shared by every lease cloned from
+    /// this handle.
+    pub fn new(total: usize) -> Self {
+        CacheBudget {
+            inner: Arc::new(BudgetInner {
+                total,
+                state: Mutex::new(BudgetState::default()),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The budget's total capacity in cells.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Cells currently reserved by live leases.
+    pub fn reserved(&self) -> usize {
+        self.inner.state.lock().unwrap().reserved
+    }
+
+    /// The highest reservation level ever reached — the value the
+    /// `concurrent_scale` experiment asserts never exceeds
+    /// [`CacheBudget::total`].
+    pub fn high_water(&self) -> usize {
+        self.inner.state.lock().unwrap().high_water
+    }
+
+    /// Attempts to reserve `cells` without blocking. Requests larger than
+    /// the whole budget are clamped to it (they could otherwise never be
+    /// admitted). Returns `None` when the remaining budget is insufficient.
+    pub fn try_reserve(&self, cells: usize) -> Option<CacheLease> {
+        let cells = cells.min(self.inner.total);
+        let mut state = self.inner.state.lock().unwrap();
+        if state.reserved + cells > self.inner.total {
+            return None;
+        }
+        state.reserved += cells;
+        state.high_water = state.high_water.max(state.reserved);
+        Some(CacheLease {
+            budget: Arc::clone(&self.inner),
+            cells,
+        })
+    }
+
+    /// Reserves `cells`, blocking until enough budget is free (admission
+    /// control). Requests larger than the whole budget are clamped to it.
+    pub fn reserve(&self, cells: usize) -> CacheLease {
+        let cells = cells.min(self.inner.total);
+        let mut state = self.inner.state.lock().unwrap();
+        while state.reserved + cells > self.inner.total {
+            state = self.inner.freed.wait(state).unwrap();
+        }
+        state.reserved += cells;
+        state.high_water = state.high_water.max(state.reserved);
+        CacheLease {
+            budget: Arc::clone(&self.inner),
+            cells,
+        }
+    }
+}
+
+/// A reservation of cell-cache capacity, returned to its [`CacheBudget`]
+/// when dropped.
+#[derive(Debug)]
+pub struct CacheLease {
+    budget: Arc<BudgetInner>,
+    cells: usize,
+}
+
+impl CacheLease {
+    /// The number of cells this lease entitles — the capacity to construct
+    /// the query's private [`CellCache`] with.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Builds the private cache this lease pays for.
+    pub fn new_cache(&self) -> CellCache {
+        CellCache::new(self.cells)
+    }
+
+    /// Splits this lease's capacity into `k` private caches — one per input
+    /// set of a multiway query — each receiving an equal `cells / k` share.
+    /// The shares sum to at most [`CacheLease::cells`], so the aggregate
+    /// residency bound is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn split_caches(&self, k: usize) -> Vec<CellCache> {
+        assert!(k > 0, "a multiway query has at least one set");
+        (0..k).map(|_| CellCache::new(self.cells / k)).collect()
+    }
+}
+
+impl Drop for CacheLease {
+    fn drop(&mut self) {
+        let mut state = self.budget.state.lock().unwrap();
+        state.reserved = state.reserved.saturating_sub(self.cells);
+        drop(state);
+        self.budget.freed.notify_all();
+    }
+}
 
 /// A bounded LRU cache of exact Voronoi cells, keyed by point id.
 #[derive(Debug)]
@@ -386,6 +528,47 @@ mod tests {
         assert!(!c.policy_get(1));
         assert_eq!(c.len(), 0);
         assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn budget_reserves_all_or_nothing_and_returns_on_drop() {
+        let budget = CacheBudget::new(100);
+        let a = budget.try_reserve(60).expect("fits");
+        assert_eq!(a.cells(), 60);
+        assert_eq!(budget.reserved(), 60);
+        assert!(budget.try_reserve(60).is_none(), "only 40 left");
+        let b = budget.try_reserve(40).expect("exactly fits");
+        assert_eq!(budget.reserved(), 100);
+        assert_eq!(budget.high_water(), 100);
+        drop(a);
+        assert_eq!(budget.reserved(), 40);
+        // High water is sticky.
+        assert_eq!(budget.high_water(), 100);
+        drop(b);
+        assert_eq!(budget.reserved(), 0);
+        // Oversized requests clamp to the whole budget instead of
+        // deadlocking forever.
+        let c = budget.try_reserve(1_000_000).expect("clamped");
+        assert_eq!(c.cells(), 100);
+        assert_eq!(c.new_cache().capacity(), 100);
+    }
+
+    #[test]
+    fn blocking_reserve_waits_for_a_freed_lease() {
+        let budget = CacheBudget::new(10);
+        let held = budget.reserve(10);
+        let budget2 = budget.clone();
+        let waiter = std::thread::spawn(move || {
+            // Blocks until the main thread drops `held`.
+            let lease = budget2.reserve(5);
+            lease.cells()
+        });
+        // Give the waiter a chance to park, then free the budget.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 5);
+        assert_eq!(budget.reserved(), 0);
+        assert!(budget.high_water() <= budget.total());
     }
 
     #[test]

@@ -105,6 +105,55 @@ impl MultiwayDriver {
     }
 }
 
+/// Which execution path a [`CijExecutor`](crate::engine::CijExecutor)
+/// stream runs — the trade between exact cost accounting and per-query
+/// overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The byte-exact counted path: every page access flows through the
+    /// real LRU buffer and the shared [`cij_pagestore::IoStats`], and the
+    /// parallel protocol records [`cij_rtree::TracedReader`] page traces
+    /// which the coordinator replays in Hilbert leaf order. This is the
+    /// correctness *and* accounting oracle — tests and the paper-figure
+    /// benches run it. The default.
+    #[default]
+    Metered,
+    /// The lock-light serving path: queries traverse the tree pages as an
+    /// immutable snapshot (`peek`-based reads that never touch the shared
+    /// buffer or its mutex-free but contended counters), skip trace
+    /// recording and coordinator replay entirely, and count I/O in a
+    /// per-query-local counter. Results — pairs, tuples, set *and* order —
+    /// are identical to [`ExecMode::Metered`]; only the cost accounting
+    /// changes meaning (logical snapshot reads instead of buffer-simulated
+    /// physical accesses). Many simultaneous queries can share one
+    /// `Arc`-snapshotted tree pair; see [`crate::service`].
+    Fast,
+}
+
+impl ExecMode {
+    /// Short label used by benches and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::Metered => "metered",
+            ExecMode::Fast => "fast",
+        }
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "metered" => Ok(ExecMode::Metered),
+            "fast" => Ok(ExecMode::Fast),
+            other => Err(format!(
+                "unknown exec mode {other:?} (expected \"metered\" or \"fast\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of a CIJ evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct CijConfig {
@@ -204,6 +253,13 @@ pub struct CijConfig {
     /// probe region is), and candidate×partial narrowing skips bbox-disjoint
     /// combinations. On by default; disable to reproduce the PR-4 baseline.
     pub multiway_prune: bool,
+    /// Execution path of the streaming executors (see [`ExecMode`]):
+    /// [`ExecMode::Metered`] (the default) is the byte-exact counted
+    /// oracle, [`ExecMode::Fast`] the lock-light serving path with
+    /// snapshot reads and per-query-local I/O counters. Both modes emit
+    /// identical pairs/tuples in identical order — the knob trades cost
+    /// accounting for per-query overhead, never results.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for CijConfig {
@@ -223,6 +279,7 @@ impl Default for CijConfig {
             multiway_driver: MultiwayDriver::CostBased,
             leaf_layout: LeafLayout::Soa,
             multiway_prune: true,
+            exec_mode: ExecMode::Metered,
         }
     }
 }
@@ -315,48 +372,72 @@ impl CijConfig {
         self
     }
 
-    /// Applies environment overrides: `CIJ_WORKER_THREADS=<n>` sets
-    /// [`CijConfig::worker_threads`], `CIJ_STORAGE=heap|file` sets
-    /// [`CijConfig::storage_backend`], and `CIJ_FILTER_KERNEL=indexed|scan`
-    /// sets [`CijConfig::filter_kernel`].
+    /// Sets the execution mode (see [`ExecMode`]).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Applies environment overrides, one knob per variable:
     ///
-    /// Intended for harnesses (CI runs the whole test suite a second time
-    /// with `CIJ_WORKER_THREADS=4` and a third time with
-    /// `CIJ_STORAGE=file`); library behaviour never depends on the
-    /// environment unless a caller opts in through this method.
+    /// | Variable | Field | Values |
+    /// |---|---|---|
+    /// | `CIJ_WORKER_THREADS` | [`CijConfig::worker_threads`] | integer ≥ 1 |
+    /// | `CIJ_STORAGE` | [`CijConfig::storage_backend`] | `heap` \| `file` |
+    /// | `CIJ_FILTER_KERNEL` | [`CijConfig::filter_kernel`] | `indexed` \| `scan` |
+    /// | `CIJ_LEAF_LAYOUT` | [`CijConfig::leaf_layout`] | `soa` \| `aos` |
+    /// | `CIJ_EXEC_MODE` | [`CijConfig::exec_mode`] | `metered` \| `fast` |
+    ///
+    /// Intended for harnesses (CI reruns the whole test suite with
+    /// `CIJ_WORKER_THREADS=4`, `CIJ_STORAGE=file` and `CIJ_EXEC_MODE=fast`);
+    /// library behaviour never depends on the environment unless a caller
+    /// opts in through this method.
     ///
     /// # Panics
     ///
     /// Panics when a variable is set but invalid — a harness that asks for
     /// the parallel path or the file backend must never silently fall back
     /// to the default one.
-    pub fn with_env_overrides(mut self) -> Self {
-        if let Ok(value) = std::env::var("CIJ_WORKER_THREADS") {
-            match value.parse() {
-                // 0 would degrade to the sequential leaf loop — reject it
-                // here so the override can't silently undo itself (the
-                // `with_worker_threads` builder still accepts 0 for callers
-                // who explicitly want sequential).
-                Ok(threads) if threads >= 1 => self.worker_threads = threads,
-                _ => panic!("CIJ_WORKER_THREADS must be a thread count >= 1, got {value:?}"),
-            }
+    pub fn with_env_overrides(self) -> Self {
+        self.with_overrides_from(|name| std::env::var(name).ok())
+    }
+
+    /// The [`with_env_overrides`](CijConfig::with_env_overrides) knob table,
+    /// driven by an arbitrary `name -> value` source so tests can feed knob
+    /// values without mutating the real (process-global, racy) environment.
+    fn with_overrides_from(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        // Every knob parses through its type's `FromStr` and panics with a
+        // uniform "<VAR>: <err>" message on invalid input; the thread-count
+        // knob additionally rejects 0, which would silently degrade to the
+        // sequential leaf loop (the `with_worker_threads` builder still
+        // accepts 0 for callers who explicitly want sequential).
+        type Apply = fn(&mut CijConfig, &str, &str);
+        fn parsed<T: std::str::FromStr<Err = String>>(name: &str, value: &str) -> T {
+            value.parse().unwrap_or_else(|err| panic!("{name}: {err}"))
         }
-        if let Ok(value) = std::env::var("CIJ_STORAGE") {
-            match value.parse() {
-                Ok(storage) => self.storage_backend = storage,
-                Err(err) => panic!("CIJ_STORAGE: {err}"),
-            }
-        }
-        if let Ok(value) = std::env::var("CIJ_FILTER_KERNEL") {
-            match value.parse() {
-                Ok(kernel) => self.filter_kernel = kernel,
-                Err(err) => panic!("CIJ_FILTER_KERNEL: {err}"),
-            }
-        }
-        if let Ok(value) = std::env::var("CIJ_LEAF_LAYOUT") {
-            match value.parse() {
-                Ok(layout) => self.leaf_layout = layout,
-                Err(err) => panic!("CIJ_LEAF_LAYOUT: {err}"),
+        const KNOBS: &[(&str, Apply)] = &[
+            ("CIJ_WORKER_THREADS", |c, name, value| {
+                match value.parse::<usize>() {
+                    Ok(threads) if threads >= 1 => c.worker_threads = threads,
+                    _ => panic!("{name}: must be a thread count >= 1, got {value:?}"),
+                }
+            }),
+            ("CIJ_STORAGE", |c, name, value| {
+                c.storage_backend = parsed(name, value);
+            }),
+            ("CIJ_FILTER_KERNEL", |c, name, value| {
+                c.filter_kernel = parsed(name, value);
+            }),
+            ("CIJ_LEAF_LAYOUT", |c, name, value| {
+                c.leaf_layout = parsed(name, value);
+            }),
+            ("CIJ_EXEC_MODE", |c, name, value| {
+                c.exec_mode = parsed(name, value);
+            }),
+        ];
+        for (name, apply) in KNOBS {
+            if let Some(value) = get(name) {
+                apply(&mut self, name, &value);
             }
         }
         self
@@ -475,6 +556,76 @@ mod tests {
         assert_eq!(c.multiway_driver, MultiwayDriver::Fixed(2));
         assert_eq!(c.multiway_driver.name(), "fixed(2)");
         assert!(!c.multiway_prune);
+    }
+
+    #[test]
+    fn exec_mode_default_builder_and_parsing() {
+        let c = CijConfig::default();
+        assert_eq!(c.exec_mode, ExecMode::Metered, "metered is the oracle");
+        assert_eq!(c.exec_mode.name(), "metered");
+        let c = c.with_exec_mode(ExecMode::Fast);
+        assert_eq!(c.exec_mode, ExecMode::Fast);
+        assert_eq!(c.exec_mode.name(), "fast");
+        assert_eq!("metered".parse::<ExecMode>(), Ok(ExecMode::Metered));
+        assert_eq!("Fast".parse::<ExecMode>(), Ok(ExecMode::Fast));
+        assert!("turbo".parse::<ExecMode>().is_err());
+    }
+
+    /// Drives the override table with an explicit map instead of the real
+    /// environment (process-global and racy under the parallel test runner).
+    fn overridden(pairs: &[(&str, &str)]) -> CijConfig {
+        CijConfig::default().with_overrides_from(|name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        })
+    }
+
+    #[test]
+    fn override_table_applies_every_knob() {
+        let c = overridden(&[
+            ("CIJ_WORKER_THREADS", "4"),
+            ("CIJ_STORAGE", "file"),
+            ("CIJ_FILTER_KERNEL", "scan"),
+            ("CIJ_LEAF_LAYOUT", "aos"),
+            ("CIJ_EXEC_MODE", "fast"),
+        ]);
+        assert_eq!(c.worker_threads, 4);
+        assert_eq!(c.storage_backend, StorageBackend::File);
+        assert_eq!(c.filter_kernel, FilterKernel::Scan);
+        assert_eq!(c.leaf_layout, LeafLayout::Aos);
+        assert_eq!(c.exec_mode, ExecMode::Fast);
+        // Unset knobs keep their configured values.
+        let d = overridden(&[]);
+        assert_eq!(d.worker_threads, 1);
+        assert_eq!(d.exec_mode, ExecMode::Metered);
+    }
+
+    #[test]
+    fn override_table_rejects_invalid_values_uniformly() {
+        // Every knob panics (never silently falls back) on an invalid value,
+        // and the message names the offending variable.
+        let invalid = [
+            ("CIJ_WORKER_THREADS", "0"),
+            ("CIJ_WORKER_THREADS", "many"),
+            ("CIJ_STORAGE", "tape"),
+            ("CIJ_FILTER_KERNEL", "grid"),
+            ("CIJ_LEAF_LAYOUT", "columnar"),
+            ("CIJ_EXEC_MODE", "turbo"),
+        ];
+        for (name, value) in invalid {
+            let result = std::panic::catch_unwind(|| overridden(&[(name, value)]));
+            let err = result.expect_err(&format!("{name}={value} must panic"));
+            let message = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+            assert!(
+                message.contains(name),
+                "panic for {name}={value} names the variable: {message:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The streaming execution core: [`PairStream`], [`CijExecutor`] and the
-//! unified [`QueryEngine`] entry point.
+//! The streaming execution core: [`PairStream`], [`CijExecutor`], the
+//! two-mode executor and the unified [`QueryEngine`] entry point.
 //!
 //! The paper's headline property of NM-CIJ is that it is **non-blocking**:
 //! result pairs start flowing after a handful of page accesses, long before
@@ -22,6 +22,36 @@
 //! shared stream state while the consumer pulls, so a caller can observe
 //! "pairs so far vs page accesses so far" mid-join — exactly the
 //! progressiveness measurement of Figure 9b.
+//!
+//! # The two execution modes
+//!
+//! NM-CIJ (and the multiway join) execute in one of two modes, selected by
+//! [`CijConfig::exec_mode`] (env override `CIJ_EXEC_MODE`):
+//!
+//! * [`ExecMode::Metered`](crate::config::ExecMode::Metered) — the
+//!   **correctness and measurement oracle**. Every page access runs through
+//!   the LRU buffer simulation and the shared
+//!   [`IoStats`](cij_pagestore::IoStats) counters; parallel runs record
+//!   per-unit page traces and replay them sequentially so counters are
+//!   byte-exact against a width-1 run. All paper experiments, tests and
+//!   benches measure this mode. It requires exclusive workload access.
+//! * [`ExecMode::Fast`](crate::config::ExecMode::Fast) — the **serving
+//!   mode**. The same chunked protocol runs with read-only snapshot readers:
+//!   no trace recording, no coordinator replay, no shared-counter traffic —
+//!   each query keeps a private logical-read count instead, and "page
+//!   accesses" are reinterpreted as logical snapshot reads. Pairs/tuples
+//!   (set *and* order) and every NM/multiway counter are identical to
+//!   metered by construction; only the I/O accounting currency changes.
+//!   Because it needs only `&RTree`, many simultaneous queries can share
+//!   one `Arc`-held snapshot — the basis of the [`crate::service`] request
+//!   server ([`QueryEngine::serve`]), with per-query cell-cache quotas
+//!   carved from a global [`CacheBudget`](crate::cell_cache::CacheBudget).
+//!
+//! FM/PM are blocking materialisation algorithms and ignore `exec_mode`:
+//! they always run metered (they must build Voronoi R-trees through the
+//! buffer).
+//!
+//! [`CijConfig::exec_mode`]: crate::config::CijConfig::exec_mode
 
 use crate::config::CijConfig;
 use crate::fm::fm_cij_eager;
@@ -29,6 +59,7 @@ use crate::grouped::{grouped_nn_via_cij, GroupCounts};
 use crate::multiway::{MultiwayOutcome, TupleStream};
 use crate::nm::{CacheSlot, NmPairIter};
 use crate::pm::pm_cij_eager;
+use crate::service::{CijService, EngineSnapshot, ServiceConfig};
 use crate::stats::{CijOutcome, CostBreakdown, LeafWatermark, NmCounters, ProgressSample};
 use crate::workload::{MultiwayWorkload, Workload};
 use crate::Algorithm;
@@ -373,6 +404,21 @@ impl QueryEngine {
     /// [`grouped_nn_via_cij`](crate::grouped::grouped_nn_via_cij)).
     pub fn grouped_nn(&self, p: &[Point], q: &[Point], locations: &[Point]) -> GroupCounts {
         grouped_nn_via_cij(p, q, locations, &self.config)
+    }
+
+    /// Builds an immutable, shareable [`EngineSnapshot`] of `sets` under
+    /// this engine's configuration — the data a request server executes
+    /// fast-mode queries against.
+    pub fn snapshot(&self, sets: &[Vec<Point>]) -> EngineSnapshot {
+        EngineSnapshot::build(sets, &self.config)
+    }
+
+    /// Starts a concurrent request server over a snapshot of `sets` — the
+    /// thin serving front of the fast executor (see [`crate::service`]):
+    /// bounded work queue, worker pool, cache-budget admission control and
+    /// watermark-batched result streaming.
+    pub fn serve(&self, sets: &[Vec<Point>], service: ServiceConfig) -> CijService {
+        CijService::start(Arc::new(self.snapshot(sets)), service)
     }
 }
 

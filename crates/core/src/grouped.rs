@@ -13,7 +13,7 @@ use crate::config::CijConfig;
 use crate::nm::nm_cij_keep_cache;
 use crate::workload::Workload;
 use cij_geom::{hilbert, ConvexPolygon, Point, Rect};
-use cij_rtree::{PointObject, RTree};
+use cij_rtree::{NodeReader, PointObject};
 use cij_voronoi::{batch_voronoi_cached, nearest_index, CellStore, NoCache};
 use std::collections::HashMap;
 
@@ -26,8 +26,12 @@ const CELL_BATCH: usize = 24;
 /// traversals: ids are deduplicated, ordered along the Hilbert curve so each
 /// batch is spatially compact, and computed through the cache in
 /// leaf-sized groups.
-fn cells_by_id<C: CellStore>(
-    tree: &mut RTree<PointObject>,
+///
+/// Generic over the [`NodeReader`] so the metered path can pass the counted
+/// `&mut RTree` and the fast/service path a
+/// [`SnapshotReader`](cij_rtree::SnapshotReader) over a shared snapshot.
+pub(crate) fn cells_by_id<R: NodeReader<PointObject>, C: CellStore>(
+    tree: &mut R,
     objects: &[PointObject],
     ids: impl Iterator<Item = u64>,
     domain: &Rect,
@@ -50,6 +54,35 @@ fn cells_by_id<C: CellStore>(
 
 /// Counts per (p, q) pair produced by a grouped-NN analysis.
 pub type GroupCounts = HashMap<(u64, u64), u64>;
+
+/// Materialises each pair's common influence region from the per-set cell
+/// maps and counts the locations falling inside each region — the
+/// assignment step shared by the workload-owning plan below and the
+/// snapshot-serving fast path in [`crate::service`].
+///
+/// Locations on a region boundary are assigned to the first matching pair
+/// (ties have measure zero for continuous data).
+pub(crate) fn count_locations_in_regions(
+    pairs: &[(u64, u64)],
+    cells_p: &HashMap<u64, ConvexPolygon>,
+    cells_q: &HashMap<u64, ConvexPolygon>,
+    locations: &[Point],
+) -> GroupCounts {
+    let regions: Vec<((u64, u64), ConvexPolygon)> = pairs
+        .iter()
+        .map(|&(a, b)| ((a, b), cells_p[&a].intersection(&cells_q[&b])))
+        .collect();
+    let mut counts: GroupCounts = HashMap::new();
+    for loc in locations {
+        if let Some((key, _)) = regions
+            .iter()
+            .find(|(_, region)| region.contains_point(loc))
+        {
+            *counts.entry(*key).or_insert(0) += 1;
+        }
+    }
+    counts
+}
 
 /// Runs the CIJ-based grouped nearest-neighbour plan: joins `P` and `Q`,
 /// materialises the common influence region of every result pair and counts
@@ -91,22 +124,7 @@ pub fn grouped_nn_via_cij(
         &config.domain,
         &mut NoCache,
     );
-    let regions: Vec<((u64, u64), ConvexPolygon)> = cij
-        .pairs
-        .iter()
-        .map(|&(a, b)| ((a, b), cells_p[&a].intersection(&cells_q[&b])))
-        .collect();
-
-    let mut counts: GroupCounts = HashMap::new();
-    for loc in locations {
-        if let Some((key, _)) = regions
-            .iter()
-            .find(|(_, region)| region.contains_point(loc))
-        {
-            *counts.entry(*key).or_insert(0) += 1;
-        }
-    }
-    counts
+    count_locations_in_regions(&cij.pairs, &cells_p, &cells_q, locations)
 }
 
 /// The naive plan: for every location, look up its nearest `P` point and its

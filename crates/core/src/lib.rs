@@ -44,6 +44,18 @@
 //!   (Algorithm 5) and verify candidates with on-demand cell computation.
 //!   Non-blocking and nearly I/O-optimal.
 //!
+//! ## Execution modes and the request server
+//!
+//! NM-CIJ and the multiway join run in one of two modes
+//! ([`CijConfig::exec_mode`], env `CIJ_EXEC_MODE`): **Metered**, the
+//! byte-exact counted oracle used by every experiment and test, and
+//! **Fast**, a lock-light serving mode in which read-only snapshot readers
+//! replace the trace/replay machinery and many concurrent queries share one
+//! `Arc`-held tree pair. The [`service`] module builds on fast mode: a
+//! bounded work queue, a worker pool, cache-budget admission control and
+//! incremental result streaming — see [`QueryEngine::serve`]. The
+//! [`engine`] module docs spell out the mode contract.
+//!
 //! ## The shared cell cache
 //!
 //! The Section IV-B *reuse buffer* is the bounded LRU
@@ -87,15 +99,16 @@ pub mod grouped;
 pub mod multiway;
 pub mod nm;
 pub mod pm;
+pub mod service;
 pub mod stats;
 pub mod vor_rtree;
 pub mod workload;
 
 pub use brute::brute_force_cij;
-pub use cell_cache::CellCache;
+pub use cell_cache::{CacheBudget, CacheLease, CellCache};
 pub use cij_pagestore::StorageBackend;
 pub use cij_rtree::LeafLayout;
-pub use config::{CijConfig, FilterKernel, MultiwayDriver, MultiwayProbe};
+pub use config::{CijConfig, ExecMode, FilterKernel, MultiwayDriver, MultiwayProbe};
 pub use engine::{CijExecutor, FmExecutor, NmExecutor, PairStream, PmExecutor, QueryEngine};
 pub use filter::{
     batch_conditional_filter, batch_conditional_filter_scratch, batch_conditional_filter_with,
@@ -108,6 +121,10 @@ pub use multiway::{
 };
 pub use nm::nm_cij;
 pub use pm::pm_cij;
+pub use service::{
+    Batch, CijService, Completion, EngineSnapshot, QueueFull, Request, ResponseHandle,
+    ServiceConfig,
+};
 pub use stats::{
     CijOutcome, CostBreakdown, LeafWatermark, MultiwayCounters, NmCounters, ProgressSample,
 };

@@ -89,6 +89,19 @@
 //! thread count by construction — and asserted by `tests/multiway.rs` and
 //! the `multiway_scale` parity column.
 //!
+//! # Fast mode
+//!
+//! Under [`CijConfig::exec_mode`](crate::config::CijConfig::exec_mode) =
+//! [`ExecMode::Fast`], the same chunked
+//! protocol runs with [`cij_rtree::SnapshotReader`] in every parallel
+//! phase: no page traces are recorded, the emit phase replays nothing
+//! through the LRU buffers, and "page accesses" become per-query-local
+//! logical snapshot reads. Tuples (set and order) and every
+//! [`MultiwayCounters`] field are still identical to the metered run —
+//! only the I/O accounting semantics change. A fast stream over a shared
+//! tree slice (no exclusive workload at all) backs the concurrent request
+//! server in [`crate::service`].
+//!
 //! [`batch_conditional_filter`]: crate::filter::batch_conditional_filter
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
@@ -99,14 +112,14 @@
 //! [`MultiwayWorkload::estimated_driver_cost`]: crate::workload::MultiwayWorkload::estimated_driver_cost
 
 use crate::cell_cache::CellCache;
-use crate::config::{CijConfig, MultiwayDriver, MultiwayProbe};
+use crate::config::{CijConfig, ExecMode, MultiwayDriver, MultiwayProbe};
 use crate::filter::{batch_conditional_filter_scratch, FilterOptions, FilterStats};
 use crate::nm::{run_ordered, run_ordered_scratch, UnitScratch};
 use crate::stats::{LeafWatermark, MultiwayCounters, ProgressSample};
-use crate::workload::MultiwayWorkload;
+use crate::workload::{pick_driver, MultiwayWorkload};
 use cij_geom::{ConvexPolygon, Point, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
-use cij_rtree::{NodeReader, PointObject, TracedReader};
+use cij_rtree::{NodeReader, PointObject, RTree, SnapshotReader, TracedReader};
 use cij_voronoi::{batch_voronoi_with, brute_force_diagram, VorScratch};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -246,6 +259,63 @@ fn resolve_unit(
         .collect()
 }
 
+/// Where a [`TupleStream`] gets its trees from.
+///
+/// The metered path owns an exclusive `&mut MultiwayWorkload` (it must
+/// replay page traces through the real LRU buffers); the fast path can run
+/// over a plain shared slice of trees — that is what lets many concurrent
+/// queries evaluate against one snapshot.
+pub(crate) enum MultiwaySource<'a> {
+    /// Exclusive workload: both modes work; metered accounting possible.
+    Workload(&'a mut MultiwayWorkload),
+    /// Shared read-only trees: fast mode only. Borrowed individually so a
+    /// request can join any subset of a snapshot's sets, in any order.
+    Snapshot {
+        /// One tree per input set, in input order.
+        trees: Vec<&'a RTree<PointObject>>,
+    },
+}
+
+impl MultiwaySource<'_> {
+    fn k(&self) -> usize {
+        match self {
+            MultiwaySource::Workload(w) => w.k(),
+            MultiwaySource::Snapshot { trees } => trees.len(),
+        }
+    }
+
+    fn tree(&self, i: usize) -> &RTree<PointObject> {
+        match self {
+            MultiwaySource::Workload(w) => &w.trees[i],
+            MultiwaySource::Snapshot { trees } => trees[i],
+        }
+    }
+
+    fn tree_mut(&mut self, i: usize) -> &mut RTree<PointObject> {
+        match self {
+            MultiwaySource::Workload(w) => &mut w.trees[i],
+            MultiwaySource::Snapshot { .. } => {
+                unreachable!("metered execution requires an exclusive workload")
+            }
+        }
+    }
+}
+
+/// Resolves the driver choice of `config` against `trees` — the shared
+/// logic of both [`TupleStream`] constructors.
+fn choose_driver(trees_k: usize, cost_pick: impl FnOnce() -> usize, config: &CijConfig) -> usize {
+    match config.multiway_driver {
+        MultiwayDriver::CostBased => cost_pick(),
+        MultiwayDriver::Fixed(d) => {
+            assert!(
+                d < trees_k,
+                "fixed multiway driver {d} out of range for {trees_k} sets"
+            );
+            d
+        }
+    }
+}
+
 /// A lazy pull-based stream of multiway CIJ result tuples — the k-way
 /// analogue of [`PairStream`](crate::engine::PairStream).
 ///
@@ -259,7 +329,13 @@ fn resolve_unit(
 /// expose the incremental measurements, and [`TupleStream::into_outcome`]
 /// drains the remainder into the blocking [`MultiwayOutcome`].
 pub struct TupleStream<'a> {
-    workload: &'a mut MultiwayWorkload,
+    source: MultiwaySource<'a>,
+    /// Execution mode, fixed at construction (from
+    /// [`CijConfig::exec_mode`], or forced to `Fast` for snapshot sources).
+    mode: ExecMode,
+    /// Fast-mode logical snapshot reads (the per-query-local I/O counter);
+    /// stays 0 in metered mode, where the shared [`IoStats`] is the truth.
+    local_reads: u64,
     config: CijConfig,
     /// Evaluation order of the input sets: the driver first, then the
     /// extension sets in input order. Tuple ids are permuted back to input
@@ -290,7 +366,7 @@ pub struct TupleStream<'a> {
 impl std::fmt::Debug for TupleStream<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TupleStream")
-            .field("k", &self.workload.k())
+            .field("k", &self.source.k())
             .field("emitted", &self.emitted)
             .finish_non_exhaustive()
     }
@@ -300,31 +376,36 @@ impl<'a> TupleStream<'a> {
     pub(crate) fn new(workload: &'a mut MultiwayWorkload, config: CijConfig) -> Self {
         let stats = workload.stats.clone();
         let start_io = stats.snapshot();
-        let driver = match config.multiway_driver {
-            MultiwayDriver::CostBased => workload.pick_driver(),
-            MultiwayDriver::Fixed(d) => {
-                assert!(
-                    d < workload.k(),
-                    "fixed multiway driver {d} out of range for {} sets",
-                    workload.k()
-                );
-                d
-            }
-        };
+        let mode = config.exec_mode;
+        let driver = choose_driver(workload.k(), || workload.pick_driver(), &config);
         let mut eval_order = vec![driver];
         eval_order.extend((0..workload.k()).filter(|&s| s != driver));
-        let leaves = workload.trees[driver].leaf_pages_hilbert_order(&config.domain);
+        // The fast mode must not touch the shared buffer/counters even for
+        // the initial leaf-order walk: it uses the peeking variant and seeds
+        // its local counter with the walk's reads.
+        let (leaves, local_reads) = match mode {
+            ExecMode::Metered => (
+                workload.trees[driver].leaf_pages_hilbert_order(&config.domain),
+                0,
+            ),
+            ExecMode::Fast => workload.trees[driver].leaf_pages_hilbert_order_peek(&config.domain),
+        };
         let capacity = if config.reuse_cells {
             config.cell_cache_capacity
         } else {
             0
         };
+        // Cell-cache hit/miss/eviction events are CPU-side bookkeeping, not
+        // page I/O — both modes mirror them into the shared stats so cache
+        // behaviour stays harness-observable.
         let caches = (0..workload.k())
             .map(|_| CellCache::with_stats(capacity, stats.clone()))
             .collect();
         let counters = MultiwayCounters::for_sets(workload.k());
         TupleStream {
-            workload,
+            source: MultiwaySource::Workload(workload),
+            mode,
+            local_reads,
             config,
             eval_order,
             leaves,
@@ -341,6 +422,68 @@ impl<'a> TupleStream<'a> {
             chunks_done: 0,
             #[cfg(debug_assertions)]
             seen_ids: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Fast-mode stream over shared read-only `trees` — the constructor the
+    /// concurrent request server uses: many queries can hold streams over
+    /// the same snapshot simultaneously. `caches` provides one reuse buffer
+    /// per input set (typically carved from a
+    /// [`CacheBudget`](crate::cell_cache::CacheBudget) lease).
+    ///
+    /// The mode is forced to [`ExecMode::Fast`] regardless of
+    /// `config.exec_mode`: metered accounting needs exclusive tree access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty or `caches.len() != trees.len()`.
+    pub(crate) fn over_snapshot(
+        trees: Vec<&'a RTree<PointObject>>,
+        caches: Vec<CellCache>,
+        config: CijConfig,
+    ) -> Self {
+        assert!(
+            !trees.is_empty(),
+            "multiway CIJ needs at least one pointset"
+        );
+        assert_eq!(caches.len(), trees.len(), "one cell cache per input set");
+        let config = config.with_exec_mode(ExecMode::Fast);
+        let driver = choose_driver(trees.len(), || pick_driver(&trees), &config);
+        let mut eval_order = vec![driver];
+        eval_order.extend((0..trees.len()).filter(|&s| s != driver));
+        let (leaves, local_reads) = trees[driver].leaf_pages_hilbert_order_peek(&config.domain);
+        let counters = MultiwayCounters::for_sets(trees.len());
+        TupleStream {
+            source: MultiwaySource::Snapshot { trees },
+            mode: ExecMode::Fast,
+            local_reads,
+            config,
+            eval_order,
+            leaves,
+            next_leaf: 0,
+            caches,
+            pending: VecDeque::new(),
+            // Dummy stats: a snapshot stream never touches shared counters.
+            stats: IoStats::new(),
+            start_io: IoSnapshot::default(),
+            counters,
+            progress: Vec::new(),
+            watermarks: Vec::new(),
+            produced: 0,
+            emitted: 0,
+            chunks_done: 0,
+            #[cfg(debug_assertions)]
+            seen_ids: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Page accesses attributable to this stream so far: the shared-stats
+    /// delta in metered mode, the local logical snapshot-read count in fast
+    /// mode.
+    fn current_page_accesses(&self) -> u64 {
+        match self.mode {
+            ExecMode::Metered => self.stats.snapshot().since(&self.start_io).page_accesses(),
+            ExecMode::Fast => self.local_reads,
         }
     }
 
@@ -371,6 +514,13 @@ impl<'a> TupleStream<'a> {
         self.watermarks.clone()
     }
 
+    /// Number of per-leaf watermarks recorded so far — cheaper than cloning
+    /// [`TupleStream::watermarks_so_far`] when only the count is needed
+    /// (the request server flushes result batches at watermark boundaries).
+    pub fn watermark_count(&self) -> usize {
+        self.watermarks.len()
+    }
+
     /// Drains the remaining tuples and packages everything into the
     /// blocking [`MultiwayOutcome`] (tuples already pulled through the
     /// iterator are *not* replayed — call this immediately for the classic
@@ -385,7 +535,7 @@ impl<'a> TupleStream<'a> {
             counters: self.counters.clone(),
             progress: self.progress.clone(),
             watermarks: self.watermarks.clone(),
-            page_accesses: self.stats.snapshot().since(&self.start_io).page_accesses(),
+            page_accesses: self.current_page_accesses(),
             driver: self.eval_order[0],
         }
     }
@@ -406,22 +556,27 @@ impl<'a> TupleStream<'a> {
         self.next_leaf = upto;
         self.chunks_done += 1;
         let domain = self.config.domain;
-        let k = self.workload.k();
+        let k = self.source.k();
         let n = chunk.len();
         let driver = self.eval_order[0];
+        let mode = self.mode;
         let layout = self.config.leaf_layout;
         let filter_options = FilterOptions::for_kernel(self.config.filter_kernel)
             .with_bound_cells(self.config.multiway_prune)
             .with_layout(layout);
         let prune = self.config.multiway_prune;
-        let budget = self.workload.trees[driver].config().node_byte_budget();
+        let budget = self.source.tree(driver).config().node_byte_budget();
 
         // Ordered replay segments per leaf: (tree index, page trace). The
         // coordinator replays them leaf-major at the end of the chunk, so
         // every tree's buffer sees the exact access sequence of a width-1
         // run (buffers are per-tree; the per-tree subsequence is what
-        // matters).
+        // matters). Fast mode records no traces: its parallel phases count
+        // snapshot reads into `leaf_reads` instead, folded into the local
+        // counter at the leaf's sequential emit position (so watermarks are
+        // leaf-exact in both modes).
         let mut replays: Vec<Vec<(usize, Vec<PageId>)>> = vec![Vec::new(); n];
+        let mut leaf_reads = vec![0u64; n];
         // Per-leaf counter deltas, folded into the shared counters at emit
         // time so `counters_so_far` is exact at every leaf boundary.
         let mut reused = vec![vec![0u64; k]; n];
@@ -431,19 +586,28 @@ impl<'a> TupleStream<'a> {
         let mut fstats = vec![FilterStats::default(); n];
 
         // Scan (parallel): read each chunk leaf of the driving tree against
-        // the immutable snapshot, recording the page trace.
+        // the immutable snapshot, recording the page trace (metered) or
+        // counting the read locally (fast).
         let groups: Vec<Vec<PointObject>> = {
-            let tree = &self.workload.trees[driver];
-            let scans = run_ordered(workers, n, |i| {
-                let mut reader = TracedReader::new(tree);
-                let group = reader.read(chunk[i]).objects;
-                (group, reader.into_trace())
+            let tree = self.source.tree(driver);
+            let scans = run_ordered(workers, n, |i| match mode {
+                ExecMode::Metered => {
+                    let mut reader = TracedReader::new(tree);
+                    let group = reader.read(chunk[i]).objects;
+                    (group, reader.into_trace(), 0u64)
+                }
+                ExecMode::Fast => {
+                    let mut reader = SnapshotReader::new(tree);
+                    let group = reader.read(chunk[i]).objects;
+                    (group, Vec::new(), reader.into_reads())
+                }
             });
             scans
                 .into_iter()
-                .zip(&mut replays)
-                .map(|((group, trace), replay)| {
-                    replay.push((driver, trace));
+                .enumerate()
+                .map(|(i, (group, trace, reads))| {
+                    replays[i].push((driver, trace));
+                    leaf_reads[i] += reads;
                     group
                 })
                 .collect()
@@ -466,8 +630,8 @@ impl<'a> TupleStream<'a> {
                 .collect();
             // Refine (parallel): exact cells of each leaf's missing points,
             // each worker reusing one Voronoi scratch across its leaves.
-            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
-                let tree = &self.workload.trees[driver];
+            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+                let tree = self.source.tree(driver);
                 run_ordered_scratch(
                     workers,
                     n,
@@ -475,12 +639,32 @@ impl<'a> TupleStream<'a> {
                     |i, vor| {
                         let missing = &plans[i].missing;
                         if missing.is_empty() {
-                            (Vec::new(), Vec::new())
+                            (Vec::new(), Vec::new(), 0)
                         } else {
-                            let mut reader = TracedReader::new(tree);
-                            let cells =
-                                batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
-                            (cells, reader.into_trace())
+                            match mode {
+                                ExecMode::Metered => {
+                                    let mut reader = TracedReader::new(tree);
+                                    let cells = batch_voronoi_with(
+                                        &mut reader,
+                                        missing,
+                                        &domain,
+                                        layout,
+                                        vor,
+                                    );
+                                    (cells, reader.into_trace(), 0)
+                                }
+                                ExecMode::Fast => {
+                                    let mut reader = SnapshotReader::new(tree);
+                                    let cells = batch_voronoi_with(
+                                        &mut reader,
+                                        missing,
+                                        &domain,
+                                        layout,
+                                        vor,
+                                    );
+                                    (cells, Vec::new(), reader.into_reads())
+                                }
+                            }
                         }
                     },
                 )
@@ -490,9 +674,10 @@ impl<'a> TupleStream<'a> {
                 .iter()
                 .zip(plans)
                 .zip(refined)
-                .zip(&mut replays)
-                .map(|(((group, plan), (cells, trace)), replay)| {
-                    replay.push((driver, trace));
+                .enumerate()
+                .map(|(i, ((group, plan), (cells, trace, reads)))| {
+                    replays[i].push((driver, trace));
+                    leaf_reads[i] += reads;
                     let aligned = resolve_unit(&mut self.caches[driver], group, &plan, cells);
                     group
                         .iter()
@@ -529,8 +714,8 @@ impl<'a> TupleStream<'a> {
             // Filter (parallel, per unit): ONE batch_conditional_filter
             // call carrying every region of the unit, each worker reusing
             // one filter scratch across its units.
-            let filtered: Vec<(Vec<PointObject>, FilterStats, Vec<PageId>)> = {
-                let tree = &self.workload.trees[set_idx];
+            let filtered: Vec<(Vec<PointObject>, FilterStats, Vec<PageId>, u64)> = {
+                let tree = self.source.tree(set_idx);
                 let partials = &partials;
                 run_ordered_scratch(
                     workers,
@@ -542,15 +727,30 @@ impl<'a> TupleStream<'a> {
                             .iter()
                             .map(|t| t.region.clone())
                             .collect();
-                        let mut reader = TracedReader::new(tree);
-                        let (candidates, stats) = batch_conditional_filter_scratch(
-                            &mut reader,
-                            &regions,
-                            &domain,
-                            &filter_options,
-                            &mut scratch.filter,
-                        );
-                        (candidates, stats, reader.into_trace())
+                        match mode {
+                            ExecMode::Metered => {
+                                let mut reader = TracedReader::new(tree);
+                                let (candidates, stats) = batch_conditional_filter_scratch(
+                                    &mut reader,
+                                    &regions,
+                                    &domain,
+                                    &filter_options,
+                                    &mut scratch.filter,
+                                );
+                                (candidates, stats, reader.into_trace(), 0)
+                            }
+                            ExecMode::Fast => {
+                                let mut reader = SnapshotReader::new(tree);
+                                let (candidates, stats) = batch_conditional_filter_scratch(
+                                    &mut reader,
+                                    &regions,
+                                    &domain,
+                                    &filter_options,
+                                    &mut scratch.filter,
+                                );
+                                (candidates, stats, Vec::new(), reader.into_reads())
+                            }
+                        }
                     },
                 )
             };
@@ -577,8 +777,8 @@ impl<'a> TupleStream<'a> {
 
             // Refine (parallel, per unit): exact cells of the unit's
             // missing candidates, again with per-worker Voronoi scratches.
-            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>)> = {
-                let tree = &self.workload.trees[set_idx];
+            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+                let tree = self.source.tree(set_idx);
                 run_ordered_scratch(
                     workers,
                     units.len(),
@@ -586,12 +786,32 @@ impl<'a> TupleStream<'a> {
                     |u, vor| {
                         let missing = &plans[u].missing;
                         if missing.is_empty() {
-                            (Vec::new(), Vec::new())
+                            (Vec::new(), Vec::new(), 0)
                         } else {
-                            let mut reader = TracedReader::new(tree);
-                            let cells =
-                                batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
-                            (cells, reader.into_trace())
+                            match mode {
+                                ExecMode::Metered => {
+                                    let mut reader = TracedReader::new(tree);
+                                    let cells = batch_voronoi_with(
+                                        &mut reader,
+                                        missing,
+                                        &domain,
+                                        layout,
+                                        vor,
+                                    );
+                                    (cells, reader.into_trace(), 0)
+                                }
+                                ExecMode::Fast => {
+                                    let mut reader = SnapshotReader::new(tree);
+                                    let cells = batch_voronoi_with(
+                                        &mut reader,
+                                        missing,
+                                        &domain,
+                                        layout,
+                                        vor,
+                                    );
+                                    (cells, Vec::new(), reader.into_reads())
+                                }
+                            }
                         }
                     },
                 )
@@ -601,12 +821,13 @@ impl<'a> TupleStream<'a> {
             // segments in the sequential interleaving (filter, then refine).
             let mut aligned_cells: Vec<Vec<ConvexPolygon>> = Vec::with_capacity(units.len());
             let mut candidates: Vec<Vec<PointObject>> = Vec::with_capacity(units.len());
-            for (((leaf_range, plan), (cands, _, ftrace)), (cells, rtrace)) in
+            for (((leaf_range, plan), (cands, _, ftrace, freads)), (cells, rtrace, rreads)) in
                 units.iter().zip(&plans).zip(filtered).zip(refined)
             {
                 let leaf = leaf_range.0;
                 replays[leaf].push((set_idx, ftrace));
                 replays[leaf].push((set_idx, rtrace));
+                leaf_reads[leaf] += freads + rreads;
                 aligned_cells.push(resolve_unit(&mut self.caches[set_idx], &cands, plan, cells));
                 candidates.push(cands);
             }
@@ -662,10 +883,18 @@ impl<'a> TupleStream<'a> {
         // input-set order and enqueue the tuples.
         let identity_order = self.eval_order.iter().enumerate().all(|(r, &set)| r == set);
         for (i, leaf_tuples) in partials.into_iter().enumerate() {
-            for (tree_idx, trace) in &replays[i] {
-                for &page in trace {
-                    self.workload.trees[*tree_idx].replay_read(page);
+            match mode {
+                ExecMode::Metered => {
+                    for (tree_idx, trace) in &replays[i] {
+                        for &page in trace {
+                            self.source.tree_mut(*tree_idx).replay_read(page);
+                        }
+                    }
                 }
+                // Fast: no traces were recorded and nothing is replayed —
+                // the leaf's snapshot reads land on the local counter at
+                // its sequential position instead.
+                ExecMode::Fast => self.local_reads += leaf_reads[i],
             }
             for s in 0..k {
                 self.counters.cells_reused[s] += reused[i][s];
@@ -696,7 +925,7 @@ impl<'a> TupleStream<'a> {
             };
             self.produced += leaf_tuples.len() as u64;
             self.counters.tuples_produced = self.produced;
-            let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+            let page_accesses = self.current_page_accesses();
             if !groups[i].is_empty() {
                 self.progress.push(ProgressSample {
                     page_accesses,
@@ -1047,6 +1276,58 @@ mod tests {
             pruned.counters.filter_clip_ops,
             unpruned.counters.filter_clip_ops
         );
+    }
+
+    #[test]
+    fn fast_mode_is_tuple_and_counter_identical_to_metered() {
+        let config = small_config();
+        let sets = vec![
+            random_points(60, 281),
+            random_points(50, 282),
+            random_points(40, 283),
+        ];
+        let metered = multiway_cij(&sets, &config);
+        for threads in [1, 4] {
+            let fast_cfg = config
+                .with_exec_mode(ExecMode::Fast)
+                .with_worker_threads(threads);
+            let mut w = MultiwayWorkload::build(&sets, &fast_cfg);
+            let fast = TupleStream::new(&mut w, fast_cfg).into_outcome();
+            let fast_ids: Vec<Vec<u64>> = fast.tuples.iter().map(|t| t.ids.clone()).collect();
+            let metered_ids: Vec<Vec<u64>> = metered.tuples.iter().map(|t| t.ids.clone()).collect();
+            assert_eq!(fast_ids, metered_ids, "tuple set and order must match");
+            assert_eq!(fast.counters, metered.counters);
+            assert_eq!(fast.driver, metered.driver);
+            assert!(fast.page_accesses > 0, "local reads are accounted");
+            assert_eq!(
+                fast.watermarks.last().unwrap().page_accesses,
+                fast.page_accesses
+            );
+            assert_eq!(
+                w.stats.snapshot().page_accesses(),
+                0,
+                "a fast run must not touch the shared page counters"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_stream_matches_the_workload_stream() {
+        let config = small_config();
+        let sets = vec![random_points(45, 284), random_points(35, 285)];
+        let w = MultiwayWorkload::build(&sets, &config);
+        let metered = multiway_cij(&sets, &config);
+        let caches = (0..w.k())
+            .map(|_| CellCache::new(config.cell_cache_capacity))
+            .collect();
+        let snap =
+            TupleStream::over_snapshot(w.trees.iter().collect(), caches, config).into_outcome();
+        assert_eq!(snap.sorted_ids(), metered.sorted_ids());
+        assert_eq!(
+            snap.counters.tuples_produced,
+            metered.counters.tuples_produced
+        );
+        assert!(snap.page_accesses > 0);
     }
 
     #[test]

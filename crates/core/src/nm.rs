@@ -14,7 +14,8 @@
 //!    neighbouring leaves of `RQ` share candidates, so most lookups hit),
 //! 4. reports every `(p, q)` whose exact cells intersect.
 //!
-//! The algorithm is implemented as a stream: [`NmPairIter`] processes leaves
+//! The algorithm is implemented as a stream: the crate-internal `NmPairIter`
+//! processes leaves
 //! of `RQ` only when the consumer pulls and the pairs of previous leaves are
 //! exhausted. The classic blocking [`nm_cij`] is a thin collect-wrapper over
 //! that stream (via [`PairStream::into_outcome`]), so the non-blocking
@@ -61,13 +62,28 @@
 //! arrive after the same handful of page accesses a sequential run needs
 //! rather than after the whole join.
 //!
+//! # Fast mode
+//!
+//! With [`CijConfig::exec_mode`] = [`ExecMode::Fast`] the same chunked
+//! protocol runs with the parity machinery stripped: workers read through
+//! [`cij_rtree::SnapshotReader`] (per-query-local read counts instead of
+//! recorded traces), the coordinator replays nothing, and no shared page
+//! counter is touched — pairs, order and NM counters are still identical
+//! to metered (same kernels, same cache-policy sequence), but the reported
+//! "page accesses" are logical snapshot reads from the local counter. This
+//! is the serving path: it needs only `&RTree`, so many concurrent queries
+//! can share one tree-pair snapshot (`NmPairIter::over_snapshot`, driven
+//! by [`crate::service`]).
+//!
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
+//! [`CijConfig::exec_mode`]: crate::config::CijConfig::exec_mode
+//! [`ExecMode::Fast`]: crate::config::ExecMode::Fast
 //! [`PairStream`]: crate::engine::PairStream
 //! [`PairStream::into_outcome`]: crate::engine::PairStream::into_outcome
 
 use crate::cell_cache::CellCache;
-use crate::config::CijConfig;
+use crate::config::{CijConfig, ExecMode};
 use crate::engine::{CijExecutor, NmExecutor, SharedStreamState};
 use crate::filter::{batch_conditional_filter_scratch, FilterOptions, FilterScratch, FilterStats};
 use crate::stats::CijOutcome;
@@ -75,7 +91,7 @@ use crate::stats::{LeafWatermark, ProgressSample};
 use crate::workload::Workload;
 use cij_geom::{ConvexPolygon, Rect};
 use cij_pagestore::{IoSnapshot, IoStats, PageId};
-use cij_rtree::{LeafLayout, NodeReader, PointObject, RTree, TracedReader};
+use cij_rtree::{LeafLayout, NodeReader, PointObject, RTree, SnapshotReader, TracedReader};
 use cij_voronoi::{batch_voronoi_cached_with, batch_voronoi_with, VorScratch};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -154,8 +170,9 @@ impl UnitScratch {
 }
 
 /// Everything a parallel scan of one `RQ` leaf produces: the leaf's points,
-/// their Voronoi cells, the filter's candidate set, and the page-access
-/// traces of the two trees (replayed later by the coordinator).
+/// their Voronoi cells, the filter's candidate set, and the read
+/// accounting — page-access traces of the two trees in metered mode
+/// (replayed later by the coordinator), a plain read count in fast mode.
 struct LeafScan {
     group: Vec<PointObject>,
     cells_q: Vec<ConvexPolygon>,
@@ -163,6 +180,55 @@ struct LeafScan {
     fstats: FilterStats,
     trace_rq: Vec<PageId>,
     trace_rp: Vec<PageId>,
+    /// Fast-mode accounting: total snapshot reads of this leaf's scan
+    /// (always zero in metered mode, where the traces carry the reads).
+    snapshot_reads: u64,
+}
+
+/// Where an [`NmPairIter`] reads its trees from.
+///
+/// The metered mode owns a [`Workload`] exclusively (it mutates the LRU
+/// page buffers and the shared stats); the fast mode only ever needs shared
+/// references, so many concurrent queries can run over one `Arc`-held
+/// snapshot of the same tree pair (see [`crate::service`]).
+pub(crate) enum JoinSource<'a> {
+    /// Exclusive workload — both execution modes accept it.
+    Workload(&'a mut Workload),
+    /// Shared immutable tree pair — fast mode only.
+    Snapshot {
+        /// The `P` tree (filter + refinement side).
+        rp: &'a RTree<PointObject>,
+        /// The `Q` tree (driving side).
+        rq: &'a RTree<PointObject>,
+    },
+}
+
+impl JoinSource<'_> {
+    fn rp(&self) -> &RTree<PointObject> {
+        match self {
+            JoinSource::Workload(w) => &w.rp,
+            JoinSource::Snapshot { rp, .. } => rp,
+        }
+    }
+
+    fn rq(&self) -> &RTree<PointObject> {
+        match self {
+            JoinSource::Workload(w) => &w.rq,
+            JoinSource::Snapshot { rq, .. } => rq,
+        }
+    }
+
+    /// Exclusive access to both trees — the metered path's buffer/replay
+    /// entry point. A snapshot source never executes metered (enforced at
+    /// construction), so this cannot be reached for one.
+    fn trees_mut(&mut self) -> (&mut RTree<PointObject>, &mut RTree<PointObject>) {
+        match self {
+            JoinSource::Workload(w) => (&mut w.rp, &mut w.rq),
+            JoinSource::Snapshot { .. } => {
+                unreachable!("metered execution requires an exclusive workload")
+            }
+        }
+    }
 }
 
 /// The coordinator's replacement-policy verdict for one leaf: which
@@ -195,8 +261,11 @@ struct LeafPlan {
 /// leaves) is processed — steps 1–4 of Algorithm 6. Page accesses therefore
 /// happen only as the consumer demands pairs.
 pub(crate) struct NmPairIter<'a> {
-    workload: &'a mut Workload,
+    source: JoinSource<'a>,
     config: CijConfig,
+    /// Execution mode resolved at construction (a snapshot source is always
+    /// fast).
+    mode: ExecMode,
     /// Filter execution options derived from the config (kernel choice).
     filter_options: FilterOptions,
     leaves: Vec<PageId>,
@@ -206,6 +275,9 @@ pub(crate) struct NmPairIter<'a> {
     state: SharedStreamState,
     stats: IoStats,
     start_io: IoSnapshot,
+    /// Fast-mode accounting: cumulative logical snapshot reads of this
+    /// query (the per-query-local I/O counter; unused in metered mode).
+    local_reads: u64,
     pairs_produced: u64,
     chunks_done: usize,
     finished: bool,
@@ -227,19 +299,30 @@ impl<'a> NmPairIter<'a> {
     ) -> Self {
         let stats = workload.stats.clone();
         let start_io = stats.snapshot();
-        let leaves = workload.rq.leaf_pages_hilbert_order(&config.domain);
+        // Metered runs pay (and count) the leaf-order traversal through the
+        // buffer; fast runs take it from the snapshot and charge the local
+        // counter instead.
+        let (leaves, order_reads) = match config.exec_mode {
+            ExecMode::Metered => (workload.rq.leaf_pages_hilbert_order(&config.domain), 0),
+            ExecMode::Fast => workload.rq.leaf_pages_hilbert_order_peek(&config.domain),
+        };
         let cache_capacity = if config.reuse_cells {
             config.cell_cache_capacity
         } else {
             0
         };
+        // Both modes mirror cell-cache events into the workload's shared
+        // stats: cache traffic is a CPU-side resource, not page I/O, so the
+        // fast path can keep the harness-visible counters without touching
+        // any buffer.
         let cache = CellCache::with_stats(cache_capacity, stats.clone());
         let filter_options =
             FilterOptions::for_kernel(config.filter_kernel).with_layout(config.leaf_layout);
         let scratch = UnitScratch::for_budget(workload.rp.config().node_byte_budget());
         NmPairIter {
-            workload,
+            source: JoinSource::Workload(workload),
             config,
+            mode: config.exec_mode,
             filter_options,
             leaves,
             next_leaf: 0,
@@ -248,6 +331,48 @@ impl<'a> NmPairIter<'a> {
             state,
             stats,
             start_io,
+            local_reads: order_reads,
+            pairs_produced: 0,
+            chunks_done: 0,
+            finished: false,
+            true_hits: HashSet::new(),
+            scratch,
+            cache_slot: None,
+        }
+    }
+
+    /// Builds a fast-mode iterator over a shared tree-pair snapshot: no
+    /// workload, no shared stats, a caller-provided private cache (its
+    /// capacity is the query's quota from the global
+    /// [`CacheBudget`](crate::cell_cache::CacheBudget)), and a precomputed
+    /// Hilbert leaf order (`order_reads` non-leaf reads were spent
+    /// computing it — charged to this query's local counter). The
+    /// [`crate::service`] worker pool is the caller.
+    pub(crate) fn over_snapshot(
+        rp: &'a RTree<PointObject>,
+        rq: &'a RTree<PointObject>,
+        leaves: Vec<PageId>,
+        order_reads: u64,
+        cache: CellCache,
+        config: CijConfig,
+        state: SharedStreamState,
+    ) -> Self {
+        let filter_options =
+            FilterOptions::for_kernel(config.filter_kernel).with_layout(config.leaf_layout);
+        let scratch = UnitScratch::for_budget(rp.config().node_byte_budget());
+        NmPairIter {
+            source: JoinSource::Snapshot { rp, rq },
+            config: config.with_exec_mode(ExecMode::Fast),
+            mode: ExecMode::Fast,
+            filter_options,
+            leaves,
+            next_leaf: 0,
+            cache,
+            pending: VecDeque::new(),
+            state,
+            stats: IoStats::new(),
+            start_io: IoSnapshot::default(),
+            local_reads: order_reads,
             pairs_produced: 0,
             chunks_done: 0,
             finished: false,
@@ -280,12 +405,24 @@ impl<'a> NmPairIter<'a> {
     // Sequential path (worker_threads <= 1) — the classic leaf loop.
     // ------------------------------------------------------------------
 
+    /// The stream's cumulative cost so far, in the active mode's currency:
+    /// buffer-simulated physical page accesses (metered) or logical
+    /// snapshot reads (fast). Watermarks, progress samples and the cost
+    /// breakdown all draw from this one figure, so they stay mutually
+    /// consistent within a run.
+    fn current_page_accesses(&self) -> u64 {
+        match self.mode {
+            ExecMode::Metered => self.stats.snapshot().since(&self.start_io).page_accesses(),
+            ExecMode::Fast => self.local_reads,
+        }
+    }
+
     /// Records the per-leaf checkpoint: everything emitted up to here is
     /// final (the watermark API ported back from the multiway
     /// [`TupleStream`](crate::multiway::TupleStream)). One watermark per
     /// leaf of `RQ`, empty leaves included, so `leaf_index` is dense.
     fn record_watermark(&mut self, leaf_index: usize) {
-        let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+        let page_accesses = self.current_page_accesses();
         self.state.lock().unwrap().watermarks.push(LeafWatermark {
             leaf_index,
             rows: self.pairs_produced,
@@ -297,27 +434,22 @@ impl<'a> NmPairIter<'a> {
     /// and updating counters, progress, watermark and cost attribution.
     fn process_leaf(&mut self, leaf: PageId, leaf_index: usize) {
         let start = Instant::now();
-        let group = self.workload.rq.read_node(leaf).objects;
+        let domain = self.config.domain;
+        let layout = self.config.leaf_layout;
+        let (rp, rq) = self.source.trees_mut();
+        let group = rq.read_node(leaf).objects;
         if group.is_empty() {
             self.record_watermark(leaf_index);
             self.account(start);
             return;
         }
-        let domain = self.config.domain;
-        let layout = self.config.leaf_layout;
 
         // (1) Voronoi cells of the leaf's Q points.
-        let cells_q = batch_voronoi_with(
-            &mut self.workload.rq,
-            &group,
-            &domain,
-            layout,
-            &mut self.scratch.vor,
-        );
+        let cells_q = batch_voronoi_with(rq, &group, &domain, layout, &mut self.scratch.vor);
 
         // (2) Filter phase on RP.
         let (candidates, fstats) = batch_conditional_filter_scratch(
-            &mut self.workload.rp,
+            rp,
             &cells_q,
             &domain,
             &self.filter_options,
@@ -331,7 +463,7 @@ impl<'a> NmPairIter<'a> {
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
         let cells_p: Vec<ConvexPolygon> = batch_voronoi_cached_with(
-            &mut self.workload.rp,
+            rp,
             &candidates,
             &domain,
             &mut self.cache,
@@ -358,7 +490,7 @@ impl<'a> NmPairIter<'a> {
         );
 
         {
-            let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+            let page_accesses = self.current_page_accesses();
             let mut state = self.state.lock().unwrap();
             state.nm.q_cells_computed += group.len() as u64;
             state.nm.filter_candidates += candidates.len() as u64;
@@ -386,16 +518,26 @@ impl<'a> NmPairIter<'a> {
 
     /// Folds the leaf's elapsed CPU time and the I/O delta so far into the
     /// shared cost breakdown (NM has no materialisation phase, so all cost
-    /// is JOIN cost).
+    /// is JOIN cost). In fast mode the breakdown carries the local read
+    /// count as physical+logical reads, so `CijOutcome::page_accesses()`
+    /// and the final watermark agree on one figure.
     fn account(&mut self, start: Instant) {
+        let join_io = match self.mode {
+            ExecMode::Metered => self.stats.snapshot().since(&self.start_io),
+            ExecMode::Fast => IoSnapshot {
+                physical_reads: self.local_reads,
+                logical_reads: self.local_reads,
+                ..IoSnapshot::default()
+            },
+        };
         let mut state = self.state.lock().unwrap();
         state.breakdown.join_cpu += start.elapsed();
-        state.breakdown.join_io = self.stats.snapshot().since(&self.start_io);
+        state.breakdown.join_io = join_io;
     }
 
     // ------------------------------------------------------------------
-    // Parallel path (worker_threads > 1) — see the module docs for the
-    // determinism protocol.
+    // Chunked path (worker_threads > 1, and every fast-mode run) — see the
+    // module docs for the determinism protocol.
     // ------------------------------------------------------------------
 
     /// Processes the next bounded chunk of leaves on the worker pool and
@@ -416,20 +558,33 @@ impl<'a> NmPairIter<'a> {
         let domain = self.config.domain;
         let layout = self.config.leaf_layout;
         let filter_options = self.filter_options;
-        let budget = self.workload.rp.config().node_byte_budget();
+        let mode = self.mode;
+        let budget = self.source.rp().config().node_byte_budget();
 
         // Phase 1 (parallel): scan — leaf read, Q cells, conditional filter,
-        // all against immutable tree snapshots with traced page accesses.
-        // Each worker allocates its unit scratch once and reuses it across
-        // every leaf it picks up.
+        // all against immutable tree snapshots. Metered mode records traced
+        // page accesses for later replay; fast mode only counts them. Each
+        // worker allocates its unit scratch once and reuses it across every
+        // leaf it picks up.
         let scans: Vec<LeafScan> = {
-            let rp = &self.workload.rp;
-            let rq = &self.workload.rq;
+            let rp = self.source.rp();
+            let rq = self.source.rq();
             run_ordered_scratch(
                 workers,
                 chunk.len(),
                 || UnitScratch::for_budget(budget),
-                |i, scratch| scan_leaf(rp, rq, chunk[i], &domain, layout, &filter_options, scratch),
+                |i, scratch| {
+                    scan_leaf(
+                        rp,
+                        rq,
+                        chunk[i],
+                        &domain,
+                        layout,
+                        &filter_options,
+                        scratch,
+                        mode,
+                    )
+                },
             )
         };
 
@@ -460,9 +615,10 @@ impl<'a> NmPairIter<'a> {
             .collect();
 
         // Phase 3 (parallel): refine — exact cells of each leaf's missing
-        // candidates, again traced against the snapshot.
-        let (cells_refined, traces_refined): (Vec<Vec<ConvexPolygon>>, Vec<Vec<PageId>>) = {
-            let rp = &self.workload.rp;
+        // candidates, again against the snapshot (traced or counted per the
+        // mode).
+        let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+            let rp = self.source.rp();
             run_ordered_scratch(
                 workers,
                 plans.len(),
@@ -470,17 +626,36 @@ impl<'a> NmPairIter<'a> {
                 |i, vor| {
                     let missing = &plans[i].missing;
                     if missing.is_empty() {
-                        (Vec::new(), Vec::new())
+                        (Vec::new(), Vec::new(), 0)
                     } else {
-                        let mut reader = TracedReader::new(rp);
-                        let cells = batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
-                        (cells, reader.into_trace())
+                        match mode {
+                            ExecMode::Metered => {
+                                let mut reader = TracedReader::new(rp);
+                                let cells =
+                                    batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
+                                (cells, reader.into_trace(), 0)
+                            }
+                            ExecMode::Fast => {
+                                let mut reader = SnapshotReader::new(rp);
+                                let cells =
+                                    batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
+                                (cells, Vec::new(), reader.into_reads())
+                            }
+                        }
                     }
                 },
             )
-            .into_iter()
-            .unzip()
         };
+        let mut traces_refined: Vec<Vec<PageId>> = Vec::with_capacity(refined.len());
+        let mut reads_refined: Vec<u64> = Vec::with_capacity(refined.len());
+        let cells_refined: Vec<Vec<ConvexPolygon>> = refined
+            .into_iter()
+            .map(|(cells, trace, reads)| {
+                traces_refined.push(trace);
+                reads_refined.push(reads);
+                cells
+            })
+            .collect();
 
         // Phase 4 (coordinator, leaf order): resolve each leaf's aligned
         // candidate cells — hits from the cache (the payload the sequential
@@ -543,18 +718,28 @@ impl<'a> NmPairIter<'a> {
             (pairs, true_hits.len() as u64)
         });
 
-        // Phase 6 (coordinator, leaf order): replay every leaf's page-access
-        // trace through the real buffers (deferred accounting), fold in the
-        // counters and emit the pairs — ordered reassembly.
+        // Phase 6 (coordinator, leaf order): settle each leaf's deferred
+        // read accounting — metered replays the page-access traces through
+        // the real buffers, fast adds the snapshot-read counts to the local
+        // counter — then fold in the counters and emit the pairs: ordered
+        // reassembly.
         for (i, scan) in scans.iter().enumerate() {
-            for &page in &scan.trace_rq {
-                self.workload.rq.replay_read(page);
-            }
-            for &page in &scan.trace_rp {
-                self.workload.rp.replay_read(page);
-            }
-            for &page in &traces_refined[i] {
-                self.workload.rp.replay_read(page);
+            match self.mode {
+                ExecMode::Metered => {
+                    let (rp, rq) = self.source.trees_mut();
+                    for &page in &scan.trace_rq {
+                        rq.replay_read(page);
+                    }
+                    for &page in &scan.trace_rp {
+                        rp.replay_read(page);
+                    }
+                    for &page in &traces_refined[i] {
+                        rp.replay_read(page);
+                    }
+                }
+                ExecMode::Fast => {
+                    self.local_reads += scan.snapshot_reads + reads_refined[i];
+                }
             }
             if scan.group.is_empty() {
                 self.record_watermark(first_leaf_index + i);
@@ -563,7 +748,7 @@ impl<'a> NmPairIter<'a> {
             let (pairs, true_hit_count) = &reported[i];
             self.pairs_produced += pairs.len() as u64;
             {
-                let page_accesses = self.stats.snapshot().since(&self.start_io).page_accesses();
+                let page_accesses = self.current_page_accesses();
                 let mut state = self.state.lock().unwrap();
                 state.nm.q_cells_computed += scan.group.len() as u64;
                 state.nm.filter_candidates += scan.candidates.len() as u64;
@@ -617,9 +802,11 @@ fn report_leaf_pairs(
 }
 
 /// The parallel scan of one leaf: read the leaf node, compute its points'
-/// Voronoi cells, run the conditional filter — all through traced snapshot
-/// readers, so the recorded page sequences match what a sequential run
-/// would access for this leaf.
+/// Voronoi cells, run the conditional filter — all through snapshot
+/// readers. In metered mode the readers record page traces (so the
+/// sequences match what a sequential run would access for this leaf); in
+/// fast mode they only count.
+#[allow(clippy::too_many_arguments)]
 fn scan_leaf(
     rp: &RTree<PointObject>,
     rq: &RTree<PointObject>,
@@ -628,36 +815,89 @@ fn scan_leaf(
     layout: LeafLayout,
     filter_options: &FilterOptions,
     scratch: &mut UnitScratch,
+    mode: ExecMode,
 ) -> LeafScan {
-    let mut rq_reader = TracedReader::new(rq);
+    match mode {
+        ExecMode::Metered => {
+            let mut rq_reader = TracedReader::new(rq);
+            let mut rp_reader = TracedReader::new(rp);
+            let (group, cells_q, candidates, fstats) = scan_leaf_with(
+                &mut rq_reader,
+                &mut rp_reader,
+                leaf,
+                domain,
+                layout,
+                filter_options,
+                scratch,
+            );
+            LeafScan {
+                group,
+                cells_q,
+                candidates,
+                fstats,
+                trace_rq: rq_reader.into_trace(),
+                trace_rp: rp_reader.into_trace(),
+                snapshot_reads: 0,
+            }
+        }
+        ExecMode::Fast => {
+            let mut rq_reader = SnapshotReader::new(rq);
+            let mut rp_reader = SnapshotReader::new(rp);
+            let (group, cells_q, candidates, fstats) = scan_leaf_with(
+                &mut rq_reader,
+                &mut rp_reader,
+                leaf,
+                domain,
+                layout,
+                filter_options,
+                scratch,
+            );
+            LeafScan {
+                group,
+                cells_q,
+                candidates,
+                fstats,
+                trace_rq: Vec::new(),
+                trace_rp: Vec::new(),
+                snapshot_reads: rq_reader.into_reads() + rp_reader.into_reads(),
+            }
+        }
+    }
+}
+
+/// The reader-generic body of [`scan_leaf`]: one implementation, so the two
+/// modes cannot drift apart in traversal order or results.
+fn scan_leaf_with<RQ, RP>(
+    rq_reader: &mut RQ,
+    rp_reader: &mut RP,
+    leaf: PageId,
+    domain: &Rect,
+    layout: LeafLayout,
+    filter_options: &FilterOptions,
+    scratch: &mut UnitScratch,
+) -> (
+    Vec<PointObject>,
+    Vec<ConvexPolygon>,
+    Vec<PointObject>,
+    FilterStats,
+)
+where
+    RQ: NodeReader<PointObject>,
+    RP: NodeReader<PointObject>,
+{
     let group = rq_reader.read(leaf).objects;
     if group.is_empty() {
-        return LeafScan {
-            group,
-            cells_q: Vec::new(),
-            candidates: Vec::new(),
-            fstats: FilterStats::default(),
-            trace_rq: rq_reader.into_trace(),
-            trace_rp: Vec::new(),
-        };
+        return (group, Vec::new(), Vec::new(), FilterStats::default());
     }
-    let cells_q = batch_voronoi_with(&mut rq_reader, &group, domain, layout, &mut scratch.vor);
-    let mut rp_reader = TracedReader::new(rp);
+    let cells_q = batch_voronoi_with(rq_reader, &group, domain, layout, &mut scratch.vor);
     let (candidates, fstats) = batch_conditional_filter_scratch(
-        &mut rp_reader,
+        rp_reader,
         &cells_q,
         domain,
         filter_options,
         &mut scratch.filter,
     );
-    LeafScan {
-        group,
-        cells_q,
-        candidates,
-        fstats,
-        trace_rq: rq_reader.into_trace(),
-        trace_rp: rp_reader.into_trace(),
-    }
+    (group, cells_q, candidates, fstats)
 }
 
 /// Runs `f(0..n)` on a scoped pool of at most `workers` threads and returns
@@ -738,7 +978,11 @@ impl Iterator for NmPairIter<'_> {
                 self.finish();
                 return None;
             }
-            if self.config.effective_worker_threads() > 1 {
+            // Fast mode always runs the chunked protocol (its phases never
+            // touch a buffer, so there is nothing for a sequential loop to
+            // meter differently); metered mode keeps the classic leaf loop
+            // at one worker.
+            if self.mode == ExecMode::Fast || self.config.effective_worker_threads() > 1 {
                 self.process_chunk();
             } else {
                 let leaf = self.leaves[self.next_leaf];
@@ -1001,6 +1245,61 @@ mod tests {
         assert_eq!(parallel.nm, sequential.nm);
         assert!(parallel.nm.cell_cache_evictions > 0);
         assert_eq!(parallel.page_accesses(), sequential.page_accesses());
+    }
+
+    #[test]
+    fn fast_mode_is_pair_and_counter_identical_to_metered() {
+        let base = small_config();
+        let p = random_points(400, 123);
+        let q = random_points(400, 124);
+        let metered = {
+            let mut w = Workload::build(&p, &q, &base);
+            nm_cij(&mut w, &base)
+        };
+        for threads in [1usize, 4] {
+            let fast_config = base
+                .with_exec_mode(ExecMode::Fast)
+                .with_worker_threads(threads);
+            let mut w = Workload::build(&p, &q, &fast_config);
+            let fast = nm_cij(&mut w, &fast_config);
+            // Pairs: same set AND same order; counters identical.
+            assert_eq!(fast.pairs, metered.pairs, "{threads} threads");
+            assert_eq!(fast.nm, metered.nm, "{threads} threads");
+            // Fast accounting is logical snapshot reads — nonzero, with the
+            // final watermark agreeing with the outcome total, and the
+            // workload's shared page counters untouched.
+            assert!(fast.page_accesses() > 0);
+            assert_eq!(
+                fast.watermarks.last().unwrap().page_accesses,
+                fast.page_accesses()
+            );
+            assert_eq!(
+                w.stats.snapshot().page_accesses(),
+                0,
+                "fast mode never touches the shared page counters"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_mode_records_and_replays_no_traces() {
+        let config = small_config().with_exec_mode(ExecMode::Fast);
+        let p = random_points(200, 125);
+        let q = random_points(200, 126);
+        let mut w = Workload::build(&p, &q, &config);
+        // The probes are process-wide, so other concurrently running tests
+        // could raise them; sample around the run and assert the fast join
+        // works at all plus (when undisturbed) a zero delta. To keep this
+        // test meaningful under a parallel test runner we only assert that
+        // the join's own accounting shows zero replay activity via the
+        // shared stats (a replay would move the page counters).
+        let outcome = nm_cij(&mut w, &config);
+        assert!(!outcome.pairs.is_empty());
+        assert_eq!(
+            w.stats.snapshot().page_accesses(),
+            0,
+            "replays would have moved the shared counters"
+        );
     }
 
     #[test]

@@ -1,0 +1,815 @@
+//! A concurrent request server over a shared engine snapshot — the thin
+//! serving front of the fast execution mode.
+//!
+//! The classic entry points ([`QueryEngine::run`], the blocking algorithm
+//! functions) own a mutable [`Workload`](crate::workload::Workload): the
+//! metered executor must mutate LRU page buffers and shared counters, so
+//! two queries can never share a tree pair. The fast executor
+//! ([`ExecMode::Fast`]) removes exactly that requirement — it traverses
+//! trees through read-only snapshot readers with per-query-local I/O
+//! counters — which makes a *serving* topology possible:
+//!
+//! * [`EngineSnapshot`] — `k` pointsets bulk-loaded into R-trees once, plus
+//!   the precomputed Hilbert leaf order of every tree (queries share the
+//!   planning work, not just the pages). Held in an `Arc`; any number of
+//!   in-flight queries read it simultaneously with zero locks on the hot
+//!   path.
+//! * [`CijService`] — a bounded work queue plus a pool of worker threads.
+//!   [`CijService::submit`] enqueues a [`Request`] (binary CIJ, multiway
+//!   CIJ or grouped-NN) and returns immediately with a [`ResponseHandle`];
+//!   when the queue is full the submit fails fast with [`QueueFull`]
+//!   (back-pressure at the door, not inside the engine).
+//! * **Admission control**: before executing, a worker reserves the query's
+//!   cell-cache quota from the service's global [`CacheBudget`]. When the
+//!   budget is exhausted the worker blocks until a running query returns
+//!   its lease — so aggregate cache residency never exceeds the budget, and
+//!   each query's private cache makes cross-query eviction structurally
+//!   impossible.
+//! * **Incremental streaming**: results flow back through the handle in
+//!   batches cut at the underlying stream's [`LeafWatermark`] boundaries —
+//!   everything in a delivered batch is final, exactly the checkpointing
+//!   contract of [`PairStream`](crate::engine::PairStream) and
+//!   [`TupleStream`].
+//!
+//! [`ExecMode::Fast`]: crate::config::ExecMode::Fast
+//! [`QueryEngine::run`]: crate::engine::QueryEngine::run
+//! [`LeafWatermark`]: crate::stats::LeafWatermark
+
+use crate::cell_cache::{CacheBudget, CellCache};
+use crate::config::CijConfig;
+use crate::engine::SharedStreamState;
+use crate::grouped::{cells_by_id, count_locations_in_regions, GroupCounts};
+use crate::multiway::{MultiwayTuple, TupleStream};
+use crate::nm::{CacheSlot, NmPairIter};
+use crate::workload::MultiwayWorkload;
+use cij_geom::Point;
+use cij_pagestore::PageId;
+use cij_rtree::{PointObject, RTree, SnapshotReader};
+use cij_voronoi::NoCache;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// An immutable, shareable snapshot of `k` indexed pointsets — the data a
+/// [`CijService`] serves queries against.
+///
+/// Building the snapshot bulk-loads one R-tree per set (through the same
+/// [`MultiwayWorkload`] path as every measured workload, so accounting
+/// rules cannot drift) and precomputes each tree's Hilbert leaf order once;
+/// every query that drives with that tree reuses the order instead of
+/// re-walking the non-leaf levels.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    config: CijConfig,
+    objects: Vec<Vec<PointObject>>,
+    trees: Vec<RTree<PointObject>>,
+    /// Per tree: its Hilbert-ordered leaf pages and the number of non-leaf
+    /// snapshot reads the walk cost (charged to each query that uses it).
+    leaf_orders: Vec<(Vec<PageId>, u64)>,
+}
+
+impl EngineSnapshot {
+    /// Indexes `sets` under `config` and precomputes the per-tree leaf
+    /// orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn build(sets: &[Vec<Point>], config: &CijConfig) -> Self {
+        let workload = MultiwayWorkload::build(sets, config);
+        let trees = workload.trees;
+        let leaf_orders = trees
+            .iter()
+            .map(|t| t.leaf_pages_hilbert_order_peek(&config.domain))
+            .collect();
+        let objects = sets.iter().map(|s| PointObject::from_points(s)).collect();
+        EngineSnapshot {
+            config: *config,
+            objects,
+            trees,
+            leaf_orders,
+        }
+    }
+
+    /// Number of indexed pointsets.
+    pub fn k(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The configuration the snapshot was built under (queries execute with
+    /// it, always in [`ExecMode::Fast`](crate::config::ExecMode::Fast)).
+    pub fn config(&self) -> &CijConfig {
+        &self.config
+    }
+
+    /// The R-tree of set `i`.
+    pub fn tree(&self, i: usize) -> &RTree<PointObject> {
+        &self.trees[i]
+    }
+}
+
+/// One query against an [`EngineSnapshot`]'s sets, identified by index.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Binary NM-CIJ of sets `p` and `q`; streams [`Batch::Pairs`].
+    Join {
+        /// Index of the `P` set (filter/refinement side).
+        p: usize,
+        /// Index of the `Q` set (driving side).
+        q: usize,
+    },
+    /// Multiway CIJ over the listed sets (any non-empty subset, any order);
+    /// streams [`Batch::Tuples`] with ids in the listed order.
+    Multiway {
+        /// Indices of the participating sets.
+        sets: Vec<usize>,
+    },
+    /// Grouped nearest-neighbour analysis: joins sets `p` and `q`, then
+    /// counts `locations` per common influence region. Delivers one final
+    /// [`Batch::Groups`].
+    GroupedNn {
+        /// Index of the `P` set.
+        p: usize,
+        /// Index of the `Q` set.
+        q: usize,
+        /// The locations to assign to (p, q) influence regions.
+        locations: Vec<Point>,
+    },
+}
+
+/// A chunk of results delivered through a [`ResponseHandle`]. Batches are
+/// cut at leaf-watermark boundaries, so everything in a delivered batch is
+/// final.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// Result pairs of a [`Request::Join`].
+    Pairs(Vec<(u64, u64)>),
+    /// Result tuples of a [`Request::Multiway`].
+    Tuples(Vec<MultiwayTuple>),
+    /// The complete counts of a [`Request::GroupedNn`].
+    Groups(GroupCounts),
+}
+
+/// Terminal summary of a completed request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Completion {
+    /// Result rows produced (pairs, tuples, or groups).
+    pub rows: u64,
+    /// The query's page-access figure: its private logical snapshot-read
+    /// count (fast-mode accounting; no shared counter was touched).
+    pub page_accesses: u64,
+    /// Leaf watermarks the underlying stream recorded.
+    pub watermarks: usize,
+    /// True when the worker failed (panicked) executing the request; any
+    /// delivered batches are valid but the result is truncated.
+    pub failed: bool,
+}
+
+/// Error returned by [`CijService::submit`] when the bounded work queue is
+/// at capacity — the caller should back off and retry (back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service work queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Sizing knobs of a [`CijService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Maximum queued (not yet started) requests before [`CijService::submit`]
+    /// returns [`QueueFull`].
+    pub queue_depth: usize,
+    /// Worker threads executing requests concurrently.
+    pub workers: usize,
+    /// Global cell-cache budget shared by all in-flight queries, in cells
+    /// (see [`CacheBudget`]).
+    pub cache_budget_cells: usize,
+    /// Cell-cache quota each query reserves from the budget before it runs
+    /// (clamped to the whole budget if larger).
+    pub query_cache_quota: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 64,
+            workers: 4,
+            cache_budget_cells: 4096,
+            query_cache_quota: 512,
+        }
+    }
+}
+
+/// State shared between a worker and the [`ResponseHandle`] of one request.
+#[derive(Default)]
+struct ResponseShared {
+    state: Mutex<ResponseState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct ResponseState {
+    batches: VecDeque<Batch>,
+    done: bool,
+    completion: Option<Completion>,
+}
+
+/// The consumer side of one submitted request: result batches stream out as
+/// the worker produces them; [`ResponseHandle::completion`] blocks for the
+/// terminal summary.
+pub struct ResponseHandle {
+    shared: Arc<ResponseShared>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle").finish_non_exhaustive()
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the next result batch is available; `None` once the
+    /// request has completed and every batch has been taken.
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                return Some(batch);
+            }
+            if state.done {
+                return None;
+            }
+            state = self.shared.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks until the request completes and returns its summary. Batches
+    /// not yet taken remain available through [`ResponseHandle::next_batch`].
+    pub fn completion(&self) -> Completion {
+        let mut state = self.shared.state.lock().unwrap();
+        while !state.done {
+            state = self.shared.ready.wait(state).unwrap();
+        }
+        state.completion.unwrap_or_default()
+    }
+
+    /// Drains every remaining batch of a [`Request::Join`] into a flat pair
+    /// vector (blocking until the request completes).
+    pub fn collect_pairs(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch() {
+            if let Batch::Pairs(pairs) = batch {
+                out.extend(pairs);
+            }
+        }
+        out
+    }
+
+    /// Drains every remaining batch of a [`Request::Multiway`] into a flat
+    /// tuple vector (blocking until the request completes).
+    pub fn collect_tuples(&self) -> Vec<MultiwayTuple> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch() {
+            if let Batch::Tuples(tuples) = batch {
+                out.extend(tuples);
+            }
+        }
+        out
+    }
+
+    /// Drains the response of a [`Request::GroupedNn`] (blocking).
+    pub fn collect_groups(&self) -> GroupCounts {
+        let mut out = GroupCounts::new();
+        while let Some(batch) = self.next_batch() {
+            if let Batch::Groups(groups) = batch {
+                out.extend(groups);
+            }
+        }
+        out
+    }
+}
+
+fn push_batch(shared: &ResponseShared, batch: Batch) {
+    let mut state = shared.state.lock().unwrap();
+    state.batches.push_back(batch);
+    drop(state);
+    shared.ready.notify_all();
+}
+
+fn mark_done(shared: &ResponseShared, completion: Completion) {
+    let mut state = shared.state.lock().unwrap();
+    state.done = true;
+    state.completion = Some(completion);
+    drop(state);
+    shared.ready.notify_all();
+}
+
+struct Job {
+    request: Request,
+    shared: Arc<ResponseShared>,
+}
+
+struct QueueInner {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    jobs_available: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The concurrent CIJ request server: a bounded work queue feeding a worker
+/// pool that executes fast-mode queries against one shared
+/// [`EngineSnapshot`].
+///
+/// ```
+/// use cij_core::{CijConfig, QueryEngine};
+/// use cij_core::service::{Request, ServiceConfig};
+/// use cij_geom::Point;
+///
+/// let engine = QueryEngine::new(CijConfig::default());
+/// let sets = vec![
+///     vec![Point::new(2_000.0, 3_000.0), Point::new(7_000.0, 8_000.0)],
+///     vec![Point::new(2_500.0, 2_500.0), Point::new(6_500.0, 8_500.0)],
+/// ];
+/// let service = engine.serve(&sets, ServiceConfig::default());
+/// let handle = service.submit(Request::Join { p: 0, q: 1 }).unwrap();
+/// assert!(!handle.collect_pairs().is_empty());
+/// service.shutdown();
+/// ```
+pub struct CijService {
+    snapshot: Arc<EngineSnapshot>,
+    queue: Arc<QueueInner>,
+    budget: CacheBudget,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CijService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CijService")
+            .field("k", &self.snapshot.k())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CijService {
+    /// Starts `config.workers` worker threads over `snapshot`.
+    pub fn start(snapshot: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
+        let budget = CacheBudget::new(config.cache_budget_cells);
+        let queue = Arc::new(QueueInner {
+            capacity: config.queue_depth.max(1),
+            state: Mutex::new(QueueState::default()),
+            jobs_available: Condvar::new(),
+        });
+        let quota = config.query_cache_quota.max(1);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let snapshot = Arc::clone(&snapshot);
+                let budget = budget.clone();
+                std::thread::spawn(move || worker_loop(&queue, &snapshot, &budget, quota))
+            })
+            .collect();
+        CijService {
+            snapshot,
+            queue,
+            budget,
+            workers,
+        }
+    }
+
+    /// The snapshot this service serves.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
+    }
+
+    /// The global cell-cache budget (exposed so harnesses can assert on
+    /// [`CacheBudget::high_water`]).
+    pub fn budget(&self) -> &CacheBudget {
+        &self.budget
+    }
+
+    /// Enqueues `request` and returns its response handle, or [`QueueFull`]
+    /// when the bounded queue is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request names a set index outside the snapshot, lists
+    /// no sets, or the service has been shut down.
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, QueueFull> {
+        let k = self.snapshot.k();
+        match &request {
+            Request::Join { p, q } | Request::GroupedNn { p, q, .. } => {
+                assert!(*p < k && *q < k, "set index out of range (k = {k})");
+            }
+            Request::Multiway { sets } => {
+                assert!(!sets.is_empty(), "multiway request needs at least one set");
+                assert!(
+                    sets.iter().all(|&s| s < k),
+                    "set index out of range (k = {k})"
+                );
+            }
+        }
+        let shared = Arc::new(ResponseShared::default());
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            assert!(!state.shutdown, "service is shut down");
+            if state.jobs.len() >= self.queue.capacity {
+                return Err(QueueFull);
+            }
+            state.jobs.push_back(Job {
+                request,
+                shared: Arc::clone(&shared),
+            });
+        }
+        self.queue.jobs_available.notify_one();
+        Ok(ResponseHandle { shared })
+    }
+
+    /// Stops accepting new requests, drains the queue and joins the worker
+    /// threads (every submitted request still completes).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.queue.jobs_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CijService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(queue: &QueueInner, snapshot: &EngineSnapshot, budget: &CacheBudget, quota: usize) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.jobs_available.wait(state).unwrap();
+            }
+        };
+        let Job { request, shared } = job;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(snapshot, budget, quota, request, &shared)
+        }));
+        if run.is_err() {
+            mark_done(
+                &shared,
+                Completion {
+                    failed: true,
+                    ..Completion::default()
+                },
+            );
+        }
+    }
+}
+
+/// Executes one request end to end: reserve the cache quota (admission
+/// control — blocks while the budget is exhausted), run the fast-mode
+/// stream, flush batches at watermark boundaries, publish the completion.
+fn execute(
+    snapshot: &EngineSnapshot,
+    budget: &CacheBudget,
+    quota: usize,
+    request: Request,
+    shared: &ResponseShared,
+) {
+    let lease = budget.reserve(quota);
+    match request {
+        Request::Join { p, q } => {
+            let state: SharedStreamState = Arc::default();
+            let (leaves, order_reads) = snapshot.leaf_orders[q].clone();
+            let mut iter = NmPairIter::over_snapshot(
+                &snapshot.trees[p],
+                &snapshot.trees[q],
+                leaves,
+                order_reads,
+                lease.new_cache(),
+                snapshot.config,
+                Arc::clone(&state),
+            );
+            let mut buffered: Vec<(u64, u64)> = Vec::new();
+            let mut flushed = 0usize;
+            let mut rows = 0u64;
+            loop {
+                let next = iter.next();
+                let watermarks = state.lock().unwrap().watermarks.len();
+                // Everything buffered before a new watermark appeared is
+                // final — flush it as one batch.
+                if watermarks > flushed {
+                    flushed = watermarks;
+                    if !buffered.is_empty() {
+                        push_batch(shared, Batch::Pairs(std::mem::take(&mut buffered)));
+                    }
+                }
+                match next {
+                    Some(pair) => {
+                        rows += 1;
+                        buffered.push(pair);
+                    }
+                    None => break,
+                }
+            }
+            if !buffered.is_empty() {
+                push_batch(shared, Batch::Pairs(buffered));
+            }
+            let st = state.lock().unwrap();
+            mark_done(
+                shared,
+                Completion {
+                    rows,
+                    page_accesses: st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0),
+                    watermarks: st.watermarks.len(),
+                    failed: false,
+                },
+            );
+        }
+        Request::Multiway { sets } => {
+            let trees: Vec<&RTree<PointObject>> =
+                sets.iter().map(|&s| &snapshot.trees[s]).collect();
+            let caches = lease.split_caches(trees.len());
+            let mut stream = TupleStream::over_snapshot(trees, caches, snapshot.config);
+            let mut buffered: Vec<MultiwayTuple> = Vec::new();
+            let mut flushed = 0usize;
+            let mut rows = 0u64;
+            loop {
+                let next = stream.next();
+                let watermarks = stream.watermark_count();
+                if watermarks > flushed {
+                    flushed = watermarks;
+                    if !buffered.is_empty() {
+                        push_batch(shared, Batch::Tuples(std::mem::take(&mut buffered)));
+                    }
+                }
+                match next {
+                    Some(tuple) => {
+                        rows += 1;
+                        buffered.push(tuple);
+                    }
+                    None => break,
+                }
+            }
+            if !buffered.is_empty() {
+                push_batch(shared, Batch::Tuples(buffered));
+            }
+            let watermarks = stream.watermarks_so_far();
+            mark_done(
+                shared,
+                Completion {
+                    rows,
+                    page_accesses: watermarks.last().map(|w| w.page_accesses).unwrap_or(0),
+                    watermarks: watermarks.len(),
+                    failed: false,
+                },
+            );
+        }
+        Request::GroupedNn { p, q, locations } => {
+            let state: SharedStreamState = Arc::default();
+            let slot: CacheSlot = Arc::default();
+            let (leaves, order_reads) = snapshot.leaf_orders[q].clone();
+            let iter = NmPairIter::over_snapshot(
+                &snapshot.trees[p],
+                &snapshot.trees[q],
+                leaves,
+                order_reads,
+                lease.new_cache(),
+                snapshot.config,
+                Arc::clone(&state),
+            )
+            .with_cache_slot(Arc::clone(&slot));
+            let pairs: Vec<(u64, u64)> = iter.collect();
+            // Reuse the join's still-warm cell cache for the P-side region
+            // materialisation, exactly like the workload-owning plan.
+            let mut cache_p = slot
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| CellCache::new(0));
+            let mut reader_p = SnapshotReader::new(&snapshot.trees[p]);
+            let cells_p = cells_by_id(
+                &mut reader_p,
+                &snapshot.objects[p],
+                pairs.iter().map(|&(a, _)| a),
+                &snapshot.config.domain,
+                &mut cache_p,
+            );
+            let mut reader_q = SnapshotReader::new(&snapshot.trees[q]);
+            let cells_q = cells_by_id(
+                &mut reader_q,
+                &snapshot.objects[q],
+                pairs.iter().map(|&(_, b)| b),
+                &snapshot.config.domain,
+                &mut NoCache,
+            );
+            let counts = count_locations_in_regions(&pairs, &cells_p, &cells_q, &locations);
+            let st = state.lock().unwrap();
+            let join_reads = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+            let completion = Completion {
+                rows: counts.len() as u64,
+                page_accesses: join_reads + reader_p.reads() + reader_q.reads(),
+                watermarks: st.watermarks.len(),
+                failed: false,
+            };
+            drop(st);
+            push_batch(shared, Batch::Groups(counts));
+            mark_done(shared, completion);
+        }
+    }
+    drop(lease);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_cij;
+    use crate::config::CijConfig;
+    use crate::grouped::grouped_nn_via_all_nn;
+    use cij_rtree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> CijConfig {
+        CijConfig::default().with_rtree(RTreeConfig {
+            page_size: 512,
+            min_fill: 0.4,
+            max_entries: 64,
+        })
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+            .collect()
+    }
+
+    fn service_over(sets: &[Vec<Point>], config: ServiceConfig) -> CijService {
+        CijService::start(
+            Arc::new(EngineSnapshot::build(sets, &small_config())),
+            config,
+        )
+    }
+
+    #[test]
+    fn served_join_matches_the_oracle() {
+        let sets = vec![random_points(80, 601), random_points(90, 602)];
+        let oracle = brute_force_cij(&sets[0], &sets[1], &small_config().domain);
+        let service = service_over(&sets, ServiceConfig::default());
+        let handle = service.submit(Request::Join { p: 0, q: 1 }).unwrap();
+        let mut pairs = handle.collect_pairs();
+        let completion = handle.completion();
+        assert_eq!(completion.rows, pairs.len() as u64);
+        assert!(completion.page_accesses > 0);
+        assert!(completion.watermarks > 0);
+        assert!(!completion.failed);
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs, oracle);
+        service.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_queries_share_one_snapshot() {
+        let sets = vec![random_points(120, 603), random_points(110, 604)];
+        let oracle = brute_force_cij(&sets[0], &sets[1], &small_config().domain);
+        let service = service_over(
+            &sets,
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..16)
+            .map(|_| service.submit(Request::Join { p: 0, q: 1 }).unwrap())
+            .collect();
+        for handle in handles {
+            let mut pairs = handle.collect_pairs();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(pairs, oracle);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_multiway_matches_the_blocking_run() {
+        let sets = vec![
+            random_points(40, 605),
+            random_points(35, 606),
+            random_points(30, 607),
+        ];
+        let blocking = crate::multiway::multiway_cij(&sets, &small_config());
+        let service = service_over(&sets, ServiceConfig::default());
+        let handle = service
+            .submit(Request::Multiway {
+                sets: vec![0, 1, 2],
+            })
+            .unwrap();
+        let tuples = handle.collect_tuples();
+        let mut ids: Vec<Vec<u64>> = tuples.into_iter().map(|t| t.ids).collect();
+        ids.sort();
+        assert_eq!(ids, blocking.sorted_ids());
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_grouped_nn_matches_the_all_nn_plan() {
+        let sets = vec![random_points(25, 608), random_points(30, 609)];
+        let locations = random_points(800, 610);
+        let oracle = grouped_nn_via_all_nn(&sets[0], &sets[1], &locations);
+        let service = service_over(&sets, ServiceConfig::default());
+        let handle = service
+            .submit(Request::GroupedNn {
+                p: 0,
+                q: 1,
+                locations,
+            })
+            .unwrap();
+        assert_eq!(handle.collect_groups(), oracle);
+        service.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_with_queue_full() {
+        let sets = vec![random_points(200, 611), random_points(200, 612)];
+        // One worker and a tiny queue: the first submits occupy the worker,
+        // later ones must hit the bound.
+        let service = service_over(
+            &sets,
+            ServiceConfig {
+                queue_depth: 2,
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut handles = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..32 {
+            match service.submit(Request::Join { p: 0, q: 1 }) {
+                Ok(h) => handles.push(h),
+                Err(QueueFull) => rejected += 1,
+            }
+        }
+        assert!(
+            rejected > 0,
+            "a depth-2 queue must reject some of 32 submits"
+        );
+        for handle in handles {
+            assert!(!handle.collect_pairs().is_empty());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn quota_pressure_never_exceeds_the_global_budget() {
+        let sets = vec![random_points(150, 613), random_points(150, 614)];
+        // 16 queries × quota 64 would want 1024 cells; the budget holds 128,
+        // so at most two queries run concurrently and the rest wait at
+        // admission.
+        let service = service_over(
+            &sets,
+            ServiceConfig {
+                workers: 4,
+                cache_budget_cells: 128,
+                query_cache_quota: 64,
+                ..ServiceConfig::default()
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..16)
+            .map(|_| service.submit(Request::Join { p: 0, q: 1 }).unwrap())
+            .collect();
+        for handle in handles {
+            assert!(!handle.collect_pairs().is_empty());
+        }
+        let budget = service.budget().clone();
+        service.shutdown();
+        assert!(budget.high_water() <= budget.total());
+        assert!(budget.high_water() > 0, "queries did reserve quota");
+        assert_eq!(budget.reserved(), 0, "all leases returned");
+    }
+}

@@ -131,44 +131,25 @@ impl MultiwayWorkload {
     }
 
     /// Estimated evaluation cost of driving the multiway join with set
-    /// `driver`: the driver contributes one leaf unit per leaf of its tree,
-    /// and every unit pays one probe round per extension set whose work
-    /// scales with that set's fan-out (average entries per page — the
-    /// candidate volume a localised batch probe returns).
-    ///
-    /// `cost(d) = leaves(d) × (1 + Σ_{i≠d} fanout(i))` — the `1` is the
-    /// unit's own seed round — using `num_pages` as the leaf-count estimate
-    /// (leaves dominate a bulk-loaded tree): pure O(1) tree metadata, no
-    /// page accesses. The model only needs to *rank* drivers: what matters
-    /// is that a tree with fewer leaves seeds fewer units and that large
-    /// sets are cheaper to drive than to probe.
+    /// `driver` — see [`estimated_driver_cost`], the free function this
+    /// delegates to (it also serves shared-snapshot evaluations that have
+    /// only a tree slice, no workload).
     ///
     /// # Panics
     ///
     /// Panics if `driver >= k`.
     pub fn estimated_driver_cost(&self, driver: usize) -> f64 {
-        assert!(driver < self.k(), "driver index {driver} out of range");
-        let leaves = self.trees[driver].num_pages() as f64;
-        let extension_fanout: f64 = self
-            .trees
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != driver)
-            .map(|(_, t)| t.len() as f64 / t.num_pages().max(1) as f64)
-            .sum();
-        leaves * (1.0 + extension_fanout)
+        let refs: Vec<&RTree<PointObject>> = self.trees.iter().collect();
+        estimated_driver_cost(&refs, driver)
     }
 
     /// The cheapest driver under [`MultiwayWorkload::estimated_driver_cost`];
     /// ties resolve to the lowest set index, so symmetric workloads pick
-    /// set 0 — the historical hard-coded choice.
+    /// set 0 — the historical hard-coded choice. Delegates to
+    /// [`pick_driver`].
     pub fn pick_driver(&self) -> usize {
-        (0..self.k())
-            .min_by(|&a, &b| {
-                self.estimated_driver_cost(a)
-                    .total_cmp(&self.estimated_driver_cost(b))
-            })
-            .expect("a workload has at least one set")
+        let refs: Vec<&RTree<PointObject>> = self.trees.iter().collect();
+        pick_driver(&refs)
     }
 
     /// The traversal lower bound for the multiway CIJ on this workload:
@@ -196,6 +177,53 @@ impl MultiwayWorkload {
         }
         self.stats.reset();
     }
+}
+
+/// Estimated evaluation cost of driving a multiway join over `trees` with
+/// set `driver`: the driver contributes one leaf unit per leaf of its tree,
+/// and every unit pays one probe round per extension set whose work scales
+/// with that set's fan-out (average entries per page — the candidate volume
+/// a localised batch probe returns).
+///
+/// `cost(d) = leaves(d) × (1 + Σ_{i≠d} fanout(i))` — the `1` is the unit's
+/// own seed round — using `num_pages` as the leaf-count estimate (leaves
+/// dominate a bulk-loaded tree): pure O(1) tree metadata, no page accesses.
+/// The model only needs to *rank* drivers: what matters is that a tree with
+/// fewer leaves seeds fewer units and that large sets are cheaper to drive
+/// than to probe.
+///
+/// A free function over borrowed trees (rather than a [`MultiwayWorkload`]
+/// method) so shared-snapshot evaluations — which hold only references
+/// into a snapshot, possibly a non-contiguous subset of its sets — plan
+/// with the identical model.
+///
+/// # Panics
+///
+/// Panics if `driver >= trees.len()`.
+pub fn estimated_driver_cost(trees: &[&RTree<PointObject>], driver: usize) -> f64 {
+    assert!(driver < trees.len(), "driver index {driver} out of range");
+    let leaves = trees[driver].num_pages() as f64;
+    let extension_fanout: f64 = trees
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != driver)
+        .map(|(_, t)| t.len() as f64 / t.num_pages().max(1) as f64)
+        .sum();
+    leaves * (1.0 + extension_fanout)
+}
+
+/// The cheapest driver for `trees` under [`estimated_driver_cost`]; ties
+/// resolve to the lowest set index.
+///
+/// # Panics
+///
+/// Panics if `trees` is empty.
+pub fn pick_driver(trees: &[&RTree<PointObject>]) -> usize {
+    (0..trees.len())
+        .min_by(|&a, &b| {
+            estimated_driver_cost(trees, a).total_cmp(&estimated_driver_cost(trees, b))
+        })
+        .expect("a multiway evaluation has at least one set")
 }
 
 #[cfg(test)]

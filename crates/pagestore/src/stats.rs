@@ -148,6 +148,24 @@ impl IoStats {
     }
 
     /// Current counter values.
+    ///
+    /// # Consistency contract
+    ///
+    /// The snapshot is built from eight independent relaxed loads, **not**
+    /// an atomic cut across all counters: if other threads are recording
+    /// events concurrently, the copy may mix "before" and "after" values of
+    /// different counters (e.g. a `logical_reads` increment visible while
+    /// its paired `buffer_hits` increment is not). Each individual counter
+    /// is still exact and monotonic.
+    ///
+    /// The engine's measurement paths never rely on cross-counter
+    /// atomicity: metered execution funnels all accounting through the
+    /// single-threaded coordinator (parallel units record traces that are
+    /// replayed sequentially), so every snapshot it takes is quiescent and
+    /// therefore exact across counters. Fast-mode execution does not write
+    /// shared counters at all — it keeps per-query local read counts. Only
+    /// an external observer sampling mid-flight sees the relaxed,
+    /// per-counter-exact view described above.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             physical_reads: self.inner.physical_reads.load(Ordering::Relaxed),

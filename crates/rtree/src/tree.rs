@@ -176,6 +176,7 @@ impl<D: RTreeObject> RTree<D> {
     /// the same buffer state as a single-threaded run. A replayed id that
     /// does not exist (trace drift) panics.
     pub fn replay_read(&mut self, page: PageId) {
+        crate::reader::probe::note_replay();
         self.store.note_read(page);
     }
 
@@ -396,6 +397,34 @@ impl<D: RTreeObject> RTree<D> {
             }
         }
         out
+    }
+
+    /// [`RTree::leaf_pages_hilbert_order`] over the in-memory snapshot:
+    /// identical leaf order, but the non-leaf reads go through
+    /// [`RTree::peek_node`] — no buffer touch, no shared counters. Returns
+    /// the order together with the number of non-leaf nodes read, so fast
+    /// (snapshot-mode) executions can charge the traversal to their local
+    /// read counter instead.
+    pub fn leaf_pages_hilbert_order_peek(&self, domain: &Rect) -> (Vec<PageId>, u64) {
+        let mut out = Vec::new();
+        let mut reads = 0u64;
+        let mut stack = vec![(self.root, self.root_level)];
+        while let Some((page, level)) = stack.pop() {
+            if level == 0 {
+                out.push(page);
+                continue;
+            }
+            reads += 1;
+            let node = self.store.peek(page);
+            let mut kids: Vec<&ChildEntry> = node.children.iter().collect();
+            kids.sort_by_key(|c| {
+                std::cmp::Reverse(hilbert::hilbert_value(&c.mbr.center(), domain))
+            });
+            for c in kids {
+                stack.push((c.page, level - 1));
+            }
+        }
+        (out, reads)
     }
 
     /// Verifies structural invariants of the tree (every child MBR contains

@@ -57,8 +57,9 @@
 //! * [`datagen`] — workload generators (uniform, clustered, real-dataset
 //!   stand-ins),
 //! * [`core`] — the CIJ algorithms (FM-CIJ, PM-CIJ, streaming NM-CIJ), the
-//!   [`QueryEngine`]/[`PairStream`] execution core and the shared bounded
-//!   [`CellCache`].
+//!   [`QueryEngine`]/[`PairStream`] execution core, the two-mode
+//!   (metered/fast) executor, the shared bounded [`CellCache`] and the
+//!   concurrent request server ([`core::service`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -71,18 +72,19 @@ pub use cij_rtree as rtree;
 pub use cij_voronoi as voronoi;
 
 pub use cij_core::{
-    Algorithm, CellCache, CijConfig, CijExecutor, PairStream, QueryEngine, StorageBackend,
+    Algorithm, CellCache, CijConfig, CijExecutor, ExecMode, PairStream, QueryEngine, StorageBackend,
 };
 
 /// Commonly used items, for `use cij::prelude::*`.
 pub mod prelude {
     pub use cij_core::{
         batch_conditional_filter, batch_conditional_filter_with, brute_force_cij,
-        brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm, CellCache,
-        CijConfig, CijExecutor, CijOutcome, FilterKernel, FilterOptions, FilterStats, LeafLayout,
+        brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm, Batch,
+        CacheBudget, CacheLease, CellCache, CijConfig, CijExecutor, CijOutcome, CijService,
+        Completion, EngineSnapshot, ExecMode, FilterKernel, FilterOptions, FilterStats, LeafLayout,
         LeafWatermark, MultiwayCounters, MultiwayDriver, MultiwayOutcome, MultiwayProbe,
-        MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, StorageBackend, TupleStream,
-        Workload,
+        MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, QueueFull, Request,
+        ResponseHandle, ServiceConfig, StorageBackend, TupleStream, Workload,
     };
     pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
     pub use cij_geom::{ConvexPolygon, Point, Rect};

@@ -127,9 +127,13 @@ fn tiny_datasets_and_edge_cardinalities() {
 fn cost_ordering_matches_the_paper() {
     // The headline experimental finding: NM-CIJ < PM-CIJ < FM-CIJ in page
     // accesses, and NM-CIJ stays above (but close to) the LB lower bound.
+    // Pinned to metered execution: it is the measurement oracle, and fast
+    // mode deliberately reports logical snapshot reads instead of buffered
+    // physical page accesses, which would skew this comparison under the
+    // `CIJ_EXEC_MODE=fast` CI pass.
     let p = uniform_points(1_500, &Rect::DOMAIN, 6001);
     let q = uniform_points(1_500, &Rect::DOMAIN, 6002);
-    let engine = engine();
+    let engine = QueryEngine::new(test_config().with_exec_mode(ExecMode::Metered));
     let mut costs = Vec::new();
     let mut lb = 0;
     for alg in Algorithm::ALL {
