@@ -1,0 +1,5 @@
+//! Runs the out-of-core experiment (external-sorted bulk load + NM-CIJ at
+//! data ≥ 4× the buffer, mirror-free residency bounds, backend parity).
+fn main() {
+    cij_bench::experiments::out_of_core::run(&cij_bench::Args::capture());
+}

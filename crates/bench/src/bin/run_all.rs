@@ -35,6 +35,7 @@ fn main() {
     experiments::cache_sweep::run(&forward(0.02));
     experiments::scaling::run(&forward(0.02));
     experiments::io_validation::run(&forward(0.02));
+    experiments::out_of_core::run(&forward(0.02));
     experiments::multiway_scale::run(&forward(0.01));
     experiments::filter_kernel::run(&forward(0.02));
     experiments::kernel_layout::run(&forward(0.02));

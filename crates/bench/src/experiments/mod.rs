@@ -24,6 +24,7 @@
 //! | [`filter_kernel`] | Conditional-filter kernels: sub-quadratic `Indexed` vs quadratic `Scan` — byte-identical candidates, identical traversal, ≥ 3× fewer clip operations |
 //! | [`kernel_layout`] | Leaf layouts: SoA arena/scratch kernels vs the AoS baseline — byte-identical pairs/tuples/counters/page accesses at any thread count and backend, strictly fewer allocations |
 //! | [`concurrent_scale`] | Fast-mode serving: N ∈ {1, 4, 16} simultaneous NM-CIJ queries over one shared snapshot — metered-identical results, zero traces/replays, budget envelope under quota pressure |
+//! | [`out_of_core`] | External-sorted bulk load + NM-CIJ at data ≥ 4× the buffer: mirror-free residency bound (peak resident ≤ buffer + pinned), `bytes_read == physical_reads × page_size`, backend parity over {heap, file, mmap} |
 
 pub mod cache_sweep;
 pub mod concurrent_scale;
@@ -38,6 +39,7 @@ pub mod filter_kernel;
 pub mod io_validation;
 pub mod kernel_layout;
 pub mod multiway_scale;
+pub mod out_of_core;
 pub mod scaling;
 pub mod table2;
 pub mod table3;

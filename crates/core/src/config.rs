@@ -169,10 +169,12 @@ pub struct CijConfig {
     ///
     /// [`StorageBackend::Heap`] (default) keeps page frames in memory, the
     /// historical simulated disk; [`StorageBackend::File`] keeps them in a
-    /// real file accessed with positioned I/O. The choice cannot affect
-    /// results or page-access counts (the heap/file parity guarantee of
-    /// `cij_pagestore`) — it decides whether the counted accesses move real
-    /// bytes, which the `io_validation` bench experiment cross-checks.
+    /// real file accessed with positioned I/O; [`StorageBackend::Mmap`]
+    /// memory-maps an unlinked temp file so the kernel manages frame
+    /// residency. The choice cannot affect results or page-access counts
+    /// (the backend parity guarantee of `cij_pagestore`) — it decides
+    /// whether the counted accesses move real bytes, which the
+    /// `io_validation` bench experiment cross-checks.
     pub storage_backend: StorageBackend,
     /// Buffer capacity, as a fraction of each tree's size, applied to trees
     /// the algorithms build themselves (2 % in the paper).
@@ -383,7 +385,7 @@ impl CijConfig {
     /// | Variable | Field | Values |
     /// |---|---|---|
     /// | `CIJ_WORKER_THREADS` | [`CijConfig::worker_threads`] | integer ≥ 1 |
-    /// | `CIJ_STORAGE` | [`CijConfig::storage_backend`] | `heap` \| `file` |
+    /// | `CIJ_STORAGE` | [`CijConfig::storage_backend`] | `heap` \| `file` \| `mmap` |
     /// | `CIJ_FILTER_KERNEL` | [`CijConfig::filter_kernel`] | `indexed` \| `scan` |
     /// | `CIJ_LEAF_LAYOUT` | [`CijConfig::leaf_layout`] | `soa` \| `aos` |
     /// | `CIJ_EXEC_MODE` | [`CijConfig::exec_mode`] | `metered` \| `fast` |
@@ -596,6 +598,11 @@ mod tests {
         assert_eq!(c.filter_kernel, FilterKernel::Scan);
         assert_eq!(c.leaf_layout, LeafLayout::Aos);
         assert_eq!(c.exec_mode, ExecMode::Fast);
+        // Every storage backend name round-trips through the knob.
+        let m = overridden(&[("CIJ_STORAGE", "mmap")]);
+        assert_eq!(m.storage_backend, StorageBackend::Mmap);
+        let h = overridden(&[("CIJ_STORAGE", "heap")]);
+        assert_eq!(h.storage_backend, StorageBackend::Heap);
         // Unset knobs keep their configured values.
         let d = overridden(&[]);
         assert_eq!(d.worker_threads, 1);

@@ -1,19 +1,44 @@
-//! Pluggable page-frame storage: the [`PageBackend`] trait and its two
+//! Pluggable page-frame storage: the [`PageBackend`] trait and its three
 //! implementations, [`HeapBackend`] (in-memory frames, the historical
-//! simulated disk) and [`FileBackend`] (a real file accessed with positioned
-//! reads and writes).
+//! simulated disk), [`FileBackend`] (a real file accessed with positioned
+//! reads and writes) and [`MmapBackend`](crate::MmapBackend) (memory-mapped
+//! frames over an unlinked temp file).
 //!
 //! The backend sits *below* the LRU buffer and the [`IoStats`]
 //! accounting of [`PageStore`](crate::PageStore): it only moves fixed-size
 //! byte frames. Which backend is plugged in therefore cannot change any
 //! logical read/write count, buffer hit, eviction or page-access total — the
-//! **heap/file parity guarantee** asserted by the integration tests. What
+//! **backend parity guarantee** asserted by the integration tests. What
 //! the backend *adds* is a second, independent measurement: the
 //! [`BackendIo`] byte counters record how many bytes were actually
-//! transferred, so the paper's counted page accesses can be validated
-//! against real I/O (`bytes_read == physical_reads × page_size`).
+//! transferred.
+//!
+//! # The counting contract
+//!
+//! Every transfer carries an [`IoClass`] chosen by the store, and the
+//! backend must account each byte in exactly one bucket of [`BackendIo`]:
+//!
+//! * [`IoClass::Metered`] transfers are the experiment-visible I/O: buffer
+//!   misses, eviction write-backs, [`PageStore::flush`] write-backs and
+//!   replayed reads. For a store whose accounting is intact, `bytes_read ==
+//!   physical_reads × page_size` **and** `bytes_written == physical_writes ×
+//!   page_size` — the two invariants the `io_validation` bench experiment
+//!   and `metered_byte_contract_holds_for_every_backend` check. All three
+//!   backends count metered transfers identically; historically
+//!   `drop_buffer`'s write-backs were "uncounted-but-real" (bytes moved,
+//!   `physical_writes` did not), which broke the written-byte half of the
+//!   contract on the file backend.
+//! * [`IoClass::Unmetered`] transfers are real bytes that are deliberately
+//!   *outside* the measured experiment: `drop_buffer` write-backs (the
+//!   measurement-reset path) and cold [`PageStore::peek`] decodes (snapshot
+//!   reads whose accounting is deferred to trace replay, or skipped
+//!   entirely in fast mode). They land in
+//!   [`BackendIo::unmetered_bytes_read`] / `unmetered_bytes_written`, so no
+//!   byte is ever silently dropped and the metered invariants stay exact.
 //!
 //! [`IoStats`]: crate::IoStats
+//! [`PageStore::flush`]: crate::PageStore::flush
+//! [`PageStore::peek`]: crate::PageStore::peek
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -42,11 +67,20 @@ pub enum StorageBackend {
     /// accessed with `read_at`/`write_at`, so every buffer miss and
     /// write-back is an actual positioned disk I/O.
     File,
+    /// Frames live in memory-mapped segments of an unlinked temp file
+    /// ([`MmapBackend`](crate::MmapBackend)): transfers are `memcpy`s into
+    /// the kernel page cache, residency is the kernel's to manage, so
+    /// datasets can exceed the configured buffer (and eventually RAM).
+    Mmap,
 }
 
 impl StorageBackend {
     /// Every selectable backend, for sweeps and tests.
-    pub const ALL: [StorageBackend; 2] = [StorageBackend::Heap, StorageBackend::File];
+    pub const ALL: [StorageBackend; 3] = [
+        StorageBackend::Heap,
+        StorageBackend::File,
+        StorageBackend::Mmap,
+    ];
 
     /// Short lowercase name, the same token [`StorageBackend::from_str`]
     /// parses.
@@ -54,6 +88,7 @@ impl StorageBackend {
         match self {
             StorageBackend::Heap => "heap",
             StorageBackend::File => "file",
+            StorageBackend::Mmap => "mmap",
         }
     }
 
@@ -63,6 +98,7 @@ impl StorageBackend {
         match self {
             StorageBackend::Heap => Box::new(HeapBackend::new(frame_size)),
             StorageBackend::File => Box::new(FileBackend::anonymous(frame_size)),
+            StorageBackend::Mmap => Box::new(crate::MmapBackend::anonymous(frame_size)),
         }
     }
 }
@@ -80,25 +116,50 @@ impl FromStr for StorageBackend {
         match s.trim().to_ascii_lowercase().as_str() {
             "heap" | "mem" | "memory" => Ok(StorageBackend::Heap),
             "file" | "disk" => Ok(StorageBackend::File),
+            "mmap" | "map" => Ok(StorageBackend::Mmap),
             other => Err(format!(
-                "unknown storage backend {other:?} (expected \"heap\" or \"file\")"
+                "unknown storage backend {other:?} (expected \"heap\", \"file\" or \"mmap\")"
             )),
         }
     }
 }
 
+/// Whether a backend transfer belongs to the measured experiment.
+///
+/// The [`PageStore`](crate::PageStore) classifies every transfer it issues;
+/// the backend routes the bytes into the matching [`BackendIo`] bucket. See
+/// the [module docs](self) for the full counting contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// Experiment-visible I/O: paired one-to-one with a
+    /// `physical_reads`/`physical_writes` increment in the store's
+    /// [`IoStats`](crate::IoStats).
+    Metered,
+    /// Real bytes outside the measured experiment: `drop_buffer`
+    /// write-backs and cold snapshot (`peek`) decodes.
+    Unmetered,
+}
+
 /// Byte counters of a [`PageBackend`]: the *actual* I/O volume, as opposed
 /// to the logical page-access counts of [`IoStats`](crate::IoStats).
 ///
-/// Both counters advance by exactly one frame size per operation, so for a
-/// store whose accounting is intact, `bytes_read == physical_reads ×
-/// page_size` — the invariant the `io_validation` bench experiment checks.
+/// Metered counters advance by exactly one frame size per metered
+/// operation, so for a store whose accounting is intact, `bytes_read ==
+/// physical_reads × page_size` and `bytes_written == physical_writes ×
+/// page_size` — the invariants the `io_validation` and `out_of_core` bench
+/// experiments check. The unmetered counters account every remaining real
+/// transfer (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BackendIo {
-    /// Bytes read from the backing storage.
+    /// Bytes read from the backing storage by metered transfers.
     pub bytes_read: u64,
-    /// Bytes written to the backing storage.
+    /// Bytes written to the backing storage by metered transfers.
     pub bytes_written: u64,
+    /// Bytes read outside the measured experiment (cold `peek` decodes).
+    pub unmetered_bytes_read: u64,
+    /// Bytes written outside the measured experiment (`drop_buffer`
+    /// write-backs).
+    pub unmetered_bytes_written: u64,
 }
 
 impl BackendIo {
@@ -107,6 +168,12 @@ impl BackendIo {
         BackendIo {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            unmetered_bytes_read: self
+                .unmetered_bytes_read
+                .saturating_sub(earlier.unmetered_bytes_read),
+            unmetered_bytes_written: self
+                .unmetered_bytes_written
+                .saturating_sub(earlier.unmetered_bytes_written),
         }
     }
 
@@ -115,6 +182,33 @@ impl BackendIo {
         BackendIo {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            unmetered_bytes_read: self.unmetered_bytes_read + other.unmetered_bytes_read,
+            unmetered_bytes_written: self.unmetered_bytes_written + other.unmetered_bytes_written,
+        }
+    }
+
+    /// Every byte moved, metered or not.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read
+            + self.bytes_written
+            + self.unmetered_bytes_read
+            + self.unmetered_bytes_written
+    }
+
+    /// Records `n` read bytes under `class` (backend-implementation helper).
+    pub fn record_read(&mut self, class: IoClass, n: u64) {
+        match class {
+            IoClass::Metered => self.bytes_read += n,
+            IoClass::Unmetered => self.unmetered_bytes_read += n,
+        }
+    }
+
+    /// Records `n` written bytes under `class` (backend-implementation
+    /// helper).
+    pub fn record_write(&mut self, class: IoClass, n: u64) {
+        match class {
+            IoClass::Metered => self.bytes_written += n,
+            IoClass::Unmetered => self.unmetered_bytes_written += n,
         }
     }
 }
@@ -124,9 +218,12 @@ impl BackendIo {
 /// The [`PageStore`](crate::PageStore) drives the backend under write-back
 /// semantics: `allocate` only reserves a frame slot (the first `write`
 /// happens when the page is evicted from the LRU buffer or flushed), `read`
-/// is only issued on buffer misses, and a frame is never read before its
-/// first write — implementations are encouraged to assert that invariant,
-/// because violating it means the store's accounting has drifted.
+/// is only issued on buffer misses or cold `peek`s, and a frame is never
+/// read before its first write — implementations are encouraged to assert
+/// that invariant, because violating it means the store's accounting has
+/// drifted. Every transfer carries the [`IoClass`] the store assigned it;
+/// the backend accounts the bytes accordingly (see the [module
+/// docs](self)).
 pub trait PageBackend: fmt::Debug + Send + Sync {
     /// Which configuration knob selects this backend.
     fn kind(&self) -> StorageBackend;
@@ -139,15 +236,16 @@ pub trait PageBackend: fmt::Debug + Send + Sync {
     fn allocate(&mut self) -> u32;
 
     /// Reads the frame at `index` into `frame` (`frame.len() ==
-    /// frame_size()`).
+    /// frame_size()`), accounting the bytes under `class`.
     ///
     /// # Panics
     ///
     /// Panics if the frame was never written or was freed.
-    fn read(&mut self, index: u32, frame: &mut [u8]);
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass);
 
-    /// Writes the frame at `index` (`frame.len() == frame_size()`).
-    fn write(&mut self, index: u32, frame: &[u8]);
+    /// Writes the frame at `index` (`frame.len() == frame_size()`),
+    /// accounting the bytes under `class`.
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass);
 
     /// Marks a frame slot as freed; it must not be read again.
     fn free(&mut self, index: u32);
@@ -198,22 +296,22 @@ impl PageBackend for HeapBackend {
         (self.frames.len() - 1) as u32
     }
 
-    fn read(&mut self, index: u32, frame: &mut [u8]) {
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) {
         let stored = self.frames[index as usize]
             .as_ref()
             .expect("backend read of a never-written or freed frame");
         frame.copy_from_slice(stored);
-        self.io.bytes_read += self.frame_size as u64;
+        self.io.record_read(class, self.frame_size as u64);
     }
 
-    fn write(&mut self, index: u32, frame: &[u8]) {
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) {
         assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
         match &mut self.frames[index as usize] {
             // Overwrite in place: no fresh allocation per write-back.
             Some(existing) => existing.copy_from_slice(frame),
             slot => *slot = Some(frame.into()),
         }
-        self.io.bytes_written += self.frame_size as u64;
+        self.io.record_write(class, self.frame_size as u64);
     }
 
     fn free(&mut self, index: u32) {
@@ -235,7 +333,24 @@ impl PageBackend for HeapBackend {
 
 /// Monotonic discriminator for anonymous backing-file names (several stores
 /// are routinely alive at once — `RP`, `RQ`, Voronoi trees).
-static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Creates, opens and immediately unlinks a fresh anonymous file in the
+/// system temp directory — shared by the file and mmap backends.
+pub(crate) fn anonymous_file(tag: &str) -> File {
+    let serial = FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = format!("cij-{tag}-{}-{}.pages", std::process::id(), serial);
+    let path = std::env::temp_dir().join(name);
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("create pagestore file {}: {e}", path.display()));
+    std::fs::remove_file(&path).expect("unlink anonymous pagestore file");
+    file
+}
 
 /// The real-file backend: one frame per `page_size`-byte slot of a file,
 /// accessed with positioned I/O (`FileExt::read_at` / `write_at`).
@@ -263,24 +378,21 @@ impl FileBackend {
     /// Creates a backend over a fresh anonymous file in the system temp
     /// directory (created, opened, unlinked).
     pub fn anonymous(frame_size: usize) -> Self {
-        let serial = FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let name = format!("cij-pagestore-{}-{}.pages", std::process::id(), serial);
-        let path = std::env::temp_dir().join(name);
-        let backend = Self::open(&path, frame_size);
-        std::fs::remove_file(&path).expect("unlink anonymous pagestore file");
-        backend
+        assert!(frame_size > 0, "frame size must be positive");
+        FileBackend {
+            file: anonymous_file("pagestore"),
+            path: None,
+            frame_size,
+            written: Vec::new(),
+            io: BackendIo::default(),
+        }
     }
 
     /// Creates a backend over a visible file at `path` (truncated if it
     /// exists). The file is *not* removed on drop.
     pub fn at_path<P: AsRef<Path>>(path: P, frame_size: usize) -> Self {
-        let mut backend = Self::open(path.as_ref(), frame_size);
-        backend.path = Some(path.as_ref().to_path_buf());
-        backend
-    }
-
-    fn open(path: &Path, frame_size: usize) -> Self {
         assert!(frame_size > 0, "frame size must be positive");
+        let path = path.as_ref();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -290,7 +402,7 @@ impl FileBackend {
             .unwrap_or_else(|e| panic!("create pagestore file {}: {e}", path.display()));
         FileBackend {
             file,
-            path: None,
+            path: Some(path.to_path_buf()),
             frame_size,
             written: Vec::new(),
             io: BackendIo::default(),
@@ -321,7 +433,7 @@ impl PageBackend for FileBackend {
         (self.written.len() - 1) as u32
     }
 
-    fn read(&mut self, index: u32, frame: &mut [u8]) {
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) {
         assert!(
             self.written.get(index as usize).copied().unwrap_or(false),
             "backend read of a never-written or freed frame"
@@ -329,16 +441,16 @@ impl PageBackend for FileBackend {
         self.file
             .read_exact_at(frame, self.offset(index))
             .unwrap_or_else(|e| panic!("read_at frame {index}: {e}"));
-        self.io.bytes_read += self.frame_size as u64;
+        self.io.record_read(class, self.frame_size as u64);
     }
 
-    fn write(&mut self, index: u32, frame: &[u8]) {
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) {
         assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
         self.file
             .write_all_at(frame, self.offset(index))
             .unwrap_or_else(|e| panic!("write_at frame {index}: {e}"));
         self.written[index as usize] = true;
-        self.io.bytes_written += self.frame_size as u64;
+        self.io.record_write(class, self.frame_size as u64);
     }
 
     fn free(&mut self, index: u32) {
@@ -392,23 +504,27 @@ mod tests {
         let mut frame = vec![0u8; fs];
         frame[0] = 0xAB;
         frame[fs - 1] = 0xCD;
-        b.write(a, &frame);
+        b.write(a, &frame, IoClass::Metered);
         frame[0] = 0x11;
-        b.write(c, &frame);
+        b.write(c, &frame, IoClass::Metered);
         let mut out = vec![0u8; fs];
-        b.read(a, &mut out);
+        b.read(a, &mut out, IoClass::Metered);
         assert_eq!((out[0], out[fs - 1]), (0xAB, 0xCD));
-        b.read(c, &mut out);
+        b.read(c, &mut out, IoClass::Metered);
         assert_eq!(out[0], 0x11);
         // Overwrite sticks.
         frame[0] = 0x22;
-        b.write(a, &frame);
-        b.read(a, &mut out);
+        b.write(a, &frame, IoClass::Metered);
+        b.read(a, &mut out, IoClass::Metered);
         assert_eq!(out[0], 0x22);
         b.flush();
         let io = b.io();
         assert_eq!(io.bytes_written, 3 * fs as u64);
         assert_eq!(io.bytes_read, 3 * fs as u64);
+        assert_eq!(
+            (io.unmetered_bytes_read, io.unmetered_bytes_written),
+            (0, 0)
+        );
         b
     }
 
@@ -425,6 +541,41 @@ mod tests {
     }
 
     #[test]
+    fn mmap_backend_roundtrip_and_counters() {
+        let b = exercise(Box::new(crate::MmapBackend::anonymous(64)));
+        assert_eq!(b.kind(), StorageBackend::Mmap);
+    }
+
+    #[test]
+    fn every_backend_routes_bytes_by_io_class() {
+        // The counting contract: each transfer lands in exactly one bucket,
+        // chosen by the store-assigned IoClass — identically on all three
+        // backends.
+        for kind in StorageBackend::ALL {
+            let mut b = kind.create(32);
+            let i = b.allocate();
+            let frame = [5u8; 32];
+            let mut out = [0u8; 32];
+            b.write(i, &frame, IoClass::Unmetered);
+            b.read(i, &mut out, IoClass::Unmetered);
+            b.write(i, &frame, IoClass::Metered);
+            b.read(i, &mut out, IoClass::Metered);
+            let io = b.io();
+            assert_eq!(
+                (io.bytes_read, io.bytes_written),
+                (32, 32),
+                "{kind}: metered bucket"
+            );
+            assert_eq!(
+                (io.unmetered_bytes_read, io.unmetered_bytes_written),
+                (32, 32),
+                "{kind}: unmetered bucket"
+            );
+            assert_eq!(io.total_bytes(), 128, "{kind}: no byte dropped");
+        }
+    }
+
+    #[test]
     fn file_backend_at_path_is_visible_and_frames_land_at_offsets() {
         let path = std::env::temp_dir().join(format!(
             "cij-backend-test-{}-{}.pages",
@@ -436,8 +587,8 @@ mod tests {
             assert_eq!(b.path(), Some(path.as_path()));
             let i0 = b.allocate();
             let i1 = b.allocate();
-            b.write(i1, &[1u8; 16]);
-            b.write(i0, &[2u8; 16]);
+            b.write(i1, &[1u8; 16], IoClass::Metered);
+            b.write(i0, &[2u8; 16], IoClass::Metered);
             b.flush();
         }
         let bytes = std::fs::read(&path).unwrap();
@@ -453,7 +604,7 @@ mod tests {
         let mut b = HeapBackend::new(8);
         let i = b.allocate();
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out);
+        b.read(i, &mut out, IoClass::Metered);
     }
 
     #[test]
@@ -462,7 +613,7 @@ mod tests {
         let mut b = FileBackend::anonymous(8);
         let i = b.allocate();
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out);
+        b.read(i, &mut out, IoClass::Metered);
     }
 
     #[test]
@@ -470,10 +621,10 @@ mod tests {
     fn file_read_after_free_panics() {
         let mut b = FileBackend::anonymous(8);
         let i = b.allocate();
-        b.write(i, &[9u8; 8]);
+        b.write(i, &[9u8; 8], IoClass::Metered);
         b.free(i);
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out);
+        b.read(i, &mut out, IoClass::Metered);
     }
 
     #[test]
@@ -481,16 +632,16 @@ mod tests {
         for kind in StorageBackend::ALL {
             let mut b = kind.create(8);
             let i = b.allocate();
-            b.write(i, &[7u8; 8]);
+            b.write(i, &[7u8; 8], IoClass::Metered);
             let mut copy = b.clone_backend();
             assert_eq!(copy.kind(), kind);
             assert_eq!(copy.io(), b.io());
             // Divergent writes stay private to each copy.
-            copy.write(i, &[8u8; 8]);
+            copy.write(i, &[8u8; 8], IoClass::Metered);
             let mut out = vec![0u8; 8];
-            b.read(i, &mut out);
+            b.read(i, &mut out, IoClass::Metered);
             assert_eq!(out, [7u8; 8], "{kind}: original mutated by clone");
-            copy.read(i, &mut out);
+            copy.read(i, &mut out, IoClass::Metered);
             assert_eq!(out, [8u8; 8], "{kind}: clone lost its write");
         }
     }
@@ -500,8 +651,11 @@ mod tests {
         assert_eq!("heap".parse::<StorageBackend>(), Ok(StorageBackend::Heap));
         assert_eq!("FILE".parse::<StorageBackend>(), Ok(StorageBackend::File));
         assert_eq!(" disk ".parse::<StorageBackend>(), Ok(StorageBackend::File));
+        assert_eq!("mmap".parse::<StorageBackend>(), Ok(StorageBackend::Mmap));
+        assert_eq!(" Map ".parse::<StorageBackend>(), Ok(StorageBackend::Mmap));
         assert!("floppy".parse::<StorageBackend>().is_err());
         assert_eq!(StorageBackend::File.to_string(), "file");
+        assert_eq!(StorageBackend::Mmap.to_string(), "mmap");
         assert_eq!(StorageBackend::default(), StorageBackend::Heap);
     }
 
@@ -510,24 +664,33 @@ mod tests {
         let a = BackendIo {
             bytes_read: 10,
             bytes_written: 4,
+            unmetered_bytes_read: 2,
+            unmetered_bytes_written: 1,
         };
         let b = BackendIo {
             bytes_read: 25,
             bytes_written: 4,
+            unmetered_bytes_read: 6,
+            unmetered_bytes_written: 1,
         };
         assert_eq!(
             b.since(&a),
             BackendIo {
                 bytes_read: 15,
-                bytes_written: 0
+                bytes_written: 0,
+                unmetered_bytes_read: 4,
+                unmetered_bytes_written: 0,
             }
         );
         assert_eq!(
             a.plus(&b),
             BackendIo {
                 bytes_read: 35,
-                bytes_written: 8
+                bytes_written: 8,
+                unmetered_bytes_read: 8,
+                unmetered_bytes_written: 2,
             }
         );
+        assert_eq!(a.total_bytes(), 17);
     }
 }

@@ -1,8 +1,8 @@
 //! # cij-pagestore
 //!
 //! The storage substrate of the CIJ reproduction: fixed-size disk pages, an
-//! LRU buffer pool, I/O accounting — and, since the storage-backend
-//! refactor, **pluggable page-frame backends**.
+//! LRU buffer pool with pinning, I/O accounting — and **pluggable
+//! page-frame backends**, including an out-of-core memory-mapped one.
 //!
 //! The paper's evaluation is I/O-centric: every dataset is indexed by an
 //! R-tree with a **1 KB page size**, algorithms run on top of an **LRU
@@ -10,9 +10,13 @@
 //! the reported cost metric is the number of **page accesses**. This crate
 //! provides exactly that substrate, layered as:
 //!
-//! * [`PageId`] / [`PageStore`] — the page table: owns decoded payloads,
-//!   routes every logical read and write through the buffer manager, and
-//!   moves serialized frames to/from the backend on misses and write-backs,
+//! * [`PageId`] / [`PageStore`] — the page table: routes every logical read
+//!   and write through the buffer manager and moves serialized frames
+//!   to/from the backend on misses and write-backs. Decoded payloads exist
+//!   **only** for buffer members and pinned pages (there is no full
+//!   in-memory mirror), so resident memory is bounded by the buffer, not
+//!   the dataset; [`PageRef`] is the pin guard handed out by
+//!   [`PageStore::peek`] for accounting-free snapshot reads,
 //! * [`PagePayload`] (+ [`FrameWriter`]/[`FrameReader`]) — the serialization
 //!   contract turning payloads into `page_size`-bounded byte frames, with
 //!   [`FrameOverflow`] rejection so node fanout genuinely respects the page
@@ -20,27 +24,34 @@
 //! * [`PageBackend`] — the frame-storage trait, selected by
 //!   [`StorageBackend`]: [`HeapBackend`] keeps frames in memory (the
 //!   historical simulated disk), [`FileBackend`] keeps them in a real file
-//!   accessed with positioned I/O,
-//! * [`LruBuffer`] — an O(1) least-recently-used buffer pool with write-back
-//!   semantics,
+//!   accessed with positioned I/O, [`MmapBackend`] memory-maps an unlinked
+//!   temp file in growable segments so the kernel manages frame residency,
+//! * [`LruBuffer`] — an O(1) least-recently-used buffer pool with
+//!   write-back semantics and pin/unpin refcounts (pinned pages are exempt
+//!   from eviction),
 //! * [`IoStats`] — counters for physical reads/writes, logical accesses and
 //!   buffer hits, with snapshot/delta helpers used by the experiment harness
 //!   to attribute cost to materialisation vs join phases; [`BackendIo`]
-//!   carries the backend's *byte* counters alongside.
+//!   carries the backend's *byte* counters alongside, split by [`IoClass`]
+//!   into metered transfers (misses, eviction/flush write-backs) and
+//!   unmetered maintenance traffic (snapshot decodes, `drop_buffer`
+//!   write-backs) — the exact contract lives in the
+//!   [backend module docs](backend).
 //!
-//! ## The heap/file parity guarantee
+//! ## The backend parity guarantee
 //!
 //! All accounting decisions — what is a hit, what gets evicted, which
 //! counter moves — are made **above** the backend, and the [`PagePayload`]
-//! codec is lossless, so a heap-backed and a file-backed store driven by
-//! the same operations produce *identical* payloads, buffer states,
-//! [`IoStats`] counters and even [`BackendIo`] byte counts. The backends
-//! differ only in whether the frames actually hit storage. This is asserted
-//! at the store level here, and end-to-end (identical join results and
-//! page-access totals under `CIJ_STORAGE=file`) by the workspace's
+//! codec is lossless, so heap-, file- and mmap-backed stores driven by the
+//! same operations produce *identical* payloads, buffer states, [`IoStats`]
+//! counters and even [`BackendIo`] byte counts. The backends differ only in
+//! whether the frames actually hit storage. This is asserted at the store
+//! level here, and end-to-end (identical join results and page-access
+//! totals under `CIJ_STORAGE=file` / `CIJ_STORAGE=mmap`) by the workspace's
 //! integration tests — which is what finally lets the paper's counted page
-//! accesses be validated against real file I/O (`bytes_read ==
-//! physical_reads × page_size`, see the `io_validation` bench experiment).
+//! accesses be validated against real I/O (`bytes_read == physical_reads ×
+//! page_size`, see the `io_validation` and `out_of_core` bench
+//! experiments).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -48,14 +59,16 @@
 pub mod backend;
 pub mod frame;
 pub mod lru;
+pub mod mmap;
 pub mod stats;
 pub mod store;
 
-pub use backend::{BackendIo, FileBackend, HeapBackend, PageBackend, StorageBackend};
+pub use backend::{BackendIo, FileBackend, HeapBackend, IoClass, PageBackend, StorageBackend};
 pub use frame::{FrameOverflow, FrameReader, FrameWriter, PagePayload};
 pub use lru::{Admission, LruBuffer};
+pub use mmap::MmapBackend;
 pub use stats::{IoSnapshot, IoStats};
-pub use store::{PageId, PageStore, PageStoreConfig};
+pub use store::{PageId, PageRef, PageStore, PageStoreConfig};
 
 /// Page size used throughout the paper's experiments: 1 KB.
 pub const DEFAULT_PAGE_SIZE: usize = 1024;

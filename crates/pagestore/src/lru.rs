@@ -1,11 +1,21 @@
-//! An O(1) least-recently-used buffer pool.
+//! An O(1) least-recently-used buffer pool with pin/unpin refcounts.
 //!
 //! The buffer tracks which [`PageId`](crate::PageId)s are memory-resident and
 //! whether they are dirty. Page *payloads* live in the
-//! [`PageStore`](crate::PageStore) (this is a simulation — nothing is ever
-//! really written to disk), so the buffer is purely the replacement-policy
-//! and accounting component, exactly the part the paper's experiments vary
-//! (Figure 8a sweeps the buffer size from 0.5 % to 10 % of the data size).
+//! [`PageStore`](crate::PageStore)'s resident map, so the buffer is purely
+//! the replacement-policy and accounting component, exactly the part the
+//! paper's experiments vary (Figure 8a sweeps the buffer size from 0.5 % to
+//! 10 % of the data size).
+//!
+//! Pages can additionally be **pinned** ([`LruBuffer::pin`] /
+//! [`LruBuffer::unpin`]): a pinned page is never chosen by the eviction
+//! scan, whether or not it is currently a buffer member. Pins are reference
+//! counts — the store's [`PageRef`](crate::PageRef) guards pin on creation
+//! and unpin on drop — and they deliberately survive [`LruBuffer::clear`]
+//! and [`LruBuffer::resize`], because clearing the *replacement state* must
+//! not invalidate outstanding page references. Pinning does **not** touch
+//! recency or membership: peeking at a page leaves the measured buffer state
+//! byte-identical, which is what the parity machinery relies on.
 
 use std::collections::HashMap;
 
@@ -22,10 +32,11 @@ struct Slot {
     next: SlotIdx,
 }
 
-/// A fixed-capacity LRU buffer with write-back semantics.
+/// A fixed-capacity LRU buffer with write-back semantics and pin refcounts.
 ///
 /// Keys are raw `u64` page identifiers so the buffer stays independent of the
-/// page-store types. All operations are O(1).
+/// page-store types. All operations are O(1) except an eviction scan that
+/// has to step over pinned frames (O(pinned members) worst case).
 #[derive(Debug, Clone)]
 pub struct LruBuffer {
     capacity: usize,
@@ -34,6 +45,13 @@ pub struct LruBuffer {
     free: Vec<SlotIdx>,
     head: SlotIdx, // most recently used
     tail: SlotIdx, // least recently used
+    /// Pin refcounts by key. Pinned keys are exempt from eviction; the map
+    /// is independent of LRU membership (a key can be pinned while not
+    /// resident) and survives `clear`/`resize`.
+    pins: HashMap<u64, u32>,
+    /// High-water mark of `pins.len()` — the most distinct keys ever pinned
+    /// at once.
+    peak_pinned: usize,
 }
 
 /// Result of touching a page in the buffer.
@@ -61,10 +79,15 @@ impl LruBuffer {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            pins: HashMap::new(),
+            peak_pinned: 0,
         }
     }
 
-    /// Maximum number of resident pages.
+    /// Maximum number of resident pages. Pinned pages can push the actual
+    /// membership above this transiently (an admission that finds every
+    /// member pinned still admits), but unpinned membership never exceeds
+    /// it.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -84,11 +107,71 @@ impl LruBuffer {
         self.map.contains_key(&key)
     }
 
+    /// Increments the pin count of `key`, exempting it from eviction until
+    /// the matching [`LruBuffer::unpin`]. Recency and membership are not
+    /// touched.
+    pub fn pin(&mut self, key: u64) {
+        *self.pins.entry(key).or_insert(0) += 1;
+        self.peak_pinned = self.peak_pinned.max(self.pins.len());
+    }
+
+    /// Decrements the pin count of `key`; returns `true` when this released
+    /// the last pin (the key is no longer pinned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not pinned — an unpaired unpin means a refcount
+    /// bug in the caller.
+    pub fn unpin(&mut self, key: u64) -> bool {
+        let count = self
+            .pins
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("unpin of page {key} that holds no pin"));
+        *count -= 1;
+        if *count == 0 {
+            self.pins.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current pin count of `key` (0 when unpinned).
+    pub fn pin_count(&self, key: u64) -> u32 {
+        self.pins.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys currently pinned.
+    pub fn pinned_pages(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// High-water mark of distinct keys pinned at once.
+    pub fn peak_pinned(&self) -> usize {
+        self.peak_pinned
+    }
+
+    /// Drops every pin refcount (used when cloning a store: the clone has no
+    /// outstanding page references).
+    pub fn reset_pins(&mut self) {
+        self.pins.clear();
+        self.peak_pinned = 0;
+    }
+
+    /// Restarts the pinned high-water mark from the current pin set, so a
+    /// new measurement phase tracks its own peak.
+    pub fn reset_peak_pinned(&mut self) {
+        self.peak_pinned = self.pins.len();
+    }
+
     /// Touches a page for reading or writing, admitting it if necessary and
-    /// evicting the least-recently-used page when the buffer is full.
+    /// evicting the least-recently-used *unpinned* page when the buffer is
+    /// full.
     ///
     /// `dirty` marks the page as modified (a write access); dirtiness is
-    /// sticky until the page is evicted or the buffer is cleared.
+    /// sticky until the page is evicted or the buffer is cleared. When every
+    /// member is pinned, the page is admitted over capacity with no
+    /// eviction — unpinned membership stays bounded by the capacity.
     pub fn touch(&mut self, key: u64, dirty: bool) -> Admission {
         if self.capacity == 0 {
             // Unbuffered mode: every access is a miss; a dirty access is
@@ -126,39 +209,40 @@ impl LruBuffer {
         }
     }
 
-    /// Drops every resident page, returning the dirty ones (id list) so the
-    /// caller can account for their write-back.
-    pub fn clear(&mut self) -> Vec<u64> {
-        let dirty: Vec<u64> = self
+    /// Drops every resident page — pinned or not; pins protect against
+    /// *capacity* eviction, not against the owner discarding its buffer —
+    /// returning `(key, was_dirty)` for each so the caller can write back
+    /// the dirty ones and release the clean ones. Pin refcounts survive.
+    pub fn clear(&mut self) -> Vec<(u64, bool)> {
+        let dropped: Vec<(u64, bool)> = self
             .slots
             .iter()
             .enumerate()
-            .filter(|&(i, s)| self.map.get(&s.key) == Some(&i) && s.dirty)
-            .map(|(_, s)| s.key)
+            .filter(|&(i, s)| self.map.get(&s.key) == Some(&i))
+            .map(|(_, s)| (s.key, s.dirty))
             .collect();
         self.map.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        dirty
+        dropped
     }
 
-    /// Changes the capacity. Shrinking evicts LRU pages; the evicted dirty
-    /// page ids are returned for write-back accounting.
-    pub fn resize(&mut self, capacity: usize) -> Vec<u64> {
+    /// Changes the capacity. Shrinking evicts LRU pages (skipping pinned
+    /// ones); the evicted `(key, was_dirty)` pairs are returned for
+    /// write-back accounting.
+    pub fn resize(&mut self, capacity: usize) -> Vec<(u64, bool)> {
         self.capacity = capacity;
-        let mut written = Vec::new();
+        let mut evicted = Vec::new();
         while self.map.len() > self.capacity {
-            if let Some((key, dirty)) = self.evict_lru() {
-                if dirty {
-                    written.push(key);
-                }
+            if let Some(entry) = self.evict_lru() {
+                evicted.push(entry);
             } else {
                 break;
             }
         }
-        written
+        evicted
     }
 
     /// The resident keys ordered from most- to least-recently used.
@@ -225,17 +309,23 @@ impl LruBuffer {
         self.push_front(slot);
     }
 
+    /// Evicts the least-recently-used page whose key holds no pin, walking
+    /// from the tail towards the head. Returns `None` when every member is
+    /// pinned.
     fn evict_lru(&mut self) -> Option<(u64, bool)> {
-        if self.tail == NIL {
-            return None;
+        let mut cur = self.tail;
+        while cur != NIL {
+            if self.pin_count(self.slots[cur].key) == 0 {
+                let key = self.slots[cur].key;
+                let dirty = self.slots[cur].dirty;
+                self.unlink(cur);
+                self.map.remove(&key);
+                self.free.push(cur);
+                return Some((key, dirty));
+            }
+            cur = self.slots[cur].prev;
         }
-        let slot = self.tail;
-        let key = self.slots[slot].key;
-        let dirty = self.slots[slot].dirty;
-        self.unlink(slot);
-        self.map.remove(&key);
-        self.free.push(slot);
-        Some((key, dirty))
+        None
     }
 }
 
@@ -318,14 +408,14 @@ mod tests {
     }
 
     #[test]
-    fn clear_reports_dirty_pages() {
+    fn clear_reports_every_member_with_its_dirty_flag() {
         let mut b = LruBuffer::new(4);
         b.touch(1, true);
         b.touch(2, false);
         b.touch(3, true);
-        let mut dirty = b.clear();
-        dirty.sort_unstable();
-        assert_eq!(dirty, vec![1, 3]);
+        let mut dropped = b.clear();
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![(1, true), (2, false), (3, true)]);
         assert!(b.is_empty());
     }
 
@@ -335,10 +425,10 @@ mod tests {
         for k in 0..4 {
             b.touch(k, k % 2 == 0);
         }
-        let written = b.resize(2);
+        let evicted = b.resize(2);
         assert_eq!(b.len(), 2);
         // Pages 0 and 1 are the LRU ones; page 0 was dirty.
-        assert_eq!(written, vec![0]);
+        assert_eq!(evicted, vec![(0, true), (1, false)]);
         assert!(b.contains(2) && b.contains(3));
     }
 
@@ -369,5 +459,84 @@ mod tests {
                 assert_eq!(b.touch(k, false), Admission::Hit);
             }
         }
+    }
+
+    #[test]
+    fn pinned_page_is_skipped_by_eviction() {
+        let mut b = LruBuffer::new(2);
+        b.touch(1, false);
+        b.touch(2, false);
+        b.pin(1); // 1 is the LRU member but pinned
+        match b.touch(3, false) {
+            Admission::Miss {
+                evicted: Some((2, false)),
+            } => {}
+            other => panic!("expected eviction to skip pinned 1 and take 2, got {other:?}"),
+        }
+        assert!(b.contains(1) && b.contains(3));
+    }
+
+    #[test]
+    fn fully_pinned_buffer_admits_over_capacity() {
+        let mut b = LruBuffer::new(2);
+        b.touch(1, false);
+        b.touch(2, false);
+        b.pin(1);
+        b.pin(2);
+        assert_eq!(b.touch(3, false), Admission::Miss { evicted: None });
+        assert_eq!(b.len(), 3, "admitted over capacity, nothing evictable");
+        // The unpinned newcomer is the next victim.
+        match b.touch(4, false) {
+            Admission::Miss {
+                evicted: Some((3, false)),
+            } => {}
+            other => panic!("expected eviction of the unpinned page 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pin_counts_nest_and_unpin_releases() {
+        let mut b = LruBuffer::new(1);
+        b.touch(5, false);
+        b.pin(5);
+        b.pin(5);
+        assert_eq!(b.pin_count(5), 2);
+        assert!(!b.unpin(5), "one pin still outstanding");
+        assert_eq!(b.touch(6, false), Admission::Miss { evicted: None });
+        assert!(b.unpin(5), "last pin released");
+        assert_eq!(b.pin_count(5), 0);
+        // Now 5 is evictable again.
+        match b.touch(7, false) {
+            Admission::Miss { evicted: Some(_) } => {}
+            other => panic!("expected an eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pins_survive_clear_and_resize_and_track_the_peak() {
+        let mut b = LruBuffer::new(4);
+        b.touch(1, true);
+        b.pin(1);
+        b.pin(2); // pinned while not even a member
+        assert_eq!(b.peak_pinned(), 2);
+        let dropped = b.clear();
+        assert_eq!(dropped, vec![(1, true)]);
+        assert_eq!(b.pin_count(1), 1);
+        assert_eq!(b.pin_count(2), 1);
+        b.touch(1, false);
+        let evicted = b.resize(0);
+        // capacity 0: resize evicts members, but 1 is pinned.
+        assert!(evicted.is_empty());
+        assert!(b.contains(1));
+        b.reset_pins();
+        assert_eq!(b.pinned_pages(), 0);
+        assert_eq!(b.peak_pinned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no pin")]
+    fn unpaired_unpin_panics() {
+        let mut b = LruBuffer::new(1);
+        b.unpin(9);
     }
 }

@@ -1,7 +1,64 @@
 //! The page store: fixed-size page frames behind an LRU buffer, over a
-//! pluggable [`PageBackend`].
+//! pluggable [`PageBackend`] — with **no decoded mirror**.
+//!
+//! # Residency and the pin/unpin contract
+//!
+//! Historically the store kept a decoded in-memory image of *every* page,
+//! which made "cold" reads never actually cold and bounded datasets by RAM.
+//! That mirror is gone. Decoded payloads now live in a **resident map**
+//! that holds exactly two kinds of pages:
+//!
+//! * **buffer members** — pages currently admitted to the [`LruBuffer`];
+//!   their decoded payload is the in-memory image a buffer hit serves, and
+//!   it is dropped when the page is evicted (after a write-back if dirty);
+//! * **pinned pages** — pages with outstanding [`PageRef`] guards from
+//!   [`PageStore::peek`]. A peek pins the page (refcounted on the
+//!   [`LruBuffer`], which exempts it from eviction) **without touching
+//!   recency, membership or any counter**, so snapshot reads leave the
+//!   measured buffer state byte-identical. A peek of a non-resident page
+//!   decodes it through the backend as an [`IoClass::Unmetered`] transfer
+//!   and holds it in the resident map — *not* admitted to the buffer —
+//!   until the last guard drops.
+//!
+//! Everything else decodes on miss through the backend and is dropped on
+//! eviction, so peak decoded residency is bounded by `buffer capacity +
+//! pinned pages` (tracked by [`PageStore::peak_resident_pages`] /
+//! [`PageStore::peak_pinned_pages`] and asserted by the `out_of_core` bench
+//! experiment) instead of by the dataset size.
+//!
+//! A [`PageRef`] holds its payload through an `Arc`, so a guard stays valid
+//! even if the page is concurrently overwritten (writes *replace* the
+//! resident payload — a guard taken before the write keeps observing the
+//! snapshot it pinned; trees are read-only during joins, so this only
+//! matters for exotic interleavings) or freed.
+//!
+//! # Read/write path and the backend parity guarantee
+//!
+//! * Logical reads go through the LRU buffer: a **hit** is served from the
+//!   resident payload, a **miss** transfers the frame from the backend
+//!   ([`IoClass::Metered`]) and decodes it.
+//! * Writes are **write-back**: allocate/write dirty the buffered page; the
+//!   frame is encoded and written to the backend when the page is evicted
+//!   or on [`PageStore::flush`] (both metered); [`PageStore::drop_buffer`]
+//!   writes dirty frames back as [`IoClass::Unmetered`] traffic — see the
+//!   counting contract in the [backend module docs](crate::backend).
+//!
+//! All accounting ([`IoStats`], buffer state, eviction decisions) happens
+//! *above* the backend, so swapping [`StorageBackend::Heap`] for
+//! [`StorageBackend::File`] or [`StorageBackend::Mmap`] changes no counter
+//! and no result — only whether the frames actually hit storage, measured
+//! by [`PageStore::backend_io`].
+//!
+//! The store is internally synchronized (a mutex around the residency
+//! state), which is what lets `&self` peeks pin pages while `&mut self`
+//! metered operations stay exclusive. Guards never hold the lock; they
+//! re-acquire it briefly on drop to unpin.
 
-use crate::backend::{BackendIo, PageBackend, StorageBackend};
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::backend::{BackendIo, IoClass, PageBackend, StorageBackend};
 use crate::frame::PagePayload;
 use crate::lru::{Admission, LruBuffer};
 use crate::stats::IoStats;
@@ -81,6 +138,24 @@ impl PageStoreConfig {
     }
 }
 
+/// The mutex-guarded residency state of a [`PageStore`].
+#[derive(Debug)]
+struct StoreInner<T: PagePayload> {
+    /// Decoded payloads of exactly the buffer members and the pinned pages
+    /// — the replacement for the historical full mirror.
+    resident: HashMap<u64, Arc<T>>,
+    /// Which page ids are currently allocated (index = page id).
+    allocated: Vec<bool>,
+    backend: Box<dyn PageBackend>,
+    buffer: LruBuffer,
+    stats: IoStats,
+    /// Scratch frame (always `page_size` bytes) for encode/decode transfers.
+    frame: Vec<u8>,
+    /// High-water mark of `resident.len()`, sampled at operation
+    /// boundaries (steady states, not mid-operation transients).
+    peak_resident: usize,
+}
+
 /// A disk of fixed-size pages with an LRU buffer in front of it.
 ///
 /// Payloads of type `T` (R-tree nodes, in practice) are serialized through
@@ -89,47 +164,48 @@ impl PageStoreConfig {
 /// size is rejected at allocate/write time, so fanout budgets cannot be
 /// silently violated. [`PageStore::read`] returns owned payloads so that
 /// callers never hold borrows across further store operations (pages can be
-/// evicted under you, exactly like a real buffer pool).
-///
-/// # Read/write path and the heap/file parity guarantee
-///
-/// * Logical reads go through the LRU buffer: a **hit** is served from the
-///   in-memory image, a **miss** transfers the frame from the backend and
-///   decodes it — on the [`FileBackend`](crate::backend::FileBackend) this
-///   is a real positioned read, and the decoded bytes (not the in-memory
-///   image) are what the caller gets.
-/// * Writes are **write-back**: allocate/write dirty the buffered page; the
-///   frame is encoded and written to the backend when the page is evicted
-///   or on [`PageStore::flush`].
-///
-/// All accounting ([`IoStats`], buffer state, eviction decisions) happens
-/// *above* the backend, so swapping [`StorageBackend::Heap`] for
-/// [`StorageBackend::File`] changes no counter and no result — only whether
-/// the frames actually hit storage, measured by [`PageStore::backend_io`].
-///
-/// The store also keeps a decoded in-memory image of every page. Besides
-/// serving buffer hits, it backs [`PageStore::peek`] — the uncounted
-/// snapshot reads used by oracles and by the parallel NM-CIJ workers whose
-/// accounting is deferred to [`PageStore::note_read`] replay.
+/// evicted under you, exactly like a real buffer pool); [`PageStore::peek`]
+/// returns a pinned [`PageRef`] guard instead. See the [module docs](self)
+/// for the residency and pin/unpin contract.
 #[derive(Debug)]
 pub struct PageStore<T: PagePayload> {
-    pages: Vec<Option<T>>,
-    backend: Box<dyn PageBackend>,
-    buffer: LruBuffer,
+    inner: Arc<Mutex<StoreInner<T>>>,
+    /// Shared counter handle, cached outside the lock.
     stats: IoStats,
-    /// Scratch frame (always `page_size` bytes) for encode/decode transfers.
-    frame: Vec<u8>,
+    kind: StorageBackend,
+    page_size: usize,
 }
 
 impl<T: PagePayload> Clone for PageStore<T> {
+    /// A deep, independent copy: fresh backend with identical frames, the
+    /// same buffer membership/recency, shared [`IoStats`] counters (like
+    /// every other handle copy) — and **no pins**: the clone has no
+    /// outstanding [`PageRef`] guards, so only buffer members carry over
+    /// into its resident map.
     fn clone(&self) -> Self {
+        let inner = self.lock();
+        let mut buffer = inner.buffer.clone();
+        buffer.reset_pins();
+        let resident: HashMap<u64, Arc<T>> = inner
+            .resident
+            .iter()
+            .filter(|(k, _)| buffer.contains(**k))
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        let peak_resident = resident.len();
         PageStore {
-            pages: self.pages.clone(),
-            backend: self.backend.clone_backend(),
-            buffer: self.buffer.clone(),
-            // Shared counters, like every other handle copy.
+            inner: Arc::new(Mutex::new(StoreInner {
+                resident,
+                allocated: inner.allocated.clone(),
+                backend: inner.backend.clone_backend(),
+                buffer,
+                stats: inner.stats.clone(),
+                frame: vec![0u8; inner.frame.len()],
+                peak_resident,
+            })),
             stats: self.stats.clone(),
-            frame: self.frame.clone(),
+            kind: self.kind,
+            page_size: self.page_size,
         }
     }
 }
@@ -149,38 +225,83 @@ impl<T: PagePayload> PageStore<T> {
     pub fn with_stats(config: PageStoreConfig, stats: IoStats) -> Self {
         assert!(config.page_size > 0, "page size must be positive");
         PageStore {
-            pages: Vec::new(),
-            backend: config.backend.create(config.page_size),
-            buffer: LruBuffer::new(config.buffer_pages),
+            inner: Arc::new(Mutex::new(StoreInner {
+                resident: HashMap::new(),
+                allocated: Vec::new(),
+                backend: config.backend.create(config.page_size),
+                buffer: LruBuffer::new(config.buffer_pages),
+                stats: stats.clone(),
+                frame: vec![0u8; config.page_size],
+                peak_resident: 0,
+            })),
             stats,
-            frame: vec![0u8; config.page_size],
+            kind: config.backend,
+            page_size: config.page_size,
         }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreInner<T>> {
+        // Poisoning is ignored deliberately: a panic mid-operation in some
+        // other thread must not cascade into every guard drop.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The configured page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.backend.frame_size()
+        self.page_size
     }
 
     /// Which storage backend holds this store's frames.
     pub fn backend_kind(&self) -> StorageBackend {
-        self.backend.kind()
+        self.kind
     }
 
     /// Bytes actually transferred to/from the backend so far — the physical
-    /// counterpart of the [`IoStats`] page-access counts.
+    /// counterpart of the [`IoStats`] page-access counts (metered and
+    /// unmetered buckets, see [`BackendIo`]).
     pub fn backend_io(&self) -> BackendIo {
-        self.backend.io()
+        self.lock().backend.io()
     }
 
     /// Number of allocated pages (the data size on disk, in pages).
     pub fn num_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.lock().allocated.iter().filter(|&&a| a).count()
     }
 
     /// A handle to the shared statistics counters.
     pub fn stats(&self) -> IoStats {
         self.stats.clone()
+    }
+
+    /// Number of pages currently holding a decoded payload (buffer members
+    /// plus pinned pages).
+    pub fn resident_pages(&self) -> usize {
+        self.lock().resident.len()
+    }
+
+    /// High-water mark of [`PageStore::resident_pages`] — with the mirror
+    /// gone this is bounded by `buffer capacity + peak pinned`, not by the
+    /// dataset.
+    pub fn peak_resident_pages(&self) -> usize {
+        self.lock().peak_resident
+    }
+
+    /// Number of distinct pages currently pinned by [`PageRef`] guards.
+    pub fn pinned_pages(&self) -> usize {
+        self.lock().buffer.pinned_pages()
+    }
+
+    /// High-water mark of [`PageStore::pinned_pages`].
+    pub fn peak_pinned_pages(&self) -> usize {
+        self.lock().buffer.peak_pinned()
+    }
+
+    /// Restarts the residency high-water marks from the current state, so a
+    /// measurement phase tracks its own peaks rather than construction's.
+    pub fn reset_residency_peaks(&mut self) {
+        let mut inner = self.lock();
+        inner.peak_resident = inner.resident.len();
+        inner.buffer.reset_peak_pinned();
     }
 
     /// Allocates a new page containing `payload` and returns its id.
@@ -194,100 +315,77 @@ impl<T: PagePayload> PageStore<T> {
     /// Panics with a [`FrameOverflow`](crate::FrameOverflow) message if the
     /// payload's encoding does not fit one page.
     pub fn allocate(&mut self, payload: T) -> PageId {
-        self.check_fits(&payload);
-        let index = self.backend.allocate();
+        let inner = &mut *self.lock();
+        inner.check_fits(&payload);
+        let index = inner.backend.allocate();
         debug_assert_eq!(
             index as usize,
-            self.pages.len(),
+            inner.allocated.len(),
             "backend frame index drifted from the page table"
         );
+        inner.allocated.push(true);
         let id = PageId(index);
-        self.pages.push(Some(payload));
-        self.stats.record_logical_write();
-        self.admit(id, true);
+        inner.stats.record_logical_write();
+        let key = id.as_key();
+        inner.resident.insert(key, Arc::new(payload));
+        inner.admit_dirty(key);
+        inner.release_if_unreferenced(key);
+        inner.note_peak();
         id
     }
 
     /// Reads the payload of a page, going through the buffer. A miss
-    /// transfers the frame from the backend and decodes it; a hit is served
-    /// from the in-memory image.
+    /// transfers the frame from the backend ([`IoClass::Metered`]) and
+    /// decodes it; a hit is served from the resident payload.
     ///
     /// # Panics
     ///
     /// Panics if the page does not exist — that is a logic error in the
     /// caller (dangling `PageId`), not a runtime condition to handle.
     pub fn read(&mut self, id: PageId) -> T {
-        assert!(self.is_allocated(id), "read of unallocated page");
-        match self.buffer.touch(id.as_key(), false) {
-            Admission::Hit => {
-                self.stats.record_hit();
-                self.pages[id.0 as usize]
-                    .clone()
-                    .expect("read of unallocated page")
-            }
-            Admission::Miss { evicted } => {
-                self.stats.record_miss();
-                self.handle_eviction(evicted);
-                self.fetch(id)
-            }
-        }
+        let arc = self.lock().read_arc(id);
+        Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())
     }
 
     /// Reads a page by reference, going through the buffer with accounting
-    /// identical to [`PageStore::read`] — but serving the visitor from the
-    /// decoded in-memory image instead of cloning (hit) or re-decoding
-    /// (miss) the payload.
+    /// identical to [`PageStore::read`] — but serving the visitor without
+    /// cloning the payload.
     ///
-    /// On a miss the frame is still physically transferred from the backend
-    /// (so [`PageStore::backend_io`] byte counters match `read` exactly) and,
-    /// in debug builds, compared against the re-encoded image — the same
-    /// consistency check [`PageStore::note_read`] performs. This is the
-    /// zero-copy decode path behind arena-based node visits in `cij-rtree`:
-    /// pages land straight in the caller's flat buffers with no intermediate
-    /// payload allocation.
+    /// On a miss the frame is physically transferred from the backend and
+    /// decoded (so [`PageStore::backend_io`] byte counters match `read`
+    /// exactly). This is the zero-copy decode path behind arena-based node
+    /// visits in `cij-rtree`: pages land straight in the caller's flat
+    /// buffers with no intermediate payload allocation. The callback runs
+    /// *outside* the store's internal lock (the payload is kept alive by an
+    /// `Arc`), so it may call back into this or any other store.
     ///
     /// # Panics
     ///
     /// Panics if the page does not exist, like [`PageStore::read`].
     pub fn read_with<R>(&mut self, id: PageId, f: impl FnOnce(&T) -> R) -> R {
-        assert!(self.is_allocated(id), "read of unallocated page");
-        match self.buffer.touch(id.as_key(), false) {
-            Admission::Hit => self.stats.record_hit(),
-            Admission::Miss { evicted } => {
-                self.stats.record_miss();
-                self.handle_eviction(evicted);
-                self.backend.read(id.0, &mut self.frame);
-                #[cfg(debug_assertions)]
-                {
-                    let expected = self.pages[id.0 as usize]
-                        .as_ref()
-                        .expect("read of unallocated page")
-                        .encode();
-                    assert_eq!(
-                        &self.frame[..expected.len()],
-                        &expected[..],
-                        "transferred frame of page {id:?} drifted from the image"
-                    );
-                }
-            }
-        }
-        f(self.pages[id.0 as usize]
-            .as_ref()
-            .expect("read of unallocated page"))
+        let arc = self.lock().read_arc(id);
+        f(&arc)
     }
 
     /// Overwrites the payload of an existing page, going through the buffer.
+    ///
+    /// The resident payload is **replaced**, not mutated: outstanding
+    /// [`PageRef`] guards keep observing the payload they pinned.
     ///
     /// # Panics
     ///
     /// Panics on unallocated pages and on payloads that exceed the page size
     /// (see [`PageStore::allocate`]).
     pub fn write(&mut self, id: PageId, payload: T) {
-        assert!(self.is_allocated(id), "write to unallocated page");
-        self.check_fits(&payload);
-        self.pages[id.0 as usize] = Some(payload);
-        self.stats.record_logical_write();
-        self.admit(id, true);
+        let inner = &mut *self.lock();
+        assert!(inner.is_allocated(id), "write to unallocated page");
+        inner.check_fits(&payload);
+        inner.stats.record_logical_write();
+        let key = id.as_key();
+        inner.resident.insert(key, Arc::new(payload));
+        inner.admit_dirty(key);
+        inner.release_if_unreferenced(key);
+        inner.note_peak();
     }
 
     /// Accounts for a logical read of `id` **without** returning the
@@ -296,52 +394,62 @@ impl<T: PagePayload> PageStore<T> {
     /// on a miss, so backend byte counters replay identically too.
     ///
     /// This is the deferred-accounting hook of the parallel NM-CIJ path:
-    /// workers read from the snapshot ([`PageStore::peek`]) and record page
-    /// ids; the coordinator replays each trace here in sequential leaf
+    /// workers read from pinned snapshots ([`PageStore::peek`]) and record
+    /// page ids; the coordinator replays each trace here in sequential leaf
     /// order (through `RTree::replay_read` in `cij-rtree`, a thin wrapper
     /// over this method — this doc is the authoritative one).
     ///
-    /// In debug builds the transferred frame is additionally compared
-    /// against the re-encoded snapshot payload, catching trace/snapshot
-    /// drift at the first diverging page.
+    /// In debug builds, when the replayed page still holds a pinned resident
+    /// payload, the transferred frame is compared against its re-encoding —
+    /// catching trace/snapshot drift at the first diverging page.
     ///
     /// # Panics
     ///
     /// Panics if the replayed page id does not exist (trace drift), like
     /// [`PageStore::read`].
     pub fn note_read(&mut self, id: PageId) {
-        assert!(self.is_allocated(id), "note_read of unallocated page");
-        match self.buffer.touch(id.as_key(), false) {
-            Admission::Hit => self.stats.record_hit(),
-            Admission::Miss { evicted } => {
-                self.stats.record_miss();
-                self.handle_eviction(evicted);
-                self.backend.read(id.0, &mut self.frame);
-                #[cfg(debug_assertions)]
-                {
-                    let expected = self.pages[id.0 as usize]
-                        .as_ref()
-                        .expect("note_read of unallocated page")
-                        .encode();
-                    assert_eq!(
-                        &self.frame[..expected.len()],
-                        &expected[..],
-                        "replayed frame of page {id:?} drifted from the snapshot"
-                    );
-                }
-            }
-        }
+        let _ = self.lock().read_arc(id);
     }
 
-    /// Reads a page **without** touching the buffer, the backend or the
-    /// counters — straight from the decoded in-memory image.
+    /// Reads a page **without** touching the buffer recency, the metered
+    /// counters or the [`IoStats`] — returning a [`PageRef`] guard that
+    /// pins the page for its lifetime.
     ///
-    /// Used only for assertions, in-memory oracles and the snapshot reads of
-    /// the parallel execution path; never by the algorithms being measured.
-    pub fn peek(&self, id: PageId) -> &T {
-        self.pages[id.0 as usize]
-            .as_ref()
-            .expect("peek of unallocated page")
+    /// A resident page (buffer member or already pinned) is served from its
+    /// decoded payload with zero I/O. A cold page is decoded through the
+    /// backend as an [`IoClass::Unmetered`] transfer and held in the
+    /// resident map — not admitted to the buffer — until the last guard
+    /// drops. Either way the measured buffer state is left byte-identical,
+    /// which is what the snapshot readers of the parallel and fast
+    /// execution paths rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist.
+    pub fn peek(&self, id: PageId) -> PageRef<T> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        assert!(inner.is_allocated(id), "peek of unallocated page");
+        let key = id.as_key();
+        let payload = match inner.resident.get(&key) {
+            Some(arc) => Arc::clone(arc),
+            None => {
+                inner
+                    .backend
+                    .read(id.0, &mut inner.frame, IoClass::Unmetered);
+                let arc = Arc::new(T::decode(&inner.frame));
+                inner.resident.insert(key, Arc::clone(&arc));
+                arc
+            }
+        };
+        inner.buffer.pin(key);
+        inner.note_peak();
+        drop(guard);
+        PageRef {
+            store: Arc::clone(&self.inner),
+            key,
+            payload,
+        }
     }
 
     /// Frees a page: it no longer counts towards [`PageStore::num_pages`],
@@ -350,36 +458,49 @@ impl<T: PagePayload> PageStore<T> {
     ///
     /// Used by the R-tree bulk loader to discard the placeholder root of an
     /// initially-empty tree once the packed root replaces it. Freed page ids
-    /// are not recycled.
+    /// are not recycled. Outstanding [`PageRef`] guards stay valid (they
+    /// own their payload).
     pub fn free(&mut self, id: PageId) {
-        if let Some(slot) = self.pages.get_mut(id.0 as usize) {
-            *slot = None;
-            self.buffer.remove(id.as_key());
-            self.backend.free(id.0);
+        let inner = &mut *self.lock();
+        if inner.is_allocated(id) {
+            inner.allocated[id.0 as usize] = false;
+            inner.buffer.remove(id.as_key());
+            inner.resident.remove(&id.as_key());
+            inner.backend.free(id.0);
         }
     }
 
-    /// Writes back every dirty buffered page, empties the buffer and flushes
-    /// the backend.
+    /// Writes back every dirty buffered page (metered, like eviction
+    /// write-backs — the counting contract in the
+    /// [backend docs](crate::backend)), empties the buffer and flushes the
+    /// backend.
     pub fn flush(&mut self) {
-        for key in self.buffer.clear() {
-            self.write_back(key);
-            self.stats.record_physical_write();
+        let inner = &mut *self.lock();
+        for (key, dirty) in inner.buffer.clear() {
+            if dirty {
+                inner.write_back(key, IoClass::Metered);
+                inner.stats.record_physical_write();
+            }
+            inner.release_if_unreferenced(key);
         }
-        self.backend.flush();
+        inner.backend.flush();
     }
 
-    /// Empties the buffer *without* counting write-backs. Useful to make
+    /// Empties the buffer *without* metering write-backs. Useful to make
     /// separate measurements start cold without attributing the previous
     /// phase's dirty pages to the next one.
     ///
     /// The dirty frames are still physically written (data must survive on a
-    /// real backend — a later cold read serves them from storage); only the
-    /// [`IoStats`] accounting is skipped, by design of the measurement
-    /// convention.
+    /// real backend — a later cold read serves them from storage), but as
+    /// [`IoClass::Unmetered`] traffic: the [`IoStats`] and the metered byte
+    /// counters stay put, by design of the measurement convention.
     pub fn drop_buffer(&mut self) {
-        for key in self.buffer.clear() {
-            self.write_back(key);
+        let inner = &mut *self.lock();
+        for (key, dirty) in inner.buffer.clear() {
+            if dirty {
+                inner.write_back(key, IoClass::Unmetered);
+            }
+            inner.release_if_unreferenced(key);
         }
     }
 
@@ -387,9 +508,13 @@ impl<T: PagePayload> PageStore<T> {
     /// any dirty pages that get evicted by a shrink. (Growing keeps all
     /// resident pages; [`LruBuffer::resize`] handles both directions.)
     pub fn set_buffer_pages(&mut self, pages: usize) {
-        for key in self.buffer.resize(pages) {
-            self.write_back(key);
-            self.stats.record_physical_write();
+        let inner = &mut *self.lock();
+        for (key, dirty) in inner.buffer.resize(pages) {
+            if dirty {
+                inner.write_back(key, IoClass::Metered);
+                inner.stats.record_physical_write();
+            }
+            inner.release_if_unreferenced(key);
         }
     }
 
@@ -413,65 +538,145 @@ impl<T: PagePayload> PageStore<T> {
 
     /// Current buffer capacity in pages.
     pub fn buffer_pages(&self) -> usize {
-        self.buffer.capacity()
-    }
-
-    fn is_allocated(&self, id: PageId) -> bool {
-        self.pages
-            .get(id.0 as usize)
-            .map(|p| p.is_some())
-            .unwrap_or(false)
-    }
-
-    fn check_fits(&self, payload: &T) {
-        if let Err(overflow) = payload.check_frame(self.page_size()) {
-            panic!("{overflow}");
-        }
-    }
-
-    /// Transfers the frame of `id` from the backend and decodes it.
-    fn fetch(&mut self, id: PageId) -> T {
-        self.backend.read(id.0, &mut self.frame);
-        T::decode(&self.frame)
-    }
-
-    /// Encodes the in-memory image of a page into a zero-padded frame and
-    /// writes it to the backend. Reuses the scratch frame across calls —
-    /// no allocation on the eviction path.
-    fn write_back(&mut self, key: u64) {
-        let page_size = self.frame.len();
-        let mut frame = std::mem::take(&mut self.frame);
-        frame.clear();
-        self.pages[key as usize]
-            .as_ref()
-            .expect("write-back of unallocated page")
-            .encode_into(&mut frame);
-        frame.resize(page_size, 0); // zero padding up to the page size
-        self.backend.write(key as u32, &frame);
-        self.frame = frame;
-    }
-
-    fn admit(&mut self, id: PageId, dirty: bool) {
-        match self.buffer.touch(id.as_key(), dirty) {
-            Admission::Hit => {}
-            Admission::Miss { evicted } => {
-                self.handle_eviction(evicted);
-            }
-        }
-    }
-
-    fn handle_eviction(&mut self, evicted: Option<(u64, bool)>) {
-        if let Some((key, dirty)) = evicted {
-            if dirty {
-                self.write_back(key);
-                self.stats.record_physical_write();
-            }
-        }
+        self.lock().buffer.capacity()
     }
 
     #[cfg(test)]
     pub(crate) fn buffer_keys_mru_to_lru(&self) -> Vec<u64> {
-        self.buffer.keys_mru_to_lru()
+        self.lock().buffer.keys_mru_to_lru()
+    }
+}
+
+impl<T: PagePayload> StoreInner<T> {
+    fn is_allocated(&self, id: PageId) -> bool {
+        self.allocated.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn check_fits(&self, payload: &T) {
+        if let Err(overflow) = payload.check_frame(self.frame.len()) {
+            panic!("{overflow}");
+        }
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+    }
+
+    /// The shared counted-read path of `read`, `read_with` and `note_read`:
+    /// touch the buffer, record hit/miss, transfer + decode on miss, keep
+    /// the residency invariant (resident = members ∪ pinned).
+    fn read_arc(&mut self, id: PageId) -> Arc<T> {
+        assert!(self.is_allocated(id), "read of unallocated page");
+        let key = id.as_key();
+        match self.buffer.touch(key, false) {
+            Admission::Hit => {
+                self.stats.record_hit();
+                Arc::clone(
+                    self.resident
+                        .get(&key)
+                        .expect("buffer member without a decoded payload"),
+                )
+            }
+            Admission::Miss { evicted } => {
+                self.stats.record_miss();
+                self.handle_eviction(evicted);
+                self.backend.read(id.0, &mut self.frame, IoClass::Metered);
+                #[cfg(debug_assertions)]
+                if let Some(pinned) = self.resident.get(&key) {
+                    // The page still holds a pinned snapshot payload: the
+                    // transferred frame must re-encode it exactly, or the
+                    // trace/replay machinery has drifted.
+                    let expected = pinned.encode();
+                    assert_eq!(
+                        &self.frame[..expected.len()],
+                        &expected[..],
+                        "transferred frame of page {id:?} drifted from the pinned snapshot"
+                    );
+                }
+                let payload = Arc::new(T::decode(&self.frame));
+                if self.buffer.contains(key) {
+                    self.resident.insert(key, Arc::clone(&payload));
+                }
+                self.note_peak();
+                payload
+            }
+        }
+    }
+
+    /// Admits `key` as dirty, handling whatever the admission evicted
+    /// (including `key` itself in the capacity-0 self-eviction case).
+    fn admit_dirty(&mut self, key: u64) {
+        match self.buffer.touch(key, true) {
+            Admission::Hit => {}
+            Admission::Miss { evicted } => self.handle_eviction(evicted),
+        }
+    }
+
+    /// Write-back (metered) + residency release of an evicted page.
+    fn handle_eviction(&mut self, evicted: Option<(u64, bool)>) {
+        if let Some((key, dirty)) = evicted {
+            if dirty {
+                self.write_back(key, IoClass::Metered);
+                self.stats.record_physical_write();
+            }
+            self.release_if_unreferenced(key);
+        }
+    }
+
+    /// Drops the resident payload of `key` unless the buffer or a pin still
+    /// references it — the single place the residency invariant
+    /// (resident = members ∪ pinned) is enforced on the release side.
+    fn release_if_unreferenced(&mut self, key: u64) {
+        if !self.buffer.contains(key) && self.buffer.pin_count(key) == 0 {
+            self.resident.remove(&key);
+        }
+    }
+
+    /// Encodes the resident payload of a page into a zero-padded frame and
+    /// writes it to the backend under `class`. Reuses the scratch frame
+    /// across calls — no allocation on the eviction path.
+    fn write_back(&mut self, key: u64, class: IoClass) {
+        let page_size = self.frame.len();
+        let mut frame = std::mem::take(&mut self.frame);
+        frame.clear();
+        self.resident
+            .get(&key)
+            .expect("write-back of a page with no decoded payload")
+            .encode_into(&mut frame);
+        frame.resize(page_size, 0); // zero padding up to the page size
+        self.backend.write(key as u32, &frame, class);
+        self.frame = frame;
+    }
+}
+
+/// A pinned reference to a page's decoded payload, returned by
+/// [`PageStore::peek`].
+///
+/// Dereferences to the payload. While any guard for a page is alive the
+/// page is pinned: the LRU buffer will not evict it and the store keeps its
+/// decoded payload resident. Dropping the last guard unpins the page and —
+/// if it is not also a buffer member — releases the payload.
+#[derive(Debug)]
+pub struct PageRef<T: PagePayload> {
+    store: Arc<Mutex<StoreInner<T>>>,
+    key: u64,
+    payload: Arc<T>,
+}
+
+impl<T: PagePayload> Deref for PageRef<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.payload
+    }
+}
+
+impl<T: PagePayload> Drop for PageRef<T> {
+    fn drop(&mut self) {
+        let mut inner = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.buffer.unpin(self.key) {
+            inner.release_if_unreferenced(self.key);
+        }
     }
 }
 
@@ -851,6 +1056,159 @@ mod tests {
     }
 
     #[test]
+    fn metered_byte_contract_holds_for_every_backend() {
+        // Both halves of the counting contract, all three backends: after a
+        // mixed workload with evictions, flushes and drop_buffer resets,
+        // bytes_read == physical_reads × page_size and bytes_written ==
+        // physical_writes × page_size.
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(3, backend);
+            let ids: Vec<PageId> = (0..12u32).map(|i| s.allocate(i)).collect();
+            s.flush();
+            s.drop_buffer(); // unmetered write-backs (nothing dirty here)
+            s.stats().reset();
+            let before = s.backend_io();
+            for &id in &[ids[0], ids[4], ids[0], ids[9], ids[2], ids[4]] {
+                let _ = s.read(id);
+            }
+            s.write(ids[4], 777);
+            s.set_buffer_pages(1); // shrink: evicts, one dirty write-back
+            s.flush();
+            let snap = s.stats().snapshot();
+            let io = s.backend_io().since(&before);
+            let ps = s.page_size() as u64;
+            assert_eq!(io.bytes_read, snap.physical_reads * ps, "{backend}: reads");
+            assert_eq!(
+                io.bytes_written,
+                snap.physical_writes * ps,
+                "{backend}: writes"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_buffer_write_backs_are_unmetered_but_real() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(4, backend);
+            let a = s.allocate(31); // dirty, never flushed
+            let before = s.backend_io();
+            s.stats().reset();
+            s.drop_buffer();
+            let io = s.backend_io().since(&before);
+            // The frame moved — as unmetered traffic.
+            assert_eq!(io.bytes_written, 0, "{backend}: metered bucket untouched");
+            assert_eq!(
+                io.unmetered_bytes_written,
+                s.page_size() as u64,
+                "{backend}: the dirty frame was really written"
+            );
+            assert_eq!(s.stats().snapshot().physical_writes, 0);
+            // And the data survives the cold restart.
+            assert_eq!(s.read(a), 31);
+        }
+    }
+
+    #[test]
+    fn peek_pins_and_survives_eviction_pressure() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(2, backend);
+            let ids: Vec<PageId> = (0..6u32).map(|i| s.allocate(i * 5)).collect();
+            s.flush();
+            let guard = s.peek(ids[0]);
+            assert_eq!(*guard, 0);
+            assert_eq!(s.pinned_pages(), 1);
+            // Thrash the buffer: the pinned page must keep its payload and
+            // stay exempt from eviction throughout.
+            for round in 0..3 {
+                for &id in &ids[1..] {
+                    let _ = s.read(id);
+                }
+                assert_eq!(*guard, 0, "round {round}");
+            }
+            drop(guard);
+            assert_eq!(s.pinned_pages(), 0);
+            // With the last guard gone and the page not a member, its
+            // payload is released.
+            assert!(s.resident_pages() <= s.buffer_pages());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_touch_metered_state() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(2, backend);
+            let ids: Vec<PageId> = (0..5u32).map(|i| s.allocate(i + 100)).collect();
+            s.flush();
+            s.drop_buffer();
+            s.stats().reset();
+            let _ = s.read(ids[0]);
+            let _ = s.read(ids[1]);
+            let counters = s.stats().snapshot();
+            let buffer = s.buffer_keys_mru_to_lru();
+            let metered = (s.backend_io().bytes_read, s.backend_io().bytes_written);
+            // Peek resident and cold pages alike: nothing measured moves.
+            {
+                let g0 = s.peek(ids[0]); // buffer member
+                let g4 = s.peek(ids[4]); // cold page -> unmetered decode
+                assert_eq!((*g0, *g4), (100, 104));
+            }
+            assert_eq!(s.stats().snapshot(), counters);
+            assert_eq!(s.buffer_keys_mru_to_lru(), buffer);
+            assert_eq!(
+                (s.backend_io().bytes_read, s.backend_io().bytes_written),
+                metered
+            );
+            // The cold peek transferred real (unmetered) bytes.
+            assert_eq!(s.backend_io().unmetered_bytes_read, s.page_size() as u64);
+        }
+    }
+
+    #[test]
+    fn residency_is_bounded_by_buffer_plus_pins_not_by_the_dataset() {
+        for backend in StorageBackend::ALL {
+            let mut s = store_on(4, backend);
+            let ids: Vec<PageId> = (0..64u32).map(|i| s.allocate(i)).collect();
+            s.flush();
+            // Hold a few pins while scanning everything repeatedly.
+            let guards: Vec<PageRef<u32>> = ids[..3].iter().map(|&id| s.peek(id)).collect();
+            for _ in 0..2 {
+                for &id in &ids {
+                    let _ = s.read(id);
+                }
+            }
+            assert!(
+                s.peak_resident_pages() <= s.buffer_pages() + s.peak_pinned_pages(),
+                "{backend}: peak resident {} > buffer {} + peak pinned {}",
+                s.peak_resident_pages(),
+                s.buffer_pages(),
+                s.peak_pinned_pages()
+            );
+            assert!(s.peak_resident_pages() < ids.len(), "{backend}: no mirror");
+            drop(guards);
+            s.drop_buffer();
+            assert_eq!(s.resident_pages(), 0, "{backend}: nothing left resident");
+        }
+    }
+
+    #[test]
+    fn nested_peeks_share_one_pin_slot_per_page() {
+        let mut s = store(2);
+        let a = s.allocate(9);
+        s.flush();
+        s.drop_buffer();
+        let g1 = s.peek(a);
+        let g2 = s.peek(a);
+        assert_eq!((*g1, *g2), (9, 9));
+        assert_eq!(s.pinned_pages(), 1, "refcounted, not duplicated");
+        assert_eq!(s.resident_pages(), 1);
+        drop(g1);
+        assert_eq!(s.pinned_pages(), 1, "second guard still holds the pin");
+        drop(g2);
+        assert_eq!(s.pinned_pages(), 0);
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
     fn cloned_store_diverges_independently() {
         for backend in StorageBackend::ALL {
             let mut s = store_on(2, backend);
@@ -864,5 +1222,19 @@ mod tests {
             assert_eq!(s.read(a), 5, "{backend}: original saw the clone's write");
             assert_eq!(copy.read(a), 6, "{backend}: clone lost its write");
         }
+    }
+
+    #[test]
+    fn clone_carries_no_pins() {
+        let mut s = store(2);
+        let a = s.allocate(1);
+        s.flush();
+        s.drop_buffer();
+        let guard = s.peek(a);
+        let copy = s.clone();
+        assert_eq!(s.pinned_pages(), 1);
+        assert_eq!(copy.pinned_pages(), 0, "clone has no outstanding guards");
+        assert_eq!(copy.resident_pages(), 0, "pinned-only pages do not carry");
+        drop(guard);
     }
 }

@@ -1,4 +1,4 @@
-//! Bottom-up Hilbert-packed bulk loading.
+//! Bottom-up Hilbert-packed bulk loading — in-memory and out-of-core.
 //!
 //! Section III-C of the paper constructs the Voronoi R-trees `R'P`/`R'Q` by
 //! packing Voronoi cells into leaf pages in Hilbert order of their centroids
@@ -6,17 +6,42 @@
 //! R-tree"). The same loader doubles as a fast way to build the point trees
 //! `RP`/`RQ` for the experiments — the paper's input trees are ordinary
 //! R-trees, and a Hilbert-packed tree is a well-clustered instance of one.
+//!
+//! Two loaders share one streaming packer:
+//!
+//! * [`RTree::bulk_load_with_stats_on`] sorts the objects in memory — fine
+//!   whenever the dataset fits in RAM;
+//! * [`RTree::bulk_load_external_on`] **external-sorts** the objects by
+//!   Hilbert key in bounded-memory runs spilled through a *scratch* backend
+//!   of the same [`StorageBackend`] kind, then k-way-merges the runs
+//!   straight into the leaf packer. Tree construction never materialises
+//!   the full dataset: at most `run_capacity` objects plus one spill frame
+//!   per run are decoded at any moment. The merge is ordered by
+//!   `(hilbert key, run index)` and the runs are contiguous input chunks,
+//!   so the merged order equals the in-memory stable sort — the two loaders
+//!   produce **byte-identical trees**. Spill traffic goes through a scratch
+//!   backend instance (unmetered), never the tree's own store, so the
+//!   "construction writes every page exactly once and reads none" property
+//!   is preserved.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::node::{ChildEntry, Node};
 use crate::object::RTreeObject;
 use crate::tree::{RTree, RTreeConfig};
 use cij_geom::{hilbert, Rect};
-use cij_pagestore::{IoStats, StorageBackend};
+use cij_pagestore::{FrameReader, FrameWriter, IoClass, IoStats, PageBackend, StorageBackend};
 
 /// Packing fill factor for bulk loading (fraction of the page byte budget a
 /// leaf is filled to before a new leaf is started). The paper packs pages
 /// fully; a slightly lower default leaves headroom for later insertions.
 pub const DEFAULT_FILL: f64 = 1.0;
+
+/// Default in-memory run size of the external sort, in objects. Small
+/// enough that a run is a negligible fraction of the paper-scale datasets,
+/// large enough that runs span many spill frames.
+pub const DEFAULT_RUN_CAPACITY: usize = 8192;
 
 impl<D: RTreeObject> RTree<D> {
     /// Bulk-loads a tree from `objects` with fresh statistics counters.
@@ -51,73 +76,312 @@ impl<D: RTreeObject> RTree<D> {
         fill: f64,
         storage: StorageBackend,
     ) -> Self {
-        let fill = fill.clamp(0.1, 1.0);
         let mut tree = RTree::with_stats_on(config, stats, storage);
         if objects.is_empty() {
             return tree;
         }
-        // The empty-leaf root allocated by `with_stats` is replaced by the
-        // packed tree below; free it so it neither counts towards the tree's
-        // page count (the LB of the experiments) nor gets flushed.
-        let placeholder_root = tree.root_page();
-
         // Order objects along the Hilbert curve of their MBR centers.
         let domain = objects
             .iter()
             .fold(Rect::empty(), |acc, o| acc.union(&o.mbr()));
         objects.sort_by_key(|o| hilbert::hilbert_value(&o.mbr().center(), &domain));
-
-        let total = objects.len();
-        let byte_budget = ((config.node_byte_budget() as f64) * fill) as usize;
-
-        // Pack leaves.
-        let mut leaf_entries: Vec<ChildEntry> = Vec::new();
-        let mut current = Node::new_leaf();
-        let mut current_bytes = 0usize;
-        for obj in objects {
-            let obj_bytes = obj.entry_bytes();
-            let would_overflow = !current.objects.is_empty()
-                && (current_bytes + obj_bytes > byte_budget
-                    || current.objects.len() >= config.max_entries);
-            if would_overflow {
-                let mbr = current.mbr();
-                let page = tree
-                    .store_mut()
-                    .allocate(std::mem::replace(&mut current, Node::new_leaf()));
-                leaf_entries.push(ChildEntry { mbr, page });
-                current_bytes = 0;
-            }
-            current_bytes += obj_bytes;
-            current.objects.push(obj);
-        }
-        if !current.objects.is_empty() {
-            let mbr = current.mbr();
-            let page = tree.store_mut().allocate(current);
-            leaf_entries.push(ChildEntry { mbr, page });
-        }
-
-        // Build upper levels bottom-up until a single node remains.
-        let max_children = ((config.max_children() as f64) * fill).floor().max(2.0) as usize;
-        let mut level = 1u32;
-        let mut entries = leaf_entries;
-        while entries.len() > 1 {
-            let mut next: Vec<ChildEntry> = Vec::with_capacity(entries.len() / max_children + 1);
-            for chunk in entries.chunks(max_children) {
-                let mut node = Node::new_inner(level);
-                node.children.extend_from_slice(chunk);
-                let mbr = node.mbr();
-                let page = tree.store_mut().allocate(node);
-                next.push(ChildEntry { mbr, page });
-            }
-            entries = next;
-            level += 1;
-        }
-
-        let root_entry = entries[0];
-        let root_level = level - 1;
-        tree.store_mut().free(placeholder_root);
-        tree.set_root(root_entry.page, root_level, total);
+        pack_sorted(&mut tree, objects.into_iter(), fill);
         tree
+    }
+
+    /// Out-of-core bulk load with fresh statistics counters — see
+    /// [`RTree::bulk_load_external_on`].
+    pub fn bulk_load_external(
+        config: RTreeConfig,
+        objects: impl IntoIterator<Item = D>,
+        run_capacity: usize,
+    ) -> Self {
+        Self::bulk_load_external_on(
+            config,
+            IoStats::new(),
+            objects,
+            DEFAULT_FILL,
+            StorageBackend::Heap,
+            run_capacity,
+        )
+    }
+
+    /// Bulk-loads a tree from an object *stream* in bounded memory: an
+    /// external merge sort by Hilbert key with at most `run_capacity`
+    /// objects held in RAM at once, spilled through a scratch backend of
+    /// the same `storage` kind (so the spill is genuinely out-of-core under
+    /// `file`/`mmap`).
+    ///
+    /// Produces a tree **byte-identical** to
+    /// [`RTree::bulk_load_with_stats_on`] on the same input sequence — the
+    /// run merge reproduces the in-memory stable sort exactly. Inputs that
+    /// fit a single run are delegated to the in-memory loader outright
+    /// (zero spill traffic).
+    ///
+    /// The scratch spill never touches the tree's own store or the shared
+    /// `stats`: construction still writes every tree page exactly once and
+    /// reads none, and all spill bytes land in the *unmetered* bucket of a
+    /// backend that is dropped before this returns.
+    pub fn bulk_load_external_on(
+        config: RTreeConfig,
+        stats: IoStats,
+        objects: impl IntoIterator<Item = D>,
+        fill: f64,
+        storage: StorageBackend,
+        run_capacity: usize,
+    ) -> Self {
+        let run_capacity = run_capacity.max(1);
+        let mut input = objects.into_iter();
+
+        // Hybrid fast path: drain one run's worth plus one. If the input
+        // ends within a single run, external == in-memory by definition.
+        let mut head: Vec<D> = Vec::with_capacity(run_capacity.min(1 << 20) + 1);
+        while head.len() <= run_capacity {
+            match input.next() {
+                Some(o) => head.push(o),
+                None => return Self::bulk_load_with_stats_on(config, stats, head, fill, storage),
+            }
+        }
+
+        // Pass 0: spill everything in arrival order, folding the Hilbert
+        // domain over the exact same sequence the in-memory loader folds.
+        let mut scratch = storage.create(config.page_size);
+        let mut domain = Rect::empty();
+        let mut total = 0usize;
+        let mut spill = SpillWriter::new(&mut *scratch);
+        for o in head.drain(..).chain(input) {
+            domain = domain.union(&o.mbr());
+            spill.push(&o);
+            total += 1;
+        }
+        let unsorted = spill.finish();
+
+        // Pass 1: re-read in run-sized chunks, sort each chunk by Hilbert
+        // key (stable, like the in-memory loader), spill the sorted runs.
+        let mut frame_buf = Vec::new();
+        let mut cursor: RunCursor<D> = RunCursor::new(unsorted);
+        let mut runs: Vec<Vec<u32>> = Vec::new();
+        loop {
+            let mut chunk: Vec<D> = Vec::with_capacity(run_capacity);
+            while chunk.len() < run_capacity {
+                match cursor.next(&mut *scratch, &mut frame_buf) {
+                    Some(o) => chunk.push(o),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            chunk.sort_by_key(|o| hilbert::hilbert_value(&o.mbr().center(), &domain));
+            let mut writer = SpillWriter::new(&mut *scratch);
+            for o in &chunk {
+                writer.push(o);
+            }
+            runs.push(writer.finish());
+        }
+        debug_assert!(runs.len() >= 2, "single-run inputs take the fast path");
+
+        // Merge: k-way by (hilbert key, run index). Runs are contiguous
+        // input chunks in order, so this tie-break makes the merge equal to
+        // one global stable sort.
+        let mut tree = RTree::with_stats_on(config, stats, storage);
+        let mut cursors: Vec<RunCursor<D>> = runs.into_iter().map(RunCursor::new).collect();
+        let mut heads: Vec<Option<D>> = Vec::with_capacity(cursors.len());
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, c) in cursors.iter_mut().enumerate() {
+            let o = c.next(&mut *scratch, &mut frame_buf);
+            if let Some(o) = &o {
+                heap.push(Reverse((
+                    hilbert::hilbert_value(&o.mbr().center(), &domain),
+                    i,
+                )));
+            }
+            heads.push(o);
+        }
+        let merged = std::iter::from_fn(move || {
+            let Reverse((_, i)) = heap.pop()?;
+            let out = heads[i].take().expect("heap entry without a run head");
+            if let Some(next) = cursors[i].next(&mut *scratch, &mut frame_buf) {
+                heap.push(Reverse((
+                    hilbert::hilbert_value(&next.mbr().center(), &domain),
+                    i,
+                )));
+                heads[i] = Some(next);
+            }
+            Some(out)
+        });
+        let packed = pack_sorted(&mut tree, merged, fill);
+        debug_assert_eq!(packed, total, "merge lost or duplicated objects");
+        tree
+    }
+}
+
+/// Streams Hilbert-sorted objects into packed leaves, builds the upper
+/// levels bottom-up, frees the placeholder root of the (empty) `tree` and
+/// installs the packed root. Returns the number of objects packed — the
+/// caller guarantees at least one.
+fn pack_sorted<D: RTreeObject>(
+    tree: &mut RTree<D>,
+    objects: impl Iterator<Item = D>,
+    fill: f64,
+) -> usize {
+    let config = *tree.config();
+    let fill = fill.clamp(0.1, 1.0);
+    let placeholder_root = tree.root_page();
+    let byte_budget = ((config.node_byte_budget() as f64) * fill) as usize;
+
+    // Pack leaves.
+    let mut total = 0usize;
+    let mut leaf_entries: Vec<ChildEntry> = Vec::new();
+    let mut current = Node::new_leaf();
+    let mut current_bytes = 0usize;
+    for obj in objects {
+        total += 1;
+        let obj_bytes = obj.entry_bytes();
+        let would_overflow = !current.objects.is_empty()
+            && (current_bytes + obj_bytes > byte_budget
+                || current.objects.len() >= config.max_entries);
+        if would_overflow {
+            let mbr = current.mbr();
+            let page = tree
+                .store_mut()
+                .allocate(std::mem::replace(&mut current, Node::new_leaf()));
+            leaf_entries.push(ChildEntry { mbr, page });
+            current_bytes = 0;
+        }
+        current_bytes += obj_bytes;
+        current.objects.push(obj);
+    }
+    assert!(total > 0, "pack_sorted requires a non-empty object stream");
+    if !current.objects.is_empty() {
+        let mbr = current.mbr();
+        let page = tree.store_mut().allocate(current);
+        leaf_entries.push(ChildEntry { mbr, page });
+    }
+
+    // Build upper levels bottom-up until a single node remains.
+    let max_children = ((config.max_children() as f64) * fill).floor().max(2.0) as usize;
+    let mut level = 1u32;
+    let mut entries = leaf_entries;
+    while entries.len() > 1 {
+        let mut next: Vec<ChildEntry> = Vec::with_capacity(entries.len() / max_children + 1);
+        for chunk in entries.chunks(max_children) {
+            let mut node = Node::new_inner(level);
+            node.children.extend_from_slice(chunk);
+            let mbr = node.mbr();
+            let page = tree.store_mut().allocate(node);
+            next.push(ChildEntry { mbr, page });
+        }
+        entries = next;
+        level += 1;
+    }
+
+    // The empty-leaf root allocated by `with_stats` is replaced by the
+    // packed tree; free it so it neither counts towards the tree's page
+    // count (the LB of the experiments) nor gets flushed.
+    let root_entry = entries[0];
+    tree.store_mut().free(placeholder_root);
+    tree.set_root(root_entry.page, level - 1, total);
+    total
+}
+
+/// Appends self-delimiting object entries to spill frames of the scratch
+/// backend: `[u32 count][entries back-to-back]`, zero-padded to the frame
+/// size, entries never spanning frames. All traffic is
+/// [`IoClass::Unmetered`] — spill is maintenance I/O, not a measured page
+/// access.
+struct SpillWriter<'a> {
+    backend: &'a mut dyn PageBackend,
+    /// Byte capacity left for entries after the count header.
+    capacity: usize,
+    body: FrameWriter,
+    count: u32,
+    frames: Vec<u32>,
+}
+
+impl<'a> SpillWriter<'a> {
+    fn new(backend: &'a mut dyn PageBackend) -> Self {
+        let capacity = backend
+            .frame_size()
+            .checked_sub(4)
+            .expect("spill frames need room for the count header");
+        SpillWriter {
+            backend,
+            capacity,
+            body: FrameWriter::with_capacity(capacity),
+            count: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    fn push<D: RTreeObject>(&mut self, object: &D) {
+        let bytes = object.entry_bytes();
+        assert!(
+            bytes <= self.capacity,
+            "object entry ({bytes} B) exceeds a spill frame ({} B)",
+            self.capacity
+        );
+        if self.count > 0 && self.body.len() + bytes > self.capacity {
+            self.flush_frame();
+        }
+        object.encode_entry(&mut self.body);
+        self.count += 1;
+    }
+
+    fn flush_frame(&mut self) {
+        let frame_size = self.backend.frame_size();
+        let body = std::mem::replace(&mut self.body, FrameWriter::with_capacity(self.capacity));
+        let mut frame = FrameWriter::with_capacity(frame_size);
+        frame.put_u32(self.count);
+        let mut bytes = frame.into_bytes();
+        bytes.extend_from_slice(&body.into_bytes());
+        bytes.resize(frame_size, 0);
+        let index = self.backend.allocate();
+        self.backend.write(index, &bytes, IoClass::Unmetered);
+        self.frames.push(index);
+        self.count = 0;
+    }
+
+    /// Flushes the trailing partial frame and returns the frame indices in
+    /// write order.
+    fn finish(mut self) -> Vec<u32> {
+        if self.count > 0 {
+            self.flush_frame();
+        }
+        self.frames
+    }
+}
+
+/// Streams the objects of one spilled run back, decoding one frame at a
+/// time (the per-run memory bound of the merge) and freeing each frame
+/// after its single read.
+struct RunCursor<D: RTreeObject> {
+    frames: std::vec::IntoIter<u32>,
+    pending: std::vec::IntoIter<D>,
+}
+
+impl<D: RTreeObject> RunCursor<D> {
+    fn new(frames: Vec<u32>) -> Self {
+        RunCursor {
+            frames: frames.into_iter(),
+            pending: Vec::new().into_iter(),
+        }
+    }
+
+    fn next(&mut self, backend: &mut dyn PageBackend, frame_buf: &mut Vec<u8>) -> Option<D> {
+        loop {
+            if let Some(o) = self.pending.next() {
+                return Some(o);
+            }
+            let frame = self.frames.next()?;
+            frame_buf.resize(backend.frame_size(), 0);
+            backend.read(frame, frame_buf, IoClass::Unmetered);
+            backend.free(frame);
+            let mut r = FrameReader::new(frame_buf);
+            let count = r.take_u32();
+            let objects: Vec<D> = (0..count).map(|_| D::decode_entry(&mut r)).collect();
+            self.pending = objects.into_iter();
+        }
     }
 }
 
@@ -142,6 +406,24 @@ mod tests {
         (0..n)
             .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
             .collect()
+    }
+
+    /// Structural equality of two trees, page by page: identical allocation
+    /// order makes the page numbering itself part of the contract.
+    fn assert_trees_identical(a: &mut RTree<PointObject>, b: &mut RTree<PointObject>) {
+        assert_eq!(a.root_page(), b.root_page());
+        assert_eq!(a.root_level(), b.root_level());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.num_pages(), b.num_pages());
+        let mut stack = vec![a.root_page()];
+        while let Some(page) = stack.pop() {
+            let na = a.read_node(page);
+            let nb = b.read_node(page);
+            assert_eq!(na, nb, "page {page:?} differs");
+            if !na.is_leaf() {
+                stack.extend(na.children.iter().map(|c| c.page));
+            }
+        }
     }
 
     #[test]
@@ -321,5 +603,147 @@ mod tests {
             avg < diagonal / 10.0,
             "avg consecutive-leaf distance {avg} too large vs diagonal {diagonal}"
         );
+    }
+
+    #[test]
+    fn external_bulk_load_is_byte_identical_to_in_memory() {
+        // Many runs (capacity 100 over 1500 objects), every backend: the
+        // external sort must reproduce the in-memory tree exactly, page for
+        // page — including page numbering.
+        let pts = random_points(1500, 17);
+        for backend in StorageBackend::ALL {
+            let mut in_memory = RTree::bulk_load_with_stats_on(
+                config(),
+                IoStats::new(),
+                PointObject::from_points(&pts),
+                1.0,
+                backend,
+            );
+            let mut external = RTree::bulk_load_external_on(
+                config(),
+                IoStats::new(),
+                PointObject::from_points(&pts),
+                1.0,
+                backend,
+                100,
+            );
+            external.check_invariants().unwrap();
+            assert_trees_identical(&mut in_memory, &mut external);
+        }
+    }
+
+    #[test]
+    fn external_bulk_load_small_input_takes_the_in_memory_path() {
+        let pts = random_points(300, 23);
+        let mut in_memory = RTree::bulk_load(config(), PointObject::from_points(&pts));
+        // run_capacity 300 >= input: delegates, still identical.
+        let mut external = RTree::bulk_load_external(config(), PointObject::from_points(&pts), 300);
+        assert_trees_identical(&mut in_memory, &mut external);
+    }
+
+    #[test]
+    fn external_bulk_load_keeps_construction_io_clean() {
+        // The spill must not leak into the tree's own store or counters:
+        // building externally still writes every tree page exactly once and
+        // reads nothing, and the tree's backend carries no unmetered spill
+        // bytes.
+        let pts = random_points(1200, 31);
+        let stats = IoStats::new();
+        let mut tree = RTree::bulk_load_external_on(
+            config(),
+            stats.clone(),
+            PointObject::from_points(&pts),
+            1.0,
+            StorageBackend::Mmap,
+            150,
+        );
+        tree.flush();
+        let snap = stats.snapshot();
+        let writes = snap.physical_writes as usize;
+        assert!(
+            writes == tree.num_pages() || writes == tree.num_pages() + 1,
+            "external load wrote {writes} pages for a {}-page tree",
+            tree.num_pages()
+        );
+        assert_eq!(snap.physical_reads, 0, "external load read a tree page");
+        let io = tree.backend_io();
+        assert_eq!(
+            io.unmetered_bytes_read, 0,
+            "spill leaked into the tree store"
+        );
+        assert_eq!(
+            io.unmetered_bytes_written, 0,
+            "spill leaked into the tree store"
+        );
+    }
+
+    #[test]
+    fn external_bulk_load_bounds_resident_pages() {
+        // With a genuinely cold scratch path (mmap) and a small run
+        // capacity, the tree store never holds more decoded pages than its
+        // buffer + pins allow — there is no mirror to hide in.
+        let pts = random_points(2000, 37);
+        let tree = RTree::bulk_load_external_on(
+            config(),
+            IoStats::new(),
+            PointObject::from_points(&pts),
+            1.0,
+            StorageBackend::Mmap,
+            128,
+        );
+        assert!(
+            tree.peak_resident_pages() <= tree.buffer_pages() + tree.peak_pinned_pages(),
+            "peak resident {} exceeds buffer {} + pinned {}",
+            tree.peak_resident_pages(),
+            tree.buffer_pages(),
+            tree.peak_pinned_pages()
+        );
+    }
+
+    #[test]
+    fn spill_frames_roundtrip_variable_size_entries() {
+        // The spill codec on its own: variable-size cell entries packed
+        // into 512-byte frames and read back in order.
+        let mut cells = Vec::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for i in 0..120 {
+            let cx = rng.gen_range(100.0..9_900.0);
+            let cy = rng.gen_range(100.0..9_900.0);
+            let site = Point::new(cx, cy);
+            let mut cell = ConvexPolygon::from_rect(&Rect::from_coords(
+                cx - 40.0,
+                cy - 40.0,
+                cx + 40.0,
+                cy + 40.0,
+            ));
+            for _ in 0..rng.gen_range(0..5) {
+                let other = Point::new(
+                    cx + rng.gen_range(-70.0..70.0),
+                    cy + rng.gen_range(-70.0..70.0),
+                );
+                if other.dist(&site) > 1.0 {
+                    cell = cell.clip_bisector(&site, &other);
+                }
+            }
+            cells.push(CellObject::new(i, site, cell));
+        }
+        let mut backend = StorageBackend::Heap.create(512);
+        let mut writer = SpillWriter::new(&mut *backend);
+        for c in &cells {
+            writer.push(c);
+        }
+        let frames = writer.finish();
+        assert!(frames.len() > 1, "spill should span frames");
+        let mut cursor: RunCursor<CellObject> = RunCursor::new(frames);
+        let mut buf = Vec::new();
+        let mut read_back = Vec::new();
+        while let Some(c) = cursor.next(&mut *backend, &mut buf) {
+            read_back.push(c);
+        }
+        assert_eq!(read_back.len(), cells.len());
+        for (a, b) in read_back.iter().zip(&cells) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.mbr(), b.mbr());
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod reader;
 pub mod tree;
 
 pub use arena::{LeafLayout, NodeArena};
+pub use bulk::{DEFAULT_FILL, DEFAULT_RUN_CAPACITY};
 pub use closest_pairs::k_closest_pairs;
 pub use codec::NODE_HEADER_BYTES;
 pub use join::{distance_join, intersection_join, intersection_join_pairs, IdPair};

@@ -159,7 +159,7 @@ impl<D: RTreeObject> NodeReader<D> for TracedReader<'_, D> {
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
         probe::note_trace_record();
         self.trace.push(page);
-        f(self.tree.peek_node(page));
+        f(&*self.tree.peek_node(page));
     }
 }
 
@@ -211,7 +211,7 @@ impl<D: RTreeObject> NodeReader<D> for SnapshotReader<'_, D> {
 
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
         self.reads += 1;
-        f(self.tree.peek_node(page));
+        f(&*self.tree.peek_node(page));
     }
 }
 

@@ -4,7 +4,9 @@ use crate::codec::NODE_HEADER_BYTES;
 use crate::node::{ChildEntry, Node};
 use crate::object::RTreeObject;
 use cij_geom::{hilbert, Rect};
-use cij_pagestore::{BackendIo, IoStats, PageId, PageStore, PageStoreConfig, StorageBackend};
+use cij_pagestore::{
+    BackendIo, IoStats, PageId, PageRef, PageStore, PageStoreConfig, StorageBackend,
+};
 
 /// Configuration of an R-tree.
 #[derive(Debug, Clone, Copy)]
@@ -161,7 +163,12 @@ impl<D: RTreeObject> RTree<D> {
     /// Reads a node without counting the access (oracles/tests only, and
     /// the snapshot reads of [`TracedReader`](crate::reader::TracedReader)
     /// whose accounting is deferred to [`RTree::replay_read`]).
-    pub fn peek_node(&self, page: PageId) -> &Node<D> {
+    ///
+    /// Returns a [`PageRef`] guard that **pins** the page in the store for
+    /// its lifetime: the LRU buffer will not evict it, and a non-resident
+    /// page is decoded through the backend as unmetered traffic — no
+    /// counter, recency or membership the metered runs observe changes.
+    pub fn peek_node(&self, page: PageId) -> PageRef<Node<D>> {
         self.store.peek(page)
     }
 
@@ -193,6 +200,33 @@ impl<D: RTreeObject> RTree<D> {
     /// Current buffer capacity in pages.
     pub fn buffer_pages(&self) -> usize {
         self.store.buffer_pages()
+    }
+
+    /// Pages currently holding a decoded payload (buffer members + pinned).
+    pub fn resident_pages(&self) -> usize {
+        self.store.resident_pages()
+    }
+
+    /// High-water mark of [`RTree::resident_pages`] — bounded by
+    /// `buffer capacity + peak pinned`, not by the tree size (no mirror).
+    pub fn peak_resident_pages(&self) -> usize {
+        self.store.peak_resident_pages()
+    }
+
+    /// Pages currently pinned by [`RTree::peek_node`] guards.
+    pub fn pinned_pages(&self) -> usize {
+        self.store.pinned_pages()
+    }
+
+    /// High-water mark of [`RTree::pinned_pages`].
+    pub fn peak_pinned_pages(&self) -> usize {
+        self.store.peak_pinned_pages()
+    }
+
+    /// Restarts the residency high-water marks from the current state, so a
+    /// measurement phase tracks its own peaks rather than construction's.
+    pub fn reset_residency_peaks(&mut self) {
+        self.store.reset_residency_peaks()
     }
 
     /// Empties the buffer without accounting (cold-start measurements).

@@ -1,11 +1,12 @@
 //! Integration tests for the pluggable storage backends: NM-CIJ over the
-//! real-file `PageBackend` must be observably indistinguishable from the
-//! heap-backed run (same pairs in the same order, same NM counters, same
-//! page-access totals, at any worker-thread count), and the `PagePayload`
-//! node codec must round-trip losslessly while rejecting frames that
-//! exceed the page size.
+//! real-file and memory-mapped `PageBackend`s must be observably
+//! indistinguishable from the heap-backed run (same pairs in the same
+//! order, same NM counters, same page-access totals — across worker-thread
+//! counts and execution modes), pinned buffer pages must never be evicted
+//! under cache pressure, and the `PagePayload` node codec must round-trip
+//! losslessly while rejecting frames that exceed the page size.
 
-use cij::pagestore::{BackendIo, PagePayload};
+use cij::pagestore::{Admission, BackendIo, LruBuffer, PagePayload};
 use cij::prelude::*;
 use cij::rtree::{CellObject, Node, PointObject, RTree, RTreeConfig, NODE_HEADER_BYTES};
 use proptest::prelude::*;
@@ -39,12 +40,14 @@ fn run_nm(p: &[Point], q: &[Point], config: &CijConfig) -> CijOutcome {
     QueryEngine::new(*config).join(p, q, Algorithm::NmCij)
 }
 
-/// The acceptance contract: for uniform and clustered workloads, NM-CIJ
-/// over `FileBackend` produces identical pairs (set *and* order), NM
-/// counters and logical page-access totals as `HeapBackend`, at
-/// `worker_threads` ∈ {1, 4}.
+/// The acceptance contract, as a full matrix: for uniform and clustered
+/// workloads, NM-CIJ over every backend {heap, file, mmap} × threads
+/// {1, 4} × execution mode {metered, fast} produces identical pairs (set
+/// *and* order) and NM counters as the metered single-threaded heap
+/// baseline; metered cells additionally reproduce its page-access totals
+/// and progress samples exactly.
 #[test]
-fn file_backend_matches_heap_backend_exactly() {
+fn backend_matrix_matches_the_metered_heap_baseline_exactly() {
     let workloads = [
         (
             "uniform",
@@ -54,25 +57,35 @@ fn file_backend_matches_heap_backend_exactly() {
         ("clustered", clustered(500, 9403), clustered(550, 9404)),
     ];
     for (name, p, q) in &workloads {
-        for threads in [1usize, 4] {
-            let base = test_config().with_worker_threads(threads);
-            let heap = run_nm(p, q, &base.with_storage_backend(StorageBackend::Heap));
-            let file = run_nm(p, q, &base.with_storage_backend(StorageBackend::File));
-            let label = format!("{name}, T={threads}");
-            assert_eq!(
-                file.pairs, heap.pairs,
-                "{label}: pair sequence (set or order) diverged"
-            );
-            assert_eq!(file.nm, heap.nm, "{label}: NM counters diverged");
-            assert_eq!(
-                file.page_accesses(),
-                heap.page_accesses(),
-                "{label}: page-access totals diverged"
-            );
-            assert_eq!(
-                file.progress, heap.progress,
-                "{label}: progress samples diverged"
-            );
+        let baseline = run_nm(p, q, &test_config().with_worker_threads(1));
+        assert!(!baseline.pairs.is_empty());
+        for backend in StorageBackend::ALL {
+            for threads in [1usize, 4] {
+                for mode in [ExecMode::Metered, ExecMode::Fast] {
+                    let config = test_config()
+                        .with_storage_backend(backend)
+                        .with_worker_threads(threads)
+                        .with_exec_mode(mode);
+                    let run = run_nm(p, q, &config);
+                    let label = format!("{name}, {backend}, T={threads}, {mode:?}");
+                    assert_eq!(
+                        run.pairs, baseline.pairs,
+                        "{label}: pair sequence (set or order) diverged"
+                    );
+                    assert_eq!(run.nm, baseline.nm, "{label}: NM counters diverged");
+                    if mode == ExecMode::Metered {
+                        assert_eq!(
+                            run.page_accesses(),
+                            baseline.page_accesses(),
+                            "{label}: page-access totals diverged"
+                        );
+                        assert_eq!(
+                            run.progress, baseline.progress,
+                            "{label}: progress samples diverged"
+                        );
+                    }
+                }
+            }
         }
     }
 }
@@ -253,6 +266,69 @@ proptest! {
             prop_assert_eq!(overflow.needed, node.encoded_len());
             prop_assert_eq!(overflow.frame, page_size);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pinned pages are never evicted, no matter the cache pressure: over
+    /// arbitrary interleavings of touches (reads/writes causing evictions),
+    /// pins and unpins against a small `LruBuffer`, no eviction victim is
+    /// ever pinned, and every page that was a buffer member when pinned is
+    /// still a member after arbitrary pressure.
+    #[test]
+    fn pinned_pages_are_never_evicted_under_pressure(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec((0u64..20, 0u8..4), 1..300),
+    ) {
+        let mut buf = LruBuffer::new(capacity);
+        let mut pins: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut pinned_members: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (key, op) in ops {
+            match op {
+                // Touch (read or write): the only operation that evicts.
+                0 | 1 => {
+                    if let Admission::Miss { evicted: Some((victim, _)) } =
+                        buf.touch(key, op == 1)
+                    {
+                        prop_assert!(
+                            !pins.contains_key(&victim),
+                            "evicted page {victim} holds {} pins",
+                            pins.get(&victim).copied().unwrap_or(0)
+                        );
+                        prop_assert!(victim != key || !pins.contains_key(&key));
+                    }
+                    if pins.contains_key(&key) {
+                        pinned_members.insert(key);
+                    }
+                }
+                2 => {
+                    buf.pin(key);
+                    *pins.entry(key).or_insert(0) += 1;
+                    if buf.contains(key) {
+                        pinned_members.insert(key);
+                    }
+                }
+                _ => {
+                    if let Some(count) = pins.get_mut(&key) {
+                        buf.unpin(key);
+                        *count -= 1;
+                        if *count == 0 {
+                            pins.remove(&key);
+                            pinned_members.remove(&key);
+                        }
+                    }
+                }
+            }
+            for &member in &pinned_members {
+                prop_assert!(
+                    buf.contains(member),
+                    "pinned member {member} vanished from the buffer"
+                );
+            }
+        }
+        prop_assert_eq!(buf.pinned_pages(), pins.len());
     }
 }
 
