@@ -52,6 +52,14 @@
 //! allocator of every bench binary. [`allocations`] reads the process-wide
 //! count; the `kernel_layout` experiment uses deltas of it to gate the SoA
 //! layout's "measurably less work" contract.
+//!
+//! Relaxed-consistency contract: [`ALLOCATIONS`] is a single monotone
+//! counter with no other shared state ordered against it. Increments use
+//! `Ordering::Relaxed` because only the counter's own modification order
+//! matters — [`allocations`] deltas are taken around single-threaded
+//! regions, where program order alone fixes the observed values, and any
+//! concurrent allocator traffic is measurement noise by definition, not a
+//! synchronization edge.
 
 #![warn(clippy::all)]
 
@@ -77,20 +85,27 @@ pub struct CountingAlloc;
 // SAFETY: delegates every operation verbatim to `System`; the counter has
 // no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (valid layout);
+    // we pass it through to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller guarantees `ptr` was allocated by this allocator with
+    // `layout` — which means by `System`, the only allocator we delegate to.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same pass-through contract as `alloc`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` came from this allocator and
+    // `new_size` is valid per `GlobalAlloc::realloc`; delegated to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

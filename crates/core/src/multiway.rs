@@ -359,6 +359,8 @@ pub struct TupleStream<'a> {
     emitted: u64,
     chunks_done: usize,
     /// Debug-build guard: every emitted id tuple must be unique.
+    /// Membership-only (the `insert` return value is the whole check; never
+    /// iterated), so `HashSet` order cannot leak (allowlisted CIJ-D102).
     #[cfg(debug_assertions)]
     seen_ids: std::collections::HashSet<Vec<u64>>,
 }

@@ -75,6 +75,15 @@
 //! can share one tree-pair snapshot (`NmPairIter::over_snapshot`, driven
 //! by [`crate::service`]).
 //!
+//! Relaxed-consistency contract: the one atomic in this module is the
+//! work-stealing unit cursor inside `run_ordered_scratch` — workers claim
+//! unit indices with `fetch_add(1, Ordering::Relaxed)`, which is sound
+//! because the read-modify-write's modification order already hands each
+//! index to exactly one worker, and unit *inputs* are published to workers
+//! before the scope spawns (the scope's own synchronization), not through
+//! the cursor. Completed results are handed back through a `Mutex`, which
+//! carries the release/acquire edge.
+//!
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`CijConfig::worker_threads`]: crate::config::CijConfig::worker_threads
 //! [`CijConfig::exec_mode`]: crate::config::CijConfig::exec_mode
@@ -283,7 +292,9 @@ pub(crate) struct NmPairIter<'a> {
     finished: bool,
     /// Scratch set for the per-leaf true-hit count, reused across leaves so
     /// the hot loop never reallocates (the pending `VecDeque` is likewise
-    /// reused for the whole stream).
+    /// reused for the whole stream). Membership-only — insert/len/clear,
+    /// never iterated — so `HashSet` order cannot leak into results
+    /// (allowlisted CIJ-D102).
     true_hits: HashSet<u64>,
     /// Sequential-path unit scratch (arena + clip buffers), reused across
     /// leaves. Parallel workers build their own per-thread copies.
@@ -433,6 +444,8 @@ impl<'a> NmPairIter<'a> {
     /// Processes one leaf of `RQ`, pushing its result pairs into `pending`
     /// and updating counters, progress, watermark and cost attribution.
     fn process_leaf(&mut self, leaf: PageId, leaf_index: usize) {
+        // Wall-clock feeds `CijOutcome` elapsed-time stats only, never
+        // pairs or counters (allowlisted CIJ-D101).
         let start = Instant::now();
         let domain = self.config.domain;
         let layout = self.config.leaf_layout;
@@ -543,6 +556,8 @@ impl<'a> NmPairIter<'a> {
     /// Processes the next bounded chunk of leaves on the worker pool and
     /// appends their pairs to `pending` in Hilbert leaf order.
     fn process_chunk(&mut self) {
+        // Chunk wall-clock: elapsed-time attribution only (allowlisted
+        // CIJ-D101).
         let start = Instant::now();
         let workers = self.config.effective_worker_threads();
         let width = match self.chunks_done {

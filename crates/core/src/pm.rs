@@ -31,6 +31,8 @@ pub(crate) fn pm_cij_eager(workload: &mut Workload, config: &CijConfig) -> CijOu
     let start_io = stats.snapshot();
 
     // ---- Materialisation phase: build R'P only. ----
+    // Both phase clocks feed elapsed-time stats only, never pairs or
+    // counters (allowlisted CIJ-D101).
     let mat_start = Instant::now();
     let mut vor_p = materialize_voronoi_rtree(&mut workload.rp, config);
     let mat_cpu = mat_start.elapsed();

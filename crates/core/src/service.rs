@@ -47,8 +47,29 @@ use cij_pagestore::PageId;
 use cij_rtree::{PointObject, RTree, SnapshotReader};
 use cij_voronoi::NoCache;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks `m`, recovering the guard from a poisoned mutex instead of
+/// panicking.
+///
+/// Worker panics are caught by [`worker_loop`]'s `catch_unwind` and
+/// reported as [`Completion::failed`]; a panic while a lock is held poisons
+/// it, and a plain `.lock().unwrap()` in the *other* workers (or in the
+/// submitting thread's [`ResponseHandle`]) would then cascade that one
+/// failure into a pool-wide panic storm. Every critical section in this
+/// module leaves the shared state structurally valid at each unlock point
+/// (short push/pop/flag sections — no multi-step invariants span a panic
+/// site), so recovering the guard is sound and keeps the pool
+/// `catch_unwind`-recoverable (lint rule `CIJ-C502`).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// An immutable, shareable snapshot of `k` indexed pointsets — the data a
 /// [`CijService`] serves queries against.
@@ -236,7 +257,7 @@ impl ResponseHandle {
     /// Blocks until the next result batch is available; `None` once the
     /// request has completed and every batch has been taken.
     pub fn next_batch(&self) -> Option<Batch> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_recover(&self.shared.state);
         loop {
             if let Some(batch) = state.batches.pop_front() {
                 return Some(batch);
@@ -244,16 +265,16 @@ impl ResponseHandle {
             if state.done {
                 return None;
             }
-            state = self.shared.ready.wait(state).unwrap();
+            state = wait_recover(&self.shared.ready, state);
         }
     }
 
     /// Blocks until the request completes and returns its summary. Batches
     /// not yet taken remain available through [`ResponseHandle::next_batch`].
     pub fn completion(&self) -> Completion {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_recover(&self.shared.state);
         while !state.done {
-            state = self.shared.ready.wait(state).unwrap();
+            state = wait_recover(&self.shared.ready, state);
         }
         state.completion.unwrap_or_default()
     }
@@ -295,14 +316,14 @@ impl ResponseHandle {
 }
 
 fn push_batch(shared: &ResponseShared, batch: Batch) {
-    let mut state = shared.state.lock().unwrap();
+    let mut state = lock_recover(&shared.state);
     state.batches.push_back(batch);
     drop(state);
     shared.ready.notify_all();
 }
 
 fn mark_done(shared: &ResponseShared, completion: Completion) {
-    let mut state = shared.state.lock().unwrap();
+    let mut state = lock_recover(&shared.state);
     state.done = true;
     state.completion = Some(completion);
     drop(state);
@@ -421,7 +442,7 @@ impl CijService {
         }
         let shared = Arc::new(ResponseShared::default());
         {
-            let mut state = self.queue.state.lock().unwrap();
+            let mut state = lock_recover(&self.queue.state);
             assert!(!state.shutdown, "service is shut down");
             if state.jobs.len() >= self.queue.capacity {
                 return Err(QueueFull);
@@ -443,7 +464,7 @@ impl CijService {
 
     fn shutdown_inner(&mut self) {
         {
-            let mut state = self.queue.state.lock().unwrap();
+            let mut state = lock_recover(&self.queue.state);
             state.shutdown = true;
         }
         self.queue.jobs_available.notify_all();
@@ -462,7 +483,7 @@ impl Drop for CijService {
 fn worker_loop(queue: &QueueInner, snapshot: &EngineSnapshot, budget: &CacheBudget, quota: usize) {
     loop {
         let job = {
-            let mut state = queue.state.lock().unwrap();
+            let mut state = lock_recover(&queue.state);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -470,7 +491,7 @@ fn worker_loop(queue: &QueueInner, snapshot: &EngineSnapshot, budget: &CacheBudg
                 if state.shutdown {
                     return;
                 }
-                state = queue.jobs_available.wait(state).unwrap();
+                state = wait_recover(&queue.jobs_available, state);
             }
         };
         let Job { request, shared } = job;
@@ -518,7 +539,7 @@ fn execute(
             let mut rows = 0u64;
             loop {
                 let next = iter.next();
-                let watermarks = state.lock().unwrap().watermarks.len();
+                let watermarks = lock_recover(&state).watermarks.len();
                 // Everything buffered before a new watermark appeared is
                 // final — flush it as one batch.
                 if watermarks > flushed {
@@ -538,7 +559,7 @@ fn execute(
             if !buffered.is_empty() {
                 push_batch(shared, Batch::Pairs(buffered));
             }
-            let st = state.lock().unwrap();
+            let st = lock_recover(&state);
             mark_done(
                 shared,
                 Completion {
@@ -605,9 +626,7 @@ fn execute(
             let pairs: Vec<(u64, u64)> = iter.collect();
             // Reuse the join's still-warm cell cache for the P-side region
             // materialisation, exactly like the workload-owning plan.
-            let mut cache_p = slot
-                .lock()
-                .unwrap()
+            let mut cache_p = lock_recover(&slot)
                 .take()
                 .unwrap_or_else(|| CellCache::new(0));
             let mut reader_p = SnapshotReader::new(&snapshot.trees[p]);
@@ -627,7 +646,7 @@ fn execute(
                 &mut NoCache,
             );
             let counts = count_locations_in_regions(&pairs, &cells_p, &cells_q, &locations);
-            let st = state.lock().unwrap();
+            let st = lock_recover(&state);
             let join_reads = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
             let completion = Completion {
                 rows: counts.len() as u64,

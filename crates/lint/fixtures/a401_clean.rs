@@ -1,0 +1,15 @@
+//@ path: crates/rtree/src/probe.rs
+//! Fixture: a module-doc paragraph declaring the contract satisfies
+//! CIJ-A401.
+//!
+//! Relaxed-consistency contract: EVENTS is a monotone event count read only
+//! as deltas around quiescent regions; it gates no control flow and
+//! publishes no other data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,15 @@
+//@ path: crates/rtree/src/probe.rs
+//! Fixture: relaxed atomics without a declared contract fire CIJ-A401 once
+//! per file, at the first offending site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    EVENTS.fetch_add(1, Ordering::Relaxed); //~ CIJ-A401
+}
+
+pub fn current() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/nm.rs
+//! Fixture: `core::nm` hosts the scoped worker pool, so spawning there is
+//! sanctioned.
+
+pub fn run_ordered_scratch() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| ());
+    });
+    let _ = std::thread::spawn(|| ()).join();
+}

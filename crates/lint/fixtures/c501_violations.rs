@@ -1,0 +1,16 @@
+//@ path: crates/core/src/engine.rs
+//! Fixture: free-floating threads outside the sanctioned pools fire
+//! CIJ-C501; test code is exempt.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1); //~ CIJ-C501
+    let _ = handle.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_are_fine_in_tests() {
+        let _ = std::thread::spawn(|| ()).join();
+    }
+}

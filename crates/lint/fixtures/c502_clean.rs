@@ -1,0 +1,20 @@
+//@ path: crates/core/src/service.rs
+//! Fixture: poison-recovering lock access and test-only unwraps are fine
+//! under CIJ-C502 (`unwrap_or_else`/`unwrap_or` are different identifiers).
+
+fn worker(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn fallback(v: Option<u64>) -> u64 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let m = std::sync::Mutex::new(1u64);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/bench/src/timing.rs
+//! Fixture: the bench crate is exempt from CIJ-D101 — measuring wall time
+//! is its job.
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,20 @@
+//@ path: crates/core/src/engine.rs
+//! Fixture: entropy sources in deterministic code fire CIJ-D101, but the
+//! same calls inside test regions are exempt.
+
+pub fn emit_with_entropy() -> u64 {
+    let started = std::time::Instant::now(); //~ CIJ-D101
+    let stamp = std::time::SystemTime::now(); //~ CIJ-D101
+    let mut rng = rand::thread_rng(); //~ CIJ-D101
+    let _ = (started, stamp, rng);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+        let _ = std::time::SystemTime::now();
+    }
+}

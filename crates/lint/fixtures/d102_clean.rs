@@ -1,0 +1,19 @@
+//@ path: crates/core/src/nm.rs
+//! Fixture: hash maps inside test regions of an emission module are exempt
+//! from CIJ-D102.
+
+pub fn ordered() -> Vec<u64> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_tests() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+}

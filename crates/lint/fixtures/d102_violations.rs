@@ -1,0 +1,13 @@
+//@ path: crates/core/src/multiway.rs
+//! Fixture: hash-ordered collections in a result-emitting module fire
+//! CIJ-D102 at every mention.
+
+use std::collections::HashSet; //~ CIJ-D102
+
+pub struct Dedup {
+    seen: HashSet<u64>, //~ CIJ-D102
+}
+
+pub fn counts() -> std::collections::HashMap<u64, u64> { //~ CIJ-D102
+    std::collections::HashMap::new() //~ CIJ-D102
+}

@@ -1,0 +1,20 @@
+//@ path: crates/pagestore/src/store.rs
+//! Fixture: literal classes at every backend call site, an unmetered
+//! `drop_buffer`, and the shapes CIJ-I301 must ignore — definitions and
+//! differently-shaped `read`/`write` calls.
+
+fn flush(&mut self) {
+    self.backend.write(3, &frame, IoClass::Metered);
+    let bytes = self.backend.read(3, 16, IoClass::Unmetered);
+    self.write_back(3, IoClass::Metered);
+    let _ = bytes;
+}
+
+fn drop_buffer(&mut self) {
+    self.write_back(7, IoClass::Unmetered);
+}
+
+fn read(&self, key: u64) -> Frame {
+    // An io::Read-style 1-argument call is not a backend call site.
+    self.inner.read(key)
+}

@@ -1,0 +1,14 @@
+//@ path: crates/pagestore/src/store.rs
+//! Fixture: IoClass laundering at backend call sites fires CIJ-I301, and a
+//! metered transfer inside `drop_buffer` fires CIJ-I302.
+
+fn launder(&mut self, class: IoClass) {
+    self.backend.write(0, &frame, class); //~ CIJ-I301
+    let bytes = self.backend.read(0, 16, class); //~ CIJ-I301
+    self.write_back(0, class); //~ CIJ-I301
+    let _ = bytes;
+}
+
+fn drop_buffer(&mut self) {
+    self.backend.write(0, &frame, IoClass::Metered); //~ CIJ-I302
+}

@@ -1,0 +1,14 @@
+//@ path: crates/geom/src/raw.rs
+//! Fixture: a `// SAFETY:` comment directly above (attributes may sit in
+//! between) or on the same line satisfies CIJ-U201 — but every unsafe
+//! still counts against the CIJ-U202 per-file budget.
+
+pub fn first(v: &[u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    // SAFETY: caller guarantees `v` is non-empty (debug-asserted above).
+    unsafe { *v.get_unchecked(0) } //~ CIJ-U202
+}
+
+// SAFETY: no-op body; sound for any caller.
+#[allow(dead_code)]
+unsafe fn documented_with_attribute_between() {} //~ CIJ-U202

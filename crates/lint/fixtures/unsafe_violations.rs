@@ -1,0 +1,9 @@
+//@ path: crates/geom/src/raw.rs
+//! Fixture: undocumented unsafe fires both CIJ-U201 (no SAFETY comment)
+//! and CIJ-U202 (outside any budget); a comment that is not a SAFETY
+//! comment does not count.
+
+pub fn first(v: &[u8]) -> u8 {
+    // Fast path: skip the bounds check.
+    unsafe { *v.get_unchecked(0) } //~ CIJ-U201 CIJ-U202
+}

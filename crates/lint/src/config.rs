@@ -1,0 +1,124 @@
+//! The `lint.toml` allowlist: a hand-rolled parser for the TOML subset the
+//! file uses (the workspace vendors no TOML crate).
+//!
+//! Format — an array of tables, nothing else:
+//!
+//! ```toml
+//! # comment
+//! [[allow]]
+//! rule = "CIJ-D101"
+//! path = "crates/core/src/nm.rs"
+//! count = 2
+//! reason = "elapsed-time attribution only; never influences pairs"
+//! ```
+//!
+//! Every entry must carry all four keys. `count` is the **exact** number of
+//! diagnostics the entry suppresses: fewer matches means the entry is stale
+//! (dead suppressions are forbidden — rule `CIJ-X901`), more means new
+//! violations appeared. Either way the build fails until `lint.toml` is
+//! edited, which is the point: changes to the audited surface always show
+//! up as a reviewable diff of this file.
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule ID the entry suppresses (must be a known `CIJ-*` rule).
+    pub rule: String,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Exact number of diagnostics suppressed.
+    pub count: usize,
+    /// Why the violation is sound — required, for the reviewer.
+    pub reason: String,
+    /// 1-based `lint.toml` line of the `[[allow]]` header (for messages).
+    pub line: usize,
+}
+
+/// Parses the allowlist. Returns `Err` with a `line: message` description
+/// on any malformed input — an unparseable allowlist must fail the build,
+/// not silently allow everything.
+pub fn parse(source: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = current.take() {
+                entries.push(validated(done)?);
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                count: 0,
+                reason: String::new(),
+                line: line_no,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("{line_no}: expected `key = value` or `[[allow]]`"));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("{line_no}: key outside any [[allow]] entry"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" => entry.rule = unquote(value, line_no)?,
+            "path" => entry.path = unquote(value, line_no)?,
+            "reason" => entry.reason = unquote(value, line_no)?,
+            "count" => {
+                entry.count = value
+                    .parse()
+                    .map_err(|_| format!("{line_no}: count must be an integer"))?
+            }
+            other => return Err(format!("{line_no}: unknown key `{other}`")),
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(validated(done)?);
+    }
+    Ok(entries)
+}
+
+fn unquote(value: &str, line_no: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("{line_no}: expected a double-quoted string"))?;
+    Ok(inner.to_string())
+}
+
+fn validated(entry: AllowEntry) -> Result<AllowEntry, String> {
+    let at = entry.line;
+    if entry.rule.is_empty() {
+        return Err(format!("{at}: [[allow]] entry is missing `rule`"));
+    }
+    if !crate::rules::ALL_RULES.contains(&entry.rule.as_str()) {
+        return Err(format!("{at}: unknown rule `{}`", entry.rule));
+    }
+    if entry.rule == crate::rules::X901 {
+        return Err(format!(
+            "{at}: the meta rule {} cannot be allowlisted",
+            crate::rules::X901
+        ));
+    }
+    if entry.path.is_empty() {
+        return Err(format!("{at}: [[allow]] entry is missing `path`"));
+    }
+    if entry.count == 0 {
+        return Err(format!(
+            "{at}: count must be >= 1 (delete the entry instead)"
+        ));
+    }
+    if entry.reason.is_empty() {
+        return Err(format!(
+            "{at}: [[allow]] entry is missing `reason` — say why it is sound"
+        ));
+    }
+    Ok(entry)
+}

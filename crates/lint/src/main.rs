@@ -1,0 +1,33 @@
+//! The `cij_lint` CLI: scans the workspace and exits nonzero on any
+//! diagnostic. An optional argument overrides the workspace root (default:
+//! two levels up from this crate, i.e. the repo root when run via
+//! `cargo run -p cij_lint`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .expect("resolve workspace root")
+        });
+    match cij_lint::run(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cij_lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the scanner's comment/string awareness: a
+//! rule-triggering snippet embedded in a line comment, doc comment, module
+//! doc, nested block comment, string literal or raw string literal (any
+//! guard count) must never produce a diagnostic — and the same snippet in
+//! code position must (the positive control, so the property cannot pass
+//! vacuously).
+
+use proptest::prelude::*;
+
+/// A snippet that violates `rule` when scanned as code under `path`.
+struct Trigger {
+    snippet: &'static str,
+    path: &'static str,
+    rule: &'static str,
+}
+
+const TRIGGERS: [Trigger; 9] = [
+    Trigger {
+        snippet: "let t = std::time::Instant::now();",
+        path: "crates/core/src/engine.rs",
+        rule: "CIJ-D101",
+    },
+    Trigger {
+        snippet: "let mut r = rand::thread_rng();",
+        path: "crates/core/src/engine.rs",
+        rule: "CIJ-D101",
+    },
+    Trigger {
+        snippet: "let m: HashMap<u64, u64> = HashMap::new();",
+        path: "crates/core/src/multiway.rs",
+        rule: "CIJ-D102",
+    },
+    Trigger {
+        snippet: "let v = unsafe { core::ptr::read(p) };",
+        path: "crates/geom/src/raw.rs",
+        rule: "CIJ-U201",
+    },
+    Trigger {
+        snippet: "self.backend.write(0, &frame, class);",
+        path: "crates/pagestore/src/store.rs",
+        rule: "CIJ-I301",
+    },
+    Trigger {
+        snippet: "fn drop_buffer(&mut self) { self.backend.write(0, &frame, IoClass::Metered); }",
+        path: "crates/pagestore/src/store.rs",
+        rule: "CIJ-I302",
+    },
+    Trigger {
+        snippet: "let v = counter.load(Ordering::Relaxed);",
+        path: "crates/rtree/src/probe.rs",
+        rule: "CIJ-A401",
+    },
+    Trigger {
+        snippet: "std::thread::spawn(|| ());",
+        path: "crates/core/src/engine.rs",
+        rule: "CIJ-C501",
+    },
+    Trigger {
+        snippet: "let g = m.lock().unwrap();",
+        path: "crates/core/src/service.rs",
+        rule: "CIJ-C502",
+    },
+];
+
+/// Wraps `snippet` in one of the token-free contexts the lexer must see
+/// through. `depth` varies block-comment nesting and raw-string guard
+/// counts.
+fn embed(snippet: &str, mode: usize, depth: usize) -> String {
+    let depth = depth.max(1);
+    match mode {
+        0 => format!("// {snippet}\n"),
+        1 => format!("/// {snippet}\nfn documented() {{}}\n"),
+        2 => format!("//! {snippet}\n"),
+        3 => {
+            let open = "/* ".repeat(depth);
+            let close = " */".repeat(depth);
+            format!("{open}{snippet}{close}\n")
+        }
+        4 => format!("const S: &str = \"{snippet}\";\n"),
+        _ => {
+            let guard = "#".repeat(depth);
+            format!("const R: &str = r{guard}\"{snippet}\"{guard};\n")
+        }
+    }
+}
+
+fn scan_under(path: &str, source: &str) -> Vec<cij_lint::rules::Diagnostic> {
+    let scan = cij_lint::lexer::scan(source);
+    cij_lint::rules::scan_file(path, &scan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No rule fires on a trigger hidden in any comment or string form,
+    /// regardless of surrounding code.
+    #[test]
+    fn rules_never_fire_inside_comments_or_strings(
+        trigger in 0usize..TRIGGERS.len(),
+        mode in 0usize..6,
+        depth in 1usize..4,
+        pre in 0usize..3,
+        post in 0usize..3,
+    ) {
+        let t = &TRIGGERS[trigger];
+        let mut source = String::new();
+        for i in 0..pre {
+            source.push_str(&format!("fn filler_before_{i}() {{}}\n"));
+        }
+        source.push_str(&embed(t.snippet, mode, depth));
+        for i in 0..post {
+            source.push_str(&format!("fn filler_after_{i}() {{}}\n"));
+        }
+        let diags = scan_under(t.path, &source);
+        prop_assert!(
+            diags.is_empty(),
+            "snippet {:?} embedded via mode {mode} (depth {depth}) leaked \
+             diagnostics: {diags:?}",
+            t.snippet
+        );
+    }
+
+    /// Positive control: the same snippet in code position fires its rule,
+    /// so the property above cannot hold by the scanner missing everything.
+    #[test]
+    fn the_same_snippet_in_code_position_fires(trigger in 0usize..TRIGGERS.len()) {
+        let t = &TRIGGERS[trigger];
+        let source = format!("fn context() {{\n    {}\n}}\n", t.snippet);
+        let diags = scan_under(t.path, &source);
+        prop_assert!(
+            diags.iter().any(|d| d.rule == t.rule),
+            "snippet {:?} in code position did not fire {}: {diags:?}",
+            t.snippet,
+            t.rule
+        );
+    }
+}

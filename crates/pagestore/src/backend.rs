@@ -36,6 +36,12 @@
 //!   [`BackendIo::unmetered_bytes_read`] / `unmetered_bytes_written`, so no
 //!   byte is ever silently dropped and the metered invariants stay exact.
 //!
+//! Relaxed-consistency contract: the only atomic in this module is the
+//! process-wide temp-file name counter (`FILE_COUNTER`), whose sole job is
+//! handing out distinct integers — `fetch_add`'s per-object modification
+//! order guarantees uniqueness under `Ordering::Relaxed`, and nothing else
+//! is ordered against it.
+//!
 //! [`IoStats`]: crate::IoStats
 //! [`PageStore::flush`]: crate::PageStore::flush
 //! [`PageStore::peek`]: crate::PageStore::peek

@@ -87,6 +87,8 @@ pub struct MmapBackend {
 // usual &mut-xor-& aliasing discipline of the owner provides the
 // synchronization; the type has no interior mutability.
 unsafe impl Send for MmapBackend {}
+// SAFETY: same argument as `Send` above — `&MmapBackend` exposes no
+// mutation of the mapped memory, so shared references are safe to send.
 unsafe impl Sync for MmapBackend {}
 
 impl MmapBackend {

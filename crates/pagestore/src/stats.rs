@@ -1,4 +1,34 @@
 //! I/O statistics counters.
+//!
+//! # Relaxed-consistency contract
+//!
+//! Every atomic access in this module uses `Ordering::Relaxed`, and that is
+//! a deliberate, audited choice — the counters are *pure event counts*:
+//! nothing reads a counter to decide control flow, and no other shared
+//! memory is published or acquired through them, so there is no
+//! happens-before edge for a stronger ordering to establish. Per site:
+//!
+//! * **Increments** (`record_*`, all `fetch_add(1, Relaxed)`): each counter
+//!   has a single total modification order, so relaxed read-modify-writes
+//!   never lose events — per-counter totals are exact regardless of thread
+//!   interleaving (exercised by `stats_handles_are_send_and_sync`).
+//! * **Snapshot loads** ([`IoStats::snapshot`], eight relaxed loads): the
+//!   snapshot is *not* an atomic cut — it may tear across counters while
+//!   writers are active (a `logical_reads` increment visible while its
+//!   paired `buffer_hits` increment is not). Each value is still exact and
+//!   monotone. All engine measurement paths snapshot at quiescent points
+//!   (the metered coordinator is single-threaded; fast mode keeps local
+//!   counts), so they always observe an exact cross-counter cut; only an
+//!   external mid-flight sampler sees the torn view.
+//! * **Reset stores** ([`IoStats::reset`], relaxed `store(0)`): reset is a
+//!   measurement-protocol operation, valid only while no recorder is
+//!   running. Racing it against recorders loses no *memory safety*, only
+//!   attribution (an increment may land before or after the zeroing) — the
+//!   harness never does so.
+//!
+//! If a future counter ever gates control flow or publishes other data,
+//! that site must leave this contract (and upgrade its ordering) rather
+//! than stretch it.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,6 +218,8 @@ impl IoStats {
     ///
     /// The buffer contents are *not* affected; use this together with
     /// clearing the buffer when a fully cold-start measurement is needed.
+    /// Per the module's relaxed-consistency contract, call only at
+    /// quiescent points (no concurrent recorders).
     pub fn reset(&self) {
         self.inner.physical_reads.store(0, Ordering::Relaxed);
         self.inner.physical_writes.store(0, Ordering::Relaxed);

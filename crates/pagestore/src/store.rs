@@ -635,6 +635,10 @@ impl<T: PagePayload> StoreInner<T> {
     /// Encodes the resident payload of a page into a zero-padded frame and
     /// writes it to the backend under `class`. Reuses the scratch frame
     /// across calls — no allocation on the eviction path.
+    ///
+    /// This is the one sanctioned `IoClass`-forwarding funnel (allowlisted
+    /// `CIJ-I301` in `lint.toml`): every *caller* must pass a literal
+    /// class, which the lint enforces at those call sites.
     fn write_back(&mut self, key: u64, class: IoClass) {
         let page_size = self.frame.len();
         let mut frame = std::mem::take(&mut self.frame);

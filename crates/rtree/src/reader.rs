@@ -18,6 +18,12 @@
 //!   and shares nothing — it keeps a per-query-local read count. This is
 //!   the fast execution mode's reader; the [`probe`] counters let harnesses
 //!   verify that a fast run really recorded and replayed zero traces.
+//!
+//! Relaxed-consistency contract: the [`probe`] counters are monotone event
+//! counts read only as deltas around quiescent regions; they gate no
+//! control flow and publish no other data, so `Ordering::Relaxed` is
+//! sufficient at every site (each counter's own modification order makes
+//! per-counter totals exact).
 
 use crate::node::Node;
 use crate::object::RTreeObject;

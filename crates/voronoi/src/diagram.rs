@@ -43,6 +43,8 @@ pub fn compute_diagram(
     method: DiagramMethod,
 ) -> DiagramResult {
     let start_io = tree.stats().snapshot();
+    // Wall-clock feeds `DiagramResult::cpu` only — never cells or counters
+    // (allowlisted CIJ-D101).
     let start = Instant::now();
     let mut cells = Vec::with_capacity(tree.len());
     let leaves = tree.leaf_pages_hilbert_order(domain);
