@@ -1,0 +1,12 @@
+//! Standalone runner for the fault-storm experiment (seeded transient I/O
+//! faults must be byte-invisible on every backend; a persistently corrupt
+//! frame fails exactly the touching query with a structured error while
+//! concurrent healthy queries stay oracle-identical; see
+//! [`cij_bench::experiments::fault_storm`]).
+
+use cij_bench::experiments::fault_storm;
+use cij_bench::Args;
+
+fn main() {
+    fault_storm::run(&Args::capture());
+}

@@ -40,6 +40,7 @@ fn main() {
     experiments::filter_kernel::run(&forward(0.02));
     experiments::kernel_layout::run(&forward(0.02));
     experiments::concurrent_scale::run(&forward(0.02));
+    experiments::fault_storm::run(&forward(0.02));
     if json {
         let report = report::take().expect("recording was enabled");
         let path = format!("BENCH_{bench_id}.json");

@@ -24,10 +24,12 @@
 //! | [`filter_kernel`] | Conditional-filter kernels: sub-quadratic `Indexed` vs quadratic `Scan` — byte-identical candidates, identical traversal, ≥ 3× fewer clip operations |
 //! | [`kernel_layout`] | Leaf layouts: SoA arena/scratch kernels vs the AoS baseline — byte-identical pairs/tuples/counters/page accesses at any thread count and backend, strictly fewer allocations |
 //! | [`concurrent_scale`] | Fast-mode serving: N ∈ {1, 4, 16} simultaneous NM-CIJ queries over one shared snapshot — metered-identical results, zero traces/replays, budget envelope under quota pressure |
+//! | [`fault_storm`] | Injected I/O faults on every backend: seeded transient storms must be byte-invisible (store-level retry parity), a persistently corrupt frame must fail exactly the touching query with a structured error while concurrent healthy queries stay oracle-identical |
 //! | [`out_of_core`] | External-sorted bulk load + NM-CIJ at data ≥ 4× the buffer: mirror-free residency bound (peak resident ≤ buffer + pinned), `bytes_read == physical_reads × page_size`, backend parity over {heap, file, mmap} |
 
 pub mod cache_sweep;
 pub mod concurrent_scale;
+pub mod fault_storm;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;

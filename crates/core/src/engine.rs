@@ -64,6 +64,7 @@ use crate::stats::{CijOutcome, CostBreakdown, LeafWatermark, NmCounters, Progres
 use crate::workload::{MultiwayWorkload, Workload};
 use crate::Algorithm;
 use cij_geom::Point;
+use cij_pagestore::PageIoError;
 use std::sync::{Arc, Mutex};
 
 /// Mutable state shared between a [`PairStream`] and its producing
@@ -75,6 +76,10 @@ pub(crate) struct StreamState {
     pub nm: NmCounters,
     pub breakdown: CostBreakdown,
     pub watermarks: Vec<LeafWatermark>,
+    /// First storage error the producing iterator hit, if any. Once set the
+    /// stream is fail-stopped: everything emitted up to the last recorded
+    /// watermark is valid, nothing after it was emitted.
+    pub error: Option<PageIoError>,
 }
 
 /// `Arc<Mutex<…>>` rather than the earlier `Rc<RefCell<…>>`: the parallel
@@ -129,6 +134,7 @@ impl<'a> PairStream<'a> {
             nm: outcome.nm,
             breakdown: outcome.breakdown,
             watermarks: outcome.watermarks,
+            error: None,
         }));
         PairStream {
             algorithm,
@@ -169,23 +175,50 @@ impl<'a> PairStream<'a> {
         self.state.lock().unwrap().watermarks.clone()
     }
 
+    /// The first storage error the producing iterator hit, if any.
+    ///
+    /// A lazy NM-CIJ stream is **fail-stop**: when a page read fails
+    /// irrecoverably (after the page store's internal retries), the stream
+    /// latches the error, emits nothing from the failing chunk and ends.
+    /// Everything pulled up to the last watermark is valid; a consumer that
+    /// sees the stream end must poll this before trusting completeness.
+    pub fn io_error(&self) -> Option<PageIoError> {
+        self.state.lock().unwrap().error.clone()
+    }
+
     /// Drains the remaining pairs and packages everything into the blocking
     /// [`CijOutcome`] (pairs already pulled through the iterator are *not*
     /// replayed — call this immediately for the classic collect-all
     /// behaviour).
-    pub fn into_outcome(mut self) -> CijOutcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream fail-stopped on a storage error — the blocking
+    /// API has no partial-result channel. Use
+    /// [`PairStream::try_into_outcome`] to handle the error structurally.
+    pub fn into_outcome(self) -> CijOutcome {
+        self.try_into_outcome()
+            .unwrap_or_else(|e| panic!("CIJ storage failure: {e}"))
+    }
+
+    /// Drains the remaining pairs like [`PairStream::into_outcome`], but
+    /// surfaces a fail-stop storage error as `Err` instead of panicking.
+    pub fn try_into_outcome(mut self) -> Result<CijOutcome, PageIoError> {
         let mut pairs = Vec::new();
         for pair in &mut self {
             pairs.push(pair);
         }
-        let state = self.state.lock().unwrap();
-        CijOutcome {
+        let mut state = self.state.lock().unwrap();
+        if let Some(error) = state.error.take() {
+            return Err(error);
+        }
+        Ok(CijOutcome {
             pairs,
             breakdown: state.breakdown,
             progress: state.progress.clone(),
             nm: state.nm,
             watermarks: state.watermarks.clone(),
-        }
+        })
     }
 }
 

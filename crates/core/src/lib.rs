@@ -122,8 +122,8 @@ pub use multiway::{
 pub use nm::nm_cij;
 pub use pm::pm_cij;
 pub use service::{
-    Batch, CijService, Completion, EngineSnapshot, QueueFull, Request, ResponseHandle,
-    ServiceConfig,
+    Batch, CijService, Completion, EngineSnapshot, ManualClock, QueryError, QueueFull, Request,
+    ResponseHandle, ServiceClock, ServiceConfig, SystemClock,
 };
 pub use stats::{
     CijOutcome, CostBreakdown, LeafWatermark, MultiwayCounters, NmCounters, ProgressSample,

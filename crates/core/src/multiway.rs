@@ -118,7 +118,7 @@ use crate::nm::{run_ordered, run_ordered_scratch, UnitScratch};
 use crate::stats::{LeafWatermark, MultiwayCounters, ProgressSample};
 use crate::workload::{pick_driver, MultiwayWorkload};
 use cij_geom::{ConvexPolygon, Point, Rect};
-use cij_pagestore::{IoSnapshot, IoStats, PageId};
+use cij_pagestore::{IoSnapshot, IoStats, PageId, PageIoError};
 use cij_rtree::{NodeReader, PointObject, RTree, SnapshotReader, TracedReader};
 use cij_voronoi::{batch_voronoi_with, brute_force_diagram, VorScratch};
 use std::collections::VecDeque;
@@ -358,6 +358,10 @@ pub struct TupleStream<'a> {
     /// Tuples pulled by the consumer so far.
     emitted: u64,
     chunks_done: usize,
+    /// First storage error hit, if any. Once set the stream is
+    /// fail-stopped: everything emitted up to the last watermark is valid,
+    /// nothing from the failing chunk was emitted, no further leaves run.
+    error: Option<PageIoError>,
     /// Debug-build guard: every emitted id tuple must be unique.
     /// Membership-only (the `insert` return value is the whole check; never
     /// iterated), so `HashSet` order cannot leak (allowlisted CIJ-D102).
@@ -422,6 +426,7 @@ impl<'a> TupleStream<'a> {
             produced: 0,
             emitted: 0,
             chunks_done: 0,
+            error: None,
             #[cfg(debug_assertions)]
             seen_ids: std::collections::HashSet::new(),
         }
@@ -474,6 +479,7 @@ impl<'a> TupleStream<'a> {
             produced: 0,
             emitted: 0,
             chunks_done: 0,
+            error: None,
             #[cfg(debug_assertions)]
             seen_ids: std::collections::HashSet::new(),
         }
@@ -523,23 +529,58 @@ impl<'a> TupleStream<'a> {
         self.watermarks.len()
     }
 
+    /// The first storage error this stream hit, if any. The stream is
+    /// **fail-stop**: when a page read fails irrecoverably the error
+    /// latches, nothing from the failing chunk is emitted and the stream
+    /// ends. A consumer that sees the stream end must poll this before
+    /// trusting completeness.
+    pub fn io_error(&self) -> Option<PageIoError> {
+        self.error.clone()
+    }
+
+    /// Fail-stops the stream: latches the first error and abandons every
+    /// unprocessed leaf. Tuples already emitted (all watermarked) stay
+    /// valid.
+    fn fail(&mut self, error: PageIoError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+        self.next_leaf = self.leaves.len();
+    }
+
     /// Drains the remaining tuples and packages everything into the
     /// blocking [`MultiwayOutcome`] (tuples already pulled through the
     /// iterator are *not* replayed — call this immediately for the classic
     /// collect-all behaviour).
-    pub fn into_outcome(mut self) -> MultiwayOutcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream fail-stopped on a storage error — the blocking
+    /// API has no partial-result channel. Use
+    /// [`TupleStream::try_into_outcome`] to handle the error structurally.
+    pub fn into_outcome(self) -> MultiwayOutcome {
+        self.try_into_outcome()
+            .unwrap_or_else(|e| panic!("multiway CIJ storage failure: {e}"))
+    }
+
+    /// Drains the remaining tuples like [`TupleStream::into_outcome`], but
+    /// surfaces a fail-stop storage error as `Err` instead of panicking.
+    pub fn try_into_outcome(mut self) -> Result<MultiwayOutcome, PageIoError> {
         let mut tuples = Vec::new();
         for tuple in &mut self {
             tuples.push(tuple);
         }
-        MultiwayOutcome {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        Ok(MultiwayOutcome {
             tuples,
             counters: self.counters.clone(),
             progress: self.progress.clone(),
             watermarks: self.watermarks.clone(),
             page_accesses: self.current_page_accesses(),
             driver: self.eval_order[0],
-        }
+        })
     }
 
     /// Processes the next bounded chunk of leaf units — every phase of the
@@ -596,18 +637,27 @@ impl<'a> TupleStream<'a> {
                 ExecMode::Metered => {
                     let mut reader = TracedReader::new(tree);
                     let group = reader.read(chunk[i]).objects;
-                    (group, reader.into_trace(), 0u64)
+                    let error = reader.take_error();
+                    (group, reader.into_trace(), 0u64, error)
                 }
                 ExecMode::Fast => {
                     let mut reader = SnapshotReader::new(tree);
                     let group = reader.read(chunk[i]).objects;
-                    (group, Vec::new(), reader.into_reads())
+                    let error = reader.take_error();
+                    (group, Vec::new(), reader.into_reads(), error)
                 }
             });
+            // Fail-stop gate: a scan-phase read failure discards the whole
+            // chunk before any cache state advances (first error in leaf
+            // order wins).
+            if let Some(e) = scans.iter().find_map(|s| s.3.clone()) {
+                self.fail(e);
+                return;
+            }
             scans
                 .into_iter()
                 .enumerate()
-                .map(|(i, (group, trace, reads))| {
+                .map(|(i, (group, trace, reads, _))| {
                     replays[i].push((driver, trace));
                     leaf_reads[i] += reads;
                     group
@@ -632,7 +682,8 @@ impl<'a> TupleStream<'a> {
                 .collect();
             // Refine (parallel): exact cells of each leaf's missing points,
             // each worker reusing one Voronoi scratch across its leaves.
-            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+            type Refined = (Vec<ConvexPolygon>, Vec<PageId>, u64, Option<PageIoError>);
+            let refined: Vec<Refined> = {
                 let tree = self.source.tree(driver);
                 run_ordered_scratch(
                     workers,
@@ -641,7 +692,7 @@ impl<'a> TupleStream<'a> {
                     |i, vor| {
                         let missing = &plans[i].missing;
                         if missing.is_empty() {
-                            (Vec::new(), Vec::new(), 0)
+                            (Vec::new(), Vec::new(), 0, None)
                         } else {
                             match mode {
                                 ExecMode::Metered => {
@@ -653,7 +704,8 @@ impl<'a> TupleStream<'a> {
                                         layout,
                                         vor,
                                     );
-                                    (cells, reader.into_trace(), 0)
+                                    let error = reader.take_error();
+                                    (cells, reader.into_trace(), 0, error)
                                 }
                                 ExecMode::Fast => {
                                     let mut reader = SnapshotReader::new(tree);
@@ -664,20 +716,27 @@ impl<'a> TupleStream<'a> {
                                         layout,
                                         vor,
                                     );
-                                    (cells, Vec::new(), reader.into_reads())
+                                    let error = reader.take_error();
+                                    (cells, Vec::new(), reader.into_reads(), error)
                                 }
                             }
                         }
                     },
                 )
             };
+            // Fail-stop gate: cells refined from an error-empty read would
+            // be geometrically wrong, so the chunk dies before resolving.
+            if let Some(e) = refined.iter().find_map(|r| r.3.clone()) {
+                self.fail(e);
+                return;
+            }
             // Resolve (coordinator, leaf order) and seed the partials.
             groups
                 .iter()
                 .zip(plans)
                 .zip(refined)
                 .enumerate()
-                .map(|(i, ((group, plan), (cells, trace, reads)))| {
+                .map(|(i, ((group, plan), (cells, trace, reads, _)))| {
                     replays[i].push((driver, trace));
                     leaf_reads[i] += reads;
                     let aligned = resolve_unit(&mut self.caches[driver], group, &plan, cells);
@@ -716,7 +775,14 @@ impl<'a> TupleStream<'a> {
             // Filter (parallel, per unit): ONE batch_conditional_filter
             // call carrying every region of the unit, each worker reusing
             // one filter scratch across its units.
-            let filtered: Vec<(Vec<PointObject>, FilterStats, Vec<PageId>, u64)> = {
+            type Filtered = (
+                Vec<PointObject>,
+                FilterStats,
+                Vec<PageId>,
+                u64,
+                Option<PageIoError>,
+            );
+            let filtered: Vec<Filtered> = {
                 let tree = self.source.tree(set_idx);
                 let partials = &partials;
                 run_ordered_scratch(
@@ -739,7 +805,8 @@ impl<'a> TupleStream<'a> {
                                     &filter_options,
                                     &mut scratch.filter,
                                 );
-                                (candidates, stats, reader.into_trace(), 0)
+                                let error = reader.take_error();
+                                (candidates, stats, reader.into_trace(), 0, error)
                             }
                             ExecMode::Fast => {
                                 let mut reader = SnapshotReader::new(tree);
@@ -750,12 +817,19 @@ impl<'a> TupleStream<'a> {
                                     &filter_options,
                                     &mut scratch.filter,
                                 );
-                                (candidates, stats, Vec::new(), reader.into_reads())
+                                let error = reader.take_error();
+                                (candidates, stats, Vec::new(), reader.into_reads(), error)
                             }
                         }
                     },
                 )
             };
+            // Fail-stop gate before the policy walk: a failed filter pass
+            // must not feed partial candidate lists into the cache policy.
+            if let Some(e) = filtered.iter().find_map(|f| f.4.clone()) {
+                self.fail(e);
+                return;
+            }
 
             // Policy (coordinator, unit order). Walk leaves and units
             // together so each leaf's eviction watermark is captured at its
@@ -779,7 +853,8 @@ impl<'a> TupleStream<'a> {
 
             // Refine (parallel, per unit): exact cells of the unit's
             // missing candidates, again with per-worker Voronoi scratches.
-            let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+            type Refined = (Vec<ConvexPolygon>, Vec<PageId>, u64, Option<PageIoError>);
+            let refined: Vec<Refined> = {
                 let tree = self.source.tree(set_idx);
                 run_ordered_scratch(
                     workers,
@@ -788,7 +863,7 @@ impl<'a> TupleStream<'a> {
                     |u, vor| {
                         let missing = &plans[u].missing;
                         if missing.is_empty() {
-                            (Vec::new(), Vec::new(), 0)
+                            (Vec::new(), Vec::new(), 0, None)
                         } else {
                             match mode {
                                 ExecMode::Metered => {
@@ -800,7 +875,8 @@ impl<'a> TupleStream<'a> {
                                         layout,
                                         vor,
                                     );
-                                    (cells, reader.into_trace(), 0)
+                                    let error = reader.take_error();
+                                    (cells, reader.into_trace(), 0, error)
                                 }
                                 ExecMode::Fast => {
                                     let mut reader = SnapshotReader::new(tree);
@@ -811,19 +887,25 @@ impl<'a> TupleStream<'a> {
                                         layout,
                                         vor,
                                     );
-                                    (cells, Vec::new(), reader.into_reads())
+                                    let error = reader.take_error();
+                                    (cells, Vec::new(), reader.into_reads(), error)
                                 }
                             }
                         }
                     },
                 )
             };
+            // Fail-stop gate: same contract as the seed refine above.
+            if let Some(e) = refined.iter().find_map(|r| r.3.clone()) {
+                self.fail(e);
+                return;
+            }
 
             // Resolve (coordinator, unit order) + record each unit's replay
             // segments in the sequential interleaving (filter, then refine).
             let mut aligned_cells: Vec<Vec<ConvexPolygon>> = Vec::with_capacity(units.len());
             let mut candidates: Vec<Vec<PointObject>> = Vec::with_capacity(units.len());
-            for (((leaf_range, plan), (cands, _, ftrace, freads)), (cells, rtrace, rreads)) in
+            for (((leaf_range, plan), (cands, _, ftrace, freads, _)), (cells, rtrace, rreads, _)) in
                 units.iter().zip(&plans).zip(filtered).zip(refined)
             {
                 let leaf = leaf_range.0;
@@ -1346,5 +1428,68 @@ mod tests {
     #[should_panic(expected = "at least one pointset")]
     fn empty_input_panics() {
         let _ = multiway_cij(&[], &small_config());
+    }
+
+    #[test]
+    fn corrupt_page_fail_stops_the_tuple_stream() {
+        use cij_pagestore::{FaultKind, FaultSpec};
+        let config = small_config().with_multiway_driver(MultiwayDriver::Fixed(0));
+        let sets = vec![random_points(80, 231), random_points(80, 232)];
+        let mut w = MultiwayWorkload::build(&sets, &config);
+        // Corrupt a mid-run driver leaf so some tuples flow before the
+        // failure.
+        let (leaves, _) = w.trees[0].leaf_pages_hilbert_order_peek(&config.domain);
+        let target = leaves[leaves.len() / 2];
+        w.trees[0].flush();
+        w.trees[0].drop_buffer();
+        w.trees[0].inject_fault(FaultSpec::corrupt_frame(target.0));
+        let mut stream = TupleStream::new(&mut w, config);
+        let drained: Vec<MultiwayTuple> = stream.by_ref().collect();
+        let error = stream.io_error().expect("corrupt frame surfaces an error");
+        assert_eq!(error.kind, FaultKind::Corrupt);
+        assert_eq!(error.page, Some(target.0));
+        let rows = stream
+            .watermarks_so_far()
+            .last()
+            .map(|wm| wm.rows)
+            .unwrap_or(0);
+        assert_eq!(
+            rows as usize,
+            drained.len(),
+            "every emitted tuple is watermark-covered: failed chunks emit nothing"
+        );
+        assert!(stream.try_into_outcome().is_err());
+    }
+
+    #[test]
+    fn transient_faults_never_change_the_multiway_result() {
+        use cij_pagestore::FaultSpec;
+        let sets = vec![
+            random_points(120, 233),
+            random_points(110, 234),
+            random_points(100, 235),
+        ];
+        for threads in [1usize, 4] {
+            let config = small_config().with_worker_threads(threads);
+            // Both workloads start cold so metered physical reads agree.
+            let clean = {
+                let mut w = MultiwayWorkload::build(&sets, &config);
+                w.reset_measurement();
+                TupleStream::new(&mut w, config).into_outcome()
+            };
+            let faulty = {
+                let mut w = MultiwayWorkload::build(&sets, &config);
+                w.reset_measurement();
+                for (i, tree) in w.trees.iter_mut().enumerate() {
+                    tree.inject_fault(FaultSpec::transient(0xB00 + i as u64));
+                }
+                TupleStream::new(&mut w, config).into_outcome()
+            };
+            assert_eq!(clean.sorted_ids(), faulty.sorted_ids());
+            assert_eq!(
+                clean.page_accesses, faulty.page_accesses,
+                "retried transients recover inside the store and stay invisible"
+            );
+        }
     }
 }

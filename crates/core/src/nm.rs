@@ -99,7 +99,7 @@ use crate::stats::CijOutcome;
 use crate::stats::{LeafWatermark, ProgressSample};
 use crate::workload::Workload;
 use cij_geom::{ConvexPolygon, Rect};
-use cij_pagestore::{IoSnapshot, IoStats, PageId};
+use cij_pagestore::{IoSnapshot, IoStats, PageId, PageIoError};
 use cij_rtree::{LeafLayout, NodeReader, PointObject, RTree, SnapshotReader, TracedReader};
 use cij_voronoi::{batch_voronoi_cached_with, batch_voronoi_with, VorScratch};
 use std::collections::{HashSet, VecDeque};
@@ -192,6 +192,10 @@ struct LeafScan {
     /// Fast-mode accounting: total snapshot reads of this leaf's scan
     /// (always zero in metered mode, where the traces carry the reads).
     snapshot_reads: u64,
+    /// First storage error either reader latched during the scan. A scan
+    /// that carries an error produced garbage (failed reads serve empty
+    /// leaves) — the coordinator discards the whole chunk and fail-stops.
+    error: Option<PageIoError>,
 }
 
 /// Where an [`NmPairIter`] reads its trees from.
@@ -412,6 +416,24 @@ impl<'a> NmPairIter<'a> {
         }
     }
 
+    /// Fail-stops the stream on a storage error: latches the first error
+    /// into the shared state, abandons every unprocessed leaf and ends the
+    /// stream. Pairs already emitted (all covered by a watermark) stay
+    /// valid; nothing from the failing chunk was emitted. The reuse buffer
+    /// is **not** deposited — cells refined against an error-serving empty
+    /// read could be wrong, and must not leak into a later consumer.
+    fn fail(&mut self, error: PageIoError) {
+        {
+            let mut state = self.state.lock().unwrap();
+            if state.error.is_none() {
+                state.error = Some(error);
+            }
+        }
+        self.next_leaf = self.leaves.len();
+        self.cache_slot = None;
+        self.finish();
+    }
+
     // ------------------------------------------------------------------
     // Sequential path (worker_threads <= 1) — the classic leaf loop.
     // ------------------------------------------------------------------
@@ -450,7 +472,16 @@ impl<'a> NmPairIter<'a> {
         let domain = self.config.domain;
         let layout = self.config.leaf_layout;
         let (rp, rq) = self.source.trees_mut();
-        let group = rq.read_node(leaf).objects;
+        // Reads go through the latching `NodeReader` impl (a failed read
+        // serves an empty leaf and records the error on the tree), so one
+        // poll per phase group suffices to fail-stop before anything wrong
+        // is emitted.
+        let group = NodeReader::read(rq, leaf).objects;
+        if let Some(e) = rq.take_error() {
+            self.fail(e);
+            self.account(start);
+            return;
+        }
         if group.is_empty() {
             self.record_watermark(leaf_index);
             self.account(start);
@@ -483,6 +514,15 @@ impl<'a> NmPairIter<'a> {
             layout,
             &mut self.scratch.vor,
         );
+
+        // Fail-stop before reporting: a read failure inside any kernel
+        // above produced cells from empty-leaf fallbacks — emit nothing
+        // from this leaf.
+        if let Some(e) = rq.take_error().or_else(|| rp.take_error()) {
+            self.fail(e);
+            self.account(start);
+            return;
+        }
 
         // (4) Report intersecting pairs; track which candidates were true
         // hits for the false-hit-ratio of Figure 10. (The set is a reused
@@ -603,6 +643,15 @@ impl<'a> NmPairIter<'a> {
             )
         };
 
+        // Fail-stop gate: if any leaf's scan hit a storage error, nothing
+        // from this chunk is emitted (first error in leaf order wins) and
+        // the cache policy below never runs on the garbage candidates.
+        if let Some(e) = scans.iter().find_map(|s| s.error.clone()) {
+            self.fail(e);
+            self.account(start);
+            return;
+        }
+
         // Phase 2 (coordinator, leaf order): replacement-policy decisions on
         // the real cache — identical hit/miss/evict sequence to a
         // sequential run, and it fixes each leaf's `missing` set.
@@ -632,7 +681,8 @@ impl<'a> NmPairIter<'a> {
         // Phase 3 (parallel): refine — exact cells of each leaf's missing
         // candidates, again against the snapshot (traced or counted per the
         // mode).
-        let refined: Vec<(Vec<ConvexPolygon>, Vec<PageId>, u64)> = {
+        type Refined = (Vec<ConvexPolygon>, Vec<PageId>, u64, Option<PageIoError>);
+        let refined: Vec<Refined> = {
             let rp = self.source.rp();
             run_ordered_scratch(
                 workers,
@@ -641,31 +691,42 @@ impl<'a> NmPairIter<'a> {
                 |i, vor| {
                     let missing = &plans[i].missing;
                     if missing.is_empty() {
-                        (Vec::new(), Vec::new(), 0)
+                        (Vec::new(), Vec::new(), 0, None)
                     } else {
                         match mode {
                             ExecMode::Metered => {
                                 let mut reader = TracedReader::new(rp);
                                 let cells =
                                     batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
-                                (cells, reader.into_trace(), 0)
+                                let error = reader.take_error();
+                                (cells, reader.into_trace(), 0, error)
                             }
                             ExecMode::Fast => {
                                 let mut reader = SnapshotReader::new(rp);
                                 let cells =
                                     batch_voronoi_with(&mut reader, missing, &domain, layout, vor);
-                                (cells, Vec::new(), reader.into_reads())
+                                let error = reader.take_error();
+                                (cells, Vec::new(), reader.into_reads(), error)
                             }
                         }
                     }
                 },
             )
         };
+        // Second fail-stop gate: a refine-phase read failure also discards
+        // the whole chunk. The cache's policy state already advanced, but
+        // the stream ends here and never deposits the buffer, so the
+        // inconsistency cannot escape.
+        if let Some(e) = refined.iter().find_map(|r| r.3.clone()) {
+            self.fail(e);
+            self.account(start);
+            return;
+        }
         let mut traces_refined: Vec<Vec<PageId>> = Vec::with_capacity(refined.len());
         let mut reads_refined: Vec<u64> = Vec::with_capacity(refined.len());
         let cells_refined: Vec<Vec<ConvexPolygon>> = refined
             .into_iter()
-            .map(|(cells, trace, reads)| {
+            .map(|(cells, trace, reads, _)| {
                 traces_refined.push(trace);
                 reads_refined.push(reads);
                 cells
@@ -845,6 +906,7 @@ fn scan_leaf(
                 filter_options,
                 scratch,
             );
+            let error = rq_reader.take_error().or_else(|| rp_reader.take_error());
             LeafScan {
                 group,
                 cells_q,
@@ -853,6 +915,7 @@ fn scan_leaf(
                 trace_rq: rq_reader.into_trace(),
                 trace_rp: rp_reader.into_trace(),
                 snapshot_reads: 0,
+                error,
             }
         }
         ExecMode::Fast => {
@@ -867,6 +930,7 @@ fn scan_leaf(
                 filter_options,
                 scratch,
             );
+            let error = rq_reader.take_error().or_else(|| rp_reader.take_error());
             LeafScan {
                 group,
                 cells_q,
@@ -875,6 +939,7 @@ fn scan_leaf(
                 trace_rq: Vec::new(),
                 trace_rp: Vec::new(),
                 snapshot_reads: rq_reader.into_reads() + rp_reader.into_reads(),
+                error,
             }
         }
     }
@@ -1334,5 +1399,66 @@ mod tests {
             outcome.nm.p_cells_reused,
             "deposited cache counters match the outcome"
         );
+    }
+
+    #[test]
+    fn corrupt_page_fail_stops_the_stream_with_a_structured_error() {
+        use cij_pagestore::{FaultKind, FaultSpec};
+        let config = small_config();
+        let p = random_points(300, 115);
+        let q = random_points(300, 116);
+        let mut w = Workload::build(&p, &q, &config);
+        // Corrupt a mid-run Q leaf so some pairs flow before the failure.
+        let (leaves, _) = w.rq.leaf_pages_hilbert_order_peek(&config.domain);
+        let target = leaves[leaves.len() / 2];
+        w.rq.flush();
+        w.rq.drop_buffer();
+        w.rq.inject_fault(FaultSpec::corrupt_frame(target.0));
+        let mut stream = NmExecutor.stream(&mut w, &config);
+        let drained: Vec<(u64, u64)> = stream.by_ref().collect();
+        let error = stream.io_error().expect("corrupt frame surfaces an error");
+        assert_eq!(error.kind, FaultKind::Corrupt);
+        assert_eq!(error.page, Some(target.0));
+        let rows = stream
+            .watermarks_so_far()
+            .last()
+            .map(|wm| wm.rows)
+            .unwrap_or(0);
+        assert_eq!(
+            rows as usize,
+            drained.len(),
+            "every emitted pair is watermark-covered: failed chunks emit nothing"
+        );
+        assert!(stream.try_into_outcome().is_err());
+    }
+
+    #[test]
+    fn transient_faults_never_change_the_join_result() {
+        use cij_pagestore::FaultSpec;
+        let p = random_points(400, 117);
+        let q = random_points(400, 118);
+        for threads in [1usize, 4] {
+            let config = small_config().with_worker_threads(threads);
+            // Both workloads start cold so metered physical reads agree.
+            let clean = {
+                let mut w = Workload::build(&p, &q, &config);
+                w.reset_measurement();
+                nm_cij(&mut w, &config)
+            };
+            let faulty = {
+                let mut w = Workload::build(&p, &q, &config);
+                w.reset_measurement();
+                w.rp.inject_fault(FaultSpec::transient(0xFA117));
+                w.rq.inject_fault(FaultSpec::transient(0xFA118));
+                nm_cij(&mut w, &config)
+            };
+            assert_eq!(clean.sorted_pairs(), faulty.sorted_pairs());
+            assert_eq!(clean.nm, faulty.nm);
+            assert_eq!(
+                clean.page_accesses(),
+                faulty.page_accesses(),
+                "retried transients recover inside the store and stay invisible"
+            );
+        }
     }
 }

@@ -31,6 +31,34 @@
 //!   contract of [`PairStream`](crate::engine::PairStream) and
 //!   [`TupleStream`].
 //!
+//! # Failure model and graceful degradation
+//!
+//! A query can end four ways short of success, all surfaced the same way: a
+//! terminal [`Batch::Error`] frame carrying a structured [`QueryError`],
+//! followed by a [`Completion`] with [`failed`](Completion::failed) set and
+//! the same error in [`Completion::error`]. Batches delivered *before* the
+//! error frame are final — the watermark contract holds right up to the
+//! failure point.
+//!
+//! * **Storage failure** ([`QueryError::Storage`]): the underlying stream
+//!   fail-stopped on a [`PageIoError`] (e.g. a checksum mismatch on a
+//!   corrupt frame). Only the affected query fails; concurrent queries on
+//!   healthy pages are untouched.
+//! * **Worker panic** ([`QueryError::Panic`]): the panic payload's message
+//!   is captured and forwarded — the worker thread itself survives and
+//!   returns to the pool.
+//! * **Deadline** ([`QueryError::DeadlineExceeded`]): a query submitted
+//!   with [`CijService::submit_with_deadline`] is checked against the
+//!   service's [`ServiceClock`] at every watermark boundary — cancellation
+//!   is cooperative and never tears a batch.
+//! * **Cancellation** ([`QueryError::Cancelled`]): [`ResponseHandle::cancel`]
+//!   flags the query; the worker notices at the next watermark boundary
+//!   (or at admission, if the query is still queued).
+//!
+//! [`CijService::shutdown`] keeps its drain semantics under all of the
+//! above: every accepted request still completes — successfully or with a
+//! terminal error frame — before the workers join.
+//!
 //! [`ExecMode::Fast`]: crate::config::ExecMode::Fast
 //! [`QueryEngine::run`]: crate::engine::QueryEngine::run
 //! [`LeafWatermark`]: crate::stats::LeafWatermark
@@ -43,12 +71,13 @@ use crate::multiway::{MultiwayTuple, TupleStream};
 use crate::nm::{CacheSlot, NmPairIter};
 use crate::workload::MultiwayWorkload;
 use cij_geom::Point;
-use cij_pagestore::PageId;
-use cij_rtree::{PointObject, RTree, SnapshotReader};
+use cij_pagestore::{PageId, PageIoError};
+use cij_rtree::{NodeReader, PointObject, RTree, SnapshotReader};
 use cij_voronoi::NoCache;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Locks `m`, recovering the guard from a poisoned mutex instead of
 /// panicking.
@@ -127,6 +156,15 @@ impl EngineSnapshot {
     pub fn tree(&self, i: usize) -> &RTree<PointObject> {
         &self.trees[i]
     }
+
+    /// Mutable access to the R-tree of set `i` — only reachable before the
+    /// snapshot is shared (`Arc::new` freezes it), which is exactly the
+    /// window fault-injection harnesses need to arm
+    /// [`inject_fault`](RTree::inject_fault) / drop buffers on a tree that
+    /// will then serve queries immutably.
+    pub fn tree_mut(&mut self, i: usize) -> &mut RTree<PointObject> {
+        &mut self.trees[i]
+    }
 }
 
 /// One query against an [`EngineSnapshot`]'s sets, identified by index.
@@ -169,10 +207,41 @@ pub enum Batch {
     Tuples(Vec<MultiwayTuple>),
     /// The complete counts of a [`Request::GroupedNn`].
     Groups(GroupCounts),
+    /// Terminal frame of a failed request: the structured reason. Batches
+    /// delivered before this frame are final; nothing follows it.
+    Error(QueryError),
 }
 
+/// Why a request failed — the structured payload of [`Batch::Error`] and
+/// [`Completion::error`]. See the module-level failure model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The underlying stream fail-stopped on a storage error.
+    Storage(PageIoError),
+    /// The executing worker panicked; the payload's message is preserved.
+    Panic(String),
+    /// The query ran past its submitted deadline and was cooperatively
+    /// cancelled at a watermark boundary.
+    DeadlineExceeded,
+    /// The query was cancelled through [`ResponseHandle::cancel`].
+    Cancelled,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage failure: {e}"),
+            QueryError::Panic(msg) => write!(f, "worker panicked: {msg}"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// Terminal summary of a completed request.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Completion {
     /// Result rows produced (pairs, tuples, or groups).
     pub rows: u64,
@@ -181,9 +250,77 @@ pub struct Completion {
     pub page_accesses: u64,
     /// Leaf watermarks the underlying stream recorded.
     pub watermarks: usize,
-    /// True when the worker failed (panicked) executing the request; any
-    /// delivered batches are valid but the result is truncated.
+    /// True when the request ended short of success; any delivered batches
+    /// are valid but the result is truncated. [`Completion::error`] says
+    /// why.
     pub failed: bool,
+    /// The structured failure reason when [`failed`](Completion::failed) is
+    /// set (the same value the terminal [`Batch::Error`] frame carried).
+    pub error: Option<QueryError>,
+}
+
+/// The service's notion of time, in abstract ticks — injected so deadline
+/// tests are deterministic ([`ManualClock`]) while production uses the
+/// monotonic [`SystemClock`] (one tick = one millisecond).
+pub trait ServiceClock: Send + Sync {
+    /// Current time in ticks. Monotonically non-decreasing.
+    fn now_ticks(&self) -> u64;
+}
+
+/// Wall-clock [`ServiceClock`]: milliseconds elapsed since the clock was
+/// created.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Captures the origin; all ticks are measured from here.
+    pub fn new() -> Self {
+        SystemClock {
+            // The service's single real-time read (allowlisted CIJ-D101):
+            // deadlines are relative to submission, so one origin capture
+            // plus monotonic `elapsed` is all the wall clock we need.
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl ServiceClock for SystemClock {
+    fn now_ticks(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// Hand-advanced [`ServiceClock`] for deterministic deadline tests: time
+/// moves only when [`ManualClock::advance`] is called.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: Mutex<u64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at tick 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves time forward by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        *lock_recover(&self.ticks) += ticks;
+    }
+}
+
+impl ServiceClock for ManualClock {
+    fn now_ticks(&self) -> u64 {
+        *lock_recover(&self.ticks)
+    }
 }
 
 /// Error returned by [`CijService::submit`] when the bounded work queue is
@@ -238,6 +375,9 @@ struct ResponseState {
     batches: VecDeque<Batch>,
     done: bool,
     completion: Option<Completion>,
+    /// Set by [`ResponseHandle::cancel`]; workers poll it at watermark
+    /// boundaries (cooperative cancellation — a batch is never torn).
+    cancelled: bool,
 }
 
 /// The consumer side of one submitted request: result batches stream out as
@@ -276,7 +416,16 @@ impl ResponseHandle {
         while !state.done {
             state = wait_recover(&self.shared.ready, state);
         }
-        state.completion.unwrap_or_default()
+        state.completion.clone().unwrap_or_default()
+    }
+
+    /// Requests cooperative cancellation: the executing worker notices at
+    /// the next watermark boundary and ends the query with a terminal
+    /// [`Batch::Error`]`(`[`QueryError::Cancelled`]`)` frame. Batches
+    /// already delivered stay valid. Idempotent; a no-op once the request
+    /// has completed.
+    pub fn cancel(&self) {
+        lock_recover(&self.shared.state).cancelled = true;
     }
 
     /// Drains every remaining batch of a [`Request::Join`] into a flat pair
@@ -330,9 +479,67 @@ fn mark_done(shared: &ResponseShared, completion: Completion) {
     shared.ready.notify_all();
 }
 
+/// Ends a request with a terminal [`Batch::Error`] frame and a failed
+/// [`Completion`] carrying the same structured reason. `rows`,
+/// `page_accesses` and `watermarks` describe the valid prefix that was
+/// delivered before the failure.
+fn fail_query(
+    shared: &ResponseShared,
+    error: QueryError,
+    rows: u64,
+    page_accesses: u64,
+    watermarks: usize,
+) {
+    push_batch(shared, Batch::Error(error.clone()));
+    mark_done(
+        shared,
+        Completion {
+            rows,
+            page_accesses,
+            watermarks,
+            failed: true,
+            error: Some(error),
+        },
+    );
+}
+
+/// Extracts a human-readable message from a caught panic payload (`String`
+/// and `&'static str` payloads cover `panic!` in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Polls the two cooperative stop conditions, cancellation first (an
+/// explicit cancel beats a deadline that expired in the same window).
+fn check_interrupt(
+    shared: &ResponseShared,
+    clock: &dyn ServiceClock,
+    deadline: Option<u64>,
+) -> Option<QueryError> {
+    if lock_recover(&shared.state).cancelled {
+        return Some(QueryError::Cancelled);
+    }
+    if let Some(deadline) = deadline {
+        // `>=` so a zero-tick deadline expires immediately — deterministic
+        // under a frozen [`ManualClock`].
+        if clock.now_ticks() >= deadline {
+            return Some(QueryError::DeadlineExceeded);
+        }
+    }
+    None
+}
+
 struct Job {
     request: Request,
     shared: Arc<ResponseShared>,
+    /// Absolute deadline in clock ticks, if the submit set one.
+    deadline: Option<u64>,
 }
 
 struct QueueInner {
@@ -370,6 +577,7 @@ pub struct CijService {
     snapshot: Arc<EngineSnapshot>,
     queue: Arc<QueueInner>,
     budget: CacheBudget,
+    clock: Arc<dyn ServiceClock>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -383,8 +591,19 @@ impl std::fmt::Debug for CijService {
 }
 
 impl CijService {
-    /// Starts `config.workers` worker threads over `snapshot`.
+    /// Starts `config.workers` worker threads over `snapshot`, timing
+    /// deadlines against the wall-clock [`SystemClock`].
     pub fn start(snapshot: Arc<EngineSnapshot>, config: ServiceConfig) -> Self {
+        CijService::start_with_clock(snapshot, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Like [`CijService::start`] with an injected [`ServiceClock`] — pass a
+    /// [`ManualClock`] to test deadline behaviour deterministically.
+    pub fn start_with_clock(
+        snapshot: Arc<EngineSnapshot>,
+        config: ServiceConfig,
+        clock: Arc<dyn ServiceClock>,
+    ) -> Self {
         let budget = CacheBudget::new(config.cache_budget_cells);
         let queue = Arc::new(QueueInner {
             capacity: config.queue_depth.max(1),
@@ -397,13 +616,15 @@ impl CijService {
                 let queue = Arc::clone(&queue);
                 let snapshot = Arc::clone(&snapshot);
                 let budget = budget.clone();
-                std::thread::spawn(move || worker_loop(&queue, &snapshot, &budget, quota))
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || worker_loop(&queue, &snapshot, &budget, quota, &clock))
             })
             .collect();
         CijService {
             snapshot,
             queue,
             budget,
+            clock,
             workers,
         }
     }
@@ -427,6 +648,24 @@ impl CijService {
     /// Panics if the request names a set index outside the snapshot, lists
     /// no sets, or the service has been shut down.
     pub fn submit(&self, request: Request) -> Result<ResponseHandle, QueueFull> {
+        self.submit_with_deadline(request, None)
+    }
+
+    /// Like [`CijService::submit`] with a relative deadline: the query gets
+    /// `deadline_ticks` ticks of service-clock time from now (including any
+    /// time spent queued). Past the deadline the worker ends it at the next
+    /// watermark boundary with [`QueryError::DeadlineExceeded`]; batches
+    /// delivered before that stay valid. Zero ticks expire immediately —
+    /// the query fails at its first boundary check.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CijService::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline_ticks: Option<u64>,
+    ) -> Result<ResponseHandle, QueueFull> {
         let k = self.snapshot.k();
         match &request {
             Request::Join { p, q } | Request::GroupedNn { p, q, .. } => {
@@ -441,6 +680,7 @@ impl CijService {
             }
         }
         let shared = Arc::new(ResponseShared::default());
+        let deadline = deadline_ticks.map(|t| self.clock.now_ticks().saturating_add(t));
         {
             let mut state = lock_recover(&self.queue.state);
             assert!(!state.shutdown, "service is shut down");
@@ -450,6 +690,7 @@ impl CijService {
             state.jobs.push_back(Job {
                 request,
                 shared: Arc::clone(&shared),
+                deadline,
             });
         }
         self.queue.jobs_available.notify_one();
@@ -480,7 +721,13 @@ impl Drop for CijService {
     }
 }
 
-fn worker_loop(queue: &QueueInner, snapshot: &EngineSnapshot, budget: &CacheBudget, quota: usize) {
+fn worker_loop(
+    queue: &QueueInner,
+    snapshot: &EngineSnapshot,
+    budget: &CacheBudget,
+    quota: usize,
+    clock: &Arc<dyn ServiceClock>,
+) {
     loop {
         let job = {
             let mut state = lock_recover(&queue.state);
@@ -494,29 +741,47 @@ fn worker_loop(queue: &QueueInner, snapshot: &EngineSnapshot, budget: &CacheBudg
                 state = wait_recover(&queue.jobs_available, state);
             }
         };
-        let Job { request, shared } = job;
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(snapshot, budget, quota, request, &shared)
-        }));
-        if run.is_err() {
-            mark_done(
-                &shared,
-                Completion {
-                    failed: true,
-                    ..Completion::default()
-                },
-            );
-        }
+        run_job(snapshot, budget, quota, clock.as_ref(), job);
+    }
+}
+
+/// Runs one dequeued job to completion, converting a worker panic into a
+/// terminal [`QueryError::Panic`] frame carrying the payload's message (the
+/// worker thread survives). Factored out of [`worker_loop`] so the panic
+/// path is testable without staging a real pool.
+fn run_job(
+    snapshot: &EngineSnapshot,
+    budget: &CacheBudget,
+    quota: usize,
+    clock: &dyn ServiceClock,
+    job: Job,
+) {
+    let Job {
+        request,
+        shared,
+        deadline,
+    } = job;
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(snapshot, budget, quota, clock, deadline, request, &shared)
+    }));
+    if let Err(payload) = run {
+        fail_query(&shared, QueryError::Panic(panic_message(payload)), 0, 0, 0);
     }
 }
 
 /// Executes one request end to end: reserve the cache quota (admission
 /// control — blocks while the budget is exhausted), run the fast-mode
 /// stream, flush batches at watermark boundaries, publish the completion.
+///
+/// Watermark boundaries double as the cooperative stop points: right after
+/// each flush the worker polls cancellation and the deadline, so a stopped
+/// query never tears a batch and everything delivered stays final.
 fn execute(
     snapshot: &EngineSnapshot,
     budget: &CacheBudget,
     quota: usize,
+    clock: &dyn ServiceClock,
+    deadline: Option<u64>,
     request: Request,
     shared: &ResponseShared,
 ) {
@@ -547,6 +812,13 @@ fn execute(
                     if !buffered.is_empty() {
                         push_batch(shared, Batch::Pairs(std::mem::take(&mut buffered)));
                     }
+                    if let Some(err) = check_interrupt(shared, clock, deadline) {
+                        let st = lock_recover(&state);
+                        let accesses = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+                        drop(st);
+                        fail_query(shared, err, rows, accesses, watermarks);
+                        return;
+                    }
                 }
                 match next {
                     Some(pair) => {
@@ -556,17 +828,28 @@ fn execute(
                     None => break,
                 }
             }
+            // A fail-stopped stream emitted only watermark-covered pairs —
+            // flush that valid prefix, then surface the storage error.
             if !buffered.is_empty() {
                 push_batch(shared, Batch::Pairs(buffered));
             }
             let st = lock_recover(&state);
+            let accesses = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+            let watermarks = st.watermarks.len();
+            let error = st.error.clone();
+            drop(st);
+            if let Some(e) = error {
+                fail_query(shared, QueryError::Storage(e), rows, accesses, watermarks);
+                return;
+            }
             mark_done(
                 shared,
                 Completion {
                     rows,
-                    page_accesses: st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0),
-                    watermarks: st.watermarks.len(),
+                    page_accesses: accesses,
+                    watermarks,
                     failed: false,
+                    error: None,
                 },
             );
         }
@@ -586,6 +869,15 @@ fn execute(
                     if !buffered.is_empty() {
                         push_batch(shared, Batch::Tuples(std::mem::take(&mut buffered)));
                     }
+                    if let Some(err) = check_interrupt(shared, clock, deadline) {
+                        let accesses = stream
+                            .watermarks_so_far()
+                            .last()
+                            .map(|w| w.page_accesses)
+                            .unwrap_or(0);
+                        fail_query(shared, err, rows, accesses, watermarks);
+                        return;
+                    }
                 }
                 match next {
                     Some(tuple) => {
@@ -599,13 +891,25 @@ fn execute(
                 push_batch(shared, Batch::Tuples(buffered));
             }
             let watermarks = stream.watermarks_so_far();
+            let accesses = watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+            if let Some(e) = stream.io_error() {
+                fail_query(
+                    shared,
+                    QueryError::Storage(e),
+                    rows,
+                    accesses,
+                    watermarks.len(),
+                );
+                return;
+            }
             mark_done(
                 shared,
                 Completion {
                     rows,
-                    page_accesses: watermarks.last().map(|w| w.page_accesses).unwrap_or(0),
+                    page_accesses: accesses,
                     watermarks: watermarks.len(),
                     failed: false,
+                    error: None,
                 },
             );
         }
@@ -613,7 +917,7 @@ fn execute(
             let state: SharedStreamState = Arc::default();
             let slot: CacheSlot = Arc::default();
             let (leaves, order_reads) = snapshot.leaf_orders[q].clone();
-            let iter = NmPairIter::over_snapshot(
+            let mut iter = NmPairIter::over_snapshot(
                 &snapshot.trees[p],
                 &snapshot.trees[q],
                 leaves,
@@ -623,7 +927,41 @@ fn execute(
                 Arc::clone(&state),
             )
             .with_cache_slot(Arc::clone(&slot));
-            let pairs: Vec<(u64, u64)> = iter.collect();
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            let mut seen = 0usize;
+            loop {
+                let next = iter.next();
+                let watermarks = lock_recover(&state).watermarks.len();
+                if watermarks > seen {
+                    seen = watermarks;
+                    if let Some(err) = check_interrupt(shared, clock, deadline) {
+                        let st = lock_recover(&state);
+                        let accesses = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+                        drop(st);
+                        fail_query(shared, err, 0, accesses, watermarks);
+                        return;
+                    }
+                }
+                match next {
+                    Some(pair) => pairs.push(pair),
+                    None => break,
+                }
+            }
+            let st = lock_recover(&state);
+            let join_reads = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
+            let join_watermarks = st.watermarks.len();
+            let join_error = st.error.clone();
+            drop(st);
+            if let Some(e) = join_error {
+                fail_query(
+                    shared,
+                    QueryError::Storage(e),
+                    0,
+                    join_reads,
+                    join_watermarks,
+                );
+                return;
+            }
             // Reuse the join's still-warm cell cache for the P-side region
             // materialisation, exactly like the workload-owning plan.
             let mut cache_p = lock_recover(&slot)
@@ -645,16 +983,26 @@ fn execute(
                 &snapshot.config.domain,
                 &mut NoCache,
             );
+            // The materialisation phase reads pages too — poll its readers
+            // before trusting the cells they produced.
+            if let Some(e) = reader_p.take_error().or_else(|| reader_q.take_error()) {
+                fail_query(
+                    shared,
+                    QueryError::Storage(e),
+                    0,
+                    join_reads + reader_p.reads() + reader_q.reads(),
+                    join_watermarks,
+                );
+                return;
+            }
             let counts = count_locations_in_regions(&pairs, &cells_p, &cells_q, &locations);
-            let st = lock_recover(&state);
-            let join_reads = st.watermarks.last().map(|w| w.page_accesses).unwrap_or(0);
             let completion = Completion {
                 rows: counts.len() as u64,
                 page_accesses: join_reads + reader_p.reads() + reader_q.reads(),
-                watermarks: st.watermarks.len(),
+                watermarks: join_watermarks,
                 failed: false,
+                error: None,
             };
-            drop(st);
             push_batch(shared, Batch::Groups(counts));
             mark_done(shared, completion);
         }
@@ -830,5 +1178,156 @@ mod tests {
         assert!(budget.high_water() <= budget.total());
         assert!(budget.high_water() > 0, "queries did reserve quota");
         assert_eq!(budget.reserved(), 0, "all leases returned");
+    }
+
+    #[test]
+    fn panic_message_extracts_string_and_str_payloads() {
+        let payload = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(payload), "plain str");
+        let payload = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(payload), "formatted 42");
+    }
+
+    #[test]
+    fn worker_panics_surface_their_message_in_the_error_frame() {
+        let sets = vec![random_points(20, 623), random_points(20, 624)];
+        let snapshot = EngineSnapshot::build(&sets, &small_config());
+        let budget = CacheBudget::new(64);
+        let clock = SystemClock::new();
+        let shared = Arc::new(ResponseShared::default());
+        // An out-of-range set index never passes `submit`; feeding it
+        // straight to `run_job` stages a genuine worker panic.
+        run_job(
+            &snapshot,
+            &budget,
+            16,
+            &clock,
+            Job {
+                request: Request::Join { p: 0, q: 7 },
+                shared: Arc::clone(&shared),
+                deadline: None,
+            },
+        );
+        let handle = ResponseHandle { shared };
+        let completion = handle.completion();
+        assert!(completion.failed);
+        match completion.error.clone().expect("a structured panic error") {
+            QueryError::Panic(msg) => {
+                assert!(msg.contains("index out of bounds"), "got: {msg}");
+            }
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+        let mut saw_error_frame = false;
+        while let Some(batch) = handle.next_batch() {
+            if let Batch::Error(err) = batch {
+                assert_eq!(Some(err), completion.error);
+                saw_error_frame = true;
+            }
+        }
+        assert!(saw_error_frame, "the terminal Batch::Error frame arrived");
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_the_first_boundary() {
+        let sets = vec![random_points(150, 619), random_points(150, 620)];
+        let clock = Arc::new(ManualClock::new());
+        let service = CijService::start_with_clock(
+            Arc::new(EngineSnapshot::build(&sets, &small_config())),
+            ServiceConfig::default(),
+            Arc::clone(&clock) as Arc<dyn ServiceClock>,
+        );
+        let doomed = service
+            .submit_with_deadline(Request::Join { p: 0, q: 1 }, Some(0))
+            .unwrap();
+        let completion = doomed.completion();
+        assert!(completion.failed);
+        assert_eq!(completion.error, Some(QueryError::DeadlineExceeded));
+        // A roomy deadline on a frozen clock never expires.
+        let fine = service
+            .submit_with_deadline(Request::Join { p: 0, q: 1 }, Some(1_000_000))
+            .unwrap();
+        assert!(!fine.completion().failed);
+        assert!(!fine.collect_pairs().is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_queries_end_with_a_cancelled_frame() {
+        let sets = vec![random_points(300, 621), random_points(300, 622)];
+        // One worker: the first submit occupies it, the second is cancelled
+        // while still queued (or at its first watermark boundary).
+        let service = service_over(
+            &sets,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let busy = service.submit(Request::Join { p: 0, q: 1 }).unwrap();
+        let doomed = service.submit(Request::Join { p: 0, q: 1 }).unwrap();
+        doomed.cancel();
+        let completion = doomed.completion();
+        assert!(completion.failed);
+        assert_eq!(completion.error, Some(QueryError::Cancelled));
+        assert!(!busy.completion().failed, "the running query is untouched");
+        service.shutdown();
+    }
+
+    #[test]
+    fn corrupt_page_fails_only_the_affected_query() {
+        use cij_pagestore::{FaultKind, FaultSpec};
+        let sets = vec![
+            random_points(60, 615),
+            random_points(70, 616),
+            random_points(50, 617),
+            random_points(55, 618),
+        ];
+        let oracle = brute_force_cij(&sets[2], &sets[3], &small_config().domain);
+        let mut snapshot = EngineSnapshot::build(&sets, &small_config());
+        let (leaves, _) = snapshot
+            .tree(1)
+            .leaf_pages_hilbert_order_peek(&small_config().domain);
+        let target = leaves[leaves.len() / 2];
+        // Arm the fault before sharing the snapshot: cold reads of the
+        // target frame now fail their checksum.
+        {
+            let tree = snapshot.tree_mut(1);
+            tree.flush();
+            tree.drop_buffer();
+            tree.inject_fault(FaultSpec::corrupt_frame(target.0));
+        }
+        let service = CijService::start(
+            Arc::new(snapshot),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let faulty = service.submit(Request::Join { p: 0, q: 1 }).unwrap();
+        let clean = service.submit(Request::Join { p: 2, q: 3 }).unwrap();
+        let mut frame_error = None;
+        while let Some(batch) = faulty.next_batch() {
+            if let Batch::Error(err) = batch {
+                frame_error = Some(err);
+            }
+        }
+        let completion = faulty.completion();
+        assert!(completion.failed);
+        assert_eq!(completion.error, frame_error);
+        match frame_error.expect("a terminal storage error frame") {
+            QueryError::Storage(e) => {
+                assert_eq!(e.kind, FaultKind::Corrupt);
+                assert_eq!(e.page, Some(target.0));
+            }
+            other => panic!("expected a storage error, got {other:?}"),
+        }
+        // The concurrent clean query is oracle-identical and unaffected.
+        let mut pairs = clean.collect_pairs();
+        let clean_completion = clean.completion();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs, oracle);
+        assert!(!clean_completion.failed);
+        service.shutdown();
     }
 }

@@ -53,6 +53,9 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::error::{IoOp, PageIoError};
+use crate::fault::FaultStats;
+
 /// Which [`PageBackend`] a [`PageStore`](crate::PageStore) uses for its
 /// frames.
 ///
@@ -242,26 +245,38 @@ pub trait PageBackend: fmt::Debug + Send + Sync {
     fn allocate(&mut self) -> u32;
 
     /// Reads the frame at `index` into `frame` (`frame.len() ==
-    /// frame_size()`), accounting the bytes under `class`.
+    /// frame_size()`), accounting the bytes under `class`. On `Err` no
+    /// bytes are accounted and `frame` contents are unspecified.
     ///
     /// # Panics
     ///
-    /// Panics if the frame was never written or was freed.
-    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass);
+    /// Panics if the frame was never written or was freed — that is a
+    /// store-accounting bug, not a storage failure, so it is *not* part of
+    /// the [`PageIoError`] taxonomy.
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) -> Result<(), PageIoError>;
 
     /// Writes the frame at `index` (`frame.len() == frame_size()`),
-    /// accounting the bytes under `class`.
-    fn write(&mut self, index: u32, frame: &[u8], class: IoClass);
+    /// accounting the bytes under `class`. On `Err` no bytes are accounted
+    /// and the slot keeps its previous validity.
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) -> Result<(), PageIoError>;
 
     /// Marks a frame slot as freed; it must not be read again.
     fn free(&mut self, index: u32);
 
     /// Makes previous writes durable where the medium supports it (no-op
     /// for the heap backend).
-    fn flush(&mut self);
+    fn flush(&mut self) -> Result<(), PageIoError>;
 
     /// Bytes transferred so far.
     fn io(&self) -> BackendIo;
+
+    /// Fault-injection counters. Zero for every real backend; the
+    /// [`FaultBackend`](crate::FaultBackend) wrapper overrides this with
+    /// its injection tallies so the store can surface them alongside
+    /// [`BackendIo`].
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
 
     /// An independent copy of this backend with identical contents (used by
     /// `PageStore::clone`).
@@ -302,15 +317,16 @@ impl PageBackend for HeapBackend {
         (self.frames.len() - 1) as u32
     }
 
-    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) {
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) -> Result<(), PageIoError> {
         let stored = self.frames[index as usize]
             .as_ref()
             .expect("backend read of a never-written or freed frame");
         frame.copy_from_slice(stored);
         self.io.record_read(class, self.frame_size as u64);
+        Ok(())
     }
 
-    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) {
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) -> Result<(), PageIoError> {
         assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
         match &mut self.frames[index as usize] {
             // Overwrite in place: no fresh allocation per write-back.
@@ -318,6 +334,7 @@ impl PageBackend for HeapBackend {
             slot => *slot = Some(frame.into()),
         }
         self.io.record_write(class, self.frame_size as u64);
+        Ok(())
     }
 
     fn free(&mut self, index: u32) {
@@ -326,7 +343,9 @@ impl PageBackend for HeapBackend {
         }
     }
 
-    fn flush(&mut self) {}
+    fn flush(&mut self) -> Result<(), PageIoError> {
+        Ok(())
+    }
 
     fn io(&self) -> BackendIo {
         self.io
@@ -425,6 +444,48 @@ impl FileBackend {
     }
 }
 
+/// Fills `buf` from `file` at `offset`, looping on short reads and retrying
+/// `EINTR` — positioned syscalls may legally transfer fewer bytes than asked
+/// (signals, pipes-over-NFS, large frames), so a single `read_at` is not a
+/// full-frame guarantee.
+pub(crate) fn read_full_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        match file.read_at(&mut buf[done..], offset + done as u64) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("short read: {done} of {} bytes", buf.len()),
+                ))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes all of `buf` to `file` at `offset`, looping on short writes and
+/// retrying `EINTR` (the write-side twin of [`read_full_at`]).
+pub(crate) fn write_full_at(file: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        match file.write_at(&buf[done..], offset + done as u64) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    format!("short write: {done} of {} bytes", buf.len()),
+                ))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 impl PageBackend for FileBackend {
     fn kind(&self) -> StorageBackend {
         StorageBackend::File
@@ -439,24 +500,24 @@ impl PageBackend for FileBackend {
         (self.written.len() - 1) as u32
     }
 
-    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) {
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) -> Result<(), PageIoError> {
         assert!(
             self.written.get(index as usize).copied().unwrap_or(false),
             "backend read of a never-written or freed frame"
         );
-        self.file
-            .read_exact_at(frame, self.offset(index))
-            .unwrap_or_else(|e| panic!("read_at frame {index}: {e}"));
+        read_full_at(&self.file, frame, self.offset(index))
+            .map_err(|e| PageIoError::from_io(IoOp::Read, Some(index), &e))?;
         self.io.record_read(class, self.frame_size as u64);
+        Ok(())
     }
 
-    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) {
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) -> Result<(), PageIoError> {
         assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
-        self.file
-            .write_all_at(frame, self.offset(index))
-            .unwrap_or_else(|e| panic!("write_at frame {index}: {e}"));
+        write_full_at(&self.file, frame, self.offset(index))
+            .map_err(|e| PageIoError::from_io(IoOp::Write, Some(index), &e))?;
         self.written[index as usize] = true;
         self.io.record_write(class, self.frame_size as u64);
+        Ok(())
     }
 
     fn free(&mut self, index: u32) {
@@ -465,10 +526,12 @@ impl PageBackend for FileBackend {
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), PageIoError> {
         // Counted page accesses — not durability — are what the experiments
         // measure, but syncing keeps the backend honest as real storage.
-        self.file.sync_data().expect("sync pagestore file");
+        self.file
+            .sync_data()
+            .map_err(|e| PageIoError::from_io(IoOp::Flush, None, &e))
     }
 
     fn io(&self) -> BackendIo {
@@ -484,11 +547,9 @@ impl PageBackend for FileBackend {
         for (index, &written) in self.written.iter().enumerate() {
             copy.written.push(false);
             if written {
-                self.file
-                    .read_exact_at(&mut frame, self.offset(index as u32))
+                read_full_at(&self.file, &mut frame, self.offset(index as u32))
                     .unwrap_or_else(|e| panic!("clone read frame {index}: {e}"));
-                copy.file
-                    .write_all_at(&frame, copy.offset(index as u32))
+                write_full_at(&copy.file, &frame, copy.offset(index as u32))
                     .unwrap_or_else(|e| panic!("clone write frame {index}: {e}"));
                 copy.written[index] = true;
             }
@@ -510,20 +571,20 @@ mod tests {
         let mut frame = vec![0u8; fs];
         frame[0] = 0xAB;
         frame[fs - 1] = 0xCD;
-        b.write(a, &frame, IoClass::Metered);
+        b.write(a, &frame, IoClass::Metered).unwrap();
         frame[0] = 0x11;
-        b.write(c, &frame, IoClass::Metered);
+        b.write(c, &frame, IoClass::Metered).unwrap();
         let mut out = vec![0u8; fs];
-        b.read(a, &mut out, IoClass::Metered);
+        b.read(a, &mut out, IoClass::Metered).unwrap();
         assert_eq!((out[0], out[fs - 1]), (0xAB, 0xCD));
-        b.read(c, &mut out, IoClass::Metered);
+        b.read(c, &mut out, IoClass::Metered).unwrap();
         assert_eq!(out[0], 0x11);
         // Overwrite sticks.
         frame[0] = 0x22;
-        b.write(a, &frame, IoClass::Metered);
-        b.read(a, &mut out, IoClass::Metered);
+        b.write(a, &frame, IoClass::Metered).unwrap();
+        b.read(a, &mut out, IoClass::Metered).unwrap();
         assert_eq!(out[0], 0x22);
-        b.flush();
+        b.flush().unwrap();
         let io = b.io();
         assert_eq!(io.bytes_written, 3 * fs as u64);
         assert_eq!(io.bytes_read, 3 * fs as u64);
@@ -562,10 +623,10 @@ mod tests {
             let i = b.allocate();
             let frame = [5u8; 32];
             let mut out = [0u8; 32];
-            b.write(i, &frame, IoClass::Unmetered);
-            b.read(i, &mut out, IoClass::Unmetered);
-            b.write(i, &frame, IoClass::Metered);
-            b.read(i, &mut out, IoClass::Metered);
+            b.write(i, &frame, IoClass::Unmetered).unwrap();
+            b.read(i, &mut out, IoClass::Unmetered).unwrap();
+            b.write(i, &frame, IoClass::Metered).unwrap();
+            b.read(i, &mut out, IoClass::Metered).unwrap();
             let io = b.io();
             assert_eq!(
                 (io.bytes_read, io.bytes_written),
@@ -593,9 +654,9 @@ mod tests {
             assert_eq!(b.path(), Some(path.as_path()));
             let i0 = b.allocate();
             let i1 = b.allocate();
-            b.write(i1, &[1u8; 16], IoClass::Metered);
-            b.write(i0, &[2u8; 16], IoClass::Metered);
-            b.flush();
+            b.write(i1, &[1u8; 16], IoClass::Metered).unwrap();
+            b.write(i0, &[2u8; 16], IoClass::Metered).unwrap();
+            b.flush().unwrap();
         }
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(bytes.len(), 32);
@@ -610,7 +671,7 @@ mod tests {
         let mut b = HeapBackend::new(8);
         let i = b.allocate();
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out, IoClass::Metered);
+        b.read(i, &mut out, IoClass::Metered).unwrap();
     }
 
     #[test]
@@ -619,7 +680,7 @@ mod tests {
         let mut b = FileBackend::anonymous(8);
         let i = b.allocate();
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out, IoClass::Metered);
+        b.read(i, &mut out, IoClass::Metered).unwrap();
     }
 
     #[test]
@@ -627,10 +688,10 @@ mod tests {
     fn file_read_after_free_panics() {
         let mut b = FileBackend::anonymous(8);
         let i = b.allocate();
-        b.write(i, &[9u8; 8], IoClass::Metered);
+        b.write(i, &[9u8; 8], IoClass::Metered).unwrap();
         b.free(i);
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out, IoClass::Metered);
+        b.read(i, &mut out, IoClass::Metered).unwrap();
     }
 
     #[test]
@@ -638,16 +699,16 @@ mod tests {
         for kind in StorageBackend::ALL {
             let mut b = kind.create(8);
             let i = b.allocate();
-            b.write(i, &[7u8; 8], IoClass::Metered);
+            b.write(i, &[7u8; 8], IoClass::Metered).unwrap();
             let mut copy = b.clone_backend();
             assert_eq!(copy.kind(), kind);
             assert_eq!(copy.io(), b.io());
             // Divergent writes stay private to each copy.
-            copy.write(i, &[8u8; 8], IoClass::Metered);
+            copy.write(i, &[8u8; 8], IoClass::Metered).unwrap();
             let mut out = vec![0u8; 8];
-            b.read(i, &mut out, IoClass::Metered);
+            b.read(i, &mut out, IoClass::Metered).unwrap();
             assert_eq!(out, [7u8; 8], "{kind}: original mutated by clone");
-            copy.read(i, &mut out, IoClass::Metered);
+            copy.read(i, &mut out, IoClass::Metered).unwrap();
             assert_eq!(out, [8u8; 8], "{kind}: clone lost its write");
         }
     }

@@ -10,6 +10,84 @@
 
 use std::fmt;
 
+/// Bytes every sealed frame reserves at its tail for the integrity trailer:
+/// a little-endian `u32` payload length followed by the little-endian
+/// `u64` [FNV-1a](fnv1a64) checksum of everything before it.
+///
+/// The [`PageStore`](crate::PageStore) seals each frame on write-back
+/// ([`seal_frame`]) and verifies it on every cold decode ([`verify_frame`]),
+/// so bit-rot surfaces as a structured
+/// [`Corrupt`](crate::FaultKind::Corrupt) error instead of garbage geometry.
+/// Payload budgeting accounts for the trailer: a frame of `page_size` bytes
+/// holds at most `page_size - FRAME_TRAILER_BYTES` payload bytes.
+pub const FRAME_TRAILER_BYTES: usize = 12;
+
+/// 64-bit FNV-1a over `bytes` — the hand-rolled, dependency-free hash used
+/// by the frame integrity trailer. Deterministic across platforms and runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Writes the integrity trailer into the last [`FRAME_TRAILER_BYTES`] of
+/// `frame`: the payload length and the [`fnv1a64`] checksum of everything
+/// before the checksum field (payload, padding and the length itself).
+///
+/// Frames shorter than the trailer are left untouched — such stores cannot
+/// carry a trailer, and [`verify_frame`] treats them as trivially valid
+/// (degraded, unchecked operation instead of a hard failure).
+pub fn seal_frame(frame: &mut [u8], payload_len: usize) {
+    if frame.len() < FRAME_TRAILER_BYTES {
+        return;
+    }
+    let body = frame.len() - FRAME_TRAILER_BYTES;
+    assert!(
+        payload_len <= body,
+        "seal_frame: payload of {payload_len} bytes exceeds the {body}-byte frame body"
+    );
+    frame[body..body + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let sum = fnv1a64(&frame[..body + 4]);
+    frame[body + 4..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Checks the integrity trailer written by [`seal_frame`], returning the
+/// recorded payload length on success and a human-readable mismatch
+/// description on failure (the store wraps it into a
+/// [`Corrupt`](crate::FaultKind::Corrupt) [`PageIoError`](crate::PageIoError)
+/// and quarantines the frame).
+///
+/// Frames shorter than the trailer verify trivially (see [`seal_frame`]).
+pub fn verify_frame(frame: &[u8]) -> Result<usize, String> {
+    if frame.len() < FRAME_TRAILER_BYTES {
+        return Ok(frame.len());
+    }
+    let body = frame.len() - FRAME_TRAILER_BYTES;
+    let mut raw_sum = [0u8; 8];
+    raw_sum.copy_from_slice(&frame[body + 4..]);
+    let stored = u64::from_le_bytes(raw_sum);
+    let computed = fnv1a64(&frame[..body + 4]);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        ));
+    }
+    let mut raw_len = [0u8; 4];
+    raw_len.copy_from_slice(&frame[body..body + 4]);
+    let payload_len = u32::from_le_bytes(raw_len) as usize;
+    if payload_len > body {
+        return Err(format!(
+            "trailer length {payload_len} exceeds the {body}-byte frame body"
+        ));
+    }
+    Ok(payload_len)
+}
+
 /// Error raised when an encoded payload does not fit its page frame.
 ///
 /// The page store treats this as a logic error in the client (its node-size
@@ -256,6 +334,60 @@ mod tests {
         assert_eq!(frame.len(), 4);
         frame.extend_from_slice(&[0u8; 60]); // zero padding, as in a real frame
         assert_eq!(u32::decode(&frame), v);
+    }
+
+    #[test]
+    fn seal_then_verify_roundtrips_the_payload_length() {
+        let mut frame = vec![0u8; 64];
+        frame[..4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        seal_frame(&mut frame, 4);
+        assert_eq!(verify_frame(&frame), Ok(4));
+        // Sealing is idempotent for the same content.
+        let snapshot = frame.clone();
+        seal_frame(&mut frame, 4);
+        assert_eq!(frame, snapshot);
+    }
+
+    #[test]
+    fn verify_detects_a_single_bit_flip_anywhere() {
+        let mut frame = vec![0u8; 40];
+        frame[..4].copy_from_slice(&77u32.to_le_bytes());
+        seal_frame(&mut frame, 4);
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                verify_frame(&bad).is_err(),
+                "flip in byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_rejects_an_absurd_trailer_length() {
+        let mut frame = vec![0u8; 32];
+        let body = frame.len() - FRAME_TRAILER_BYTES;
+        frame[body..body + 4].copy_from_slice(&(1_000_000u32).to_le_bytes());
+        let sum = fnv1a64(&frame[..body + 4]);
+        frame[body + 4..].copy_from_slice(&sum.to_le_bytes());
+        let err = verify_frame(&frame).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn tiny_frames_skip_the_trailer() {
+        let mut frame = vec![1u8, 2, 3];
+        seal_frame(&mut frame, 3);
+        assert_eq!(frame, vec![1u8, 2, 3]);
+        assert_eq!(verify_frame(&frame), Ok(3));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]

@@ -52,11 +52,57 @@
 //! accesses be validated against real I/O (`bytes_read == physical_reads ×
 //! page_size`, see the `io_validation` and `out_of_core` bench
 //! experiments).
+//!
+//! ## The failure model
+//!
+//! Real storage fails, and the crate classifies every failure into the
+//! three-kind taxonomy of [`PageIoError`] (see the [error module](error)):
+//!
+//! * **Transient** ([`FaultKind::Transient`]) — interrupted or flaky
+//!   operations that may succeed when repeated. Two layers absorb them
+//!   before any caller notices: [`FileBackend`] loops its positioned I/O on
+//!   short transfers and `EINTR`, and [`PageStore`] retries whole frame
+//!   transfers under a bounded [`RetryPolicy`](store::RetryPolicy) with
+//!   exponential backoff charged to a **virtual clock**
+//!   ([`RetryClock`](store::RetryClock) — deterministic, never a wall
+//!   clock). Only an exhausted retry budget surfaces a transient error.
+//! * **Persistent** ([`FaultKind::Persistent`]) — the medium or syscall
+//!   failed for good; surfaced immediately, never retried.
+//! * **Corrupt** ([`FaultKind::Corrupt`]) — the frame transferred but
+//!   failed its integrity check. Every frame is sealed on write-back with a
+//!   [`FRAME_TRAILER_BYTES`]-byte trailer (payload length + FNV-1a
+//!   checksum, [`frame::seal_frame`]) and verified on every cold decode
+//!   ([`frame::verify_frame`]), so bit-rot surfaces as a structured error
+//!   instead of garbage geometry. A corrupt frame is **quarantined**:
+//!   later reads fail fast without re-transferring known-bad bytes.
+//!
+//! **Query-fatal vs service-fatal.** Trees are immutable while queries run,
+//! so the two directions fail differently:
+//!
+//! * *Read errors are query-fatal*: the fallible read paths
+//!   ([`PageStore::try_read`], [`PageStore::try_peek`], …) return the error
+//!   to the executor, which fails the one affected query with a structured
+//!   terminal frame while the service keeps serving others.
+//! * *Write and flush errors are service-fatal*: write-backs happen during
+//!   build, eviction and flush — losing a frame there corrupts shared
+//!   state, so after retry exhaustion the store panics. The infallible
+//!   wrappers ([`PageStore::read`] & co.) serve exactly those build/oracle
+//!   paths where any storage failure is fatal by construction.
+//!
+//! Per-class [`FaultStats`] counters (injected faults, retries, recoveries,
+//! quarantined frames) are surfaced by [`PageStore::fault_stats`] alongside
+//! [`BackendIo`]. The whole model is testable deterministically through
+//! [`FaultBackend`], a wrapper backend injecting faults from a seeded
+//! schedule (`CIJ_FAULT_PROFILE` / `CIJ_FAULT_SEED`, see the
+//! [fault module](fault)) — under a transient-only schedule every retry
+//! recovers and results stay byte-identical to a clean run.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod backend;
+pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod lru;
 pub mod mmap;
@@ -64,11 +110,15 @@ pub mod stats;
 pub mod store;
 
 pub use backend::{BackendIo, FileBackend, HeapBackend, IoClass, PageBackend, StorageBackend};
-pub use frame::{FrameOverflow, FrameReader, FrameWriter, PagePayload};
+pub use error::{FaultKind, IoOp, PageIoError};
+pub use fault::{FaultBackend, FaultProfile, FaultSpec, FaultStats, DEFAULT_FAULT_SEED};
+pub use frame::{FrameOverflow, FrameReader, FrameWriter, PagePayload, FRAME_TRAILER_BYTES};
 pub use lru::{Admission, LruBuffer};
 pub use mmap::MmapBackend;
 pub use stats::{IoSnapshot, IoStats};
-pub use store::{PageId, PageRef, PageStore, PageStoreConfig};
+pub use store::{
+    PageId, PageRef, PageStore, PageStoreConfig, RetryClock, RetryPolicy, VirtualClock,
+};
 
 /// Page size used throughout the paper's experiments: 1 KB.
 pub const DEFAULT_PAGE_SIZE: usize = 1024;

@@ -25,6 +25,7 @@ use std::os::raw::c_void;
 use std::os::unix::io::AsRawFd;
 
 use crate::backend::{anonymous_file, BackendIo, IoClass, PageBackend, StorageBackend};
+use crate::error::{IoOp, PageIoError};
 
 mod sys {
     use std::os::raw::{c_int, c_void};
@@ -170,7 +171,7 @@ impl PageBackend for MmapBackend {
         (self.written.len() - 1) as u32
     }
 
-    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) {
+    fn read(&mut self, index: u32, frame: &mut [u8], class: IoClass) -> Result<(), PageIoError> {
         assert!(
             self.written.get(index as usize).copied().unwrap_or(false),
             "backend read of a never-written or freed frame"
@@ -181,9 +182,10 @@ impl PageBackend for MmapBackend {
         // distinct (borrow-checked) buffer of the same length.
         unsafe { std::ptr::copy_nonoverlapping(src, frame.as_mut_ptr(), self.frame_size) };
         self.io.record_read(class, self.frame_size as u64);
+        Ok(())
     }
 
-    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) {
+    fn write(&mut self, index: u32, frame: &[u8], class: IoClass) -> Result<(), PageIoError> {
         assert_eq!(frame.len(), self.frame_size, "frame size mismatch");
         assert!(
             (index as usize) < self.written.len(),
@@ -196,6 +198,7 @@ impl PageBackend for MmapBackend {
         unsafe { std::ptr::copy_nonoverlapping(frame.as_ptr(), dst, self.frame_size) };
         self.written[index as usize] = true;
         self.io.record_write(class, self.frame_size as u64);
+        Ok(())
     }
 
     fn free(&mut self, index: u32) {
@@ -204,16 +207,16 @@ impl PageBackend for MmapBackend {
         }
     }
 
-    fn flush(&mut self) {
-        for (i, seg) in self.segments.iter().enumerate() {
+    fn flush(&mut self) -> Result<(), PageIoError> {
+        for seg in self.segments.iter() {
             // SAFETY: (ptr, len) is a live mapping owned by self.
             let rc = unsafe { sys::msync(seg.ptr as *mut c_void, seg.len, sys::MS_SYNC) };
-            assert!(
-                rc == 0,
-                "msync segment {i} failed: {}",
-                std::io::Error::last_os_error()
-            );
+            if rc != 0 {
+                let e = std::io::Error::last_os_error();
+                return Err(PageIoError::from_io(IoOp::Flush, None, &e));
+            }
         }
+        Ok(())
     }
 
     fn io(&self) -> BackendIo {
@@ -270,15 +273,15 @@ mod tests {
         for i in 0..n {
             assert_eq!(b.allocate(), i);
             let frame = [(i % 251) as u8; 48];
-            b.write(i, &frame, IoClass::Metered);
+            b.write(i, &frame, IoClass::Metered).unwrap();
         }
         assert!(b.segments.len() > 10, "spans many segments");
         let mut out = [0u8; 48];
         for i in (0..n).rev() {
-            b.read(i, &mut out, IoClass::Metered);
+            b.read(i, &mut out, IoClass::Metered).unwrap();
             assert_eq!(out, [(i % 251) as u8; 48], "frame {i}");
         }
-        b.flush();
+        b.flush().unwrap();
         assert_eq!(b.io().bytes_written, n as u64 * 48);
         assert_eq!(b.io().bytes_read, n as u64 * 48);
     }
@@ -289,7 +292,7 @@ mod tests {
         let mut b = MmapBackend::anonymous(8);
         let i = b.allocate();
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out, IoClass::Metered);
+        let _ = b.read(i, &mut out, IoClass::Metered);
     }
 
     #[test]
@@ -297,10 +300,10 @@ mod tests {
     fn mmap_read_after_free_panics() {
         let mut b = MmapBackend::anonymous(8);
         let i = b.allocate();
-        b.write(i, &[9u8; 8], IoClass::Metered);
+        b.write(i, &[9u8; 8], IoClass::Metered).unwrap();
         b.free(i);
         let mut out = vec![0u8; 8];
-        b.read(i, &mut out, IoClass::Metered);
+        let _ = b.read(i, &mut out, IoClass::Metered);
     }
 
     #[test]

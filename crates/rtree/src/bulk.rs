@@ -337,7 +337,11 @@ impl<'a> SpillWriter<'a> {
         bytes.extend_from_slice(&body.into_bytes());
         bytes.resize(frame_size, 0);
         let index = self.backend.allocate();
-        self.backend.write(index, &bytes, IoClass::Unmetered);
+        // The scratch backend is never fault-wrapped; a spill failure is a
+        // genuine medium failure, service-fatal during construction.
+        self.backend
+            .write(index, &bytes, IoClass::Unmetered)
+            .unwrap_or_else(|e| panic!("bulk-load spill write failed: {e}"));
         self.frames.push(index);
         self.count = 0;
     }
@@ -375,7 +379,9 @@ impl<D: RTreeObject> RunCursor<D> {
             }
             let frame = self.frames.next()?;
             frame_buf.resize(backend.frame_size(), 0);
-            backend.read(frame, frame_buf, IoClass::Unmetered);
+            backend
+                .read(frame, frame_buf, IoClass::Unmetered)
+                .unwrap_or_else(|e| panic!("bulk-load spill read failed: {e}"));
             backend.free(frame);
             let mut r = FrameReader::new(frame_buf);
             let count = r.take_u32();

@@ -28,7 +28,7 @@
 use crate::node::Node;
 use crate::object::RTreeObject;
 use crate::tree::RTree;
-use cij_pagestore::PageId;
+use cij_pagestore::{PageId, PageIoError};
 
 /// Process-wide probes counting the parity machinery's events — how many
 /// page reads were *trace-recorded* by a [`TracedReader`] and how many were
@@ -94,6 +94,21 @@ pub trait NodeReader<D: RTreeObject> {
         let node = self.read(page);
         f(&node);
     }
+
+    /// Takes the first storage error latched by a failed node read.
+    ///
+    /// The read paths above are infallible by signature so traversal code
+    /// stays straight-line; a storage failure instead **latches** the
+    /// structured error here and serves an **empty leaf** in its place
+    /// (visit callbacks still run, so arenas are never left holding a stale
+    /// node). Executors poll this at chunk boundaries: `Some` means every
+    /// output produced since the previous poll is suspect and the chunk must
+    /// be discarded wholesale — the query fails with the latched error while
+    /// the service keeps serving others. The default is the infallible
+    /// case: no error source, always `None`.
+    fn take_error(&mut self) -> Option<PageIoError> {
+        None
+    }
 }
 
 impl<D: RTreeObject> NodeReader<D> for RTree<D> {
@@ -106,11 +121,24 @@ impl<D: RTreeObject> NodeReader<D> for RTree<D> {
     }
 
     fn read(&mut self, page: PageId) -> Node<D> {
-        self.read_node(page)
+        match self.try_read_node(page) {
+            Ok(node) => node,
+            Err(e) => {
+                self.set_io_error(e);
+                Node::new_leaf()
+            }
+        }
     }
 
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
-        self.visit_node(page, f);
+        if let Err(e) = self.try_visit_node(page, f) {
+            self.set_io_error(e);
+            f(&Node::new_leaf());
+        }
+    }
+
+    fn take_error(&mut self) -> Option<PageIoError> {
+        self.take_io_error()
     }
 }
 
@@ -125,6 +153,7 @@ impl<D: RTreeObject> NodeReader<D> for RTree<D> {
 pub struct TracedReader<'a, D: RTreeObject> {
     tree: &'a RTree<D>,
     trace: Vec<PageId>,
+    error: Option<PageIoError>,
 }
 
 impl<'a, D: RTreeObject> TracedReader<'a, D> {
@@ -133,6 +162,7 @@ impl<'a, D: RTreeObject> TracedReader<'a, D> {
         TracedReader {
             tree,
             trace: Vec::new(),
+            error: None,
         }
     }
 
@@ -156,16 +186,44 @@ impl<D: RTreeObject> NodeReader<D> for TracedReader<'_, D> {
         self.tree.is_empty()
     }
 
+    // A failed snapshot read latches the error and records *no* trace entry:
+    // replaying it would either re-fail or drift from the counted run, and
+    // the executor discards the whole failed chunk (trace included) anyway.
+
     fn read(&mut self, page: PageId) -> Node<D> {
-        probe::note_trace_record();
-        self.trace.push(page);
-        self.tree.peek_node(page).clone()
+        match self.tree.try_peek_node(page) {
+            Ok(guard) => {
+                probe::note_trace_record();
+                self.trace.push(page);
+                guard.clone()
+            }
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                Node::new_leaf()
+            }
+        }
     }
 
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
-        probe::note_trace_record();
-        self.trace.push(page);
-        f(&*self.tree.peek_node(page));
+        match self.tree.try_peek_node(page) {
+            Ok(guard) => {
+                probe::note_trace_record();
+                self.trace.push(page);
+                f(&guard);
+            }
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                f(&Node::new_leaf());
+            }
+        }
+    }
+
+    fn take_error(&mut self) -> Option<PageIoError> {
+        self.error.take()
     }
 }
 
@@ -182,12 +240,17 @@ impl<D: RTreeObject> NodeReader<D> for TracedReader<'_, D> {
 pub struct SnapshotReader<'a, D: RTreeObject> {
     tree: &'a RTree<D>,
     reads: u64,
+    error: Option<PageIoError>,
 }
 
 impl<'a, D: RTreeObject> SnapshotReader<'a, D> {
     /// Creates a counting snapshot reader over `tree`.
     pub fn new(tree: &'a RTree<D>) -> Self {
-        SnapshotReader { tree, reads: 0 }
+        SnapshotReader {
+            tree,
+            reads: 0,
+            error: None,
+        }
     }
 
     /// Number of node reads performed so far.
@@ -210,14 +273,41 @@ impl<D: RTreeObject> NodeReader<D> for SnapshotReader<'_, D> {
         self.tree.is_empty()
     }
 
+    // Like the traced reader, a failed snapshot read latches the error and
+    // counts nothing — the failed query's counters are discarded with it.
+
     fn read(&mut self, page: PageId) -> Node<D> {
-        self.reads += 1;
-        self.tree.peek_node(page).clone()
+        match self.tree.try_peek_node(page) {
+            Ok(guard) => {
+                self.reads += 1;
+                guard.clone()
+            }
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                Node::new_leaf()
+            }
+        }
     }
 
     fn visit(&mut self, page: PageId, f: &mut dyn FnMut(&Node<D>)) {
-        self.reads += 1;
-        f(&*self.tree.peek_node(page));
+        match self.tree.try_peek_node(page) {
+            Ok(guard) => {
+                self.reads += 1;
+                f(&guard);
+            }
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                f(&Node::new_leaf());
+            }
+        }
+    }
+
+    fn take_error(&mut self) -> Option<PageIoError> {
+        self.error.take()
     }
 }
 
@@ -304,6 +394,68 @@ mod tests {
         let before = probe::replays();
         tree.replay_read(root);
         assert!(probe::replays() > before);
+    }
+
+    #[test]
+    fn counted_reader_latches_corrupt_reads_and_serves_an_empty_leaf() {
+        let mut tree = sample_tree();
+        tree.flush();
+        tree.drop_buffer();
+        let root = tree.root_page();
+        tree.inject_fault(cij_pagestore::FaultSpec::corrupt_frame(root.0));
+
+        let node = NodeReader::read(&mut tree, root);
+        assert!(
+            node.is_leaf() && node.is_empty(),
+            "failed read must serve an empty leaf, not stale or garbage data"
+        );
+        let err = NodeReader::take_error(&mut tree).expect("error must latch");
+        assert_eq!(err.kind, cij_pagestore::FaultKind::Corrupt);
+        assert_eq!(err.page, Some(root.0));
+        assert!(
+            NodeReader::take_error(&mut tree).is_none(),
+            "take_error drains the latch"
+        );
+        assert_eq!(tree.quarantined_frames(), vec![root.0]);
+    }
+
+    #[test]
+    fn snapshot_reader_latches_errors_and_counts_nothing_for_them() {
+        let mut tree = sample_tree();
+        tree.flush();
+        tree.drop_buffer();
+        let root = tree.root_page();
+        tree.inject_fault(cij_pagestore::FaultSpec::corrupt_frame(root.0));
+
+        let mut reader = SnapshotReader::new(&tree);
+        let node = NodeReader::read(&mut reader, root);
+        assert!(node.is_leaf() && node.is_empty());
+        assert_eq!(reader.reads(), 0, "failed reads are not counted");
+        let mut visited_len = usize::MAX;
+        reader.visit(root, &mut |n| visited_len = n.len());
+        assert_eq!(visited_len, 0, "visit still runs the callback (empty leaf)");
+        let err = reader.take_error().expect("first error latched");
+        assert_eq!(err.kind, cij_pagestore::FaultKind::Corrupt);
+        assert!(reader.take_error().is_none());
+    }
+
+    #[test]
+    fn traced_reader_records_no_trace_entry_for_failed_reads() {
+        let mut tree = sample_tree();
+        tree.flush();
+        tree.drop_buffer();
+        let root = tree.root_page();
+        tree.inject_fault(cij_pagestore::FaultSpec::corrupt_frame(root.0));
+
+        let mut traced = TracedReader::new(&tree);
+        let _ = NodeReader::read(&mut traced, root);
+        traced.visit(root, &mut |_| {});
+        assert!(
+            traced.trace().is_empty(),
+            "failed reads must not be replayed"
+        );
+        assert!(traced.take_error().is_some());
+        assert!(traced.into_trace().is_empty());
     }
 
     #[test]

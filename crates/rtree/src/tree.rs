@@ -5,7 +5,8 @@ use crate::node::{ChildEntry, Node};
 use crate::object::RTreeObject;
 use cij_geom::{hilbert, Rect};
 use cij_pagestore::{
-    BackendIo, IoStats, PageId, PageRef, PageStore, PageStoreConfig, StorageBackend,
+    BackendIo, FaultSpec, FaultStats, IoStats, PageId, PageIoError, PageRef, PageStore,
+    PageStoreConfig, RetryPolicy, StorageBackend, FRAME_TRAILER_BYTES,
 };
 
 /// Configuration of an R-tree.
@@ -32,12 +33,14 @@ impl Default for RTreeConfig {
 
 impl RTreeConfig {
     /// Byte budget for a node's entries: the page size minus the serialized
-    /// node header. Packing against this budget (instead of the raw page
+    /// node header and the page store's integrity trailer
+    /// ([`FRAME_TRAILER_BYTES`] — payload length + checksum, sealed on every
+    /// write-back). Packing against this budget (instead of the raw page
     /// size) guarantees every node the tree produces encodes into one page
     /// frame — fanout genuinely respects the paper's 1 KB pages.
     pub fn node_byte_budget(&self) -> usize {
         self.page_size
-            .saturating_sub(NODE_HEADER_BYTES)
+            .saturating_sub(NODE_HEADER_BYTES + FRAME_TRAILER_BYTES)
             .max(ChildEntry::BYTES)
     }
 
@@ -60,6 +63,10 @@ pub struct RTree<D: RTreeObject> {
     root_level: u32,
     len: usize,
     config: RTreeConfig,
+    /// First storage error latched by the infallible [`NodeReader`]
+    /// (crate::reader::NodeReader) read path; taken via
+    /// [`RTree::take_io_error`].
+    io_error: Option<PageIoError>,
 }
 
 impl<D: RTreeObject> RTree<D> {
@@ -92,6 +99,7 @@ impl<D: RTreeObject> RTree<D> {
             root_level: 0,
             len: 0,
             config,
+            io_error: None,
         }
     }
 
@@ -185,6 +193,77 @@ impl<D: RTreeObject> RTree<D> {
     pub fn replay_read(&mut self, page: PageId) {
         crate::reader::probe::note_replay();
         self.store.note_read(page);
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible reads and fault plumbing (see the failure model in the
+    // `cij-pagestore` crate docs)
+    // ------------------------------------------------------------------
+
+    /// Fallible variant of [`RTree::read_node`]: transient faults are
+    /// retried by the store; exhausted transients, persistent failures and
+    /// checksum mismatches come back as a structured [`PageIoError`].
+    pub fn try_read_node(&mut self, page: PageId) -> Result<Node<D>, PageIoError> {
+        self.store.try_read(page)
+    }
+
+    /// Fallible variant of [`RTree::visit_node`]. On `Err` the callback was
+    /// never invoked.
+    pub fn try_visit_node(
+        &mut self,
+        page: PageId,
+        f: &mut dyn FnMut(&Node<D>),
+    ) -> Result<(), PageIoError> {
+        self.store.try_read_with(page, |node| f(node))
+    }
+
+    /// Fallible variant of [`RTree::peek_node`].
+    pub fn try_peek_node(&self, page: PageId) -> Result<PageRef<Node<D>>, PageIoError> {
+        self.store.try_peek(page)
+    }
+
+    /// Fallible variant of [`RTree::replay_read`].
+    pub fn try_replay_read(&mut self, page: PageId) -> Result<(), PageIoError> {
+        crate::reader::probe::note_replay();
+        self.store.try_note_read(page)
+    }
+
+    /// Takes the storage error latched by the [`NodeReader`]
+    /// (crate::reader::NodeReader) impl's infallible read path, if a node
+    /// read failed since the last call. `Some` means every traversal output
+    /// produced since then is suspect and must be discarded.
+    pub fn take_io_error(&mut self) -> Option<PageIoError> {
+        self.io_error.take()
+    }
+
+    pub(crate) fn set_io_error(&mut self, error: PageIoError) {
+        if self.io_error.is_none() {
+            self.io_error = Some(error);
+        }
+    }
+
+    /// Per-class fault, retry and quarantine counters of the underlying
+    /// page store (alongside [`RTree::backend_io`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.store.fault_stats()
+    }
+
+    /// Wraps the tree's current storage in a fault-injecting backend with
+    /// the given deterministic schedule — thin wrapper over
+    /// [`PageStore::inject_fault`]; used by fault tests and the
+    /// `fault_storm` bench experiment.
+    pub fn inject_fault(&mut self, spec: FaultSpec) {
+        self.store.inject_fault(spec);
+    }
+
+    /// Replaces the store's transient-fault retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.store.set_retry_policy(policy);
+    }
+
+    /// Frame indices quarantined after checksum failures, ascending.
+    pub fn quarantined_frames(&self) -> Vec<u32> {
+        self.store.quarantined_frames()
     }
 
     /// Sets the LRU buffer capacity in pages.
@@ -801,6 +880,53 @@ mod tests {
             choose_subtree(&children, &Rect::from_point(Point::new(25.0, 25.0))),
             1
         );
+    }
+
+    #[test]
+    fn node_byte_budget_reserves_header_and_integrity_trailer() {
+        let cfg = RTreeConfig::default();
+        assert_eq!(
+            cfg.node_byte_budget(),
+            cij_pagestore::DEFAULT_PAGE_SIZE - NODE_HEADER_BYTES - FRAME_TRAILER_BYTES
+        );
+        // Degenerate pages still yield a usable (if overflowing) budget.
+        let tiny = RTreeConfig {
+            page_size: 8,
+            ..RTreeConfig::default()
+        };
+        assert_eq!(tiny.node_byte_budget(), ChildEntry::BYTES);
+    }
+
+    #[test]
+    fn transient_faults_are_invisible_to_queries_and_counters() {
+        let mut clean = RTree::new(small_config());
+        let mut faulty = RTree::new(small_config());
+        for t in [&mut clean, &mut faulty] {
+            t.insert_all(grid_points(12, 12, 1.0));
+            t.set_buffer_pages(8);
+            t.flush();
+            t.drop_buffer();
+            t.stats().reset();
+        }
+        faulty.inject_fault(cij_pagestore::FaultSpec::transient(7));
+
+        let q = Rect::from_coords(1.0, 1.0, 9.0, 9.0);
+        let mut a: Vec<u64> = clean.range_query(&q).iter().map(|o| o.id().0).collect();
+        let mut b: Vec<u64> = faulty.range_query(&q).iter().map(|o| o.id().0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "retried reads must not change results");
+        assert!(!a.is_empty());
+        assert_eq!(
+            clean.stats().snapshot(),
+            faulty.stats().snapshot(),
+            "fault injection happens below the accounting layer"
+        );
+        let fs = faulty.fault_stats();
+        assert!(fs.injected_read_faults > 0, "schedule must have fired");
+        assert!(fs.recoveries > 0, "every transient fault recovered");
+        assert!(fs.quarantined_frames == 0, "no corruption in this profile");
+        assert!(faulty.take_io_error().is_none(), "no error surfaced");
     }
 
     #[test]

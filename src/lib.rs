@@ -82,13 +82,14 @@ pub mod prelude {
         brute_force_multiway_cij, fm_cij, multiway_cij, nm_cij, pm_cij, Algorithm, Batch,
         CacheBudget, CacheLease, CellCache, CijConfig, CijExecutor, CijOutcome, CijService,
         Completion, EngineSnapshot, ExecMode, FilterKernel, FilterOptions, FilterStats, LeafLayout,
-        LeafWatermark, MultiwayCounters, MultiwayDriver, MultiwayOutcome, MultiwayProbe,
-        MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, QueueFull, Request,
-        ResponseHandle, ServiceConfig, StorageBackend, TupleStream, Workload,
+        LeafWatermark, ManualClock, MultiwayCounters, MultiwayDriver, MultiwayOutcome,
+        MultiwayProbe, MultiwayTuple, MultiwayWorkload, PairStream, QueryEngine, QueryError,
+        QueueFull, Request, ResponseHandle, ServiceClock, ServiceConfig, StorageBackend,
+        SystemClock, TupleStream, Workload,
     };
     pub use cij_datagen::{clustered_points, uniform_points, ClusterSpec, RealDataset};
     pub use cij_geom::{ConvexPolygon, Point, Rect};
-    pub use cij_pagestore::IoStats;
+    pub use cij_pagestore::{FaultKind, FaultSpec, FaultStats, IoStats, PageIoError, RetryPolicy};
     pub use cij_rtree::{PointObject, RTree, RTreeConfig};
     pub use cij_voronoi::{batch_voronoi, batch_voronoi_cached, single_voronoi, tp_voronoi};
 }
